@@ -1,0 +1,323 @@
+package heteromem
+
+// The benchmark harness: one testing.B target per table and figure of the
+// paper's evaluation (scaled down so `go test -bench=.` completes in
+// minutes; run cmd/hmsim for full-scale reproductions), plus the ablation
+// benches DESIGN.md calls out and microbenchmarks of the core data paths.
+
+import (
+	"io"
+	"testing"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/core"
+	"heteromem/internal/dram"
+	"heteromem/internal/experiments"
+	"heteromem/internal/sched"
+	"heteromem/internal/sim"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+
+	iconfig "heteromem/internal/config"
+)
+
+// benchParams scales experiment drivers for benchmarking.
+func benchParams(records uint64, wls ...string) experiments.Params {
+	return experiments.Params{Records: records, Warmup: records / 2, Seed: 1, Workloads: wls}
+}
+
+// ---- Section II ----
+
+func BenchmarkTable1Footprints(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table1(io.Discard, experiments.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkTable2Config(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Table2(io.Discard, experiments.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig4MissRate(b *testing.B) {
+	p := benchParams(120_000, "EP.C", "CG.C", "FT.C")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig4Data(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].MissRate*100, "missrate-1GB-%")
+	}
+}
+
+func BenchmarkFig5IPC(b *testing.B) {
+	p := benchParams(120_000, "EP.C", "FT.C")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig5Data(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _, all := rows[0].Improvement()
+		b.ReportMetric(all, "ideal-ipc-gain-%")
+	}
+}
+
+// ---- Section III ----
+
+func BenchmarkFig10Overhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if err := experiments.Fig10(io.Discard, experiments.Params{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(core.HardwareBits(1*GiB, 4*MiB, 4*KiB, addr.Bits)), "bits-at-4MB")
+}
+
+// ---- Section IV ----
+
+func BenchmarkFig11Designs(b *testing.B) {
+	p := benchParams(150_000, "SPEC2006")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig11Data(p, 1000)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var worstN, bestLive float64
+		for _, pt := range pts {
+			if pt.PageSize == 4*MiB {
+				switch pt.Design {
+				case core.DesignN:
+					worstN = pt.MeanLatency
+				case core.DesignLive:
+					bestLive = pt.MeanLatency
+				}
+			}
+		}
+		b.ReportMetric(worstN-bestLive, "N-minus-Live-cycles")
+	}
+}
+
+func benchFig1214(b *testing.B, interval uint64) {
+	p := benchParams(200_000, "SPEC2006", "pgbench")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig1214Data(p, interval)
+		if err != nil {
+			b.Fatal(err)
+		}
+		best := pts[0].MeanLatency
+		for _, pt := range pts {
+			if pt.MeanLatency < best {
+				best = pt.MeanLatency
+			}
+		}
+		b.ReportMetric(best, "best-latency-cycles")
+	}
+}
+
+func BenchmarkFig12Interval1K(b *testing.B)   { benchFig1214(b, 1000) }
+func BenchmarkFig13Interval10K(b *testing.B)  { benchFig1214(b, 10000) }
+func BenchmarkFig14Interval100K(b *testing.B) { benchFig1214(b, 100000) }
+
+func BenchmarkTable4Effectiveness(b *testing.B) {
+	p := benchParams(400_000, "SPEC2006")
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Table4Data(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(rows[0].Effectiveness, "effectiveness-%")
+	}
+}
+
+func BenchmarkFig15Capacity(b *testing.B) {
+	p := benchParams(200_000, "pgbench")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig15Data(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(pts[len(pts)-1].LatMig, "lat-512MB-cycles")
+	}
+}
+
+func BenchmarkFig16Power(b *testing.B) {
+	p := benchParams(120_000, "pgbench")
+	for i := 0; i < b.N; i++ {
+		pts, err := experiments.Fig16Data(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		max := 0.0
+		for _, pt := range pts {
+			if pt.Normalized > max {
+				max = pt.Normalized
+			}
+		}
+		b.ReportMetric(max, "max-normalized-power")
+	}
+}
+
+// ---- Ablations (DESIGN.md section 5) ----
+
+// ablationRun simulates SPEC2006 under one configuration and returns the
+// mean DRAM latency.
+func ablationRun(b *testing.B, mutate func(*sim.Config)) float64 {
+	b.Helper()
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = 64 * KiB
+	cfg.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cfg.MaxRecords = 250_000
+	cfg.Warmup = 125_000
+	mutate(&cfg)
+	res, err := sim.Run(trace.NewLimit(gen, cfg.MaxRecords), cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return res.MeanDRAMLatency
+}
+
+func BenchmarkAblationCriticalFirst(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		with := ablationRun(b, func(*sim.Config) {})
+		without := ablationRun(b, func(c *sim.Config) { c.Migration.NoCriticalFirst = true })
+		b.ReportMetric(without-with, "critical-first-gain-cycles")
+	}
+}
+
+func BenchmarkAblationMultiQueue(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		mq := ablationRun(b, func(*sim.Config) {})
+		naive := ablationRun(b, func(c *sim.Config) { c.Migration.NaiveMRU = true })
+		b.ReportMetric(naive-mq, "multiqueue-gain-cycles")
+	}
+}
+
+func BenchmarkAblationPendingBit(b *testing.B) {
+	// N-1 (pending bit hides the swap) vs N (stall-the-world): what the
+	// P bit buys at coarse granularity.
+	for i := 0; i < b.N; i++ {
+		n1 := ablationRun(b, func(c *sim.Config) {
+			c.Geometry.MacroPageSize = 4 * MiB
+			c.Migration.Design = core.DesignN1
+		})
+		n := ablationRun(b, func(c *sim.Config) {
+			c.Geometry.MacroPageSize = 4 * MiB
+			c.Migration.Design = core.DesignN
+		})
+		b.ReportMetric(n-n1, "pending-bit-gain-cycles")
+	}
+}
+
+func BenchmarkAblationSchedulers(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		frfcfs := ablationRun(b, func(*sim.Config) {})
+		fcfs := ablationRun(b, func(c *sim.Config) { c.Sched.FCFSOnly = true })
+		b.ReportMetric(fcfs-frfcfs, "frfcfs-gain-cycles")
+	}
+}
+
+// ---- Microbenchmarks of the core data paths ----
+
+func BenchmarkTranslationTableLookup(b *testing.B) {
+	mig, err := core.NewMigrator(core.Options{
+		Design: core.DesignLive, Slots: 128, TotalPages: 1024,
+		PageSize: 4 * MiB, SubBlockSize: 4 * KiB, SwapInterval: 1000,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		mig.Translate(uint64(i) * 64 % (4 * GiB))
+	}
+}
+
+func BenchmarkDRAMService(b *testing.B) {
+	dev, err := dram.New(dram.Geometry{
+		Channels: 4, BanksPerCh: 8, RowBytes: 8192, BurstBytes: 64,
+	}, iconfig.OffPackageTiming())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dev.Service(uint64(i)*64%(1<<30), i%4 == 0, int64(i)*20)
+	}
+}
+
+func BenchmarkSchedulerThroughput(b *testing.B) {
+	dev, _ := dram.New(dram.Geometry{
+		Channels: 4, BanksPerCh: 8, RowBytes: 8192, BurstBytes: 64,
+	}, iconfig.OffPackageTiming())
+	s, err := sched.New(dev, sched.Config{}, nil, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		now := int64(i) * 25
+		s.Submit(&sched.Request{ID: uint64(i), Arrive: now, Addr: uint64(i) * 64 % (1 << 30)}, now)
+	}
+	s.Flush()
+}
+
+func BenchmarkWorkloadGeneration(b *testing.B) {
+	gen, err := workload.NewMemory("pgbench", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := gen.Next(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEndToEndSimulation(b *testing.B) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = 64 * KiB
+	cfg.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cfg.MaxRecords = uint64(b.N)
+	b.ResetTimer()
+	if _, err := sim.Run(trace.NewLimit(gen, uint64(b.N)), cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkAblationVictimPolicy(b *testing.B) {
+	// Clock pseudo-LRU (paper) vs FIFO rotation vs random victim.
+	for i := 0; i < b.N; i++ {
+		clock := ablationRun(b, func(*sim.Config) {})
+		fifo := ablationRun(b, func(c *sim.Config) { c.Migration.Victim = core.VictimFIFO })
+		random := ablationRun(b, func(c *sim.Config) { c.Migration.Victim = core.VictimRandom })
+		b.ReportMetric(fifo-clock, "fifo-penalty-cycles")
+		b.ReportMetric(random-clock, "random-penalty-cycles")
+	}
+}
+
+func BenchmarkAblationRefresh(b *testing.B) {
+	// DDR3 auto-refresh on vs off: the bandwidth tax the paper's
+	// evaluation leaves unmodeled.
+	for i := 0; i < b.N; i++ {
+		off := ablationRun(b, func(*sim.Config) {})
+		on := ablationRun(b, func(c *sim.Config) {
+			c.OffTiming = iconfig.WithRefresh(c.OffTiming)
+			c.OnTiming = iconfig.WithRefresh(c.OnTiming)
+		})
+		b.ReportMetric(on-off, "refresh-tax-cycles")
+	}
+}

@@ -1,0 +1,142 @@
+// Command hmreport runs the quantitative experiments, writes their data as
+// CSV files, and prints a measured-vs-paper summary — the tool that
+// generated the numbers in EXPERIMENTS.md.
+//
+// Usage:
+//
+//	hmreport -out results/ [-records N] [-seed N]
+package main
+
+import (
+	"encoding/csv"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+
+	"heteromem/internal/experiments"
+)
+
+func main() {
+	var (
+		out     = flag.String("out", "results", "directory for CSV output")
+		records = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
+		seed    = flag.Int64("seed", 1, "workload seed")
+	)
+	flag.Parse()
+	if err := run(*out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
+		fmt.Fprintln(os.Stderr, "hmreport:", err)
+		os.Exit(1)
+	}
+}
+
+func run(dir string, p experiments.Params) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+
+	// Table IV with the paper comparison.
+	rows, err := experiments.Table4Data(p)
+	if err != nil {
+		return err
+	}
+	t4 := [][]string{{"workload", "core_lat", "lat_static", "lat_migrated", "best_page", "best_interval", "effectiveness_pct", "paper_pct"}}
+	var sum, paperSum float64
+	for _, r := range rows {
+		paper := experiments.PaperTable4[r.Workload]
+		t4 = append(t4, []string{
+			r.Workload,
+			f(r.CoreLatency), f(r.LatNoMig), f(r.BestLatMig),
+			strconv.FormatUint(r.BestPage, 10), strconv.FormatUint(r.BestInterval, 10),
+			f(r.Effectiveness), f(paper),
+		})
+		sum += r.Effectiveness
+		paperSum += paper
+	}
+	if err := writeCSV(filepath.Join(dir, "table4.csv"), t4); err != nil {
+		return err
+	}
+	if n := len(rows); n > 0 {
+		fmt.Printf("Table IV average effectiveness: measured %.1f%%, paper %.1f%%\n",
+			sum/float64(n), paperSum/float64(n))
+		for _, r := range rows {
+			fmt.Printf("  %-9s measured %5.1f%%  paper %5.1f%%\n",
+				r.Workload, r.Effectiveness, experiments.PaperTable4[r.Workload])
+		}
+	}
+
+	// Fig. 11 (all three intervals) and Figs. 12-14.
+	for _, iv := range experiments.Intervals {
+		pts, err := experiments.Fig11Data(p, iv)
+		if err != nil {
+			return err
+		}
+		rows := [][]string{{"workload", "page_bytes", "design", "latency", "on_share", "swaps"}}
+		for _, pt := range pts {
+			rows = append(rows, []string{
+				pt.Workload, strconv.FormatUint(pt.PageSize, 10), pt.Design.String(),
+				f(pt.MeanLatency), f(pt.OnShare), strconv.FormatUint(pt.Swaps, 10),
+			})
+		}
+		if err := writeCSV(filepath.Join(dir, fmt.Sprintf("fig11_interval%d.csv", iv)), rows); err != nil {
+			return err
+		}
+	}
+
+	// Fig. 15 capacity sensitivity.
+	pts15, err := experiments.Fig15Data(p)
+	if err != nil {
+		return err
+	}
+	rows15 := [][]string{{"workload", "capacity_bytes", "core_lat", "lat_migrated", "lat_static"}}
+	for _, pt := range pts15 {
+		rows15 = append(rows15, []string{
+			pt.Workload, strconv.FormatUint(pt.Capacity, 10),
+			f(pt.CoreLat), f(pt.LatMig), f(pt.LatNoMig),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, "fig15.csv"), rows15); err != nil {
+		return err
+	}
+
+	// Fig. 16 power.
+	pts16, err := experiments.Fig16Data(p)
+	if err != nil {
+		return err
+	}
+	rows16 := [][]string{{"workload", "page_bytes", "interval", "normalized_power"}}
+	minPower := -1.0
+	for _, pt := range pts16 {
+		rows16 = append(rows16, []string{
+			pt.Workload, strconv.FormatUint(pt.PageSize, 10),
+			strconv.FormatUint(pt.Interval, 10), f(pt.Normalized),
+		})
+		if minPower < 0 || pt.Normalized < minPower {
+			minPower = pt.Normalized
+		}
+	}
+	if err := writeCSV(filepath.Join(dir, "fig16.csv"), rows16); err != nil {
+		return err
+	}
+	fmt.Printf("Fig. 16 minimum power overhead: measured %.2fx, paper ~%.1fx\n",
+		minPower, experiments.PaperFig16MinOverhead)
+	fmt.Printf("CSV files written to %s\n", dir)
+	return nil
+}
+
+func f(v float64) string { return strconv.FormatFloat(v, 'f', 2, 64) }
+
+func writeCSV(path string, rows [][]string) error {
+	fd, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer fd.Close()
+	w := csv.NewWriter(fd)
+	if err := w.WriteAll(rows); err != nil {
+		return err
+	}
+	w.Flush()
+	return w.Error()
+}

@@ -1,0 +1,66 @@
+// Command hmsim runs the paper's experiments: every table and figure of
+// the evaluation has a driver, selected with -exp.
+//
+// Usage:
+//
+//	hmsim -exp table4                 # reproduce Table IV
+//	hmsim -exp fig11a -records 1e6    # Fig. 11 at swap interval 1000
+//	hmsim -exp all                    # everything (slow)
+//	hmsim -list                       # show available experiments
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"heteromem/internal/experiments"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "", "experiment id (see -list), or 'all'")
+		list      = flag.Bool("list", false, "list available experiments")
+		records   = flag.Uint64("records", 0, "trace records per simulation (0 = experiment default)")
+		warmup    = flag.Uint64("warmup", 0, "warmup records excluded from statistics (0 = records/2)")
+		seed      = flag.Int64("seed", 1, "workload generator seed")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("available experiments:")
+		for _, name := range experiments.Names() {
+			fmt.Println("  " + name)
+		}
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "hmsim: -exp required (use -list to see choices)")
+		os.Exit(2)
+	}
+
+	p := experiments.Params{Records: *records, Warmup: *warmup, Seed: *seed}
+	if *workloads != "" {
+		p.Workloads = strings.Split(*workloads, ",")
+	}
+
+	registry := experiments.Registry()
+	names := []string{*exp}
+	if *exp == "all" {
+		names = experiments.Names()
+	}
+	for _, name := range names {
+		run, ok := registry[name]
+		if !ok {
+			fmt.Fprintf(os.Stderr, "hmsim: unknown experiment %q (use -list)\n", name)
+			os.Exit(2)
+		}
+		if err := run(os.Stdout, p); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: %s: %v\n", name, err)
+			os.Exit(1)
+		}
+		fmt.Println()
+	}
+}

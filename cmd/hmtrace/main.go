@@ -1,0 +1,204 @@
+// Command hmtrace generates, inspects, and converts memory-access traces.
+//
+// Usage:
+//
+//	hmtrace gen -workload pgbench -n 1000000 -o trace.bin
+//	hmtrace gen -workload FT -n 100000 -text -o trace.txt
+//	hmtrace info -i trace.bin
+//	hmtrace cat -i trace.bin | head
+package main
+
+import (
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+		os.Exit(2)
+	}
+	var err error
+	switch os.Args[1] {
+	case "gen":
+		err = cmdGen(os.Args[2:])
+	case "info":
+		err = cmdInfo(os.Args[2:])
+	case "cat":
+		err = cmdCat(os.Args[2:])
+	case "wss":
+		err = cmdWSS(os.Args[2:])
+	default:
+		usage()
+		os.Exit(2)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmtrace:", err)
+		os.Exit(1)
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, `usage: hmtrace <gen|info|cat|wss> [flags]
+  gen  -workload <name> -n <records> [-seed N] [-text] [-o file]
+  info -i <file>
+  cat  -i <file>
+  wss  -i <file> [-window N] [-block B]   working-set profile per window
+workloads: `+strings.Join(workload.Names(), ", "))
+}
+
+func cmdGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ExitOnError)
+	name := fs.String("workload", "", "workload name")
+	n := fs.Uint64("n", 1_000_000, "number of records")
+	seed := fs.Int64("seed", 1, "generator seed")
+	text := fs.Bool("text", false, "write the text format instead of binary")
+	out := fs.String("o", "", "output file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	gen, err := workload.NewMemory(*name, *seed)
+	if err != nil {
+		return err
+	}
+	var w io.Writer = os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	src := trace.NewLimit(gen, *n)
+	if *text {
+		_, err = trace.WriteText(w, src)
+		return err
+	}
+	tw, err := trace.NewWriter(w)
+	if err != nil {
+		return err
+	}
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		if err := tw.Write(rec); err != nil {
+			return err
+		}
+	}
+	return tw.Flush()
+}
+
+func openTrace(path string) (trace.Source, func() error, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	r, err := trace.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return r, f.Close, nil
+}
+
+func cmdInfo(args []string) error {
+	fs := flag.NewFlagSet("info", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (binary format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, closer, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	var n, writes uint64
+	var minA, maxA uint64 = ^uint64(0), 0
+	var lastCycle uint64
+	for {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return err
+		}
+		n++
+		if rec.Write {
+			writes++
+		}
+		if rec.Addr < minA {
+			minA = rec.Addr
+		}
+		if rec.Addr > maxA {
+			maxA = rec.Addr
+		}
+		lastCycle = rec.Cycle
+	}
+	if n == 0 {
+		fmt.Println("empty trace")
+		return nil
+	}
+	fmt.Printf("records:    %d\n", n)
+	fmt.Printf("writes:     %d (%.1f%%)\n", writes, float64(writes)/float64(n)*100)
+	fmt.Printf("addr range: 0x%x .. 0x%x (%.1f MB span)\n", minA, maxA, float64(maxA-minA)/(1<<20))
+	fmt.Printf("last cycle: %d (%.2f ms at 3.2 GHz)\n", lastCycle, float64(lastCycle)/3.2e6)
+	return nil
+}
+
+func cmdWSS(args []string) error {
+	fs := flag.NewFlagSet("wss", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (binary format)")
+	window := fs.Uint64("window", 100000, "accesses per analysis window")
+	block := fs.Uint64("block", 4096, "working-set block size (bytes, power of two)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, closer, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	a, err := trace.Analyze(src, *window, *block)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("records=%d writes=%.1f%% footprint=%.1fMB mean-gap=%.1f cycles\n",
+		a.Records, a.WriteShare()*100, float64(a.Footprint)/(1<<20), a.MeanGap)
+	fmt.Printf("%-8s %-12s %-12s %-10s\n", "window", "wss(MB)", "new(MB)", "writes%")
+	for i, w := range a.Windows {
+		fmt.Printf("%-8d %-12.1f %-12.1f %-10.1f\n", i,
+			float64(w.UniqueHot**block)/(1<<20),
+			float64(w.NewBlocks**block)/(1<<20),
+			float64(w.Writes)/float64(w.Accesses)*100)
+	}
+	return nil
+}
+
+func cmdCat(args []string) error {
+	fs := flag.NewFlagSet("cat", flag.ExitOnError)
+	in := fs.String("i", "", "input trace file (binary format)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	src, closer, err := openTrace(*in)
+	if err != nil {
+		return err
+	}
+	defer closer()
+	_, err = trace.WriteText(os.Stdout, src)
+	return err
+}

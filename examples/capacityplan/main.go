@@ -1,0 +1,71 @@
+// Capacityplan: how much on-package DRAM does a workload need? Sweeps the
+// on-package capacity (the paper's Fig. 15 sensitivity study) and reports
+// the latency each provisioning level achieves with and without dynamic
+// migration — the data a package architect needs to trade die area against
+// memory performance.
+//
+// Usage: capacityplan [-workload indexer] [-records N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"heteromem"
+)
+
+func main() {
+	name := flag.String("workload", "SPEC2006", "built-in workload to plan for")
+	records := flag.Uint64("records", 1_200_000, "accesses per configuration")
+	flag.Parse()
+	warmup := *records / 2
+
+	capacities := []uint64{128 * heteromem.MiB, 256 * heteromem.MiB, 512 * heteromem.MiB, 1 * heteromem.GiB}
+
+	fmt.Printf("on-package capacity sensitivity for %s\n\n", *name)
+	fmt.Printf("%-10s  %-22s  %-22s  %s\n", "capacity", "static latency (on%)", "migrated latency (on%)", "migration benefit")
+	for _, capa := range capacities {
+		static, err := run(heteromem.Config{
+			OnPackageCapacity: capa,
+			Warmup:            warmup,
+		}, *name, *records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		mig, err := run(heteromem.Config{
+			OnPackageCapacity: capa,
+			// Coarse pages promote whole megabytes per swap, so the
+			// capacity bound is actually exercised within the run.
+			MacroPageSize: 1 * heteromem.MiB,
+			Migration:     heteromem.Migration{Enabled: true, Design: heteromem.DesignLive, SwapInterval: 10000},
+			Warmup:        warmup,
+		}, *name, *records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		benefit := (static.MeanDRAMLatency - mig.MeanDRAMLatency) / static.MeanDRAMLatency * 100
+		fmt.Printf("%-10s  %6.1f cyc (%4.1f%%)     %6.1f cyc (%4.1f%%)     %+.1f%%\n",
+			fmtSize(capa),
+			static.MeanDRAMLatency, static.Report.OnShare*100,
+			mig.MeanDRAMLatency, mig.Report.OnShare*100,
+			benefit)
+	}
+	fmt.Println("\nReading the table: if doubling the capacity no longer moves the migrated")
+	fmt.Println("latency, the workload's hot set already fits — provision the smaller size.")
+}
+
+func run(cfg heteromem.Config, name string, records uint64) (heteromem.Result, error) {
+	sys, err := heteromem.New(cfg)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	return sys.RunWorkload(name, 1, records)
+}
+
+func fmtSize(b uint64) string {
+	if b >= heteromem.GiB {
+		return fmt.Sprintf("%dGB", b/heteromem.GiB)
+	}
+	return fmt.Sprintf("%dMB", b/heteromem.MiB)
+}

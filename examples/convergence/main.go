@@ -1,0 +1,61 @@
+// Convergence: watch the migration controller pull a workload's hot set
+// on-package over time. Prints a per-window time series of latency,
+// on-package share, and cumulative swaps — the picture behind choosing a
+// warmup length for steady-state measurements.
+//
+// Usage: convergence [-workload SPEC2006] [-records N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strings"
+
+	"heteromem"
+)
+
+func main() {
+	name := flag.String("workload", "SPEC2006", "built-in workload")
+	records := flag.Uint64("records", 2_000_000, "total accesses")
+	flag.Parse()
+
+	sys, err := heteromem.New(heteromem.Config{
+		MacroPageSize: 256 * heteromem.KiB,
+		Migration:     heteromem.Migration{Enabled: true, Design: heteromem.DesignLive, SwapInterval: 1000},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	gen, err := heteromem.MemoryWorkload(*name)
+	if err != nil {
+		log.Fatal(err)
+	}
+	src, err := heteromem.NewGenerator(gen, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := sys.RunWindows(src, *records, *records/20)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("migration convergence for %s (%d accesses, %d windows)\n\n",
+		*name, *records, len(res.Windows))
+	fmt.Printf("%-8s %-10s %-10s %-8s %s\n", "window", "latency", "on-pkg", "swaps", "")
+	maxLat := 0.0
+	for _, w := range res.Windows {
+		if w.MeanLatency > maxLat {
+			maxLat = w.MeanLatency
+		}
+	}
+	for i, w := range res.Windows {
+		bar := strings.Repeat("#", int(w.OnShare*30+0.5))
+		fmt.Printf("%-8d %-10.1f %-10s %-8d %s\n",
+			i, w.MeanLatency, fmt.Sprintf("%.1f%%", w.OnShare*100), w.SwapsSoFar, bar)
+	}
+	fmt.Printf("\nfinal mean DRAM latency: %.1f cycles, on-package share %.1f%%\n",
+		res.MeanDRAMLatency, res.Report.OnShare*100)
+}

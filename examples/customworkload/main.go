@@ -1,0 +1,77 @@
+// Customworkload: model your own application with the pattern makers and
+// evaluate whether a heterogeneous memory with migration would pay off.
+// Here: a time-series database — a hot write head that advances through
+// the store, Zipf-skewed queries over recent data, and background
+// compaction scans.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"heteromem"
+)
+
+func main() {
+	spec := heteromem.WorkloadSpec{
+		Name:        "tsdb",
+		Description: "time-series store: advancing write head, recent-hot queries, compaction",
+		MeanGap:     45,
+		Cores:       4,
+		Components: []heteromem.WorkloadComponent{
+			{
+				// The ingest head: sequential writes that slowly advance
+				// through the store.
+				Name: "write-head", Weight: 35, Region: 2 * heteromem.GiB, WriteFrac: 0.9,
+				Make: heteromem.DriftMaker(heteromem.SeqMaker(64), 128*heteromem.MiB, 400000),
+			},
+			{
+				// Queries: Zipf-skewed toward recent series.
+				Name: "queries", Weight: 55, Region: 768 * heteromem.MiB, WriteFrac: 0.05,
+				Make: heteromem.ZipfMaker(8192, 1.4, true),
+			},
+			{
+				// Compaction: long scans, cache-hostile.
+				Name: "compaction", Weight: 10, Region: 1 * heteromem.GiB, WriteFrac: 0.5,
+				Make: heteromem.SeqMaker(64),
+			},
+		},
+	}
+
+	const records, warmup = 1_500_000, 1_000_000
+	run := func(cfg heteromem.Config) heteromem.Result {
+		cfg.Warmup = warmup
+		sys, err := heteromem.New(cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		gen, err := heteromem.NewGenerator(spec, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := sys.Run(gen, records)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+
+	static := run(heteromem.Config{})
+	mig := run(heteromem.Config{
+		MacroPageSize: 64 * heteromem.KiB,
+		Migration:     heteromem.Migration{Enabled: true, Design: heteromem.DesignLive, SwapInterval: 1000},
+		MeterPower:    true,
+	})
+
+	fmt.Printf("custom workload %q (%.1f GB footprint)\n\n", spec.Name, float64(spec.Footprint())/float64(heteromem.GiB))
+	fmt.Printf("static mapping:  %.1f cycles, %4.1f%% on-package\n", static.MeanDRAMLatency, static.Report.OnShare*100)
+	fmt.Printf("live migration:  %.1f cycles, %4.1f%% on-package\n", mig.MeanDRAMLatency, mig.Report.OnShare*100)
+	fmt.Printf("effectiveness:   %.1f%%\n", heteromem.Effectiveness(static.MeanDRAMLatency, mig.MeanDRAMLatency, mig.Report.MeanCoreLat))
+	fmt.Printf("memory power:    %.2fx an off-package-only system\n", mig.NormalizedPower)
+
+	verdict := "worth it"
+	if mig.MeanDRAMLatency > static.MeanDRAMLatency*0.9 {
+		verdict = "marginal — consider a bigger on-package region or coarser pages"
+	}
+	fmt.Printf("\nverdict: %s\n", verdict)
+}

@@ -1,0 +1,77 @@
+// Tieringstudy: find the operating point (migration granularity x swap
+// interval x design) for a workload — the decision a system architect
+// faces when provisioning the migration controller, and the study behind
+// the paper's Figs. 11-14.
+//
+// Usage: tieringstudy [-workload SPECjbb] [-records N]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"text/tabwriter"
+
+	"heteromem"
+)
+
+func main() {
+	name := flag.String("workload", "SPECjbb", "built-in workload to study")
+	records := flag.Uint64("records", 1_200_000, "accesses per configuration")
+	flag.Parse()
+
+	warmup := *records / 2
+	static, err := run(heteromem.Config{Warmup: warmup}, *name, *records)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	granularities := []uint64{4 * heteromem.KiB, 64 * heteromem.KiB, 1 * heteromem.MiB, 4 * heteromem.MiB}
+	intervals := []uint64{1000, 10000, 100000}
+	designs := []heteromem.Design{heteromem.DesignN, heteromem.DesignN1, heteromem.DesignLive}
+
+	w := tabwriter.NewWriter(os.Stdout, 2, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "config\tlatency\ton-package\tswaps\tvs static\n")
+	fmt.Fprintf(w, "static mapping\t%.1f\t%4.1f%%\t-\t-\n",
+		static.MeanDRAMLatency, static.Report.OnShare*100)
+
+	type point struct {
+		label string
+		lat   float64
+	}
+	best := point{"static mapping", static.MeanDRAMLatency}
+	for _, g := range granularities {
+		for _, iv := range intervals {
+			for _, d := range designs {
+				cfg := heteromem.Config{
+					MacroPageSize: g,
+					Migration:     heteromem.Migration{Enabled: true, Design: d, SwapInterval: iv},
+					Warmup:        warmup,
+				}
+				res, err := run(cfg, *name, *records)
+				if err != nil {
+					log.Fatal(err)
+				}
+				label := fmt.Sprintf("%s pages=%dK interval=%d", d, g/heteromem.KiB, iv)
+				delta := (static.MeanDRAMLatency - res.MeanDRAMLatency) / static.MeanDRAMLatency * 100
+				fmt.Fprintf(w, "%s\t%.1f\t%4.1f%%\t%d\t%+.1f%%\n",
+					label, res.MeanDRAMLatency, res.Report.OnShare*100,
+					res.Report.Migration.SwapsCompleted, delta)
+				if res.MeanDRAMLatency < best.lat {
+					best = point{label, res.MeanDRAMLatency}
+				}
+			}
+		}
+	}
+	w.Flush()
+	fmt.Printf("\noperating point for %s: %s (%.1f cycles)\n", *name, best.label, best.lat)
+}
+
+func run(cfg heteromem.Config, name string, records uint64) (heteromem.Result, error) {
+	sys, err := heteromem.New(cfg)
+	if err != nil {
+		return heteromem.Result{}, err
+	}
+	return sys.RunWorkload(name, 1, records)
+}

@@ -1,0 +1,187 @@
+// Package heteromem is a simulation library for heterogeneous main memory
+// with on-chip memory controller support, reproducing Dong, Xie,
+// Muralimanohar, and Jouppi, "Simple but Effective Heterogeneous Main Memory
+// with On-Chip Memory Controller Support" (SC 2010).
+//
+// The simulated system couples fast on-package DRAM (SiP/3D, many banks,
+// wide interposer bus) with commodity off-package DIMMs into a single main
+// memory space. An extra physical-to-machine address-translation layer in
+// the on-chip memory controller migrates macro pages between the regions
+// with a hottest-coldest swapping policy, using one of three designs:
+//
+//   - DesignN: basic; page exchanges stall execution.
+//   - DesignN1: one slot is sacrificed so swaps run in the background,
+//     with a pending bit keeping every page reachable throughout.
+//   - DesignLive: N-1 plus sub-block live migration (critical-data-first).
+//
+// Quick start:
+//
+//	sys, err := heteromem.New(heteromem.Config{
+//		Migration: heteromem.Migration{Design: heteromem.DesignLive, SwapInterval: 1000},
+//	})
+//	res, err := sys.RunWorkload("pgbench", 1, 1_000_000)
+//	fmt.Println(res.MeanDRAMLatency)
+//
+// The internal packages implement the substrates: DRAM bank/bus timing
+// (internal/dram), FR-FCFS scheduling with background copy traffic
+// (internal/sched), the translation table and migration engine
+// (internal/core), the heterogeneity-aware controller (internal/memctrl),
+// synthetic workload models (internal/workload), the Section II cache/IPC
+// models (internal/cache, internal/cpu), and the paper's experiment
+// drivers (internal/experiments), which are runnable via cmd/hmsim.
+package heteromem
+
+import (
+	"fmt"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/config"
+	"heteromem/internal/core"
+	"heteromem/internal/sim"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// Size helpers re-exported for configuration literals.
+const (
+	KiB = addr.KiB
+	MiB = addr.MiB
+	GiB = addr.GiB
+)
+
+// Design selects the migration algorithm.
+type Design = core.Design
+
+// Migration designs, re-exported from the core package.
+const (
+	DesignN    = core.DesignN
+	DesignN1   = core.DesignN1
+	DesignLive = core.DesignLive
+)
+
+// Migration configures dynamic data migration. The zero value disables
+// migration (static mapping: lowest addresses on-package).
+type Migration struct {
+	Enabled      bool
+	Design       Design
+	SwapInterval uint64 // memory accesses per monitoring epoch
+}
+
+// Config describes a heterogeneous memory system. Zero values select the
+// paper's Table III defaults (4 GB total, 512 MB on-package, 4 MB macro
+// pages, 4 KB sub-blocks).
+type Config struct {
+	TotalCapacity     uint64
+	OnPackageCapacity uint64
+	MacroPageSize     uint64
+	SubBlockSize      uint64
+
+	Migration Migration
+
+	// OSAssisted charges the OS table-update overhead each epoch; when
+	// false the library follows the paper's feasibility rule automatically
+	// (pure hardware for pages >= 1 MB, OS-assisted below).
+	OSAssisted bool
+
+	// MeterPower enables the Section IV-D energy accounting.
+	MeterPower bool
+
+	// Warmup discards statistics for the first Warmup records.
+	Warmup uint64
+}
+
+// Result re-exports the simulation outcome.
+type Result = sim.Result
+
+// Record re-exports the trace record type.
+type Record = trace.Record
+
+// Source re-exports the trace source interface.
+type Source = trace.Source
+
+// System is a configured heterogeneous-memory simulation.
+type System struct {
+	cfg sim.Config
+}
+
+// New validates cfg and builds a System.
+func New(c Config) (*System, error) {
+	scfg := sim.Default()
+	if c.TotalCapacity > 0 {
+		scfg.Geometry.TotalCapacity = c.TotalCapacity
+	}
+	if c.OnPackageCapacity > 0 {
+		scfg.Geometry.OnPackageCapacity = c.OnPackageCapacity
+	}
+	if c.MacroPageSize > 0 {
+		scfg.Geometry.MacroPageSize = c.MacroPageSize
+	}
+	if c.SubBlockSize > 0 {
+		scfg.Geometry.SubBlockSize = c.SubBlockSize
+	}
+	if err := scfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	if c.Migration.Enabled {
+		if c.Migration.SwapInterval == 0 {
+			return nil, fmt.Errorf("heteromem: migration enabled with zero swap interval")
+		}
+		scfg.Migration = &core.Options{
+			Design:       c.Migration.Design,
+			SwapInterval: c.Migration.SwapInterval,
+		}
+		scfg.OSAssisted = c.OSAssisted || scfg.Geometry.MacroPageSize < 1*MiB
+	}
+	scfg.MeterPower = c.MeterPower
+	scfg.Warmup = c.Warmup
+	return &System{cfg: scfg}, nil
+}
+
+// Run simulates up to maxRecords accesses from src (0 = the whole trace).
+func (s *System) Run(src Source, maxRecords uint64) (Result, error) {
+	cfg := s.cfg
+	cfg.MaxRecords = maxRecords
+	return sim.Run(src, cfg)
+}
+
+// RunWindows is Run with a convergence time series: one Result.Windows
+// point per `window` records, so the approach to steady state is visible.
+func (s *System) RunWindows(src Source, maxRecords, window uint64) (Result, error) {
+	cfg := s.cfg
+	cfg.MaxRecords = maxRecords
+	cfg.WindowRecords = window
+	return sim.Run(src, cfg)
+}
+
+// RunWorkload simulates one of the built-in Section IV workloads
+// (see Workloads) with the given seed.
+func (s *System) RunWorkload(name string, seed int64, maxRecords uint64) (Result, error) {
+	gen, err := workload.NewMemory(name, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Run(gen, maxRecords)
+}
+
+// Workloads lists the built-in Section IV trace workloads.
+func Workloads() []string { return workload.Names() }
+
+// ProgramWorkloads lists the built-in NPB program-level workloads used by
+// the Section II cache and IPC experiments.
+func ProgramWorkloads() []string { return workload.ProgramNames() }
+
+// Effectiveness computes the paper's η metric:
+// (latNoMig − latMig) / (latNoMig − coreLat) × 100%.
+func Effectiveness(latNoMig, latMig, coreLat float64) float64 {
+	return sim.Effectiveness(latNoMig, latMig, coreLat)
+}
+
+// HardwareBits returns the pure-hardware migration cost in bits for a
+// given on-package size and granularity (Fig. 10's curve; 9,228 bits for
+// 1 GB at 4 MB pages with 4 KB sub-blocks).
+func HardwareBits(onPackageBytes, macroPage, subBlock uint64) uint64 {
+	return core.HardwareBits(onPackageBytes, macroPage, subBlock, addr.Bits)
+}
+
+// DefaultLatencies returns the reconstructed Table II latency components.
+func DefaultLatencies() config.Latencies { return config.TableIILatencies() }

@@ -1,0 +1,143 @@
+package heteromem
+
+import "testing"
+
+func TestDefaultsBuild(t *testing.T) {
+	sys, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunWorkload("SPEC2006", 1, 30000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Records != 30000 || res.MeanDRAMLatency <= 0 {
+		t.Fatalf("degenerate result: %+v", res)
+	}
+}
+
+func TestMigrationConfig(t *testing.T) {
+	sys, err := New(Config{
+		MacroPageSize: 64 * KiB,
+		Migration:     Migration{Enabled: true, Design: DesignLive, SwapInterval: 1000},
+		Warmup:        20000,
+		MeterPower:    true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.RunWorkload("SPEC2006", 1, 120000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Migration.SwapsCompleted == 0 {
+		t.Fatal("no swaps under migration config")
+	}
+	if res.NormalizedPower <= 0 {
+		t.Fatal("power not metered")
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := New(Config{MacroPageSize: 3 * MiB}); err == nil {
+		t.Fatal("invalid page size accepted")
+	}
+	if _, err := New(Config{Migration: Migration{Enabled: true}}); err == nil {
+		t.Fatal("zero swap interval accepted")
+	}
+	if _, err := New(Config{TotalCapacity: 1 * GiB, OnPackageCapacity: 1 * GiB}); err == nil {
+		t.Fatal("on-package == total accepted")
+	}
+}
+
+func TestUnknownWorkload(t *testing.T) {
+	sys, _ := New(Config{})
+	if _, err := sys.RunWorkload("nope", 1, 10); err == nil {
+		t.Fatal("unknown workload accepted")
+	}
+}
+
+func TestWorkloadLists(t *testing.T) {
+	if len(Workloads()) != 6 {
+		t.Fatalf("%d trace workloads, want 6", len(Workloads()))
+	}
+	if len(ProgramWorkloads()) != 10 {
+		t.Fatalf("%d program workloads, want 10", len(ProgramWorkloads()))
+	}
+}
+
+func TestHardwareBitsExported(t *testing.T) {
+	if got := HardwareBits(1*GiB, 4*MiB, 4*KiB); got != 9228 {
+		t.Fatalf("HardwareBits = %d, want 9228", got)
+	}
+}
+
+func TestCustomWorkload(t *testing.T) {
+	spec := WorkloadSpec{
+		Name: "custom", MeanGap: 50, Cores: 2,
+		Components: []WorkloadComponent{
+			{Name: "hot", Weight: 8, Region: 64 * MiB, Make: ZipfMaker(4096, 1.3, true)},
+			{Name: "scan", Weight: 2, Region: 512 * MiB, Make: SeqMaker(64)},
+		},
+	}
+	gen, err := NewGenerator(spec, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sys, err := New(Config{
+		TotalCapacity:     1 * GiB,
+		OnPackageCapacity: 128 * MiB,
+		MacroPageSize:     256 * KiB,
+		Migration:         Migration{Enabled: true, Design: DesignN1, SwapInterval: 2000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sys.Run(gen, 60000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.OnShare <= 0 {
+		t.Fatal("nothing routed on-package")
+	}
+}
+
+func TestEffectivenessExported(t *testing.T) {
+	if Effectiveness(200, 60, 60) != 100 {
+		t.Fatal("effectiveness miscomputed")
+	}
+}
+
+func TestMemoryWorkloadInspectable(t *testing.T) {
+	spec, err := MemoryWorkload("FT")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.Footprint() == 0 || len(spec.Components) == 0 {
+		t.Fatal("FT spec empty")
+	}
+}
+
+func TestSystemIsReusable(t *testing.T) {
+	// Each Run starts from a fresh controller: results for the same inputs
+	// must be identical, not influenced by earlier runs.
+	sys, err := New(Config{
+		MacroPageSize: 64 * KiB,
+		Migration:     Migration{Enabled: true, Design: DesignLive, SwapInterval: 1000},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := sys.RunWorkload("SPEC2006", 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := sys.RunWorkload("SPEC2006", 1, 50000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanDRAMLatency != b.MeanDRAMLatency || a.Report.OnShare != b.Report.OnShare {
+		t.Fatalf("runs diverged: %.3f/%.3f vs %.3f/%.3f",
+			a.MeanDRAMLatency, a.Report.OnShare, b.MeanDRAMLatency, b.Report.OnShare)
+	}
+}

@@ -1,0 +1,93 @@
+package addr
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestNewPageGeomValidation(t *testing.T) {
+	cases := []struct {
+		size uint64
+		ok   bool
+	}{
+		{4 * KiB, true},
+		{4 * MiB, true},
+		{1 * GiB, true},
+		{2 * KiB, false}, // below minimum
+		{2 * GiB, false}, // above maximum
+		{3 * MiB, false}, // not a power of two
+		{6 * KiB, false}, // not a power of two
+		{0, false},
+	}
+	for _, c := range cases {
+		_, err := NewPageGeom(c.size)
+		if (err == nil) != c.ok {
+			t.Errorf("NewPageGeom(%d): err=%v, want ok=%v", c.size, err, c.ok)
+		}
+	}
+}
+
+func TestPageGeomSplit(t *testing.T) {
+	g := MustPageGeom(4 * MiB)
+	if g.OffsetBits() != 22 {
+		t.Fatalf("4MB pages: offset bits = %d, want 22 (paper Fig. 6)", g.OffsetBits())
+	}
+	a := uint64(0x0000_1234_5678_9abc) & Mask
+	page, off := g.PageOf(a), g.OffsetOf(a)
+	if got := g.Join(page, off); got != a {
+		t.Fatalf("Join(PageOf, OffsetOf) = %#x, want %#x", got, a)
+	}
+}
+
+func TestPageOfMasksTo48Bits(t *testing.T) {
+	g := MustPageGeom(4 * KiB)
+	// Bits above 48 must be ignored.
+	withJunk := uint64(0xffff_0000_0000_1000)
+	clean := uint64(0x0000_0000_0000_1000)
+	if g.PageOf(withJunk) != g.PageOf(clean) {
+		t.Fatal("PageOf did not mask to 48 bits")
+	}
+}
+
+func TestPagesIn(t *testing.T) {
+	g := MustPageGeom(4 * MiB)
+	if n := g.PagesIn(1 * GiB); n != 256 {
+		t.Fatalf("1GB / 4MB = %d pages, want 256 (paper's N)", n)
+	}
+}
+
+func TestAlign(t *testing.T) {
+	if AlignDown(4097, 4096) != 4096 {
+		t.Error("AlignDown(4097, 4096) != 4096")
+	}
+	if AlignUp(4097, 4096) != 8192 {
+		t.Error("AlignUp(4097, 4096) != 8192")
+	}
+	if AlignUp(4096, 4096) != 4096 {
+		t.Error("AlignUp(4096, 4096) != 4096")
+	}
+}
+
+// Property: split/join round-trips for every page size and address.
+func TestSplitJoinRoundTrip(t *testing.T) {
+	f := func(raw uint64, sizeSel uint8) bool {
+		sizes := []uint64{4 * KiB, 64 * KiB, 1 * MiB, 4 * MiB}
+		g := MustPageGeom(sizes[int(sizeSel)%len(sizes)])
+		a := raw & Mask
+		return g.Join(g.PageOf(a), g.OffsetOf(a)) == a
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: offsets are always smaller than the page size.
+func TestOffsetBound(t *testing.T) {
+	f := func(raw uint64) bool {
+		g := MustPageGeom(64 * KiB)
+		return g.OffsetOf(raw) < g.PageSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,139 @@
+// Package cache implements the SRAM cache hierarchy of the Section II
+// full-system comparison (private L1/L2, shared L3) and the on-package
+// DRAM L4 cache alternative: a 15-way set-associative cache built in a
+// 16-way data array, with all of a set's tags packed into the 16th line so
+// a hit costs two sequential DRAM accesses (tags, then data).
+package cache
+
+import "fmt"
+
+// Stats counts cache events.
+type Stats struct {
+	Accesses   uint64
+	Hits       uint64
+	Misses     uint64
+	Evictions  uint64
+	Writebacks uint64 // dirty evictions
+}
+
+// MissRate returns misses/accesses (0 when idle).
+func (s Stats) MissRate() float64 {
+	if s.Accesses == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(s.Accesses)
+}
+
+type slot struct {
+	tag   uint64
+	valid bool
+	dirty bool
+}
+
+// Cache is a set-associative, write-back, write-allocate cache with true
+// LRU replacement (slot order within a set is recency order).
+type Cache struct {
+	name     string
+	lineSize uint64
+	sets     uint64
+	ways     int
+	slots    []slot // sets*ways, set-major, index 0 of a set = MRU
+	stats    Stats
+}
+
+// New builds a cache. size must be ways*lineSize*2^k for some k.
+func New(name string, size, lineSize uint64, ways int) (*Cache, error) {
+	if ways <= 0 || lineSize == 0 || size == 0 {
+		return nil, fmt.Errorf("cache %s: invalid shape size=%d line=%d ways=%d", name, size, lineSize, ways)
+	}
+	if lineSize&(lineSize-1) != 0 {
+		return nil, fmt.Errorf("cache %s: line size %d not a power of two", name, lineSize)
+	}
+	lines := size / lineSize
+	if lines%uint64(ways) != 0 {
+		return nil, fmt.Errorf("cache %s: %d lines not divisible by %d ways", name, lines, ways)
+	}
+	sets := lines / uint64(ways)
+	if sets == 0 || sets&(sets-1) != 0 {
+		return nil, fmt.Errorf("cache %s: set count %d not a power of two (size=%d)", name, sets, size)
+	}
+	return &Cache{
+		name:     name,
+		lineSize: lineSize,
+		sets:     sets,
+		ways:     ways,
+		slots:    make([]slot, sets*uint64(ways)),
+	}, nil
+}
+
+// Name returns the cache's label.
+func (c *Cache) Name() string { return c.name }
+
+// LineSize returns the line size in bytes.
+func (c *Cache) LineSize() uint64 { return c.lineSize }
+
+// Access performs one access. It returns whether it hit and, on a miss
+// that evicted a dirty line, the victim's line-aligned address for
+// writeback accounting.
+func (c *Cache) Access(a uint64, write bool) (hit bool, writeback uint64, hasWB bool) {
+	c.stats.Accesses++
+	line := a / c.lineSize
+	set := line % c.sets
+	tag := line / c.sets
+	base := int(set) * c.ways
+	ss := c.slots[base : base+c.ways]
+
+	for i := range ss {
+		if ss[i].valid && ss[i].tag == tag {
+			c.stats.Hits++
+			hitSlot := ss[i]
+			if write {
+				hitSlot.dirty = true
+			}
+			// Move to MRU position.
+			copy(ss[1:i+1], ss[:i])
+			ss[0] = hitSlot
+			return true, 0, false
+		}
+	}
+	c.stats.Misses++
+
+	victim := ss[c.ways-1]
+	if victim.valid {
+		c.stats.Evictions++
+		if victim.dirty {
+			c.stats.Writebacks++
+			hasWB = true
+			writeback = (victim.tag*c.sets + set) * c.lineSize
+		}
+	}
+	copy(ss[1:], ss[:c.ways-1])
+	ss[0] = slot{tag: tag, valid: true, dirty: write}
+	return false, writeback, hasWB
+}
+
+// Contains reports whether the line holding a is cached, without touching
+// recency or statistics.
+func (c *Cache) Contains(a uint64) bool {
+	line := a / c.lineSize
+	set := line % c.sets
+	tag := line / c.sets
+	base := int(set) * c.ways
+	for _, s := range c.slots[base : base+c.ways] {
+		if s.valid && s.tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// Stats returns the counters so far.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Reset clears contents and statistics.
+func (c *Cache) Reset() {
+	for i := range c.slots {
+		c.slots[i] = slot{}
+	}
+	c.stats = Stats{}
+}

@@ -1,0 +1,122 @@
+package config
+
+import (
+	"strings"
+	"testing"
+
+	"heteromem/internal/addr"
+)
+
+func TestTableIILatencyBuildUp(t *testing.T) {
+	l := TableIILatencies()
+	// Off-package fixed path: controller 5 + 2x4 core link + 2x5 pins + 11
+	// PCB round trip = 34 cycles.
+	if got := l.OffPackageFixed(); got != 34 {
+		t.Fatalf("off-package fixed path = %d, want 34", got)
+	}
+	// On-package fixed path: controller 5 + 2x4 + 2x3 interposer + 1 = 20.
+	if got := l.OnPackageFixed(); got != 20 {
+		t.Fatalf("on-package fixed path = %d, want 20", got)
+	}
+	if l.OffPackageTotalEstimate() <= l.OnPackageTotalEstimate() {
+		t.Fatal("off-package estimate must exceed on-package")
+	}
+	// The paper: an L4 hit costs 2x the on-package access (tags then data).
+	if l.L4HitLatency() != 2*l.OnPackageTotalEstimate() {
+		t.Fatal("L4 hit must be exactly 2x the on-package access")
+	}
+	if l.L4MissProbe() != l.OnPackageTotalEstimate() {
+		t.Fatal("L4 miss probe must equal one on-package access")
+	}
+}
+
+func TestTraceGeometryValid(t *testing.T) {
+	g := TraceGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.TotalCapacity != 4*addr.GiB || g.OnPackageCapacity != 512*addr.MiB {
+		t.Fatalf("Table III geometry wrong: %+v", g)
+	}
+	// 512 MB / 4 MB = 128 slots.
+	if g.OnPackageSlots() != 128 {
+		t.Fatalf("slots = %d, want 128", g.OnPackageSlots())
+	}
+	if g.TotalPages() != 1024 {
+		t.Fatalf("total pages = %d, want 1024", g.TotalPages())
+	}
+}
+
+func TestSectionIIGeometryValid(t *testing.T) {
+	g := SectionIIGeometry()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if g.OnPackageCapacity != 1*addr.GiB {
+		t.Fatalf("Section II on-package = %d, want 1GB", g.OnPackageCapacity)
+	}
+}
+
+func TestGeometryValidation(t *testing.T) {
+	base := TraceGeometry()
+	mutations := []struct {
+		name string
+		mut  func(*MemoryGeometry)
+	}{
+		{"zero total", func(g *MemoryGeometry) { g.TotalCapacity = 0 }},
+		{"on >= total", func(g *MemoryGeometry) { g.OnPackageCapacity = g.TotalCapacity }},
+		{"page not pow2", func(g *MemoryGeometry) { g.MacroPageSize = 3 * addr.MiB }},
+		{"page > on-pkg alignment", func(g *MemoryGeometry) { g.OnPackageCapacity = 513 * addr.MiB; g.MacroPageSize = 4 * addr.MiB }},
+		{"sub > page", func(g *MemoryGeometry) { g.MacroPageSize = 4 * addr.KiB; g.SubBlockSize = 16 * addr.KiB }},
+		{"zero channels", func(g *MemoryGeometry) { g.OffChannels = 0 }},
+		{"bad burst", func(g *MemoryGeometry) { g.BurstBytes = 48 }},
+		{"row not multiple of burst", func(g *MemoryGeometry) { g.RowSize = 100 }},
+	}
+	for _, m := range mutations {
+		g := base
+		m.mut(&g)
+		if err := g.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted invalid geometry", m.name)
+		}
+	}
+}
+
+func TestSRAMHierarchyShape(t *testing.T) {
+	levels := SRAMHierarchy()
+	if len(levels) != 3 {
+		t.Fatalf("want 3 SRAM levels, got %d", len(levels))
+	}
+	names := []string{"L1D", "L2", "L3"}
+	for i, lvl := range levels {
+		if !strings.HasPrefix(lvl.Name, names[i]) {
+			t.Errorf("level %d name %q, want prefix %q", i, lvl.Name, names[i])
+		}
+		if i > 0 && lvl.Size <= levels[i-1].Size {
+			t.Errorf("level %s not larger than %s", lvl.Name, levels[i-1].Name)
+		}
+		if i > 0 && lvl.Latency <= levels[i-1].Latency {
+			t.Errorf("level %s not slower than %s", lvl.Name, levels[i-1].Name)
+		}
+	}
+	if !levels[2].Shared || levels[0].Shared {
+		t.Error("L3 must be shared, L1 private")
+	}
+}
+
+func TestOnPackageTimingFasterBus(t *testing.T) {
+	off, on := OffPackageTiming(), OnPackageTiming()
+	if on.TBurst >= off.TBurst {
+		t.Fatal("on-package burst must be faster (wide interposer bus)")
+	}
+	// Same commodity-derived DRAM core.
+	if on.TRCD != off.TRCD || on.TCL != off.TCL {
+		t.Fatal("on-package core timings should match the commodity die")
+	}
+}
+
+func TestPaperPowerConstants(t *testing.T) {
+	p := PaperPower()
+	if p.CorePJPerBit != 5 || p.OnWirePJPerBit != 1.66 || p.OffWirePJPerBit != 13 {
+		t.Fatalf("power constants %+v do not match Section IV-D", p)
+	}
+}

@@ -1,0 +1,442 @@
+package core
+
+import (
+	"fmt"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/policy"
+)
+
+// Design selects the migration algorithm of Section III-A.
+type Design int
+
+// The three evaluated designs.
+const (
+	DesignN    Design = iota // basic: all N slots used, swap stalls execution
+	DesignN1                 // one slot sacrificed, P bit hides swap latency
+	DesignLive               // N-1 plus F bit + sub-block bitmap (critical-data-first)
+)
+
+// String names the design the way the paper's figures do.
+func (d Design) String() string {
+	switch d {
+	case DesignN:
+		return "N"
+	case DesignN1:
+		return "N-1"
+	case DesignLive:
+		return "Live"
+	default:
+		return fmt.Sprintf("Design(%d)", int(d))
+	}
+}
+
+// Options configures a Migrator.
+type Options struct {
+	Design       Design
+	Slots        uint64 // N: on-package macro-page slots
+	TotalPages   uint64 // macro pages covering the whole memory space
+	PageSize     uint64 // macro-page size in bytes
+	SubBlockSize uint64 // live-migration sub-block (Table III: 4 KB)
+	SwapInterval uint64 // memory accesses per monitoring epoch
+	MQLevels     int    // multi-queue shape; zero selects the paper's 3
+	MQPerLevel   int    // zero selects the paper's 10
+	NaiveMRU     bool   // ablation: replace the multi-queue with a plain per-epoch counter
+
+	// NoCriticalFirst (ablation) starts live-migration copies at sub-block
+	// 0 instead of the MRU sub-block, isolating the critical-data-first
+	// contribution.
+	NoCriticalFirst bool
+
+	// Victim selects the on-package victim policy: the paper's clock
+	// pseudo-LRU by default, or an ablation alternative.
+	Victim VictimPolicy
+}
+
+// VictimPolicy selects how the coldest on-package slot is found.
+type VictimPolicy int
+
+// Victim policies.
+const (
+	VictimClockPLRU VictimPolicy = iota // the paper's design (default)
+	VictimRandom                        // ablation: LFSR victim
+	VictimFIFO                          // ablation: rotation victim
+)
+
+// String names the policy.
+func (v VictimPolicy) String() string {
+	switch v {
+	case VictimClockPLRU:
+		return "clock-plru"
+	case VictimRandom:
+		return "random"
+	case VictimFIFO:
+		return "fifo"
+	default:
+		return fmt.Sprintf("VictimPolicy(%d)", int(v))
+	}
+}
+
+// SubCopy is one sub-block leg of the current step, in machine byte
+// addresses (the simulator turns these into bus transfers).
+type SubCopy struct {
+	Src      uint64
+	Dst      uint64
+	Bytes    uint64
+	SubIndex int  // index within the page (for live bitmap updates)
+	Exchange bool // traffic flows both ways
+}
+
+// Stats counts migrator activity.
+type Stats struct {
+	Epochs          uint64
+	SwapsStarted    uint64
+	SwapsCompleted  uint64
+	TriggersBlocked uint64 // epoch wanted to swap but one was in flight
+	TriggersCold    uint64 // epoch ended with MRU not hotter than LRU
+	PagesCopied     uint64
+	BytesCopied     uint64
+	LiveEarlyHits   uint64 // accesses served on-package thanks to the fill bitmap
+}
+
+// Migrator is the migration controller of Fig. 3: it owns the translation
+// table, the hotness trackers, and the in-flight swap state, and hands the
+// simulator the copy traffic to execute.
+type Migrator struct {
+	opt   Options
+	geom  addr.PageGeom
+	table *Table
+	mq    *policy.MultiQueue
+	clock policy.VictimSelector
+
+	slotCount []uint32 // per-slot access counts for the current epoch
+	naive     map[uint64]uint32
+	lastSub   map[uint64]int // last accessed sub-block per off-package page (critical-first)
+	sinceTick uint64
+
+	plan    *Plan
+	stepIdx int
+
+	fill struct {
+		active  bool
+		phys    uint64 // MRU physical page being filled
+		dstSlot uint64 // destination machine page (on-package slot)
+		old     uint64 // machine page of the still-valid stale copy
+		done    []bool
+	}
+
+	stats Stats
+}
+
+// NewMigrator validates opt and builds the controller with the identity
+// initial mapping (lowest memory on-package).
+func NewMigrator(opt Options) (*Migrator, error) {
+	if opt.SwapInterval == 0 {
+		return nil, fmt.Errorf("core: swap interval must be positive")
+	}
+	if opt.SubBlockSize == 0 || opt.PageSize%opt.SubBlockSize != 0 {
+		return nil, fmt.Errorf("core: page size %d not a multiple of sub-block %d", opt.PageSize, opt.SubBlockSize)
+	}
+	g, err := addr.NewPageGeom(opt.PageSize)
+	if err != nil {
+		return nil, err
+	}
+	table, err := NewTable(opt.Slots, opt.TotalPages, opt.Design != DesignN)
+	if err != nil {
+		return nil, err
+	}
+	levels, per := opt.MQLevels, opt.MQPerLevel
+	if levels == 0 {
+		levels = 3
+	}
+	if per == 0 {
+		per = 10
+	}
+	mq, err := policy.NewMultiQueue(levels, per)
+	if err != nil {
+		return nil, err
+	}
+	var clock policy.VictimSelector
+	switch opt.Victim {
+	case VictimClockPLRU:
+		clock, err = policy.NewClockPLRU(int(opt.Slots))
+	case VictimRandom:
+		clock, err = policy.NewRandomVictim(int(opt.Slots), 0x5eed)
+	case VictimFIFO:
+		clock, err = policy.NewFIFOVictim(int(opt.Slots))
+	default:
+		return nil, fmt.Errorf("core: unknown victim policy %v", opt.Victim)
+	}
+	if err != nil {
+		return nil, err
+	}
+	m := &Migrator{
+		opt:       opt,
+		geom:      g,
+		table:     table,
+		mq:        mq,
+		clock:     clock,
+		slotCount: make([]uint32, opt.Slots),
+		lastSub:   make(map[uint64]int),
+	}
+	if opt.NaiveMRU {
+		m.naive = make(map[uint64]uint32)
+	}
+	if er := table.EmptyRow(); er >= 0 {
+		clock.Pin(er)
+	}
+	return m, nil
+}
+
+// Table exposes the translation table (read-mostly; tests and reports).
+func (m *Migrator) Table() *Table { return m.table }
+
+// Stats returns a copy of the activity counters.
+func (m *Migrator) Stats() Stats { return m.stats }
+
+// Design returns the configured migration design.
+func (m *Migrator) Design() Design { return m.opt.Design }
+
+// SubBlocksPerPage returns the live-migration bitmap width.
+func (m *Migrator) SubBlocksPerPage() int { return int(m.opt.PageSize / m.opt.SubBlockSize) }
+
+// Translate maps a physical byte address to (machine byte address,
+// onPackage). It layers the live-migration sub-block routing over the
+// table translation and costs the paper's 2-cycle RAM+CAM lookup (charged
+// by the controller, not here).
+func (m *Migrator) Translate(phys uint64) (machine uint64, onPackage bool) {
+	p := m.geom.PageOf(phys)
+	off := m.geom.OffsetOf(phys)
+	if m.fill.active && p == m.fill.phys {
+		sub := int(off / m.opt.SubBlockSize)
+		if m.fill.done[sub] {
+			m.stats.LiveEarlyHits++
+			return m.geom.Join(m.fill.dstSlot, off), true
+		}
+		return m.geom.Join(m.fill.old, off), false
+	}
+	mp, on := m.table.MachinePage(p)
+	return m.geom.Join(mp, off), on
+}
+
+// OnAccess feeds one program access into the hotness trackers. onPackage
+// must be the routing Translate returned for the same access.
+func (m *Migrator) OnAccess(phys uint64, onPackage bool) {
+	p := m.geom.PageOf(phys)
+	if onPackage {
+		mp, _ := m.table.MachinePage(p)
+		if m.fill.active && p == m.fill.phys {
+			mp = m.fill.dstSlot
+		}
+		if mp < m.table.Slots() {
+			m.clock.Touch(int(mp))
+			m.slotCount[mp]++
+		}
+		return
+	}
+	if m.naive != nil {
+		m.naive[p]++
+	} else {
+		m.mq.Touch(p)
+	}
+	m.lastSub[p] = int(m.geom.OffsetOf(phys) / m.opt.SubBlockSize)
+}
+
+// EpochTick advances the epoch counter by one access; when the swap
+// interval elapses it evaluates the hottest-coldest trigger and, if a swap
+// starts, returns the first step's sub-copies. A nil slice means no swap
+// started this access.
+func (m *Migrator) EpochTick() []SubCopy {
+	m.sinceTick++
+	if m.sinceTick < m.opt.SwapInterval {
+		return nil
+	}
+	m.sinceTick = 0
+	m.stats.Epochs++
+
+	if m.plan != nil {
+		// "The existence of P bit and F bit prevents triggering another
+		// swap if the previous swap is not complete yet."
+		m.stats.TriggersBlocked++
+		m.resetEpochCounts()
+		return nil
+	}
+
+	mru, hot, ok := m.hottest()
+	if !ok {
+		m.resetEpochCounts()
+		return nil
+	}
+	victim := m.clock.Victim()
+	if victim < 0 {
+		m.resetEpochCounts()
+		return nil
+	}
+	if uint64(hot) <= uint64(m.slotCount[victim]) {
+		m.stats.TriggersCold++
+		m.resetEpochCounts()
+		return nil
+	}
+
+	var (
+		plan *Plan
+		err  error
+	)
+	if m.opt.Design == DesignN {
+		plan, err = BuildPlanN(m.table, mru, victim)
+	} else {
+		plan, err = BuildPlanN1(m.table, mru, victim)
+	}
+	if err != nil {
+		// Non-promotable corner (e.g. the page migrated in the same epoch);
+		// skip this epoch rather than wedging the controller.
+		m.resetEpochCounts()
+		return nil
+	}
+	m.plan = plan
+	m.stepIdx = 0
+	m.stats.SwapsStarted++
+	m.resetEpochCounts()
+	return m.startStep()
+}
+
+// resetEpochCounts starts a fresh monitoring epoch: the controller compares
+// hotness "during the last period of execution", so both the per-slot
+// counters and the off-package trackers reset at every epoch boundary.
+func (m *Migrator) resetEpochCounts() {
+	for i := range m.slotCount {
+		m.slotCount[i] = 0
+	}
+	if m.naive != nil {
+		for k := range m.naive {
+			delete(m.naive, k)
+		}
+	} else {
+		m.mq.Reset()
+	}
+}
+
+// hottest returns the off-package MRU page and its heat.
+func (m *Migrator) hottest() (page uint64, heat uint32, ok bool) {
+	if m.naive != nil {
+		var best uint64
+		var bestC uint32
+		for p, c := range m.naive {
+			if c > bestC || (c == bestC && p < best) {
+				best, bestC = p, c
+			}
+		}
+		return best, bestC, bestC > 0
+	}
+	p, ok := m.mq.Hottest()
+	if !ok {
+		return 0, 0, false
+	}
+	c := m.mq.Count(p)
+	if c > uint32max {
+		c = uint32max
+	}
+	return p, uint32(c), true
+}
+
+const uint32max = 1<<32 - 1
+
+// SwapInFlight reports whether a swap is executing.
+func (m *Migrator) SwapInFlight() bool { return m.plan != nil }
+
+// CurrentStep returns the in-flight step, if any.
+func (m *Migrator) CurrentStep() (Step, bool) {
+	if m.plan == nil || m.stepIdx >= len(m.plan.Steps) {
+		return Step{}, false
+	}
+	return m.plan.Steps[m.stepIdx], true
+}
+
+// startStep materializes the current step's sub-copies and arms the live
+// fill state when applicable. Copy order is critical-data-first for live
+// critical steps: start at the most recently touched sub-block and wrap.
+func (m *Migrator) startStep() []SubCopy {
+	st := m.plan.Steps[m.stepIdx]
+	nsub := m.SubBlocksPerPage()
+	start := 0
+	if st.Critical && m.opt.Design == DesignLive {
+		if s, ok := m.lastSub[m.plan.MRU]; ok && s < nsub && !m.opt.NoCriticalFirst {
+			start = s
+		}
+		m.fill.active = true
+		m.fill.phys = m.plan.MRU
+		m.fill.dstSlot = st.Dst
+		m.fill.old = st.OldMachine
+		m.fill.done = make([]bool, nsub)
+	}
+	subs := make([]SubCopy, 0, nsub)
+	for i := 0; i < nsub; i++ {
+		sub := (start + i) % nsub
+		off := uint64(sub) * m.opt.SubBlockSize
+		subs = append(subs, SubCopy{
+			Src:      m.geom.Join(st.Src, off),
+			Dst:      m.geom.Join(st.Dst, off),
+			Bytes:    m.opt.SubBlockSize,
+			SubIndex: sub,
+			Exchange: st.Exchange,
+		})
+	}
+	return subs
+}
+
+// SubDone marks one sub-block of the current step as copied; for live
+// critical steps this flips the bitmap bit that redirects subsequent
+// accesses on-package.
+func (m *Migrator) SubDone(subIndex int) {
+	if m.fill.active && subIndex >= 0 && subIndex < len(m.fill.done) {
+		m.fill.done[subIndex] = true
+	}
+}
+
+// StepDone applies the completed step's table mutation and returns the next
+// step's sub-copies; done reports whether the whole swap finished.
+func (m *Migrator) StepDone() (next []SubCopy, done bool, err error) {
+	if m.plan == nil {
+		return nil, true, fmt.Errorf("core: StepDone with no swap in flight")
+	}
+	st := m.plan.Steps[m.stepIdx]
+	if st.Critical {
+		m.fill.active = false
+		m.fill.done = nil
+	}
+	if err := st.mutate(m.table); err != nil {
+		m.plan = nil
+		return nil, true, fmt.Errorf("core: swap step %q: %w", st.Label, err)
+	}
+	m.stats.PagesCopied++
+	m.stats.BytesCopied += m.opt.PageSize
+	if st.Exchange {
+		m.stats.PagesCopied++
+		m.stats.BytesCopied += m.opt.PageSize
+	}
+	m.stepIdx++
+	if m.stepIdx >= len(m.plan.Steps) {
+		m.finishSwap()
+		return nil, true, nil
+	}
+	return m.startStep(), false, nil
+}
+
+func (m *Migrator) finishSwap() {
+	mru := m.plan.MRU
+	m.plan = nil
+	m.stats.SwapsCompleted++
+	m.mq.Remove(mru)
+	delete(m.lastSub, mru)
+	// Keep the (possibly moved) empty slot pinned and give the freshly
+	// promoted page a grace period by marking it referenced.
+	for s := uint64(0); s < m.table.Slots(); s++ {
+		m.clock.Unpin(int(s))
+	}
+	if er := m.table.EmptyRow(); er >= 0 {
+		m.clock.Pin(er)
+	}
+	if s := m.table.SlotOf(mru); s >= 0 {
+		m.clock.Touch(s)
+	}
+}

@@ -1,0 +1,262 @@
+package core
+
+import "fmt"
+
+// Step is one macro-page copy (or exchange) of a swap plan. Steps execute
+// strictly in order; the table mutation attached to a step applies when its
+// last byte has moved, which is what lets the N-1 design keep every page
+// reachable at a valid physical location throughout the swap.
+type Step struct {
+	Src uint64 // machine page the data moves from
+	Dst uint64 // machine page the data moves to
+
+	// Exchange marks an atomic two-way exchange through the controller's
+	// line buffers (the N design's primitive); traffic is doubled.
+	Exchange bool
+
+	// Critical marks the step that brings the MRU page's data on-package;
+	// it is the step live migration accelerates with the F bit and the
+	// sub-block bitmap.
+	Critical bool
+
+	// OldMachine is the machine page still holding a valid copy of the
+	// MRU page while a Critical step is in flight (live routing falls back
+	// to it for not-yet-copied sub-blocks).
+	OldMachine uint64
+
+	Label  string
+	mutate func(*Table) error
+}
+
+// Plan is a full hottest-coldest swap: the ordered steps plus bookkeeping.
+type Plan struct {
+	MRU    uint64 // physical macro page being promoted
+	Victim int    // on-package slot being demoted (-1 when the swap only restores)
+	Steps  []Step
+}
+
+// BuildPlanN1 constructs the swap plan of the N-1 (and Live) designs for
+// promoting MRU page m and demoting the page in slot victim, covering the
+// four cases of Fig. 8 plus the two corner cases (MRU is the Ghost page;
+// MRU's swap partner occupies the victim slot).
+func BuildPlanN1(t *Table, m uint64, victim int) (*Plan, error) {
+	if t.emptyRow < 0 {
+		return nil, fmt.Errorf("core: N-1 plan requires an empty slot")
+	}
+	if victim < 0 || uint64(victim) >= t.n {
+		return nil, fmt.Errorf("core: victim slot %d out of range", victim)
+	}
+	if victim == t.emptyRow {
+		return nil, fmt.Errorf("core: victim slot %d is the empty slot", victim)
+	}
+	if s := t.SlotOf(m); s >= 0 {
+		return nil, fmt.Errorf("core: MRU page %d already on-package (slot %d)", m, s)
+	}
+	er := t.emptyRow
+	erPage := uint64(er)
+	omega := t.Omega()
+	slotPage := func(s int) uint64 { return uint64(s) }
+	x := t.resident[victim] // victim page: == victim (OF) or q >= N (MF)
+
+	switch t.Classify(m) {
+	case OriginalSlow:
+		if x == uint64(victim) {
+			// Case (a): MRU >= N, LRU < N (Fig. 8a).
+			return &Plan{MRU: m, Victim: victim, Steps: []Step{
+				{Src: m, Dst: slotPage(er), Critical: true, OldMachine: m,
+					Label: "OS-MRU -> empty slot",
+					mutate: func(t *Table) error {
+						if err := t.Install(er, m); err != nil {
+							return err
+						}
+						t.SetPending(erPage, true)
+						return nil
+					}},
+				{Src: omega, Dst: m, Label: "ghost data -> MRU home",
+					mutate: func(t *Table) error { t.SetPending(erPage, false); return nil }},
+				{Src: slotPage(victim), Dst: omega, Label: "LRU -> omega",
+					mutate: func(t *Table) error { return t.Vacate(victim) }},
+			}}, nil
+		}
+		// Case (b): MRU >= N, LRU >= N (Fig. 8b).
+		q := x
+		vp := uint64(victim)
+		return &Plan{MRU: m, Victim: victim, Steps: []Step{
+			{Src: m, Dst: slotPage(er), Critical: true, OldMachine: m,
+				Label: "OS-MRU -> empty slot",
+				mutate: func(t *Table) error {
+					if err := t.Install(er, m); err != nil {
+						return err
+					}
+					t.SetPending(erPage, true)
+					return nil
+				}},
+			{Src: omega, Dst: m, Label: "ghost data -> MRU home",
+				mutate: func(t *Table) error { t.SetPending(erPage, false); return nil }},
+			{Src: q, Dst: omega, Label: "victim-row data -> omega",
+				mutate: func(t *Table) error { t.SetPending(vp, true); return nil }},
+			{Src: slotPage(victim), Dst: q, Label: "MF-LRU -> its home",
+				mutate: func(t *Table) error {
+					if err := t.Vacate(victim); err != nil {
+						return err
+					}
+					t.SetPending(vp, false)
+					return nil
+				}},
+		}}, nil
+
+	case MigratedSlow:
+		e := t.resident[m] // MRU's swap partner, resident in slot m
+		if int(m) == victim {
+			// Corner case: the victim slot holds the MRU's own partner.
+			// Restore both via the empty slot as a bounce buffer.
+			return &Plan{MRU: m, Victim: victim, Steps: []Step{
+				{Src: slotPage(int(m)), Dst: slotPage(er), Label: "partner -> empty slot",
+					mutate: func(t *Table) error {
+						if err := t.Install(er, e); err != nil {
+							return err
+						}
+						t.SetPending(erPage, true)
+						return nil
+					}},
+				{Src: e, Dst: slotPage(int(m)), Critical: true, OldMachine: e,
+					Label:  "MS-MRU -> its own slot",
+					mutate: func(t *Table) error { return t.Install(int(m), m) }},
+				{Src: slotPage(er), Dst: e, Label: "partner -> its home",
+					mutate: func(t *Table) error {
+						if err := t.Vacate(er); err != nil {
+							return err
+						}
+						t.SetPending(erPage, false)
+						return nil
+					}},
+			}}, nil
+		}
+		head := []Step{
+			// Case (c)/(d) steps 1-3 (Fig. 8c/8d).
+			{Src: slotPage(int(m)), Dst: slotPage(er), Label: "partner -> empty slot",
+				mutate: func(t *Table) error {
+					if err := t.Install(er, e); err != nil {
+						return err
+					}
+					t.SetPending(erPage, true)
+					return nil
+				}},
+			{Src: e, Dst: slotPage(int(m)), Critical: true, OldMachine: e,
+				Label:  "MS-MRU -> its own slot",
+				mutate: func(t *Table) error { return t.Install(int(m), m) }},
+			{Src: omega, Dst: e, Label: "ghost data -> partner home",
+				mutate: func(t *Table) error { t.SetPending(erPage, false); return nil }},
+		}
+		if x == uint64(victim) {
+			// Case (c): LRU < N.
+			return &Plan{MRU: m, Victim: victim, Steps: append(head, Step{
+				Src: slotPage(victim), Dst: omega, Label: "LRU -> omega",
+				mutate: func(t *Table) error { return t.Vacate(victim) },
+			})}, nil
+		}
+		// Case (d): LRU >= N.
+		q := x
+		vp := uint64(victim)
+		return &Plan{MRU: m, Victim: victim, Steps: append(head,
+			Step{Src: q, Dst: omega, Label: "victim-row data -> omega",
+				mutate: func(t *Table) error { t.SetPending(vp, true); return nil }},
+			Step{Src: slotPage(victim), Dst: q, Label: "MF-LRU -> its home",
+				mutate: func(t *Table) error {
+					if err := t.Vacate(victim); err != nil {
+						return err
+					}
+					t.SetPending(vp, false)
+					return nil
+				}},
+		)}, nil
+
+	case GhostPage:
+		// Corner case: the MRU is the Ghost page parked in Ω; its own slot
+		// is the empty slot. Bring it home, then demote the victim.
+		if int(m) != er {
+			return nil, fmt.Errorf("core: ghost page %d but empty row is %d", m, er)
+		}
+		restore := Step{Src: omega, Dst: slotPage(er), Critical: true, OldMachine: omega,
+			Label:  "ghost MRU -> its own slot",
+			mutate: func(t *Table) error { return t.Install(er, m) }}
+		if x == uint64(victim) {
+			// OF victim: park it in Ω.
+			return &Plan{MRU: m, Victim: victim, Steps: []Step{restore,
+				{Src: slotPage(victim), Dst: omega, Label: "LRU -> omega",
+					mutate: func(t *Table) error { return t.Vacate(victim) }},
+			}}, nil
+		}
+		// MF victim (slot holds q >= N; the victim page's data sits at q's
+		// home): park the victim page in Ω, then send q home.
+		q := x
+		vp := uint64(victim)
+		return &Plan{MRU: m, Victim: victim, Steps: []Step{restore,
+			{Src: q, Dst: omega, Label: "victim-row data -> omega",
+				mutate: func(t *Table) error { t.SetPending(vp, true); return nil }},
+			{Src: slotPage(victim), Dst: q, Label: "MF-LRU -> its home",
+				mutate: func(t *Table) error {
+					if err := t.Vacate(victim); err != nil {
+						return err
+					}
+					t.SetPending(vp, false)
+					return nil
+				}},
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("core: MRU page %d is %v, not promotable", m, t.Classify(m))
+	}
+}
+
+// BuildPlanN constructs the swap plan of the basic N design, which uses
+// atomic page exchanges through the controller (no empty slot, no Ω) and
+// stalls execution until the exchange completes.
+func BuildPlanN(t *Table, m uint64, victim int) (*Plan, error) {
+	if t.emptyRow >= 0 {
+		return nil, fmt.Errorf("core: N plan requires no empty slot")
+	}
+	if victim < 0 || uint64(victim) >= t.n {
+		return nil, fmt.Errorf("core: victim slot %d out of range", victim)
+	}
+	if s := t.SlotOf(m); s >= 0 {
+		return nil, fmt.Errorf("core: MRU page %d already on-package (slot %d)", m, s)
+	}
+	slotPage := func(s int) uint64 { return uint64(s) }
+
+	switch t.Classify(m) {
+	case OriginalSlow:
+		x := t.resident[victim]
+		if x == uint64(victim) {
+			// OF victim: single exchange.
+			return &Plan{MRU: m, Victim: victim, Steps: []Step{
+				{Src: slotPage(victim), Dst: m, Exchange: true, Critical: true, OldMachine: m,
+					Label:  "exchange victim slot <-> MRU home",
+					mutate: func(t *Table) error { return t.Install(victim, m) }},
+			}}, nil
+		}
+		// MF victim: restore it first, then exchange in the MRU.
+		q := x
+		return &Plan{MRU: m, Victim: victim, Steps: []Step{
+			{Src: slotPage(victim), Dst: q, Exchange: true,
+				Label:  "restore MF victim <-> its home",
+				mutate: func(t *Table) error { return t.Install(victim, uint64(victim)) }},
+			{Src: slotPage(victim), Dst: m, Exchange: true, Critical: true, OldMachine: m,
+				Label:  "exchange victim slot <-> MRU home",
+				mutate: func(t *Table) error { return t.Install(victim, m) }},
+		}}, nil
+
+	case MigratedSlow:
+		// Restoring the MS page is itself the promotion: its partner is
+		// evicted by the same exchange, regardless of the chosen victim.
+		e := t.resident[m]
+		return &Plan{MRU: m, Victim: int(m), Steps: []Step{
+			{Src: slotPage(int(m)), Dst: e, Exchange: true, Critical: true, OldMachine: e,
+				Label:  "restore MS MRU <-> partner home",
+				mutate: func(t *Table) error { return t.Install(int(m), m) }},
+		}}, nil
+
+	default:
+		return nil, fmt.Errorf("core: MRU page %d is %v, not promotable in N design", m, t.Classify(m))
+	}
+}

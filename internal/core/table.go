@@ -1,0 +1,274 @@
+// Package core implements the paper's primary contribution: the extra
+// physical-to-machine address-translation layer kept by the on-chip memory
+// controller, and the hottest-coldest macro-page migration engine with its
+// three designs (N, N-1, and N-1 with Live Migration).
+//
+// Terminology follows the paper:
+//
+//   - N on-package macro-page slots; row s of the translation table is slot s.
+//   - resident[s] is the macro page currently stored in slot s (the right
+//     column of Fig. 6/7); a page p < N can only ever live in slot p.
+//   - The N-1 design keeps one slot empty; the page that would occupy it is
+//     the Ghost page, its data parked in the reserved off-package page Ω.
+//   - The P (pending) bit of row p forces the RAM-direction translation of
+//     page p to Ω while p's new off-package home is still being written.
+//   - The F (filling) bit plus a sub-block bitmap implement live migration.
+//
+// Page categories: OF (original fast), OS (original slow), MF (migrated
+// fast), MS (migrated slow), Ghost.
+package core
+
+import (
+	"fmt"
+
+	"heteromem/internal/addr"
+)
+
+// Empty is the sentinel stored in resident[s] when slot s holds no page.
+const Empty = ^uint64(0)
+
+// PageClass classifies a macro page per Section III-A.
+type PageClass int
+
+// Page categories of the paper.
+const (
+	OriginalFast PageClass = iota // ID < N, data in its own slot
+	OriginalSlow                  // ID >= N, data in its own off-package home
+	MigratedFast                  // ID >= N, data in some on-package slot
+	MigratedSlow                  // ID < N, data at its swap partner's off-package home
+	GhostPage                     // ID < N, data parked in Ω
+)
+
+// String names the page class.
+func (c PageClass) String() string {
+	switch c {
+	case OriginalFast:
+		return "OF"
+	case OriginalSlow:
+		return "OS"
+	case MigratedFast:
+		return "MF"
+	case MigratedSlow:
+		return "MS"
+	case GhostPage:
+		return "Ghost"
+	default:
+		return fmt.Sprintf("PageClass(%d)", int(c))
+	}
+}
+
+// Table is the bi-directional translation table: a RAM in the forward
+// direction (row index -> resident page) and a CAM in the reverse direction
+// (page -> slot holding it), as the paper requires.
+type Table struct {
+	n        uint64         // number of on-package slots (= rows)
+	total    uint64         // total macro pages in the memory space
+	resident []uint64       // resident[s]: page in slot s, or Empty
+	pending  []bool         // P bit per row
+	back     map[uint64]int // CAM: page >= N -> slot; only migrated-fast pages appear
+	emptyRow int            // row whose slot is empty; -1 in the N design
+}
+
+// NewTable builds the initial identity mapping: pages 0..n-1 occupy slots
+// 0..n-1. If sacrificeSlot is true (the N-1 and Live designs), the last
+// slot starts empty and page n-1 starts as the Ghost page in Ω.
+func NewTable(slots, totalPages uint64, sacrificeSlot bool) (*Table, error) {
+	if slots == 0 || totalPages <= slots {
+		return nil, fmt.Errorf("core: need 0 < slots(%d) < totalPages(%d)", slots, totalPages)
+	}
+	t := &Table{
+		n:        slots,
+		total:    totalPages,
+		resident: make([]uint64, slots),
+		pending:  make([]bool, slots),
+		back:     make(map[uint64]int),
+		emptyRow: -1,
+	}
+	for s := range t.resident {
+		t.resident[s] = uint64(s)
+	}
+	if sacrificeSlot {
+		t.emptyRow = int(slots - 1)
+		t.resident[t.emptyRow] = Empty
+	}
+	return t, nil
+}
+
+// Slots returns N, the number of on-package slots.
+func (t *Table) Slots() uint64 { return t.n }
+
+// TotalPages returns the number of macro pages in the memory space.
+func (t *Table) TotalPages() uint64 { return t.total }
+
+// Omega returns the reserved ghost page's machine page ID: the first page
+// past the installed memory, reserved by the hardware driver after boot.
+func (t *Table) Omega() uint64 { return t.total }
+
+// EmptyRow returns the current empty row, or -1 (N design).
+func (t *Table) EmptyRow() int { return t.emptyRow }
+
+// Resident returns the page in slot s (Empty if none).
+func (t *Table) Resident(s int) uint64 { return t.resident[s] }
+
+// Pending reports row p's P bit.
+func (t *Table) Pending(p uint64) bool { return p < t.n && t.pending[p] }
+
+// SetPending sets or clears row p's P bit.
+func (t *Table) SetPending(p uint64, v bool) {
+	if p < t.n {
+		t.pending[p] = v
+	}
+}
+
+// SlotOf performs the CAM lookup: the slot holding page p, or -1.
+// Pages p < N can only be in slot p (checked via the RAM side).
+func (t *Table) SlotOf(p uint64) int {
+	if p < t.n {
+		if t.resident[p] == p {
+			return int(p)
+		}
+		return -1
+	}
+	if s, ok := t.back[p]; ok {
+		return s
+	}
+	return -1
+}
+
+// Classify returns the paper's category for page p.
+func (t *Table) Classify(p uint64) PageClass {
+	if p < t.n {
+		switch {
+		case t.resident[p] == p:
+			return OriginalFast
+		case t.resident[p] == Empty:
+			return GhostPage
+		default:
+			return MigratedSlow
+		}
+	}
+	if _, ok := t.back[p]; ok {
+		return MigratedFast
+	}
+	return OriginalSlow
+}
+
+// MachinePage translates physical page p to its machine page:
+//   - on-package slots are machine pages 0..N-1,
+//   - off-package homes keep their own IDs (machine page p for p >= N),
+//   - Ω is machine page TotalPages().
+//
+// onPackage reports which region the machine page is in. This is the pure
+// table translation; live-migration sub-block routing is layered on top by
+// the Migrator.
+func (t *Table) MachinePage(p uint64) (machine uint64, onPackage bool) {
+	if p >= t.total {
+		// Reserved/ghost page is not program-addressable; identity-map it.
+		return p, false
+	}
+	if p < t.n {
+		if t.pending[p] {
+			return t.Omega(), false // P bit: RAM direction forced to Ω
+		}
+		switch r := t.resident[p]; {
+		case r == p:
+			return p, true // OF: own slot
+		case r == Empty:
+			return t.Omega(), false // Ghost: parked in Ω
+		default:
+			return r, false // MS: at partner r's off-package home
+		}
+	}
+	if s, ok := t.back[p]; ok {
+		return uint64(s), true // MF: in slot s
+	}
+	return p, false // OS: own home
+}
+
+// Install records that page p now resides in slot s (CAM + RAM update).
+func (t *Table) Install(s int, p uint64) error {
+	if s < 0 || uint64(s) >= t.n {
+		return fmt.Errorf("core: slot %d out of range", s)
+	}
+	if p < t.n && uint64(s) != p {
+		return fmt.Errorf("core: page %d < N may only occupy its own slot, not %d", p, s)
+	}
+	// Drop the CAM entry of the page being overwritten — unless a swap step
+	// has already re-homed that page to a different slot (mid-swap a page can
+	// transiently have copies in two slots; the CAM tracks the live one).
+	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == s {
+		delete(t.back, old)
+	}
+	t.resident[s] = p
+	if p >= t.n && p != Empty {
+		t.back[p] = s
+	}
+	if t.emptyRow == s {
+		t.emptyRow = -1
+	}
+	return nil
+}
+
+// Vacate marks slot s empty (its original page becomes the Ghost).
+func (t *Table) Vacate(s int) error {
+	if s < 0 || uint64(s) >= t.n {
+		return fmt.Errorf("core: slot %d out of range", s)
+	}
+	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == s {
+		delete(t.back, old)
+	}
+	t.resident[s] = Empty
+	t.emptyRow = s
+	return nil
+}
+
+// CheckInvariants validates the structural invariants the paper's design
+// relies on; it is used by tests and property checks.
+func (t *Table) CheckInvariants() error {
+	empties := 0
+	for s, r := range t.resident {
+		switch {
+		case r == Empty:
+			empties++
+			if t.emptyRow != s {
+				return fmt.Errorf("core: slot %d empty but emptyRow=%d", s, t.emptyRow)
+			}
+		case r < t.n:
+			if r != uint64(s) {
+				return fmt.Errorf("core: page %d < N resident in foreign slot %d", r, s)
+			}
+		default:
+			if got, ok := t.back[r]; !ok || got != s {
+				return fmt.Errorf("core: CAM out of sync for page %d in slot %d (cam=%d,%v)", r, s, got, ok)
+			}
+		}
+	}
+	if t.emptyRow >= 0 && empties != 1 {
+		return fmt.Errorf("core: emptyRow=%d but %d empty slots", t.emptyRow, empties)
+	}
+	if t.emptyRow < 0 && empties != 0 {
+		return fmt.Errorf("core: no emptyRow but %d empty slots", empties)
+	}
+	for p, s := range t.back {
+		if t.resident[s] != p {
+			return fmt.Errorf("core: CAM says page %d in slot %d, RAM says %d", p, s, t.resident[s])
+		}
+	}
+	return nil
+}
+
+// HardwareBits returns the pure-hardware cost in bits of managing
+// onPkgBytes of on-package memory at macroPage granularity with subBlock
+// live-migration chunks, reproducing the paper's accounting (Fig. 10 and
+// the 9,228-bit example: 256 x 28 = 7,168 table bits + 1,024 fill-bitmap
+// bits + 256 pseudo-LRU bits + 780 multi-queue bits).
+func HardwareBits(onPkgBytes, macroPage, subBlock uint64, addrBits uint) uint64 {
+	g := addr.MustPageGeom(macroPage)
+	n := onPkgBytes / macroPage
+	pageIDBits := uint64(addrBits) - uint64(g.OffsetBits())
+	tableBits := n * (pageIDBits + 2) // right column + P bit + F bit
+	fillBits := macroPage / subBlock  // live-migration bitmap
+	lruBits := n                      // clock pseudo-LRU, 1 bit/slot
+	const mqBits = 780                // 3 levels x 10 entries x 26-bit IDs
+	return tableBits + fillBits + lruBits + mqBits
+}

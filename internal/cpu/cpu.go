@@ -1,0 +1,187 @@
+// Package cpu provides the stall-accounting core model behind the
+// Section II IPC comparison (Fig. 5). It is not a pipeline simulator: like
+// the paper's own use of a fixed-latency memory model inside Simics, it
+// charges each access the latency of the level that served it and derives
+// aggregate IPC from base CPI plus memory stall cycles. Relative IPC across
+// memory configurations — the quantity Fig. 5 plots — depends only on miss
+// rates and the latency gaps, which this model carries exactly.
+package cpu
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"heteromem/internal/cache"
+	"heteromem/internal/config"
+	"heteromem/internal/trace"
+)
+
+// MemoryModel prices a main-memory access for one Fig. 5 configuration.
+type MemoryModel interface {
+	Name() string
+	// Latency returns the cycles to serve the access at physical address a.
+	Latency(a uint64, write bool) int64
+}
+
+// OffOnly is configuration (a): every access goes to off-package DIMMs.
+type OffOnly struct{ Lat config.Latencies }
+
+// Name implements MemoryModel.
+func (OffOnly) Name() string { return "baseline" }
+
+// Latency implements MemoryModel.
+func (m OffOnly) Latency(uint64, bool) int64 { return m.Lat.OffPackageTotalEstimate() }
+
+// L4Backed is configuration (b): a 1 GB on-package DRAM L4 in front of the
+// off-package memory.
+type L4Backed struct {
+	Lat config.Latencies
+	L4  *cache.DRAMCache
+}
+
+// NewL4Backed builds configuration (b) with the given L4 capacity.
+func NewL4Backed(lat config.Latencies, size uint64) (*L4Backed, error) {
+	l4, err := cache.NewDRAMCache(size, 512, lat)
+	if err != nil {
+		return nil, err
+	}
+	return &L4Backed{Lat: lat, L4: l4}, nil
+}
+
+// Name implements MemoryModel.
+func (*L4Backed) Name() string { return "L4 cache 1GB" }
+
+// Latency implements MemoryModel.
+func (m *L4Backed) Latency(a uint64, write bool) int64 {
+	hit, lat := m.L4.Access(a, write)
+	if hit {
+		return lat
+	}
+	return lat + m.Lat.OffPackageTotalEstimate()
+}
+
+// StaticSplit is configuration (c): the lowest OnBytes of physical memory
+// map to on-package DRAM, the rest to DIMMs (no migration).
+type StaticSplit struct {
+	Lat     config.Latencies
+	OnBytes uint64
+}
+
+// Name implements MemoryModel.
+func (StaticSplit) Name() string { return "1GB on-chip memory" }
+
+// Latency implements MemoryModel.
+func (m StaticSplit) Latency(a uint64, _ bool) int64 {
+	if a < m.OnBytes {
+		return m.Lat.OnPackageTotalEstimate()
+	}
+	return m.Lat.OffPackageTotalEstimate()
+}
+
+// AllOn is configuration (d): the ideal, all memory on-package.
+type AllOn struct{ Lat config.Latencies }
+
+// Name implements MemoryModel.
+func (AllOn) Name() string { return "all memory on-chip" }
+
+// Latency implements MemoryModel.
+func (m AllOn) Latency(uint64, bool) int64 { return m.Lat.OnPackageTotalEstimate() }
+
+// Model holds the per-workload execution parameters.
+type Model struct {
+	BaseCPI        float64 // cycles per instruction with a perfect memory
+	AccessPerInstr float64 // memory references per instruction
+	Cores          int
+	// MLPOverlap discounts memory stalls for overlap between outstanding
+	// misses (1 = fully serialized). In-order quad-core with small windows:
+	// modest overlap.
+	MLPOverlap float64
+}
+
+// DefaultModel matches the Table II quad-core.
+func DefaultModel() Model {
+	return Model{BaseCPI: 1.0, AccessPerInstr: 0.3, Cores: 4, MLPOverlap: 0.8}
+}
+
+// Result is one configuration's outcome.
+type Result struct {
+	Config      string
+	Accesses    uint64
+	Instr       float64
+	Cycles      float64
+	IPC         float64 // total (all cores) instructions per cycle
+	L3MissRate  float64
+	MemAccesses uint64
+}
+
+// Run feeds n records from src through the hierarchy and prices L3 misses
+// with mem, returning the configuration's aggregate IPC. The first `warmup`
+// records exercise the caches and the memory model but are excluded from
+// the cycle accounting, mirroring the paper's 1-billion-instruction warmup
+// before full simulation (Table II).
+func Run(src trace.Source, n uint64, levels []config.CacheLevel, lats config.Latencies, m Model, mem MemoryModel) (Result, error) {
+	return RunWarm(src, n, 0, levels, lats, m, mem)
+}
+
+// RunWarm is Run with an explicit warmup length.
+func RunWarm(src trace.Source, n, warmup uint64, levels []config.CacheLevel, lats config.Latencies, m Model, mem MemoryModel) (Result, error) {
+	h, err := cache.NewHierarchy(m.Cores, levels)
+	if err != nil {
+		return Result{}, err
+	}
+	if m.MLPOverlap <= 0 || m.MLPOverlap > 1 {
+		return Result{}, fmt.Errorf("cpu: MLP overlap %f out of (0,1]", m.MLPOverlap)
+	}
+	var stalls float64
+	var count, seen, memAcc uint64
+	latL1 := float64(levels[0].Latency)
+	latL2 := float64(levels[1].Latency)
+	latL3 := float64(levels[2].Latency)
+	for seen < n+warmup {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Result{}, err
+		}
+		seen++
+		lvl := h.Access(int(rec.CPU), rec.Addr, rec.Write)
+		var memLat float64
+		if lvl == cache.Memory {
+			// Always drive the memory model so L4 contents and migration
+			// state warm up alongside the SRAM hierarchy.
+			memLat = float64(mem.Latency(rec.Addr, rec.Write))
+		}
+		if seen <= warmup {
+			continue
+		}
+		count++
+		switch lvl {
+		case cache.L1:
+			stalls += latL1
+		case cache.L2:
+			stalls += latL2
+		case cache.L3:
+			stalls += latL3
+		case cache.Memory:
+			memAcc++
+			stalls += latL3 + memLat*m.MLPOverlap
+		}
+	}
+	if count == 0 {
+		return Result{}, fmt.Errorf("cpu: empty trace")
+	}
+	instr := float64(count) / m.AccessPerInstr
+	cycles := instr*m.BaseCPI/float64(m.Cores) + stalls/float64(m.Cores)
+	return Result{
+		Config:      mem.Name(),
+		Accesses:    count,
+		Instr:       instr,
+		Cycles:      cycles,
+		IPC:         instr / cycles,
+		L3MissRate:  h.L3Stats().MissRate(),
+		MemAccesses: memAcc,
+	}, nil
+}

@@ -1,0 +1,136 @@
+package cpu
+
+import (
+	"testing"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/config"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+func testSource(t *testing.T, n uint64) trace.Source {
+	t.Helper()
+	gen, err := workload.NewProgram("EP.C", 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return trace.NewLimit(gen, n)
+}
+
+func TestMemoryModelLatencies(t *testing.T) {
+	lat := config.TableIILatencies()
+	off := OffOnly{Lat: lat}
+	on := AllOn{Lat: lat}
+	if off.Latency(0, false) <= on.Latency(0, false) {
+		t.Fatal("off-package must be slower than on-package")
+	}
+	st := StaticSplit{Lat: lat, OnBytes: 1 * addr.GiB}
+	if st.Latency(0, false) != on.Latency(0, false) {
+		t.Fatal("static split low address must cost on-package latency")
+	}
+	if st.Latency(2*addr.GiB, false) != off.Latency(0, false) {
+		t.Fatal("static split high address must cost off-package latency")
+	}
+}
+
+func TestL4BackedLatency(t *testing.T) {
+	lat := config.TableIILatencies()
+	l4, err := NewL4Backed(lat, 64*addr.MiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := l4.Latency(0, false)
+	if first != lat.L4MissProbe()+lat.OffPackageTotalEstimate() {
+		t.Fatalf("L4 miss latency = %d", first)
+	}
+	second := l4.Latency(0, false)
+	if second != lat.L4HitLatency() {
+		t.Fatalf("L4 hit latency = %d, want %d", second, lat.L4HitLatency())
+	}
+}
+
+func TestRunProducesOrderedIPC(t *testing.T) {
+	lat := config.TableIILatencies()
+	levels := config.SRAMHierarchy()
+	model := DefaultModel()
+	const n = 200000
+
+	runWith := func(mem MemoryModel) Result {
+		res, err := Run(testSource(t, n), n, levels, lat, model, mem)
+		if err != nil {
+			t.Fatalf("%s: %v", mem.Name(), err)
+		}
+		return res
+	}
+	base := runWith(OffOnly{Lat: lat})
+	ideal := runWith(AllOn{Lat: lat})
+	if base.Accesses != n || ideal.Accesses != n {
+		t.Fatalf("access counts: %d, %d", base.Accesses, ideal.Accesses)
+	}
+	// The ideal all-on-chip configuration can never be slower.
+	if ideal.IPC < base.IPC {
+		t.Fatalf("ideal IPC %.3f < baseline %.3f", ideal.IPC, base.IPC)
+	}
+	if base.IPC <= 0 || base.Cycles <= 0 {
+		t.Fatalf("degenerate result: %+v", base)
+	}
+	if base.L3MissRate < 0 || base.L3MissRate > 1 {
+		t.Fatalf("miss rate %f", base.L3MissRate)
+	}
+}
+
+func TestRunValidation(t *testing.T) {
+	lat := config.TableIILatencies()
+	levels := config.SRAMHierarchy()
+	m := DefaultModel()
+	m.MLPOverlap = 0
+	if _, err := Run(testSource(t, 10), 10, levels, lat, m, OffOnly{Lat: lat}); err == nil {
+		t.Fatal("zero MLP overlap accepted")
+	}
+	if _, err := Run(trace.NewSliceSource(nil), 10, levels, lat, DefaultModel(), OffOnly{Lat: lat}); err == nil {
+		t.Fatal("empty trace accepted")
+	}
+}
+
+func TestMigratingModelBetweenStaticAndIdeal(t *testing.T) {
+	lat := config.TableIILatencies()
+	levels := config.SRAMHierarchy()
+	model := DefaultModel()
+	const n = 400000
+
+	gen := func() trace.Source {
+		g, err := workload.NewProgram("MG.C", 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return trace.NewLimit(g, n)
+	}
+	static, err := Run(gen(), n, levels, lat, model, StaticSplit{Lat: lat, OnBytes: 1 * addr.GiB})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mm, err := NewMigratingModel(lat, 1*addr.GiB, 8*addr.GiB, 4*addr.MiB, 10000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mig, err := Run(gen(), n, levels, lat, model, mm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ideal, err := Run(gen(), n, levels, lat, model, AllOn{Lat: lat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MG.C's footprint exceeds 1 GB, so static mapping leaves hot data
+	// off-package; migration must improve on it, and the ideal bounds it.
+	if mig.IPC < static.IPC {
+		t.Fatalf("migration IPC %.4f below static %.4f", mig.IPC, static.IPC)
+	}
+	if mig.IPC > ideal.IPC {
+		t.Fatalf("migration IPC %.4f above the ideal %.4f", mig.IPC, ideal.IPC)
+	}
+	if mm.Migrator().Stats().SwapsCompleted == 0 {
+		t.Fatal("migrating model never swapped")
+	}
+}

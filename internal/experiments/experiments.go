@@ -1,0 +1,152 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation. Each driver builds the workloads, runs the relevant
+// simulations, and renders the same rows/series the paper reports. The
+// DESIGN.md per-experiment index maps every driver to the modules it
+// exercises and the bench target that regenerates it.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"sort"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/config"
+	"heteromem/internal/core"
+	"heteromem/internal/sim"
+	"heteromem/internal/stats"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// newTable is a local alias for the stats table renderer.
+func newTable(header ...string) *stats.Table { return stats.NewTable(header...) }
+
+// Params scales an experiment run.
+type Params struct {
+	// Records per trace simulation (0 selects the experiment's default).
+	Records uint64
+	// Warmup records excluded from statistics (0 = Records/2... the
+	// experiment default).
+	Warmup uint64
+	// Seed for the workload generators.
+	Seed int64
+	// Workloads filters to a subset (nil = the experiment's full list).
+	Workloads []string
+	// Parallelism caps the worker goroutines used for independent
+	// simulations (0 = GOMAXPROCS).
+	Parallelism int
+}
+
+func (p Params) records(def uint64) uint64 {
+	if p.Records > 0 {
+		return p.Records
+	}
+	return def
+}
+
+func (p Params) warmup(records uint64) uint64 {
+	if p.Warmup > 0 && p.Warmup < records {
+		return p.Warmup
+	}
+	return records / 2
+}
+
+func (p Params) seed() int64 {
+	if p.Seed != 0 {
+		return p.Seed
+	}
+	return 1
+}
+
+func (p Params) workloads(def []string) []string {
+	if len(p.Workloads) == 0 {
+		return def
+	}
+	return p.Workloads
+}
+
+// Granularities is the paper's macro-page sweep (Table III: 4 KB to 4 MB).
+var Granularities = []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB, 256 * addr.KiB, 1 * addr.MiB, 4 * addr.MiB}
+
+// Intervals is the paper's swap-interval sweep in memory accesses
+// (Section IV: "after each 1,000, 10,000, and 100,000 memory accesses").
+var Intervals = []uint64{1000, 10000, 100000}
+
+// PureHardwareMinPage is the paper's feasibility split: pure-hardware
+// migration for granularity >= 1 MB, OS-assisted below it (Section III-B).
+const PureHardwareMinPage = 1 * addr.MiB
+
+// runTrace simulates one (workload, configuration) pair.
+func runTrace(name string, seed int64, cfg sim.Config) (sim.Result, error) {
+	gen, err := workload.NewMemory(name, seed)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	src := trace.NewLimit(gen, cfg.MaxRecords)
+	return sim.Run(src, cfg)
+}
+
+// traceConfig assembles a Section IV configuration.
+func traceConfig(pageSize uint64, mig *core.Options, records, warmup uint64) sim.Config {
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = pageSize
+	cfg.Migration = mig
+	cfg.OSAssisted = mig != nil && pageSize < PureHardwareMinPage
+	cfg.MaxRecords = records
+	cfg.Warmup = warmup
+	return cfg
+}
+
+// Runner is an experiment entry point for the CLI.
+type Runner func(w io.Writer, p Params) error
+
+// Registry maps experiment IDs to their drivers.
+func Registry() map[string]Runner {
+	return map[string]Runner{
+		"table1": Table1,
+		"table2": Table2,
+		"table3": Table3,
+		"table4": Table4,
+		"fig4":   Fig4,
+		"fig5":   Fig5,
+		"fig10":  Fig10,
+		"fig11a": func(w io.Writer, p Params) error { return Fig11(w, p, 1000) },
+		"fig11b": func(w io.Writer, p Params) error { return Fig11(w, p, 10000) },
+		"fig11c": func(w io.Writer, p Params) error { return Fig11(w, p, 100000) },
+		"fig12":  func(w io.Writer, p Params) error { return Fig1214(w, p, 1000) },
+		"fig13":  func(w io.Writer, p Params) error { return Fig1214(w, p, 10000) },
+		"fig14":  func(w io.Writer, p Params) error { return Fig1214(w, p, 100000) },
+		"fig15":  Fig15,
+		"fig16":  Fig16,
+	}
+}
+
+// Names returns the registered experiment IDs, sorted.
+func Names() []string {
+	r := Registry()
+	out := make([]string, 0, len(r))
+	for k := range r {
+		out = append(out, k)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// sizeLabel formats a byte count the way the paper's axes do.
+func sizeLabel(b uint64) string {
+	switch {
+	case b >= addr.GiB && b%addr.GiB == 0:
+		return fmt.Sprintf("%dGB", b/addr.GiB)
+	case b >= addr.MiB && b%addr.MiB == 0:
+		return fmt.Sprintf("%dMB", b/addr.MiB)
+	default:
+		return fmt.Sprintf("%dKB", b/addr.KiB)
+	}
+}
+
+// designList is the Fig. 11 design comparison.
+var designList = []core.Design{core.DesignN, core.DesignN1, core.DesignLive}
+
+// defaultLatencies gives drivers access to the Table II constants.
+func defaultLatencies() config.Latencies { return config.TableIILatencies() }

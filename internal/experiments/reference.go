@@ -1,0 +1,30 @@
+package experiments
+
+// Paper reference values, used by cmd/hmreport to print measured-vs-paper
+// comparisons and by EXPERIMENTS.md.
+
+// PaperTable4 is the paper's Table IV effectiveness per workload (%).
+var PaperTable4 = map[string]float64{
+	"FT":       69.1,
+	"MG":       84.3,
+	"pgbench":  92.2,
+	"indexer":  86.1,
+	"SPECjbb":  72.2,
+	"SPEC2006": 99.1,
+}
+
+// PaperTable4Average is the paper's headline number.
+const PaperTable4Average = 83.0
+
+// PaperFig16MinOverhead is the paper's observed minimum power overhead
+// ("about 2X ... migration interval once per 100K accesses, granularity
+// 4KB").
+const PaperFig16MinOverhead = 2.0
+
+// PaperFig10Bits4MB is the Section III-B hardware cost at 4 MB granularity.
+const PaperFig10Bits4MB = 9228
+
+// PaperLiveVsN1Improvement is Section IV-A's "live migration ... can
+// further hide the migration overhead ... and reduce the average memory
+// access latency by 5.2%".
+const PaperLiveVsN1Improvement = 5.2

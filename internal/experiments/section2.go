@@ -1,0 +1,258 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/cache"
+	"heteromem/internal/config"
+	"heteromem/internal/cpu"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// Table1 prints the NPB 3.3 memory footprints (Table I), computed from the
+// workload specs so the table cannot drift from the generators.
+func Table1(w io.Writer, p Params) error {
+	t := newTable("Workload", "Memory", "Description")
+	for _, name := range workload.ProgramNames() {
+		spec, err := workload.ProgramSpec(name)
+		if err != nil {
+			return err
+		}
+		t.AddRow(name, sizeLabel(spec.Footprint()), spec.Description)
+	}
+	fmt.Fprintln(w, "Table I: memory footprints of the NPB 3.3 benchmark suite")
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Table2 prints the baseline configuration (Table II) including the derived
+// on/off-package latency build-ups.
+func Table2(w io.Writer, p Params) error {
+	proc := config.Baseline()
+	lat := defaultLatencies()
+	t := newTable("Parameter", "Value")
+	t.AddRow("Number of cores", fmt.Sprint(proc.Cores))
+	t.AddRow("Frequency", fmt.Sprintf("%.1fGHz", proc.FrequencyGHz))
+	for _, lvl := range config.SRAMHierarchy() {
+		scope := "private"
+		if lvl.Shared {
+			scope = "shared"
+		}
+		t.AddRow(lvl.Name+" cache", fmt.Sprintf("%s, %d-way, %d-cycle, %s", sizeLabel(lvl.Size), lvl.Ways, lvl.Latency, scope))
+	}
+	t.AddRow("Memory controller", fmt.Sprintf("%d-cycle for processing", lat.MemCtrlProcessing))
+	t.AddRow("Controller-to-core delay", fmt.Sprintf("%d-cycle each way", lat.CtrlToCoreOneWay))
+	t.AddRow("Package pin delay", fmt.Sprintf("%d-cycle each way", lat.PackagePinOneWay))
+	t.AddRow("PCB wire delay", fmt.Sprintf("%d-cycle round-trip", lat.PCBWireRoundTrip))
+	t.AddRow("Interposer pin delay", fmt.Sprintf("%d-cycle each way", lat.InterposerOneWay))
+	t.AddRow("Intra-package delay", fmt.Sprintf("%d-cycle round-trip", lat.IntraPackageRT))
+	t.AddRow("DRAM core delay", fmt.Sprintf("%d-cycle", lat.DRAMCore))
+	t.AddRow("Queuing delay (8-bank off-pkg)", fmt.Sprintf("%d-cycle", lat.OffPkgQueueFixed))
+	t.AddRow("L4 cache (on-pkg DRAM)", fmt.Sprintf("1GB, 15-way, hit %d-cycle, miss %d-cycle", lat.L4HitLatency(), lat.L4MissProbe()))
+	t.AddRow("On-package memory", fmt.Sprintf("1GB, %d-cycle", lat.OnPackageTotalEstimate()))
+	t.AddRow("Off-package memory", fmt.Sprintf("%d-cycle", lat.OffPackageTotalEstimate()))
+	fmt.Fprintln(w, "Table II: baseline processor and on-package DRAM options")
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Fig4Point is one (workload, capacity) LLC miss-rate sample.
+type Fig4Point struct {
+	Workload string
+	Capacity uint64
+	MissRate float64
+	Accesses uint64
+	L3Misses uint64
+}
+
+// Fig4Capacities is the LLC capacity sweep of Fig. 4.
+var Fig4Capacities = []uint64{
+	4 * addr.MiB, 8 * addr.MiB, 16 * addr.MiB, 32 * addr.MiB, 64 * addr.MiB,
+	128 * addr.MiB, 256 * addr.MiB, 512 * addr.MiB, 1 * addr.GiB,
+}
+
+// Fig4Data computes the Fig. 4 miss-rate curves.
+func Fig4Data(p Params) ([]Fig4Point, error) {
+	const defRecords = 2_000_000
+	records := p.records(defRecords)
+	type job struct {
+		name string
+		capa uint64
+	}
+	var jobs []job
+	for _, name := range p.workloads(workload.ProgramNames()) {
+		for _, capa := range Fig4Capacities {
+			jobs = append(jobs, job{name, capa})
+		}
+	}
+	out := make([]Fig4Point, len(jobs))
+	// A 1 GB LLC model holds ~256 MB of tag state, so cap the concurrent
+	// hierarchies regardless of GOMAXPROCS.
+	workers := p.Parallelism
+	if workers <= 0 || workers > 4 {
+		workers = 4
+	}
+	err := forEachIndex(len(jobs), workers, func(i int) error {
+		j := jobs[i]
+		levels := config.SRAMHierarchy()
+		levels[2].Size = j.capa
+		h, err := cache.NewHierarchy(config.Baseline().Cores, levels)
+		if err != nil {
+			return err
+		}
+		gen, err := workload.NewProgram(j.name, p.seed())
+		if err != nil {
+			return err
+		}
+		src := trace.NewLimit(gen, records)
+		for {
+			rec, err := src.Next()
+			if err != nil {
+				break
+			}
+			h.Access(int(rec.CPU), rec.Addr, rec.Write)
+		}
+		st := h.L3Stats()
+		out[i] = Fig4Point{
+			Workload: j.name, Capacity: j.capa,
+			MissRate: st.MissRate(), Accesses: st.Accesses, L3Misses: st.Misses,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig4 renders the LLC miss rate vs capacity curves (Fig. 4).
+func Fig4(w io.Writer, p Params) error {
+	points, err := Fig4Data(p)
+	if err != nil {
+		return err
+	}
+	header := []string{"Workload"}
+	for _, c := range Fig4Capacities {
+		header = append(header, sizeLabel(c))
+	}
+	t := newTable(header...)
+	row := []string{}
+	cur := ""
+	flush := func() {
+		if cur != "" {
+			t.AddRow(append([]string{cur}, row...)...)
+		}
+		row = row[:0]
+	}
+	for _, pt := range points {
+		if pt.Workload != cur {
+			flush()
+			cur = pt.Workload
+		}
+		row = append(row, fmt.Sprintf("%.1f%%", pt.MissRate*100))
+	}
+	flush()
+	fmt.Fprintln(w, "Fig. 4: last-level cache miss rate vs LLC capacity")
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig5Row is one workload's IPC comparison across the paper's four memory
+// options, plus this reproduction's extension: an optimistic bound for the
+// dynamically migrating heterogeneous memory Section III proposes.
+type Fig5Row struct {
+	Workload  string
+	Baseline  cpu.Result
+	L4        cpu.Result
+	Static    cpu.Result
+	AllOn     cpu.Result
+	Migrating cpu.Result
+}
+
+// Improvement returns the percentage IPC improvements over baseline for
+// (L4, static on-chip, all on-chip).
+func (r Fig5Row) Improvement() (l4, static, allOn float64) {
+	base := r.Baseline.IPC
+	return (r.L4.IPC - base) / base * 100,
+		(r.Static.IPC - base) / base * 100,
+		(r.AllOn.IPC - base) / base * 100
+}
+
+type fig5cfg struct {
+	mem cpu.MemoryModel
+	dst *cpu.Result
+}
+
+// Fig5Data runs the four Section II configurations per workload (plus the
+// dynamic-migration extension column). Half of each run warms the caches
+// and the L4/migration state, mirroring the paper's warmup phase.
+func Fig5Data(p Params) ([]Fig5Row, error) {
+	const defRecords = 2_000_000
+	records := p.records(defRecords)
+	warmup := p.warmup(records)
+	measured := records - warmup
+	lat := defaultLatencies()
+	model := cpu.DefaultModel()
+	levels := config.SRAMHierarchy()
+
+	var out []Fig5Row
+	for _, name := range p.workloads(workload.ProgramNames()) {
+		row := Fig5Row{Workload: name}
+		l4, err := cpu.NewL4Backed(lat, 1*addr.GiB)
+		if err != nil {
+			return nil, err
+		}
+		migModel, err := cpu.NewMigratingModel(lat, 1*addr.GiB, config.SectionIIGeometry().TotalCapacity, 4*addr.MiB, 10000)
+		if err != nil {
+			return nil, err
+		}
+		configs := []fig5cfg{
+			{cpu.OffOnly{Lat: lat}, &row.Baseline},
+			{l4, &row.L4},
+			{cpu.StaticSplit{Lat: lat, OnBytes: 1 * addr.GiB}, &row.Static},
+			{cpu.AllOn{Lat: lat}, &row.AllOn},
+			{migModel, &row.Migrating},
+		}
+		for _, c := range configs {
+			gen, err := workload.NewProgram(name, p.seed())
+			if err != nil {
+				return nil, err
+			}
+			res, err := cpu.RunWarm(gen, measured, warmup, levels, lat, model, c.mem)
+			if err != nil {
+				return nil, fmt.Errorf("fig5 %s/%s: %w", name, c.mem.Name(), err)
+			}
+			*c.dst = res
+		}
+		out = append(out, row)
+	}
+	return out, nil
+}
+
+// Fig5 renders the IPC comparison (Fig. 5): IPC improvement over the
+// baseline for the L4-cache, static on-chip memory, and all-on-chip options.
+func Fig5(w io.Writer, p Params) error {
+	rows, err := Fig5Data(p)
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "Baseline IPC", "L4 Cache 1GB", "1GB On-Chip Memory", "Dynamic Migration*", "All Memory On-Chip")
+	for _, r := range rows {
+		l4, st, all := r.Improvement()
+		mig := (r.Migrating.IPC - r.Baseline.IPC) / r.Baseline.IPC * 100
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.3f", r.Baseline.IPC),
+			fmt.Sprintf("%+.1f%%", l4),
+			fmt.Sprintf("%+.1f%%", st),
+			fmt.Sprintf("%+.1f%%", mig),
+			fmt.Sprintf("%+.1f%%", all))
+	}
+	fmt.Fprintln(w, "Fig. 5: IPC comparison among options for the on-package DRAM")
+	fmt.Fprintln(w, "(*extension: Section III's dynamic migration, copy costs not charged —")
+	fmt.Fprintln(w, " the paper's claim that dynamic mapping approaches the ideal)")
+	_, err = io.WriteString(w, t.String())
+	return err
+}

@@ -1,0 +1,495 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+
+	"heteromem/internal/addr"
+	"heteromem/internal/config"
+	"heteromem/internal/core"
+	"heteromem/internal/sim"
+	"heteromem/internal/workload"
+)
+
+// Table3 prints the trace-based simulation parameters and workload
+// descriptions (Table III).
+func Table3(w io.Writer, p Params) error {
+	g := config.TraceGeometry()
+	t := newTable("Parameter", "Value")
+	t.AddRow("Total memory capacity", sizeLabel(g.TotalCapacity))
+	t.AddRow("On-package memory capacity", sizeLabel(g.OnPackageCapacity))
+	t.AddRow("Macro page size", fmt.Sprintf("from %s to %s", sizeLabel(Granularities[0]), sizeLabel(Granularities[len(Granularities)-1])))
+	t.AddRow("Sub-block size", sizeLabel(g.SubBlockSize))
+	t.AddRow("Off-package DRAM", fmt.Sprintf("%d channels x %d banks, FR-FCFS, open page", g.OffChannels, g.OffBanksPerCh))
+	t.AddRow("On-package DRAM", fmt.Sprintf("%d channels x %d banks, FR-FCFS, open page", g.OnChannels, g.OnBanksPerCh))
+	fmt.Fprintln(w, "Table III: simulation parameters")
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	wt := newTable("Workload", "Footprint", "Description")
+	for _, name := range workload.Names() {
+		spec, err := workload.MemorySpec(name)
+		if err != nil {
+			return err
+		}
+		wt.AddRow(name, sizeLabel(spec.Footprint()), spec.Description)
+	}
+	fmt.Fprintln(w, "\nTable III (cont.): workload / trace descriptions")
+	_, err := io.WriteString(w, wt.String())
+	return err
+}
+
+// Fig10 prints the pure-hardware management cost in bits as a function of
+// the migration granularity (Fig. 10), for 1 GB of on-package memory.
+func Fig10(w io.Writer, p Params) error {
+	t := newTable("Macro page size", "Hardware overhead (bits)")
+	for _, size := range []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB, 256 * addr.KiB, 1 * addr.MiB, 4 * addr.MiB} {
+		bits := core.HardwareBits(1*addr.GiB, size, 4*addr.KiB, addr.Bits)
+		t.AddRow(sizeLabel(size), fmt.Sprintf("%d", bits))
+	}
+	fmt.Fprintln(w, "Fig. 10: hardware overhead to manage 1GB on-package memory")
+	fmt.Fprintln(w, "(paper's reference point: 9,228 bits at 4MB granularity)")
+	_, err := io.WriteString(w, t.String())
+	return err
+}
+
+// Fig11Point is one (workload, granularity, design) latency sample.
+type Fig11Point struct {
+	Workload    string
+	PageSize    uint64
+	Design      core.Design
+	Interval    uint64
+	MeanLatency float64 // DRAM access latency, cycles
+	OnShare     float64
+	Swaps       uint64
+}
+
+// Fig11Data runs the design comparison of Fig. 11 for one swap interval:
+// N vs N-1 vs Live Migration across migration granularities.
+func Fig11Data(p Params, interval uint64) ([]Fig11Point, error) {
+	const defRecords = 1_500_000
+	records := p.records(defRecords)
+	warm := p.warmup(records)
+	type job struct {
+		name   string
+		page   uint64
+		design core.Design
+	}
+	var jobs []job
+	for _, name := range p.workloads(workload.Names()) {
+		for _, page := range Granularities {
+			for _, design := range designList {
+				jobs = append(jobs, job{name, page, design})
+			}
+		}
+	}
+	out := make([]Fig11Point, len(jobs))
+	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+		j := jobs[i]
+		mig := &core.Options{Design: j.design, SwapInterval: interval}
+		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
+		if err != nil {
+			return fmt.Errorf("fig11 %s/%s/%s: %w", j.name, sizeLabel(j.page), j.design, err)
+		}
+		out[i] = Fig11Point{
+			Workload: j.name, PageSize: j.page, Design: j.design, Interval: interval,
+			MeanLatency: res.MeanDRAMLatency,
+			OnShare:     res.Report.OnShare,
+			Swaps:       res.Report.Migration.SwapsCompleted,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig11 renders the average memory access latency of the N, N-1, and Live
+// designs across granularities for one swap interval (Fig. 11a/b/c).
+func Fig11(w io.Writer, p Params, interval uint64) error {
+	points, err := Fig11Data(p, interval)
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "Granularity", "N", "N-1", "Live")
+	byKey := map[string]map[core.Design]float64{}
+	var order []string
+	for _, pt := range points {
+		k := pt.Workload + "\x00" + sizeLabel(pt.PageSize)
+		if byKey[k] == nil {
+			byKey[k] = map[core.Design]float64{}
+			order = append(order, k)
+		}
+		byKey[k][pt.Design] = pt.MeanLatency
+	}
+	for _, k := range order {
+		m := byKey[k]
+		wl, gran := splitKey(k)
+		t.AddRow(wl, gran,
+			fmt.Sprintf("%.1f", m[core.DesignN]),
+			fmt.Sprintf("%.1f", m[core.DesignN1]),
+			fmt.Sprintf("%.1f", m[core.DesignLive]))
+	}
+	fmt.Fprintf(w, "Fig. 11 (swap interval = %d accesses): average memory access latency (cycles)\n", interval)
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+func splitKey(k string) (string, string) {
+	for i := 0; i < len(k); i++ {
+		if k[i] == 0 {
+			return k[:i], k[i+1:]
+		}
+	}
+	return k, ""
+}
+
+// Fig1214Point is one (workload, granularity) live-migration latency
+// sample for Figs. 12-14.
+type Fig1214Point struct {
+	Workload    string
+	PageSize    uint64
+	MeanLatency float64
+	OnShare     float64
+}
+
+// Fig1214Data runs live migration across granularities for one interval
+// (Fig. 12: 1K, Fig. 13: 10K, Fig. 14: 100K).
+func Fig1214Data(p Params, interval uint64) ([]Fig1214Point, error) {
+	const defRecords = 2_000_000
+	records := p.records(defRecords)
+	warm := p.warmup(records)
+	type job struct {
+		name string
+		page uint64
+	}
+	var jobs []job
+	for _, name := range p.workloads(workload.Names()) {
+		for _, page := range Granularities {
+			jobs = append(jobs, job{name, page})
+		}
+	}
+	out := make([]Fig1214Point, len(jobs))
+	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+		j := jobs[i]
+		mig := &core.Options{Design: core.DesignLive, SwapInterval: interval}
+		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
+		if err != nil {
+			return fmt.Errorf("fig12-14 %s/%s: %w", j.name, sizeLabel(j.page), err)
+		}
+		out[i] = Fig1214Point{
+			Workload: j.name, PageSize: j.page,
+			MeanLatency: res.MeanDRAMLatency, OnShare: res.Report.OnShare,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig1214 renders one of the granularity/frequency figures.
+func Fig1214(w io.Writer, p Params, interval uint64) error {
+	points, err := Fig1214Data(p, interval)
+	if err != nil {
+		return err
+	}
+	header := []string{"Workload"}
+	for _, g := range Granularities {
+		header = append(header, sizeLabel(g))
+	}
+	t := newTable(header...)
+	var row []string
+	cur := ""
+	flush := func() {
+		if cur != "" {
+			t.AddRow(append([]string{cur}, row...)...)
+		}
+		row = nil
+	}
+	for _, pt := range points {
+		if pt.Workload != cur {
+			flush()
+			cur = pt.Workload
+		}
+		row = append(row, fmt.Sprintf("%.1f", pt.MeanLatency))
+	}
+	flush()
+	figNo := map[uint64]int{1000: 12, 10000: 13, 100000: 14}[interval]
+	fmt.Fprintf(w, "Fig. %d: average memory latency, live migration (swap interval = %d accesses)\n", figNo, interval)
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Table4Row is one workload's effectiveness summary.
+type Table4Row struct {
+	Workload      string
+	CoreLatency   float64
+	LatNoMig      float64
+	BestLatMig    float64
+	BestPage      uint64
+	BestInterval  uint64
+	Effectiveness float64
+}
+
+// Table4Data computes the per-workload effectiveness (Table IV): the static
+// baseline vs the best (granularity x interval) live-migration point.
+func Table4Data(p Params) ([]Table4Row, error) {
+	const defRecords = 4_000_000
+	records := p.records(defRecords)
+	warm := p.warmup(records)
+	names := p.workloads(workload.Names())
+
+	type job struct {
+		wl       int
+		page     uint64
+		interval uint64 // 0 marks the static baseline run
+	}
+	var jobs []job
+	for wl := range names {
+		jobs = append(jobs, job{wl: wl})
+		for _, page := range Granularities {
+			for _, interval := range []uint64{1000, 10000} {
+				jobs = append(jobs, job{wl: wl, page: page, interval: interval})
+			}
+		}
+	}
+	results := make([]sim.Result, len(jobs))
+	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+		j := jobs[i]
+		var mig *core.Options
+		page := j.page
+		if j.interval == 0 {
+			page = 64 * addr.KiB // static mapping; granularity is irrelevant
+		} else {
+			mig = &core.Options{Design: core.DesignLive, SwapInterval: j.interval}
+		}
+		res, err := runTrace(names[j.wl], p.seed(), traceConfig(page, mig, records, warm))
+		if err != nil {
+			return fmt.Errorf("table4 %s: %w", names[j.wl], err)
+		}
+		results[i] = res
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	out := make([]Table4Row, len(names))
+	haveBest := make([]bool, len(names))
+	for i, j := range jobs {
+		res := results[i]
+		row := &out[j.wl]
+		row.Workload = names[j.wl]
+		if j.interval == 0 {
+			row.LatNoMig = res.MeanDRAMLatency
+			continue
+		}
+		if !haveBest[j.wl] || res.MeanDRAMLatency < row.BestLatMig {
+			haveBest[j.wl] = true
+			row.BestLatMig = res.MeanDRAMLatency
+			row.CoreLatency = res.Report.MeanCoreLat
+			row.BestPage = j.page
+			row.BestInterval = j.interval
+		}
+	}
+	for i := range out {
+		if out[i].BestLatMig > out[i].LatNoMig || !haveBest[i] {
+			// Migration never beat static at this scale; report static.
+			out[i].BestLatMig = out[i].LatNoMig
+			out[i].BestPage, out[i].BestInterval = 0, 0
+		}
+		out[i].Effectiveness = sim.Effectiveness(out[i].LatNoMig, out[i].BestLatMig, out[i].CoreLatency)
+	}
+	return out, nil
+}
+
+// Table4 renders the effectiveness table (Table IV).
+func Table4(w io.Writer, p Params) error {
+	rows, err := Table4Data(p)
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "DRAM core lat", "Lat w/o migration", "Best lat w/ migration", "Best config", "Effectiveness")
+	var sum float64
+	for _, r := range rows {
+		t.AddRow(r.Workload,
+			fmt.Sprintf("%.0f", r.CoreLatency),
+			fmt.Sprintf("%.1f", r.LatNoMig),
+			fmt.Sprintf("%.1f", r.BestLatMig),
+			fmt.Sprintf("%s/%d", sizeLabel(r.BestPage), r.BestInterval),
+			fmt.Sprintf("%.1f%%", r.Effectiveness))
+		sum += r.Effectiveness
+	}
+	fmt.Fprintln(w, "Table IV: effectiveness of memory-controller-based data migration")
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	if len(rows) > 0 {
+		_, err = fmt.Fprintf(w, "Average effectiveness: %.1f%% (paper: 83%%)\n", sum/float64(len(rows)))
+	}
+	return err
+}
+
+// Fig15Point is one (workload, capacity) sensitivity sample.
+type Fig15Point struct {
+	Workload string
+	Capacity uint64
+	CoreLat  float64
+	LatMig   float64
+	LatNoMig float64
+}
+
+// Fig15Capacities is the on-package capacity sweep of Fig. 15.
+var Fig15Capacities = []uint64{128 * addr.MiB, 256 * addr.MiB, 512 * addr.MiB}
+
+// Fig15Data runs the on-package capacity sensitivity study.
+func Fig15Data(p Params) ([]Fig15Point, error) {
+	const defRecords = 2_000_000
+	records := p.records(defRecords)
+	warm := p.warmup(records)
+	const page = 64 * addr.KiB
+	type job struct {
+		name string
+		capa uint64
+	}
+	var jobs []job
+	for _, name := range p.workloads(workload.Names()) {
+		for _, capa := range Fig15Capacities {
+			jobs = append(jobs, job{name, capa})
+		}
+	}
+	out := make([]Fig15Point, len(jobs))
+	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+		j := jobs[i]
+		base := traceConfig(page, nil, records, warm)
+		base.Geometry.OnPackageCapacity = j.capa
+		static, err := runTrace(j.name, p.seed(), base)
+		if err != nil {
+			return err
+		}
+		migCfg := traceConfig(page, &core.Options{Design: core.DesignLive, SwapInterval: 1000}, records, warm)
+		migCfg.Geometry.OnPackageCapacity = j.capa
+		mig, err := runTrace(j.name, p.seed(), migCfg)
+		if err != nil {
+			return err
+		}
+		out[i] = Fig15Point{
+			Workload: j.name, Capacity: j.capa,
+			CoreLat:  mig.Report.MeanCoreLat,
+			LatMig:   mig.MeanDRAMLatency,
+			LatNoMig: static.MeanDRAMLatency,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig15 renders the capacity sensitivity figure.
+func Fig15(w io.Writer, p Params) error {
+	points, err := Fig15Data(p)
+	if err != nil {
+		return err
+	}
+	t := newTable("Workload", "On-pkg size", "DRAM core lat", "Avg lat w/ migration", "Avg lat w/o migration")
+	for _, pt := range points {
+		t.AddRow(pt.Workload, sizeLabel(pt.Capacity),
+			fmt.Sprintf("%.0f", pt.CoreLat),
+			fmt.Sprintf("%.1f", pt.LatMig),
+			fmt.Sprintf("%.1f", pt.LatNoMig))
+	}
+	fmt.Fprintln(w, "Fig. 15: average memory access latency under different on-package sizes")
+	_, err = io.WriteString(w, t.String())
+	return err
+}
+
+// Fig16Point is one (workload, page size, interval) power sample.
+type Fig16Point struct {
+	Workload   string
+	PageSize   uint64
+	Interval   uint64
+	Normalized float64 // total memory power / off-package-only baseline
+}
+
+// Fig16Sizes is the migration-granularity sweep of the power study.
+var Fig16Sizes = []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB}
+
+// Fig16Data computes the relative memory power of the hybrid system with
+// dynamic migration vs an off-package-only system.
+func Fig16Data(p Params) ([]Fig16Point, error) {
+	const defRecords = 1_500_000
+	records := p.records(defRecords)
+	warm := p.warmup(records)
+	type job struct {
+		name     string
+		page     uint64
+		interval uint64
+	}
+	var jobs []job
+	for _, name := range p.workloads(workload.Names()) {
+		for _, page := range Fig16Sizes {
+			for _, interval := range Intervals {
+				jobs = append(jobs, job{name, page, interval})
+			}
+		}
+	}
+	out := make([]Fig16Point, len(jobs))
+	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+		j := jobs[i]
+		cfg := traceConfig(j.page, &core.Options{Design: core.DesignLive, SwapInterval: j.interval}, records, warm)
+		cfg.MeterPower = true
+		res, err := runTrace(j.name, p.seed(), cfg)
+		if err != nil {
+			return err
+		}
+		out[i] = Fig16Point{
+			Workload: j.name, PageSize: j.page, Interval: j.interval,
+			Normalized: res.NormalizedPower,
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// Fig16 renders the power comparison.
+func Fig16(w io.Writer, p Params) error {
+	points, err := Fig16Data(p)
+	if err != nil {
+		return err
+	}
+	header := []string{"Workload"}
+	for _, size := range Fig16Sizes {
+		for _, iv := range Intervals {
+			header = append(header, fmt.Sprintf("%s/%dK", sizeLabel(size), iv/1000))
+		}
+	}
+	t := newTable(header...)
+	var row []string
+	cur := ""
+	flush := func() {
+		if cur != "" {
+			t.AddRow(append([]string{cur}, row...)...)
+		}
+		row = nil
+	}
+	for _, pt := range points {
+		if pt.Workload != cur {
+			flush()
+			cur = pt.Workload
+		}
+		row = append(row, fmt.Sprintf("%.2fx", pt.Normalized))
+	}
+	flush()
+	fmt.Fprintln(w, "Fig. 16: memory power relative to an off-package-DRAM-only system")
+	fmt.Fprintln(w, "(columns: macro page size / swap interval)")
+	_, err = io.WriteString(w, t.String())
+	return err
+}

@@ -1,0 +1,559 @@
+// Package memctrl implements the on-chip memory controllers of Fig. 2 and
+// Fig. 3. The conventional controller resolves DRAM indices after
+// transaction scheduling and knows a single region; the heterogeneity-aware
+// controller moves address translation ahead of scheduling, routes each
+// access to the on-package or off-package region, schedules the two regions
+// independently, and hosts the optional migration controller.
+package memctrl
+
+import (
+	"fmt"
+
+	"heteromem/internal/config"
+	"heteromem/internal/core"
+	"heteromem/internal/dram"
+	"heteromem/internal/power"
+	"heteromem/internal/sched"
+	"heteromem/internal/stats"
+)
+
+// Region identifies a memory region.
+type Region int
+
+// The two regions of the heterogeneous space.
+const (
+	OnPackage Region = iota
+	OffPackage
+)
+
+// String names the region.
+func (r Region) String() string {
+	if r == OnPackage {
+		return "on-package"
+	}
+	return "off-package"
+}
+
+// AccessResult reports one completed program access.
+type AccessResult struct {
+	Phys    uint64
+	Machine uint64
+	Region  Region
+	Issue   int64 // cycle the core issued the access
+	Done    int64 // cycle the data returned to the core
+	Write   bool
+}
+
+// Latency returns the end-to-end latency in cycles.
+func (a AccessResult) Latency() int64 { return a.Done - a.Issue }
+
+// Config assembles a heterogeneity-aware controller.
+type Config struct {
+	Geometry  config.MemoryGeometry
+	Latencies config.Latencies
+	OffTiming config.DDR3Timing
+	OnTiming  config.DDR3Timing
+	Sched     sched.Config
+
+	// Migration selects dynamic migration; nil means static mapping
+	// (lowest addresses on-package).
+	Migration *core.Options
+
+	// OSAssisted charges the OS epoch overhead (user/kernel switch) on
+	// every epoch boundary instead of assuming hardware table updates.
+	OSAssisted bool
+
+	// Power meters traffic when non-nil.
+	Power *power.Meter
+}
+
+// Controller is the heterogeneity-aware on-chip memory controller.
+type Controller struct {
+	cfg Config
+
+	onDev  *dram.Device
+	offDev *dram.Device
+	onSch  *sched.Scheduler
+	offSch *sched.Scheduler
+
+	mig *core.Migrator
+
+	inFlight map[*sched.Request]*accessMeta
+	bulkMeta map[*sched.BulkJob]*legMeta
+
+	step *stepState // in-flight N-1/Live swap step
+
+	stallUntil int64 // N design: execution halted until this cycle
+	osPenalty  int64 // accumulated but not yet applied OS epoch cost
+	now        int64 // the controller's clock: the latest program-access cycle
+
+	onLat  stats.LatencyStat
+	offLat stats.LatencyStat
+	allLat stats.LatencyStat
+	hist   stats.Histogram
+
+	// DRAM access latency (queue + device service, no controller/wire
+	// path): the quantity the paper's Section IV trace simulation reports.
+	dramAll stats.LatencyStat
+	dramOn  stats.LatencyStat
+	dramOff stats.LatencyStat
+
+	coreLatSum int64 // DRAM-core portion, for the effectiveness metric
+	nDone      uint64
+
+	onResult func(AccessResult)
+	reqID    uint64
+
+	// onCopyDone, when set, observes every completed sub-block copy
+	// (write leg finished); integrity tests use it to maintain a shadow
+	// map of where every page's data lives.
+	onCopyDone func(core.SubCopy)
+}
+
+type accessMeta struct {
+	phys    uint64
+	machine uint64
+	issue   int64
+	region  Region
+	write   bool
+}
+
+type legMeta struct {
+	step     *stepState
+	sub      core.SubCopy
+	isRead   bool
+	dstOn    bool
+	earliest int64
+}
+
+type stepState struct {
+	subsLeft int
+}
+
+// New builds the controller. onResult may be nil.
+func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
+	if err := cfg.Geometry.Validate(); err != nil {
+		return nil, err
+	}
+	g := cfg.Geometry
+	onDev, err := dram.New(dram.Geometry{
+		Channels:   g.OnChannels,
+		BanksPerCh: g.OnBanksPerCh,
+		RowBytes:   g.RowSize,
+		BurstBytes: g.BurstBytes,
+	}, cfg.OnTiming)
+	if err != nil {
+		return nil, fmt.Errorf("memctrl: on-package device: %w", err)
+	}
+	offDev, err := dram.New(dram.Geometry{
+		Channels:   g.OffChannels,
+		BanksPerCh: g.OffBanksPerCh,
+		RowBytes:   g.RowSize,
+		BurstBytes: g.BurstBytes,
+	}, cfg.OffTiming)
+	if err != nil {
+		return nil, fmt.Errorf("memctrl: off-package device: %w", err)
+	}
+	c := &Controller{
+		cfg:      cfg,
+		onDev:    onDev,
+		offDev:   offDev,
+		inFlight: make(map[*sched.Request]*accessMeta),
+		bulkMeta: make(map[*sched.BulkJob]*legMeta),
+		onResult: onResult,
+	}
+	c.onSch, err = sched.New(onDev, cfg.Sched, c.requestDone, c.bulkDone)
+	if err != nil {
+		return nil, err
+	}
+	c.offSch, err = sched.New(offDev, cfg.Sched, c.requestDone, c.bulkDone)
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Migration != nil {
+		opt := *cfg.Migration
+		opt.Slots = g.OnPackageSlots()
+		opt.TotalPages = g.TotalPages()
+		opt.PageSize = g.MacroPageSize
+		opt.SubBlockSize = g.SubBlockSize
+		c.mig, err = core.NewMigrator(opt)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// Migrator exposes the migration controller (nil under static mapping).
+func (c *Controller) Migrator() *core.Migrator { return c.mig }
+
+// Access processes one program access issued at cycle `now`.
+func (c *Controller) Access(phys uint64, write bool, now int64) error {
+	if now > c.now {
+		c.now = now
+	}
+	c.onSch.Advance(c.now)
+	c.offSch.Advance(c.now)
+
+	issue := now
+	if c.stallUntil > issue {
+		issue = c.stallUntil // N design halts execution during a swap
+	}
+	if c.osPenalty > 0 {
+		issue += c.osPenalty
+		c.osPenalty = 0
+	}
+
+	machine, onPkg := c.translate(phys)
+	region := OffPackage
+	if onPkg {
+		region = OnPackage
+	}
+
+	if c.mig != nil {
+		c.mig.OnAccess(phys, onPkg)
+		epochsBefore := c.mig.Stats().Epochs
+		subs := c.mig.EpochTick()
+		if c.cfg.OSAssisted && c.mig.Stats().Epochs != epochsBefore {
+			// The OS periodical routine updates the software translation
+			// table every epoch; its user/kernel switch stalls the core
+			// (Section III-B: ~127 cycles, Liedtke SOSP'93).
+			c.osPenalty += c.cfg.Latencies.OSEpochOverhead
+		}
+		if subs != nil {
+			if err := c.beginSwap(subs, issue); err != nil {
+				return err
+			}
+			if c.stallUntil > issue {
+				issue = c.stallUntil
+			}
+		}
+	}
+
+	lookup := int64(0)
+	if c.mig != nil {
+		lookup = c.cfg.Latencies.TranslationLookup
+	}
+	inb, _ := c.pathDelays(region)
+	arrive := issue + lookup + inb
+
+	c.reqID++
+	req := &sched.Request{ID: c.reqID, Arrive: arrive, Write: write}
+	c.inFlight[req] = &accessMeta{phys: phys, machine: machine, issue: issue, region: region, write: write}
+	if region == OnPackage {
+		req.Addr = machine
+		c.onSch.Submit(req, arrive)
+	} else {
+		req.Addr = machine - c.cfg.Geometry.OnPackageCapacity
+		c.offSch.Submit(req, arrive)
+	}
+	return nil
+}
+
+// translate maps a physical address to (machine address, onPackage), using
+// the migration controller when present and the static MSB split otherwise.
+func (c *Controller) translate(phys uint64) (uint64, bool) {
+	if c.mig != nil {
+		return c.mig.Translate(phys)
+	}
+	return phys, phys < c.cfg.Geometry.OnPackageCapacity
+}
+
+// pathDelays returns the fixed inbound and outbound path components for a
+// region: controller processing and core link inbound; package pins, PCB or
+// interposer wiring split across both directions.
+func (c *Controller) pathDelays(r Region) (inbound, outbound int64) {
+	l := c.cfg.Latencies
+	if r == OnPackage {
+		in := l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.InterposerOneWay + l.IntraPackageRT/2
+		out := l.CtrlToCoreOneWay + l.InterposerOneWay + (l.IntraPackageRT - l.IntraPackageRT/2)
+		return in, out
+	}
+	in := l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.PackagePinOneWay + l.PCBWireRoundTrip/2
+	out := l.CtrlToCoreOneWay + l.PackagePinOneWay + (l.PCBWireRoundTrip - l.PCBWireRoundTrip/2)
+	return in, out
+}
+
+// requestDone finalizes a program access.
+func (c *Controller) requestDone(r *sched.Request) {
+	meta := c.inFlight[r]
+	if meta == nil {
+		return
+	}
+	delete(c.inFlight, r)
+	_, outb := c.pathDelays(meta.region)
+	done := r.Done + outb
+	lat := done - meta.issue
+	c.allLat.Add(lat)
+	c.hist.Add(lat)
+	dram := r.Done - r.Arrive
+	c.dramAll.Add(dram)
+	if meta.region == OnPackage {
+		c.onLat.Add(lat)
+		c.dramOn.Add(dram)
+	} else {
+		c.offLat.Add(lat)
+		c.dramOff.Add(dram)
+	}
+	c.coreLatSum += r.CoreLat
+	c.nDone++
+	if c.cfg.Power != nil {
+		c.cfg.Power.Access(meta.region == OnPackage, c.cfg.Geometry.BurstBytes)
+	}
+	if c.onResult != nil {
+		c.onResult(AccessResult{
+			Phys: meta.phys, Machine: meta.machine, Region: meta.region,
+			Issue: meta.issue, Done: done, Write: meta.write,
+		})
+	}
+}
+
+// subDuration is the bus occupancy of one sub-block copy leg on a region:
+// the burst transfers plus the row-activation cost amortized over the rows
+// the sub-block spans (a page copy walks rows sequentially, so each
+// activation covers a whole row of bursts and overlaps the pipeline).
+func (c *Controller) subDuration(on bool, bytes uint64, exchange bool) int64 {
+	t := c.cfg.OffTiming
+	if on {
+		t = c.cfg.OnTiming
+	}
+	bursts := int64(bytes / c.cfg.Geometry.BurstBytes)
+	activate := t.TRCD * int64(bytes) / int64(c.cfg.Geometry.RowSize)
+	if activate == 0 {
+		activate = t.TRCD // a sub-block smaller than a row still opens one
+	}
+	d := activate + bursts*t.TBurst
+	if exchange {
+		d += bursts * t.TBurst // data flows both ways through the line buffer
+	}
+	return d
+}
+
+// regionOfMachine reports whether a machine byte address is on-package.
+func (c *Controller) regionOfMachine(machine uint64) bool {
+	return machine < c.cfg.Geometry.OnPackageCapacity
+}
+
+// beginSwap starts executing a swap plan. The N design runs it to
+// completion immediately (execution is halted anyway); the N-1 designs
+// enqueue the first step's legs as background traffic.
+func (c *Controller) beginSwap(subs []core.SubCopy, now int64) error {
+	if c.mig.Design() == core.DesignN {
+		return c.runStalledSwap(subs, now)
+	}
+	c.step = &stepState{subsLeft: len(subs)}
+	for _, sc := range subs {
+		c.enqueueReadLeg(sc, now)
+	}
+	return nil
+}
+
+// enqueueReadLeg submits the source-side transfer of one sub-block.
+func (c *Controller) enqueueReadLeg(sc core.SubCopy, earliest int64) {
+	srcOn := c.regionOfMachine(sc.Src)
+	dstOn := c.regionOfMachine(sc.Dst)
+	job := &sched.BulkJob{
+		Tag:      uint64(sc.SubIndex),
+		Duration: c.subDuration(srcOn, sc.Bytes, sc.Exchange),
+		Earliest: earliest,
+	}
+	c.bulkMeta[job] = &legMeta{step: c.step, sub: sc, isRead: true, dstOn: dstOn}
+	c.submitBulk(srcOn, sc.Src, job)
+}
+
+// submitBulk places a copy leg on the channel its macro page belongs to:
+// DIMM space is interleaved at page granularity, so one page copy draws one
+// channel's bandwidth — the paper's 374 us for a 4 MB page over DDR3-1333
+// is exactly that single-channel figure.
+func (c *Controller) submitBulk(on bool, machine uint64, job *sched.BulkJob) {
+	page := machine / c.cfg.Geometry.MacroPageSize
+	if on {
+		c.onSch.SubmitBulk(int(page%uint64(c.cfg.Geometry.OnChannels)), job, c.now)
+		return
+	}
+	c.offSch.SubmitBulk(int(page%uint64(c.cfg.Geometry.OffChannels)), job, c.now)
+}
+
+// bulkDone chains read leg -> write leg -> sub completion -> step/plan
+// completion for background swaps.
+func (c *Controller) bulkDone(j *sched.BulkJob) {
+	meta := c.bulkMeta[j]
+	if meta == nil {
+		return
+	}
+	delete(c.bulkMeta, j)
+	if meta.isRead {
+		write := &sched.BulkJob{
+			Tag:      j.Tag,
+			Duration: c.subDuration(meta.dstOn, meta.sub.Bytes, meta.sub.Exchange),
+			Earliest: j.Done,
+		}
+		c.bulkMeta[write] = &legMeta{step: meta.step, sub: meta.sub, isRead: false, dstOn: meta.dstOn}
+		c.submitBulk(meta.dstOn, meta.sub.Dst, write)
+		return
+	}
+	// Write leg finished: the sub-block now lives at its destination.
+	if c.onCopyDone != nil {
+		c.onCopyDone(meta.sub)
+	}
+	c.mig.SubDone(meta.sub.SubIndex)
+	if c.cfg.Power != nil {
+		c.cfg.Power.Copy(c.regionOfMachine(meta.sub.Src), meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
+	}
+	meta.step.subsLeft--
+	if meta.step.subsLeft > 0 {
+		return
+	}
+	next, done, err := c.mig.StepDone()
+	if err != nil || done {
+		c.step = nil
+		return
+	}
+	c.step = &stepState{subsLeft: len(next)}
+	for _, sc := range next {
+		c.enqueueReadLeg(sc, j.Done)
+	}
+}
+
+// runStalledSwap executes an N-design swap synchronously: all copy traffic
+// is drained immediately and program execution resumes only after the last
+// byte moved (the paper: "it will halt the execution").
+func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
+	start := now
+	if c.stallUntil > start {
+		start = c.stallUntil
+	}
+	for {
+		c.step = &stepState{subsLeft: len(subs)}
+		var last int64
+		for _, sc := range subs {
+			srcOn := c.regionOfMachine(sc.Src)
+			dstOn := c.regionOfMachine(sc.Dst)
+			// Synchronous execution: reserve the buses directly in order,
+			// each page copy on its page's channel.
+			rd := c.subDuration(srcOn, sc.Bytes, sc.Exchange)
+			srcPage := sc.Src / c.cfg.Geometry.MacroPageSize
+			dstPage := sc.Dst / c.cfg.Geometry.MacroPageSize
+			var readDone int64
+			if srcOn {
+				readDone = c.onDev.ReserveBus(int(srcPage%uint64(c.cfg.Geometry.OnChannels)), start, rd)
+			} else {
+				readDone = c.offDev.ReserveBus(int(srcPage%uint64(c.cfg.Geometry.OffChannels)), start, rd)
+			}
+			wd := c.subDuration(dstOn, sc.Bytes, sc.Exchange)
+			var writeDone int64
+			if dstOn {
+				writeDone = c.onDev.ReserveBus(int(dstPage%uint64(c.cfg.Geometry.OnChannels)), readDone, wd)
+			} else {
+				writeDone = c.offDev.ReserveBus(int(dstPage%uint64(c.cfg.Geometry.OffChannels)), readDone, wd)
+			}
+			if c.cfg.Power != nil {
+				c.cfg.Power.Copy(srcOn, dstOn, sc.Bytes, sc.Exchange)
+			}
+			if c.onCopyDone != nil {
+				c.onCopyDone(sc)
+			}
+			if writeDone > last {
+				last = writeDone
+			}
+		}
+		c.step = nil
+		start = last
+		next, done, err := c.mig.StepDone()
+		if err != nil {
+			return err
+		}
+		if done {
+			break
+		}
+		subs = next
+	}
+	c.stallUntil = start
+	return nil
+}
+
+// Flush drains both regions and returns the final cycle. Draining one
+// region can spawn follow-on copy legs in the other (read -> write -> next
+// step), so the flush iterates until both are empty.
+func (c *Controller) Flush() int64 {
+	c.now = int64(1) << 62
+	var last int64
+	for i := 0; i < 1<<20; i++ {
+		a := c.onSch.Flush()
+		b := c.offSch.Flush()
+		if a > last {
+			last = a
+		}
+		if b > last {
+			last = b
+		}
+		if c.onSch.QueueLen()+c.onSch.BulkBacklog()+c.offSch.QueueLen()+c.offSch.BulkBacklog() == 0 &&
+			c.step == nil {
+			break
+		}
+	}
+	return last
+}
+
+// Report summarizes controller-level statistics.
+type Report struct {
+	All, On, Off stats.LatencyStat
+
+	// DRAMAll/DRAMOn/DRAMOff measure the DRAM access latency alone
+	// (queuing + device service), the metric of Figs. 11-15 and Table IV.
+	DRAMAll, DRAMOn, DRAMOff stats.LatencyStat
+
+	P95          int64
+	MeanCoreLat  float64
+	OnShare      float64 // fraction of accesses served on-package
+	OnQueueMean  float64
+	OffQueueMean float64
+	Migration    core.Stats
+}
+
+// Report returns the accumulated statistics.
+func (c *Controller) Report() Report {
+	r := Report{
+		All: c.allLat, On: c.onLat, Off: c.offLat,
+		DRAMAll: c.dramAll, DRAMOn: c.dramOn, DRAMOff: c.dramOff,
+		P95: c.hist.Percentile(95),
+	}
+	if c.nDone > 0 {
+		r.MeanCoreLat = float64(c.coreLatSum) / float64(c.nDone)
+		r.OnShare = float64(c.onLat.Count()) / float64(c.nDone)
+	}
+	_, _, r.OnQueueMean = c.onSch.Stats()
+	_, _, r.OffQueueMean = c.offSch.Stats()
+	if c.mig != nil {
+		r.Migration = c.mig.Stats()
+	}
+	return r
+}
+
+// Devices exposes the two DRAM models for inspection.
+func (c *Controller) Devices() (on, off *dram.Device) { return c.onDev, c.offDev }
+
+// ResetStats clears the latency and power accounting, keeping all
+// simulation state (caches, table, bank states). Use it after a warmup
+// phase so reported numbers reflect steady state.
+func (c *Controller) ResetStats() {
+	c.onLat = stats.LatencyStat{}
+	c.offLat = stats.LatencyStat{}
+	c.allLat = stats.LatencyStat{}
+	c.hist = stats.Histogram{}
+	c.dramAll = stats.LatencyStat{}
+	c.dramOn = stats.LatencyStat{}
+	c.dramOff = stats.LatencyStat{}
+	c.coreLatSum = 0
+	c.nDone = 0
+	if c.cfg.Power != nil {
+		c.cfg.Power.Reset()
+	}
+}
+
+// DebugState summarizes live scheduler state; used by diagnostic tools.
+func (c *Controller) DebugState() string {
+	return fmt.Sprintf("onQ=%d onBulk=%d offQ=%d offBulk=%d onBus0=%d onBus1=%d offBus0=%d stall=%d swap=%v",
+		c.onSch.QueueLen(), c.onSch.BulkBacklog(), c.offSch.QueueLen(), c.offSch.BulkBacklog(),
+		c.onDev.BusFree(0), c.onDev.BusFree(1), c.offDev.BusFree(0), c.stallUntil, c.mig != nil && c.mig.SwapInFlight())
+}

@@ -1,0 +1,81 @@
+// Package policy implements the two hotness trackers of the paper's
+// migration controller: a clock-based pseudo-LRU over the on-package
+// macro-page slots (to find the coldest on-package page, 1 bit per slot —
+// 256 bits for 256 slots as in Section III-B) and a multi-queue tracker
+// over off-package macro pages (to find the hottest off-package page,
+// "three-level of queue with ten entries per level").
+package policy
+
+import "fmt"
+
+// ClockPLRU is a clock (second-chance) pseudo-LRU over a fixed set of
+// slots. Each slot has one reference bit; Victim sweeps the clock hand,
+// clearing reference bits, and returns the first unreferenced slot.
+type ClockPLRU struct {
+	ref    []bool
+	pinned []bool
+	hand   int
+}
+
+// NewClockPLRU returns a tracker over n slots, all unreferenced.
+func NewClockPLRU(n int) (*ClockPLRU, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: clock needs at least one slot, got %d", n)
+	}
+	return &ClockPLRU{ref: make([]bool, n), pinned: make([]bool, n)}, nil
+}
+
+// Len returns the slot count.
+func (c *ClockPLRU) Len() int { return len(c.ref) }
+
+// Touch marks slot as recently used.
+func (c *ClockPLRU) Touch(slot int) {
+	if slot >= 0 && slot < len(c.ref) {
+		c.ref[slot] = true
+	}
+}
+
+// Pin excludes slot from victim selection (e.g. the empty slot of the N-1
+// design, or a slot whose copy is still in flight).
+func (c *ClockPLRU) Pin(slot int) {
+	if slot >= 0 && slot < len(c.pinned) {
+		c.pinned[slot] = true
+	}
+}
+
+// Unpin re-admits slot to victim selection.
+func (c *ClockPLRU) Unpin(slot int) {
+	if slot >= 0 && slot < len(c.pinned) {
+		c.pinned[slot] = false
+	}
+}
+
+// Pinned reports whether slot is pinned.
+func (c *ClockPLRU) Pinned(slot int) bool {
+	return slot >= 0 && slot < len(c.pinned) && c.pinned[slot]
+}
+
+// Victim advances the clock hand and returns the first slot whose
+// reference bit is clear, clearing reference bits as it sweeps. Pinned
+// slots are skipped without clearing. Returns -1 if every slot is pinned.
+func (c *ClockPLRU) Victim() int {
+	// At most two sweeps: the first may clear every reference bit,
+	// the second must then find a victim among unpinned slots.
+	for pass := 0; pass < 2*len(c.ref); pass++ {
+		s := c.hand
+		c.hand = (c.hand + 1) % len(c.ref)
+		if c.pinned[s] {
+			continue
+		}
+		if c.ref[s] {
+			c.ref[s] = false
+			continue
+		}
+		return s
+	}
+	return -1
+}
+
+// BitCost returns the hardware cost of the tracker in bits (one reference
+// bit per slot), matching the paper's overhead accounting.
+func (c *ClockPLRU) BitCost() int { return len(c.ref) }

@@ -1,0 +1,130 @@
+package policy
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// VictimSelector abstracts the on-package LRU-victim tracker so alternative
+// policies can be compared against the paper's clock pseudo-LRU (the
+// BenchmarkAblationVictimPolicy study).
+type VictimSelector interface {
+	// Touch marks slot as recently used.
+	Touch(slot int)
+	// Pin excludes slot from victim selection; Unpin re-admits it.
+	Pin(slot int)
+	Unpin(slot int)
+	// Victim returns the next victim slot, or -1 if every slot is pinned.
+	Victim() int
+	// BitCost is the hardware cost in bits.
+	BitCost() int
+}
+
+// ClockPLRU implements VictimSelector.
+var _ VictimSelector = (*ClockPLRU)(nil)
+
+// RandomVictim picks victims uniformly at random among unpinned slots.
+// It models the cheapest possible hardware (an LFSR) and ignores recency
+// entirely — the ablation baseline below which a real policy must not fall.
+type RandomVictim struct {
+	rng    *rand.Rand
+	pinned []bool
+}
+
+// NewRandomVictim returns a selector over n slots seeded deterministically.
+func NewRandomVictim(n int, seed int64) (*RandomVictim, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: random victim needs at least one slot, got %d", n)
+	}
+	return &RandomVictim{rng: rand.New(rand.NewSource(seed)), pinned: make([]bool, n)}, nil
+}
+
+// Touch implements VictimSelector (recency is ignored).
+func (r *RandomVictim) Touch(int) {}
+
+// Pin implements VictimSelector.
+func (r *RandomVictim) Pin(slot int) {
+	if slot >= 0 && slot < len(r.pinned) {
+		r.pinned[slot] = true
+	}
+}
+
+// Unpin implements VictimSelector.
+func (r *RandomVictim) Unpin(slot int) {
+	if slot >= 0 && slot < len(r.pinned) {
+		r.pinned[slot] = false
+	}
+}
+
+// Victim implements VictimSelector.
+func (r *RandomVictim) Victim() int {
+	n := len(r.pinned)
+	start := r.rng.Intn(n)
+	for i := 0; i < n; i++ {
+		s := (start + i) % n
+		if !r.pinned[s] {
+			return s
+		}
+	}
+	return -1
+}
+
+// BitCost implements VictimSelector: a 16-bit LFSR.
+func (r *RandomVictim) BitCost() int { return 16 }
+
+// FIFOVictim evicts slots in rotation regardless of use — one counter of
+// hardware, but it cannot protect a persistently hot slot.
+type FIFOVictim struct {
+	hand   int
+	pinned []bool
+}
+
+// NewFIFOVictim returns a selector over n slots.
+func NewFIFOVictim(n int) (*FIFOVictim, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("policy: fifo victim needs at least one slot, got %d", n)
+	}
+	return &FIFOVictim{pinned: make([]bool, n)}, nil
+}
+
+// Touch implements VictimSelector (recency is ignored).
+func (f *FIFOVictim) Touch(int) {}
+
+// Pin implements VictimSelector.
+func (f *FIFOVictim) Pin(slot int) {
+	if slot >= 0 && slot < len(f.pinned) {
+		f.pinned[slot] = true
+	}
+}
+
+// Unpin implements VictimSelector.
+func (f *FIFOVictim) Unpin(slot int) {
+	if slot >= 0 && slot < len(f.pinned) {
+		f.pinned[slot] = false
+	}
+}
+
+// Victim implements VictimSelector.
+func (f *FIFOVictim) Victim() int {
+	n := len(f.pinned)
+	for i := 0; i < n; i++ {
+		s := f.hand
+		f.hand = (f.hand + 1) % n
+		if !f.pinned[s] {
+			return s
+		}
+	}
+	return -1
+}
+
+// BitCost implements VictimSelector: one log2(n)-bit counter.
+func (f *FIFOVictim) BitCost() int {
+	bits := 0
+	for n := len(f.pinned) - 1; n > 0; n >>= 1 {
+		bits++
+	}
+	if bits == 0 {
+		bits = 1
+	}
+	return bits
+}

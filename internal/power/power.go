@@ -1,0 +1,85 @@
+// Package power implements the Section IV-D energy accounting: 5 pJ/bit
+// for DRAM core access in both regions, 1.66 pJ/bit for the on-package
+// interconnect and 13 pJ/bit for the off-package interconnect. Migration
+// traffic is charged like any other traffic, which is what produces the
+// paper's power overhead for frequent swapping (Fig. 16).
+package power
+
+import "heteromem/internal/config"
+
+// Meter accumulates traffic and converts it to energy.
+type Meter struct {
+	p config.Power
+
+	accessBitsOn  float64 // program traffic served on-package
+	accessBitsOff float64 // program traffic served off-package
+	copyBitsOn    float64 // migration traffic over the on-package interconnect
+	copyBitsOff   float64 // migration traffic over the off-package interconnect
+}
+
+// NewMeter builds a meter with the given constants.
+func NewMeter(p config.Power) *Meter { return &Meter{p: p} }
+
+// Access records one program access of `bytes` served on- or off-package.
+func (m *Meter) Access(onPackage bool, bytes uint64) {
+	bits := float64(bytes * 8)
+	if onPackage {
+		m.accessBitsOn += bits
+	} else {
+		m.accessBitsOff += bits
+	}
+}
+
+// Copy records one migration sub-block transfer: a read on the source
+// region and a write on the destination region. Exchanges move data both
+// ways and double the traffic.
+func (m *Meter) Copy(srcOn, dstOn bool, bytes uint64, exchange bool) {
+	bits := float64(bytes * 8)
+	if exchange {
+		bits *= 2
+	}
+	if srcOn {
+		m.copyBitsOn += bits
+	} else {
+		m.copyBitsOff += bits
+	}
+	if dstOn {
+		m.copyBitsOn += bits
+	} else {
+		m.copyBitsOff += bits
+	}
+}
+
+// EnergyPJ returns the total energy in picojoules: every bit pays the DRAM
+// core cost once per touch plus its region's interconnect cost.
+func (m *Meter) EnergyPJ() float64 {
+	core := (m.accessBitsOn + m.accessBitsOff + m.copyBitsOn + m.copyBitsOff) * m.p.CorePJPerBit
+	wire := (m.accessBitsOn+m.copyBitsOn)*m.p.OnWirePJPerBit + (m.accessBitsOff+m.copyBitsOff)*m.p.OffWirePJPerBit
+	return core + wire
+}
+
+// BaselineOffOnlyPJ returns the energy the same program traffic would have
+// cost in an off-package-DRAM-only system (no migration traffic, every
+// access over the off-package interconnect) — the Fig. 16 denominator.
+func (m *Meter) BaselineOffOnlyPJ() float64 {
+	bits := m.accessBitsOn + m.accessBitsOff
+	return bits * (m.p.CorePJPerBit + m.p.OffWirePJPerBit)
+}
+
+// Normalized returns EnergyPJ / BaselineOffOnlyPJ (0 with no traffic).
+func (m *Meter) Normalized() float64 {
+	base := m.BaselineOffOnlyPJ()
+	if base == 0 {
+		return 0
+	}
+	return m.EnergyPJ() / base
+}
+
+// Reset clears all accumulated traffic.
+func (m *Meter) Reset() { m.accessBitsOn, m.accessBitsOff, m.copyBitsOn, m.copyBitsOff = 0, 0, 0, 0 }
+
+// TrafficBits returns the accumulated traffic split:
+// (program on, program off, migration on, migration off), in bits.
+func (m *Meter) TrafficBits() (accessOn, accessOff, copyOn, copyOff float64) {
+	return m.accessBitsOn, m.accessBitsOff, m.copyBitsOn, m.copyBitsOff
+}

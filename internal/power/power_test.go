@@ -1,0 +1,88 @@
+package power
+
+import (
+	"math"
+	"testing"
+
+	"heteromem/internal/config"
+)
+
+func TestAccessEnergy(t *testing.T) {
+	m := NewMeter(config.PaperPower())
+	m.Access(false, 64) // off-package: 512 bits x (5 + 13) pJ
+	want := 512.0 * 18
+	if got := m.EnergyPJ(); math.Abs(got-want) > 1e-9 {
+		t.Fatalf("off access energy = %f, want %f", got, want)
+	}
+	m2 := NewMeter(config.PaperPower())
+	m2.Access(true, 64) // on-package: 512 x (5 + 1.66)
+	if got, want := m2.EnergyPJ(), 512.0*6.66; math.Abs(got-want) > 1e-6 {
+		t.Fatalf("on access energy = %f, want %f", got, want)
+	}
+}
+
+func TestOnPackageCheaperThanBaseline(t *testing.T) {
+	m := NewMeter(config.PaperPower())
+	for i := 0; i < 100; i++ {
+		m.Access(true, 64)
+	}
+	if m.Normalized() >= 1 {
+		t.Fatalf("all-on-package normalized power %f, want < 1", m.Normalized())
+	}
+}
+
+func TestCopyChargedBothSides(t *testing.T) {
+	m := NewMeter(config.PaperPower())
+	m.Copy(false, true, 4096, false) // off -> on
+	bits := 4096.0 * 8
+	want := bits*(5+13) + bits*(5+1.66)
+	if got := m.EnergyPJ(); math.Abs(got-want) > 1e-6 {
+		t.Fatalf("copy energy = %f, want %f", got, want)
+	}
+}
+
+func TestExchangeDoublesTraffic(t *testing.T) {
+	a := NewMeter(config.PaperPower())
+	a.Copy(false, true, 4096, false)
+	b := NewMeter(config.PaperPower())
+	b.Copy(false, true, 4096, true)
+	if math.Abs(b.EnergyPJ()-2*a.EnergyPJ()) > 1e-6 {
+		t.Fatalf("exchange energy %f != 2x copy %f", b.EnergyPJ(), a.EnergyPJ())
+	}
+}
+
+func TestMigrationRaisesPowerAtHighFrequency(t *testing.T) {
+	// The Fig. 16 effect: heavy copy traffic makes the hybrid system burn
+	// more than the off-only baseline even though accesses are cheaper.
+	m := NewMeter(config.PaperPower())
+	for i := 0; i < 1000; i++ {
+		m.Access(true, 64)
+	}
+	for i := 0; i < 100; i++ {
+		m.Copy(false, true, 4096, false) // 100 x 4KB copies vs 64KB accesses
+	}
+	if m.Normalized() < 2 {
+		t.Fatalf("normalized power %f, want >= 2 under copy-dominated traffic", m.Normalized())
+	}
+}
+
+func TestNormalizedZeroWithoutTraffic(t *testing.T) {
+	m := NewMeter(config.PaperPower())
+	if m.Normalized() != 0 {
+		t.Fatal("empty meter should normalize to 0")
+	}
+}
+
+func TestReset(t *testing.T) {
+	m := NewMeter(config.PaperPower())
+	m.Access(true, 64)
+	m.Copy(true, false, 64, false)
+	m.Reset()
+	if m.EnergyPJ() != 0 {
+		t.Fatal("reset did not clear traffic")
+	}
+	aOn, aOff, cOn, cOff := m.TrafficBits()
+	if aOn+aOff+cOn+cOff != 0 {
+		t.Fatal("traffic bits survive reset")
+	}
+}

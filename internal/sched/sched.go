@@ -1,0 +1,313 @@
+// Package sched implements the per-region transaction scheduler of the
+// heterogeneity-aware memory controller: FR-FCFS (first-ready,
+// first-come-first-served — Rixner et al., ISCA'00, the policy the paper's
+// trace simulation assumes) over a dram.Device, with a background priority
+// class for migration copy traffic.
+//
+// Background bulk transfers steal idle bus cycles: they are preemptible at
+// burst granularity, so they fill the gaps between foreground requests
+// without delaying them. Under a saturated channel an aging backstop grants
+// the head bulk job one small quantum per aging period so copies always
+// make forward progress (a real copy engine is guaranteed some minimum
+// service rate too).
+//
+// Scheduling decisions commit only once every request that could
+// participate has arrived: because trace arrivals are monotonic, a decision
+// at bus-free cycle f is safe when the global clock has reached f. Until
+// then requests wait in the pending queue, which is exactly where queuing
+// delay comes from.
+package sched
+
+import (
+	"fmt"
+	"math"
+
+	"heteromem/internal/dram"
+)
+
+// Request is one memory transaction submitted to a region scheduler.
+type Request struct {
+	ID     uint64
+	Arrive int64  // cycle the request reaches the controller
+	Addr   uint64 // region-relative machine address
+	Write  bool
+
+	// Outputs, valid once the completion callback fires.
+	Start   int64 // cycle service began (decision time)
+	Done    int64 // cycle the data burst completed
+	CoreLat int64 // DRAM-core-only portion (row state + CAS + burst)
+}
+
+// Latency returns the request's region-internal latency (queue + DRAM).
+func (r *Request) Latency() int64 { return r.Done - r.Arrive }
+
+// BulkJob is one background bulk transfer (a migration sub-block copy leg).
+type BulkJob struct {
+	Tag      uint64 // caller-defined grouping (copy-step ID)
+	Duration int64  // total bus cycles the transfer needs
+	Earliest int64  // not schedulable before this cycle
+	Done     int64  // completion cycle, valid once the callback fires
+
+	remaining int64
+	enqueued  int64
+}
+
+// Config tunes scheduler behaviour.
+type Config struct {
+	// AgingLimit is how long (cycles) the head background job may starve on
+	// a saturated channel before it is granted one quantum ahead of
+	// foreground work. Zero selects the default.
+	AgingLimit int64
+	// StealQuantum is the bus time granted per aging grant. Zero selects
+	// the default.
+	StealQuantum int64
+	// FCFSOnly (ablation) disables the first-ready reordering: requests
+	// are served strictly oldest-first.
+	FCFSOnly bool
+}
+
+// Default background service parameters.
+const (
+	DefaultAgingLimit   = 4096
+	DefaultStealQuantum = 256
+)
+
+// Scheduler schedules one region.
+type Scheduler struct {
+	dev     *dram.Device
+	aging   int64
+	quantum int64
+	onDone  func(*Request)
+	onBulk  func(*BulkJob)
+
+	pending [][]*Request // per channel, arrival order
+	bulk    [][]*BulkJob // per channel, FIFO
+	next    []int64      // per channel: earliest next command-issue decision
+	grant   []int64      // per channel: last aging-grant time (starvation backstop)
+	tcl     int64        // cached device TCL for command/data pipelining
+	fcfs    bool         // ablation: strict FCFS instead of FR-FCFS
+
+	served      uint64
+	bulkServed  uint64
+	sumQueueing int64
+}
+
+// New builds a scheduler over dev. onDone fires as each request's service
+// is finalized (possibly out of submission order); onBulk fires as each
+// background job completes. Either callback may be nil.
+func New(dev *dram.Device, cfg Config, onDone func(*Request), onBulk func(*BulkJob)) (*Scheduler, error) {
+	if dev == nil {
+		return nil, fmt.Errorf("sched: nil device")
+	}
+	aging := cfg.AgingLimit
+	if aging <= 0 {
+		aging = DefaultAgingLimit
+	}
+	quantum := cfg.StealQuantum
+	if quantum <= 0 {
+		quantum = DefaultStealQuantum
+	}
+	n := dev.Geometry().Channels
+	return &Scheduler{
+		dev:     dev,
+		aging:   aging,
+		quantum: quantum,
+		fcfs:    cfg.FCFSOnly,
+		onDone:  onDone,
+		onBulk:  onBulk,
+		pending: make([][]*Request, n),
+		bulk:    make([][]*BulkJob, n),
+		next:    make([]int64, n),
+		grant:   make([]int64, n),
+		tcl:     dev.Timing().TCL,
+	}, nil
+}
+
+// Submit enqueues a request and advances its channel as far as the global
+// clock `now` (>= r.Arrive) allows.
+func (s *Scheduler) Submit(r *Request, now int64) {
+	ch := s.dev.ChannelOf(r.Addr)
+	s.pending[ch] = append(s.pending[ch], r)
+	s.drain(ch, now)
+}
+
+// SubmitBulk enqueues a background bulk job on channel ch.
+func (s *Scheduler) SubmitBulk(ch int, j *BulkJob, now int64) {
+	j.remaining = j.Duration
+	j.enqueued = now
+	if j.Earliest > j.enqueued {
+		j.enqueued = j.Earliest
+	}
+	s.bulk[ch] = append(s.bulk[ch], j)
+	s.drain(ch, now)
+}
+
+// Advance lets every channel commit decisions up to the global clock `now`;
+// call this periodically so background traffic progresses on channels with
+// no foreground arrivals.
+func (s *Scheduler) Advance(now int64) {
+	for ch := range s.pending {
+		s.drain(ch, now)
+	}
+}
+
+// Flush finalizes everything still queued, as if time ran to infinity, and
+// returns the largest completion cycle seen.
+func (s *Scheduler) Flush() int64 {
+	const horizon = int64(1) << 62
+	var last int64
+	for ch := range s.pending {
+		s.drain(ch, horizon)
+		if f := s.dev.BusFree(ch); f > last {
+			last = f
+		}
+	}
+	return last
+}
+
+// drain commits scheduling decisions on channel ch while they are safe
+// (decision time <= now).
+func (s *Scheduler) drain(ch int, now int64) {
+	for {
+		fg := s.pending[ch]
+		bg := s.bulk[ch]
+		if len(fg) == 0 && len(bg) == 0 {
+			return
+		}
+		busFree := s.dev.BusFree(ch)
+
+		// Commands issue ahead of data: the next scheduling decision happens
+		// when the channel can accept another column command, which runs TCL
+		// ahead of the data bus. This is what lets row hits stream at burst
+		// rate instead of re-paying the CAS latency per request.
+		fgAt := int64(math.MaxInt64)
+		if len(fg) > 0 {
+			fgAt = s.next[ch]
+			if fg[0].Arrive > fgAt {
+				fgAt = fg[0].Arrive
+			}
+		}
+
+		// Background cycle-stealing.
+		if len(bg) > 0 {
+			j := bg[0]
+			if j.Earliest <= now {
+				bgAt := busFree
+				if j.Earliest > bgAt {
+					bgAt = j.Earliest
+				}
+				var quantum int64
+				switch {
+				case len(fg) == 0:
+					// Idle channel: run as much as the clock allows.
+					if bgAt < now {
+						quantum = min64(j.remaining, now-bgAt)
+					}
+				case fgAt > bgAt:
+					// Fill the gap before the next foreground decision.
+					quantum = min64(j.remaining, fgAt-bgAt)
+				case now-j.enqueued > s.aging && now-s.grant[ch] > s.aging:
+					// Saturated channel: the job has starved a full aging
+					// period of wall-clock time; grant one quantum ahead of
+					// foreground work so copies keep a minimum service rate.
+					// The grant time is per channel so a backlog of equally
+					// starved jobs cannot cascade back-to-back.
+					quantum = min64(j.remaining, s.quantum)
+					j.enqueued = now
+					s.grant[ch] = now
+				}
+				if quantum > 0 {
+					end := s.dev.ReserveBus(ch, bgAt, quantum)
+					if n := end - s.tcl; n > s.next[ch] {
+						s.next[ch] = n
+					}
+					j.remaining -= quantum
+					if j.remaining == 0 {
+						j.Done = end
+						s.bulk[ch] = bg[1:]
+						s.bulkServed++
+						if s.onBulk != nil {
+							s.onBulk(j)
+						}
+					}
+					continue
+				}
+				if len(fg) == 0 {
+					return // wait for the clock to advance
+				}
+			} else if len(fg) == 0 {
+				return
+			}
+		}
+
+		if len(fg) == 0 || fgAt > now {
+			return
+		}
+
+		// FR-FCFS: among requests that have arrived by the decision time,
+		// prefer the oldest row-buffer hit; otherwise the oldest request.
+		pick := -1
+		if !s.fcfs {
+			for i, r := range fg {
+				if r.Arrive > fgAt {
+					break
+				}
+				if s.dev.RowHit(r.Addr) {
+					pick = i
+					break
+				}
+			}
+		}
+		if pick < 0 {
+			pick = 0
+		}
+		r := fg[pick]
+		r.Start = fgAt
+		r.Done, r.CoreLat = s.dev.Service(r.Addr, r.Write, fgAt)
+		if n := r.Done - s.tcl; n > s.next[ch] {
+			s.next[ch] = n
+		}
+		s.pending[ch] = append(fg[:pick], fg[pick+1:]...)
+		s.served++
+		s.sumQueueing += r.Start - r.Arrive
+		if s.onDone != nil {
+			s.onDone(r)
+		}
+	}
+}
+
+// QueueLen returns the total number of waiting foreground requests.
+func (s *Scheduler) QueueLen() int {
+	n := 0
+	for _, q := range s.pending {
+		n += len(q)
+	}
+	return n
+}
+
+// BulkBacklog returns the number of waiting background jobs.
+func (s *Scheduler) BulkBacklog() int {
+	n := 0
+	for _, q := range s.bulk {
+		n += len(q)
+	}
+	return n
+}
+
+// Stats returns (requests served, bulk jobs served, mean queuing delay).
+func (s *Scheduler) Stats() (served, bulkServed uint64, meanQueue float64) {
+	if s.served > 0 {
+		meanQueue = float64(s.sumQueueing) / float64(s.served)
+	}
+	return s.served, s.bulkServed, meanQueue
+}
+
+// Device exposes the underlying DRAM model (for stats and power).
+func (s *Scheduler) Device() *dram.Device { return s.dev }
+
+func min64(a, b int64) int64 {
+	if a < b {
+		return a
+	}
+	return b
+}

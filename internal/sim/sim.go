@@ -1,0 +1,193 @@
+// Package sim is the trace-driven heterogeneous-main-memory simulator of
+// Section IV: it feeds a trace source through a heterogeneity-aware memory
+// controller and reports average memory access latency, region routing,
+// migration activity, and power.
+//
+// Like the paper's evaluation it is an open-loop trace simulation: record
+// timestamps come from the trace; memory latency does not throttle the
+// request stream. That matches "trace-based simulation makes it practical
+// to process trillions of main memory accesses".
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"heteromem/internal/config"
+	"heteromem/internal/core"
+	"heteromem/internal/memctrl"
+	"heteromem/internal/power"
+	"heteromem/internal/sched"
+	"heteromem/internal/trace"
+)
+
+// Config describes one simulation run.
+type Config struct {
+	Geometry  config.MemoryGeometry
+	Latencies config.Latencies
+	OffTiming config.DDR3Timing
+	OnTiming  config.DDR3Timing
+
+	// Migration enables dynamic migration; nil simulates the static
+	// mapping (the "w/o migration" baseline rows of Table IV).
+	Migration *core.Options
+
+	// OSAssisted charges the OS-epoch overhead; the experiment drivers set
+	// it for macro pages < 1 MB per the paper's feasibility split.
+	OSAssisted bool
+
+	// Sched tunes the per-region transaction schedulers (ablations).
+	Sched sched.Config
+
+	// MeterPower attaches a power meter using the paper's constants.
+	MeterPower bool
+
+	// MaxRecords bounds the run (0 = whole trace).
+	MaxRecords uint64
+
+	// Warmup discards statistics for the first Warmup records so reported
+	// numbers reflect the steady state after the hot set has migrated.
+	Warmup uint64
+
+	// WindowRecords, when positive, collects a latency/routing time series
+	// with one point per that many records (including warmup), so migration
+	// convergence can be observed. See Result.Windows.
+	WindowRecords uint64
+}
+
+// Default fills in the Table II/III defaults for anything left zero.
+func Default() Config {
+	return Config{
+		Geometry:  config.TraceGeometry(),
+		Latencies: config.TableIILatencies(),
+		OffTiming: config.OffPackageTiming(),
+		OnTiming:  config.OnPackageTiming(),
+	}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	Report    memctrl.Report
+	Records   uint64
+	LastCycle int64
+
+	// MeanLatency is the average end-to-end memory access latency in CPU
+	// cycles (translation + controller + wires + DRAM access).
+	MeanLatency float64
+
+	// MeanDRAMLatency is the average DRAM access latency (queuing + device
+	// service) — the quantity the paper's trace-based figures (Figs. 11-15,
+	// Table IV) report, measured at the memory controller's DRAM interface.
+	MeanDRAMLatency float64
+
+	// Power results (zero when not metered).
+	EnergyPJ        float64
+	NormalizedPower float64
+
+	// Windows is the convergence time series (empty unless
+	// Config.WindowRecords was set).
+	Windows []Window
+}
+
+// Window is one point of the convergence time series.
+type Window struct {
+	Records     uint64  // records completed in this window
+	MeanLatency float64 // mean end-to-end latency in the window
+	OnShare     float64 // fraction routed on-package
+	SwapsSoFar  uint64  // cumulative completed swaps at window end
+}
+
+// Run simulates src through a controller built from cfg.
+func Run(src trace.Source, cfg Config) (Result, error) {
+	mcfg := memctrl.Config{
+		Geometry:   cfg.Geometry,
+		Latencies:  cfg.Latencies,
+		OffTiming:  cfg.OffTiming,
+		OnTiming:   cfg.OnTiming,
+		Migration:  cfg.Migration,
+		OSAssisted: cfg.OSAssisted,
+		Sched:      cfg.Sched,
+	}
+	var meter *power.Meter
+	if cfg.MeterPower {
+		meter = power.NewMeter(config.PaperPower())
+		mcfg.Power = meter
+	}
+	var res Result
+	var ctrl *memctrl.Controller
+	var onDone func(memctrl.AccessResult)
+	if cfg.WindowRecords > 0 {
+		var win struct {
+			n, on  uint64
+			sumLat int64
+		}
+		onDone = func(r memctrl.AccessResult) {
+			win.n++
+			win.sumLat += r.Done - r.Issue
+			if r.Region == memctrl.OnPackage {
+				win.on++
+			}
+			if win.n >= cfg.WindowRecords {
+				w := Window{
+					Records:     win.n,
+					OnShare:     float64(win.on) / float64(win.n),
+					MeanLatency: float64(win.sumLat) / float64(win.n),
+				}
+				if m := ctrl.Migrator(); m != nil {
+					w.SwapsSoFar = m.Stats().SwapsCompleted
+				}
+				res.Windows = append(res.Windows, w)
+				win.n, win.on, win.sumLat = 0, 0, 0
+			}
+		}
+	}
+	ctrl, err := memctrl.New(mcfg, onDone)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var n uint64
+	for cfg.MaxRecords == 0 || n < cfg.MaxRecords {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", n, err)
+		}
+		if err := ctrl.Access(rec.Addr, rec.Write, int64(rec.Cycle)); err != nil {
+			return Result{}, fmt.Errorf("sim: access %d: %w", n, err)
+		}
+		n++
+		if cfg.Warmup > 0 && n == cfg.Warmup {
+			ctrl.ResetStats()
+		}
+	}
+	last := ctrl.Flush()
+
+	res.Report = ctrl.Report()
+	res.Records = n
+	res.LastCycle = last
+	res.MeanLatency = res.Report.All.Mean()
+	res.MeanDRAMLatency = res.Report.DRAMAll.Mean()
+	if meter != nil {
+		res.EnergyPJ = meter.EnergyPJ()
+		res.NormalizedPower = meter.Normalized()
+	}
+	return res, nil
+}
+
+// Effectiveness computes the paper's η metric (Section IV-B):
+//
+//	η = (Lat_noMig − Lat_mig) / (Lat_noMig − DRAMCoreLat) × 100%
+//
+// which "approximately reflects how many memory accesses are routed to the
+// on-package memory region".
+func Effectiveness(latNoMig, latMig, coreLat float64) float64 {
+	denom := latNoMig - coreLat
+	if denom <= 0 {
+		return 0
+	}
+	return (latNoMig - latMig) / denom * 100
+}

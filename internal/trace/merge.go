@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"container/heap"
+	"errors"
+	"io"
+)
+
+// Merge combines several per-program sources into one multi-programmed
+// source ordered by cycle, the way the paper built its "SPEC2006 Mixture"
+// from the gcc, mcf, perl, and zeusmp traces. Each input is assigned a
+// distinct CPU ID (its index) and its addresses are offset into a private
+// address-space stripe so the programs do not alias.
+type Merge struct {
+	h        mergeHeap
+	stripe   uint64
+	relabel  bool
+	primed   bool
+	initErrs []error
+}
+
+// NewMerge builds a merged source. stripeBytes is the size of the private
+// address stripe given to each input (0 disables address offsetting).
+// If relabelCPU is true, records from input i are tagged CPU=i.
+func NewMerge(stripeBytes uint64, relabelCPU bool, inputs ...Source) *Merge {
+	m := &Merge{stripe: stripeBytes, relabel: relabelCPU}
+	for i, in := range inputs {
+		m.h = append(m.h, &mergeEntry{src: in, idx: i})
+	}
+	return m
+}
+
+type mergeEntry struct {
+	src  Source
+	idx  int
+	head Record
+}
+
+type mergeHeap []*mergeEntry
+
+func (h mergeHeap) Len() int            { return len(h) }
+func (h mergeHeap) Less(i, j int) bool  { return h[i].head.Cycle < h[j].head.Cycle }
+func (h mergeHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *mergeHeap) Push(x interface{}) { *h = append(*h, x.(*mergeEntry)) }
+func (h *mergeHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	*h = old[:n-1]
+	return e
+}
+
+func (m *Merge) prime() {
+	live := m.h[:0]
+	for _, e := range m.h {
+		r, err := e.src.Next()
+		if errors.Is(err, io.EOF) {
+			continue
+		}
+		if err != nil {
+			m.initErrs = append(m.initErrs, err)
+			continue
+		}
+		e.head = r
+		live = append(live, e)
+	}
+	m.h = live
+	heap.Init(&m.h)
+	m.primed = true
+}
+
+// Next implements Source.
+func (m *Merge) Next() (Record, error) {
+	if !m.primed {
+		m.prime()
+	}
+	if len(m.initErrs) > 0 {
+		err := m.initErrs[0]
+		m.initErrs = m.initErrs[1:]
+		return Record{}, err
+	}
+	if len(m.h) == 0 {
+		return Record{}, io.EOF
+	}
+	e := m.h[0]
+	out := e.head
+	if m.stripe > 0 {
+		out.Addr = out.Addr%m.stripe + uint64(e.idx)*m.stripe
+	}
+	if m.relabel {
+		out.CPU = uint8(e.idx)
+	}
+	r, err := e.src.Next()
+	switch {
+	case errors.Is(err, io.EOF):
+		heap.Pop(&m.h)
+	case err != nil:
+		heap.Pop(&m.h)
+		m.initErrs = append(m.initErrs, err)
+	default:
+		e.head = r
+		heap.Fix(&m.h, 0)
+	}
+	return out, nil
+}
+
+// Limit wraps a source and stops after n records.
+type Limit struct {
+	src  Source
+	left uint64
+}
+
+// NewLimit returns a source yielding at most n records from src.
+func NewLimit(src Source, n uint64) *Limit { return &Limit{src: src, left: n} }
+
+// Next implements Source.
+func (l *Limit) Next() (Record, error) {
+	if l.left == 0 {
+		return Record{}, io.EOF
+	}
+	r, err := l.src.Next()
+	if err != nil {
+		return r, err
+	}
+	l.left--
+	return r, nil
+}

@@ -1,0 +1,157 @@
+package workload
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"heteromem/internal/trace"
+)
+
+// Component is one weighted access-pattern stream of a workload. Components
+// are laid out contiguously in the workload's address space in declaration
+// order.
+type Component struct {
+	Name      string
+	Weight    int     // relative share of accesses
+	Region    uint64  // bytes of address space this component covers
+	WriteFrac float64 // fraction of accesses that are stores
+	// Make builds the stream; region is the component's size.
+	Make func(rng *rand.Rand, region uint64) stream
+}
+
+// Spec describes a synthetic workload.
+type Spec struct {
+	Name        string
+	Description string
+	MeanGap     float64 // mean CPU cycles between consecutive accesses
+	Cores       int     // CPUs issuing accesses (round-robin-ish)
+	Components  []Component
+}
+
+// Footprint returns the total address-space coverage in bytes.
+func (s Spec) Footprint() uint64 {
+	var f uint64
+	for _, c := range s.Components {
+		f += c.Region
+	}
+	return f
+}
+
+// Generator emits the trace of a Spec; it implements trace.Source.
+type Generator struct {
+	spec    Spec
+	rng     *rand.Rand
+	streams []stream
+	bases   []uint64
+	cum     []int // cumulative weights
+	total   int
+	cycle   uint64
+	n       uint64
+}
+
+// New builds a deterministic generator for spec with the given seed.
+func New(spec Spec, seed int64) (*Generator, error) {
+	if len(spec.Components) == 0 {
+		return nil, fmt.Errorf("workload %q: no components", spec.Name)
+	}
+	if spec.MeanGap <= 0 {
+		return nil, fmt.Errorf("workload %q: mean gap must be positive", spec.Name)
+	}
+	g := &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	var base uint64
+	total := 0
+	for _, c := range spec.Components {
+		if c.Weight <= 0 || c.Region == 0 {
+			return nil, fmt.Errorf("workload %q: component %q needs positive weight and region", spec.Name, c.Name)
+		}
+		g.streams = append(g.streams, c.Make(g.rng, c.Region))
+		g.bases = append(g.bases, base)
+		base += c.Region
+		total += c.Weight
+		g.cum = append(g.cum, total)
+	}
+	g.total = total
+	return g, nil
+}
+
+// Spec returns the generator's specification.
+func (g *Generator) Spec() Spec { return g.spec }
+
+// Footprint returns the workload footprint in bytes.
+func (g *Generator) Footprint() uint64 { return g.spec.Footprint() }
+
+// Next implements trace.Source. The stream is unbounded; wrap it in
+// trace.NewLimit for a finite run.
+func (g *Generator) Next() (trace.Record, error) {
+	w := g.rng.Intn(g.total)
+	i := sort.SearchInts(g.cum, w+1)
+	c := g.spec.Components[i]
+	off := g.streams[i].next(g.rng)
+	if off >= c.Region {
+		off %= c.Region
+	}
+	addr := g.bases[i] + off
+
+	gap := g.rng.ExpFloat64() * g.spec.MeanGap
+	if gap < 1 {
+		gap = 1
+	}
+	g.cycle += uint64(gap)
+	cores := g.spec.Cores
+	if cores <= 0 {
+		cores = 4
+	}
+	g.n++
+	return trace.Record{
+		Cycle: g.cycle,
+		Addr:  addr,
+		CPU:   uint8(g.rng.Intn(cores)),
+		Write: g.rng.Float64() < c.WriteFrac,
+	}, nil
+}
+
+// Names returns the registered memory-trace workload names in the order
+// the paper's figures list them.
+func Names() []string {
+	return []string{"FT", "MG", "pgbench", "indexer", "SPECjbb", "SPEC2006"}
+}
+
+// ProgramNames returns the NPB 3.3 program-level workload names (Table I).
+func ProgramNames() []string {
+	return []string{"BT.C", "CG.C", "DC.B", "EP.C", "FT.C", "IS.C", "LU.C", "MG.C", "SP.C", "UA.C"}
+}
+
+// MemorySpec returns the Section IV memory-trace spec for name.
+func MemorySpec(name string) (Spec, error) {
+	if s, ok := memorySpecs[name]; ok {
+		return s(), nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown memory workload %q (have %v)", name, Names())
+}
+
+// ProgramSpec returns the Section II program-level spec for name.
+func ProgramSpec(name string) (Spec, error) {
+	if s, ok := programSpecs[name]; ok {
+		return s(), nil
+	}
+	return Spec{}, fmt.Errorf("workload: unknown program workload %q (have %v)", name, ProgramNames())
+}
+
+// NewMemory is shorthand for New(MemorySpec(name), seed).
+func NewMemory(name string, seed int64) (*Generator, error) {
+	s, err := MemorySpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, seed)
+}
+
+// NewProgram is shorthand for New(ProgramSpec(name), seed).
+func NewProgram(name string, seed int64) (*Generator, error) {
+	s, err := ProgramSpec(name)
+	if err != nil {
+		return nil, err
+	}
+	return New(s, seed)
+}

@@ -1,0 +1,40 @@
+package heteromem
+
+import (
+	"heteromem/internal/workload"
+)
+
+// WorkloadSpec describes a synthetic workload as a weighted mixture of
+// access-pattern components; use the *Maker helpers to build components.
+type WorkloadSpec = workload.Spec
+
+// WorkloadComponent is one weighted stream of a WorkloadSpec.
+type WorkloadComponent = workload.Component
+
+// NewGenerator builds a deterministic trace source for a custom spec.
+func NewGenerator(spec WorkloadSpec, seed int64) (*workload.Generator, error) {
+	return workload.New(spec, seed)
+}
+
+// MemoryWorkload returns the spec of a built-in Section IV workload so it
+// can be inspected or modified.
+func MemoryWorkload(name string) (WorkloadSpec, error) { return workload.MemorySpec(name) }
+
+// Pattern makers re-exported for custom workloads. Each returns a
+// WorkloadComponent.Make function.
+var (
+	// SeqMaker: sequential sweep with the given stride.
+	SeqMaker = workload.SeqMaker
+	// StridedMaker: transposed-dimension walk (stride, unit).
+	StridedMaker = workload.StridedMaker
+	// ZipfMaker: Zipf-skewed blocks (block size, exponent, scatter).
+	ZipfMaker = workload.ZipfMaker
+	// UniformMaker: uniform random touches.
+	UniformMaker = workload.UniformMaker
+	// ChaseMaker: pointer-chase walk.
+	ChaseMaker = workload.ChaseMaker
+	// DriftMaker: wrap a maker so its hot region moves (span, period).
+	DriftMaker = workload.DriftMaker
+	// VCycleMaker: multigrid V-cycle (levels, accesses per visit).
+	VCycleMaker = workload.VCycleMaker
+)
