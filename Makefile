@@ -1,0 +1,45 @@
+# Verification targets. `make ci` is the full gate: vet, build, the whole
+# test suite under the race detector (fuzz seed corpora included, in
+# regression mode), and the golden-file checks.
+
+GO ?= go
+
+.PHONY: all build vet test race fuzz-regression fuzz bench golden-update ci
+
+all: ci
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+# The tier-1 suite under the race detector. The parallel experiment sweeps
+# and the forEachIndex tests exercise real goroutine concurrency, so -race
+# is load-bearing here, not ceremonial.
+race:
+	$(GO) test -race ./...
+
+# Run the committed fuzz seed corpora (testdata/fuzz/...) as regression
+# tests. This is what `go test` already does for fuzz targets without
+# -fuzz; the explicit target documents and isolates it.
+fuzz-regression:
+	$(GO) test ./internal/trace/ -run 'Fuzz'
+
+# Active fuzzing (not part of ci; run locally when touching the parsers).
+FUZZTIME ?= 30s
+fuzz:
+	$(GO) test ./internal/trace/ -fuzz FuzzTextReader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
+
+bench:
+	$(GO) test -bench . -benchmem -run '^$$' .
+
+# Rewrite the hmreport golden files after an intended output change.
+golden-update:
+	$(GO) test ./cmd/hmreport/ -update
+
+ci: vet build race fuzz-regression

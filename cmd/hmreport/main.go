@@ -11,6 +11,7 @@ import (
 	"encoding/csv"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"strconv"
@@ -25,13 +26,15 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
-	if err := run(*out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
+	if err := run(os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
 		fmt.Fprintln(os.Stderr, "hmreport:", err)
 		os.Exit(1)
 	}
 }
 
-func run(dir string, p experiments.Params) error {
+// run executes the full report: CSV files into dir, the human-readable
+// measured-vs-paper summary onto w.
+func run(w io.Writer, dir string, p experiments.Params) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -58,10 +61,10 @@ func run(dir string, p experiments.Params) error {
 		return err
 	}
 	if n := len(rows); n > 0 {
-		fmt.Printf("Table IV average effectiveness: measured %.1f%%, paper %.1f%%\n",
+		fmt.Fprintf(w, "Table IV average effectiveness: measured %.1f%%, paper %.1f%%\n",
 			sum/float64(n), paperSum/float64(n))
 		for _, r := range rows {
-			fmt.Printf("  %-9s measured %5.1f%%  paper %5.1f%%\n",
+			fmt.Fprintf(w, "  %-9s measured %5.1f%%  paper %5.1f%%\n",
 				r.Workload, r.Effectiveness, experiments.PaperTable4[r.Workload])
 		}
 	}
@@ -119,9 +122,9 @@ func run(dir string, p experiments.Params) error {
 	if err := writeCSV(filepath.Join(dir, "fig16.csv"), rows16); err != nil {
 		return err
 	}
-	fmt.Printf("Fig. 16 minimum power overhead: measured %.2fx, paper ~%.1fx\n",
+	fmt.Fprintf(w, "Fig. 16 minimum power overhead: measured %.2fx, paper ~%.1fx\n",
 		minPower, experiments.PaperFig16MinOverhead)
-	fmt.Printf("CSV files written to %s\n", dir)
+	fmt.Fprintf(w, "CSV files written to %s\n", dir)
 	return nil
 }
 

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heteromem/internal/experiments"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files with current output")
+
+// goldenParams pins the report to a tiny deterministic configuration: one
+// workload, a fixed seed, and few enough records that the whole sweep runs
+// in well under a second.
+func goldenParams() experiments.Params {
+	return experiments.Params{Records: 4000, Seed: 1, Workloads: []string{"pgbench"}}
+}
+
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("reading golden file (run with -update to create): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden file (re-run with -update if intended)\n--- got ---\n%s\n--- want ---\n%s",
+			name, got, want)
+	}
+}
+
+// TestRunGolden locks down both hmreport outputs — the human-readable
+// summary and the CSV files — against golden copies, so an accidental
+// change to metric computation or report formatting shows up as a diff.
+func TestRunGolden(t *testing.T) {
+	dir := t.TempDir()
+	var buf bytes.Buffer
+	if err := run(&buf, dir, goldenParams()); err != nil {
+		t.Fatal(err)
+	}
+
+	// The output directory is a temp path; normalize it for comparison.
+	summary := strings.ReplaceAll(buf.String(), dir, "<out>")
+	checkGolden(t, "summary.golden", []byte(summary))
+
+	for _, csv := range []string{"table4.csv", "fig11_interval1000.csv", "fig15.csv", "fig16.csv"} {
+		got, err := os.ReadFile(filepath.Join(dir, csv))
+		if err != nil {
+			t.Fatalf("report did not write %s: %v", csv, err)
+		}
+		checkGolden(t, csv+".golden", got)
+	}
+}
+
+// TestExperimentSummariesGolden locks down the text output of the fast
+// deterministic experiment drivers (configuration tables and the hardware
+// cost model, which involve no trace simulation).
+func TestExperimentSummariesGolden(t *testing.T) {
+	reg := experiments.Registry()
+	for _, name := range []string{"table2", "table3", "fig10"} {
+		run, ok := reg[name]
+		if !ok {
+			t.Fatalf("experiment %q missing from registry", name)
+		}
+		var buf bytes.Buffer
+		if err := run(&buf, goldenParams()); err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		checkGolden(t, name+".golden", buf.Bytes())
+	}
+}

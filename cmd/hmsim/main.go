@@ -1,5 +1,8 @@
 // Command hmsim runs the paper's experiments: every table and figure of
-// the evaluation has a driver, selected with -exp.
+// the evaluation has a driver, selected with -exp. It also supports a
+// single-run mode (-workload) that simulates one workload through one
+// migration design and emits the full result — optionally with metrics
+// and an event trace — as JSON.
 //
 // Usage:
 //
@@ -7,14 +10,20 @@
 //	hmsim -exp fig11a -records 1e6    # Fig. 11 at swap interval 1000
 //	hmsim -exp all                    # everything (slow)
 //	hmsim -list                       # show available experiments
+//
+//	hmsim -workload pgbench -design live -records 1000000 -metrics
+//	hmsim -workload tpcc -design n-1 -audit -events 256
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
+	"heteromem"
 	"heteromem/internal/experiments"
 )
 
@@ -26,6 +35,15 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "warmup records excluded from statistics (0 = records/2)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+
+		// Single-run mode.
+		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
+		design       = flag.String("design", "live", "single-run migration design: n, n-1, live, or none")
+		interval     = flag.Uint64("interval", 1000, "single-run swap interval (accesses per epoch)")
+		page         = flag.Uint64("page", 0, "single-run macro page size in bytes (0 = Table III default)")
+		metrics      = flag.Bool("metrics", false, "single-run: collect and emit the metrics snapshot")
+		events       = flag.Int("events", 0, "single-run: keep the last N structured pipeline events")
+		audit        = flag.Bool("audit", false, "single-run: verify translation-table invariants throughout")
 	)
 	flag.Parse()
 
@@ -36,8 +54,21 @@ func main() {
 		}
 		return
 	}
+
+	if *workloadName != "" {
+		if err := singleRun(os.Stdout, singleRunConfig{
+			Workload: *workloadName, Design: *design, Interval: *interval, Page: *page,
+			Records: *records, Warmup: *warmup, Seed: *seed,
+			Metrics: *metrics, Events: *events, Audit: *audit,
+		}); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "hmsim: -exp required (use -list to see choices)")
+		fmt.Fprintln(os.Stderr, "hmsim: -exp or -workload required (use -list to see experiments)")
 		os.Exit(2)
 	}
 
@@ -63,4 +94,75 @@ func main() {
 		}
 		fmt.Println()
 	}
+}
+
+// singleRunConfig collects the single-run flags.
+type singleRunConfig struct {
+	Workload string
+	Design   string
+	Interval uint64
+	Page     uint64
+	Records  uint64
+	Warmup   uint64
+	Seed     int64
+	Metrics  bool
+	Events   int
+	Audit    bool
+}
+
+// singleRunOutput is the JSON document single-run mode emits.
+type singleRunOutput struct {
+	Workload string
+	Design   string
+	Interval uint64
+	PageSize uint64 `json:",omitempty"`
+	Records  uint64
+	Seed     int64
+	Result   heteromem.Result
+}
+
+func singleRun(w io.Writer, c singleRunConfig) error {
+	cfg := heteromem.Config{
+		MacroPageSize: c.Page,
+		Warmup:        c.Warmup,
+		Metrics:       c.Metrics,
+		EventTrace:    c.Events,
+		Audit:         c.Audit,
+	}
+	switch strings.ToLower(c.Design) {
+	case "n":
+		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignN, SwapInterval: c.Interval}
+	case "n-1", "n1":
+		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignN1, SwapInterval: c.Interval}
+	case "live":
+		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignLive, SwapInterval: c.Interval}
+	case "none", "static":
+		// static mapping baseline
+	default:
+		return fmt.Errorf("unknown design %q (want n, n-1, live, or none)", c.Design)
+	}
+	sys, err := heteromem.New(cfg)
+	if err != nil {
+		return err
+	}
+	records := c.Records
+	if records == 0 {
+		records = 1_000_000
+	}
+	res, err := sys.RunWorkload(c.Workload, c.Seed, records)
+	if err != nil {
+		return err
+	}
+	out := singleRunOutput{
+		Workload: c.Workload,
+		Design:   c.Design,
+		Interval: c.Interval,
+		PageSize: c.Page,
+		Records:  res.Records,
+		Seed:     c.Seed,
+		Result:   res,
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
 }

@@ -1,0 +1,82 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// TestSingleRunMetricsJSON pins the acceptance contract of `hmsim
+// -workload ... -metrics -events N`: the emitted JSON must carry at least
+// swap counts, per-region queue-latency histograms, P-bit stall counts,
+// and background-copy traffic, plus the structured event trace.
+func TestSingleRunMetricsJSON(t *testing.T) {
+	var buf bytes.Buffer
+	err := singleRun(&buf, singleRunConfig{
+		Workload: "pgbench", Design: "live", Interval: 1000,
+		Records: 200_000, Seed: 1,
+		Metrics: true, Events: 64, Audit: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var out struct {
+		Workload string
+		Design   string
+		Records  uint64
+		Result   struct {
+			Metrics *struct {
+				Counters   map[string]uint64          `json:"counters"`
+				Gauges     map[string]int64           `json:"gauges"`
+				Histograms map[string]json.RawMessage `json:"histograms"`
+			} `json:"Metrics"`
+			Events      []json.RawMessage
+			EventsTotal uint64
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	if out.Workload != "pgbench" || out.Design != "live" || out.Records != 200_000 {
+		t.Fatalf("run summary wrong: %+v", out)
+	}
+	m := out.Result.Metrics
+	if m == nil {
+		t.Fatal("-metrics produced no metrics snapshot")
+	}
+	for _, counter := range []string{
+		"memctrl.swap.started",
+		"memctrl.swap.completed",
+		"memctrl.pstall.redirects",
+		"memctrl.copy.bytes",
+		"memctrl.copy.sub_blocks",
+	} {
+		if _, ok := m.Counters[counter]; !ok {
+			t.Errorf("counter %q missing from metrics JSON", counter)
+		}
+	}
+	if m.Counters["memctrl.swap.completed"] == 0 {
+		t.Error("no swaps completed in a workload that should migrate")
+	}
+	if m.Counters["memctrl.copy.bytes"] == 0 {
+		t.Error("no background copy traffic recorded")
+	}
+	for _, hist := range []string{"memctrl.qlat.on", "memctrl.qlat.off"} {
+		if _, ok := m.Histograms[hist]; !ok {
+			t.Errorf("per-region queue-latency histogram %q missing", hist)
+		}
+	}
+	if len(out.Result.Events) == 0 || out.Result.EventsTotal == 0 {
+		t.Error("-events produced no event trace")
+	}
+}
+
+// TestSingleRunRejectsBadDesign covers the flag-validation path.
+func TestSingleRunRejectsBadDesign(t *testing.T) {
+	var buf bytes.Buffer
+	err := singleRun(&buf, singleRunConfig{Workload: "pgbench", Design: "bogus", Interval: 1000, Records: 10})
+	if err == nil {
+		t.Fatal("bogus design accepted")
+	}
+}

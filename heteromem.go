@@ -88,6 +88,20 @@ type Config struct {
 
 	// Warmup discards statistics for the first Warmup records.
 	Warmup uint64
+
+	// Metrics enables the observability layer: pipeline counters, gauges,
+	// and latency histograms are collected and returned in Result.Metrics.
+	Metrics bool
+
+	// EventTrace, when positive, additionally records the last N structured
+	// pipeline events (epochs, swap steps, P-bit stalls, copy completions)
+	// into Result.Events. Implies Metrics.
+	EventTrace int
+
+	// Audit verifies the translation-table invariants after every swap step
+	// and at every quiescent point; any violation fails the run with a
+	// diagnostic error.
+	Audit bool
 }
 
 // Result re-exports the simulation outcome.
@@ -134,6 +148,9 @@ func New(c Config) (*System, error) {
 	}
 	scfg.MeterPower = c.MeterPower
 	scfg.Warmup = c.Warmup
+	scfg.Metrics = c.Metrics
+	scfg.EventTrace = c.EventTrace
+	scfg.Audit = c.Audit
 	return &System{cfg: scfg}, nil
 }
 

@@ -1,0 +1,283 @@
+// Package check is the invariant auditor for the migration pipeline: it
+// verifies, while a simulation runs, the structural guarantees the paper's
+// designs depend on — the physical→machine mapping stays injective (no
+// macro page is ever lost or duplicated), at most one page is parked in Ω,
+// the N-1/Live designs keep exactly one empty slot when quiescent, and P
+// bits never leak past the swap that set them.
+//
+// The auditor distinguishes two phases:
+//
+//   - AuditStep runs after every completed swap-step mutation, while a
+//     swap may still be in flight. Transient states are legal here: the
+//     empty slot can be filled, a P bit can be set, and a page's stale
+//     copy can still sit in a slot the CAM no longer points at.
+//   - AuditQuiescent runs when no swap is in flight (after each swap
+//     completes and at flush). It additionally requires the empty slot
+//     back in place, all P bits clear, and full RAM/CAM coherence.
+//
+// Failures return a *Violation carrying a compact table dump, so a broken
+// swap plan produces a diagnosable error instead of silently wrong
+// latencies downstream.
+package check
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromem/internal/core"
+)
+
+// Violation is a rich invariant-audit failure.
+type Violation struct {
+	Design core.Design
+	Phase  string // "step" or "quiescent" or "exhaustive"
+	Reason string
+	Dump   string // compact rendering of the offending table state
+}
+
+// Error implements error.
+func (v *Violation) Error() string {
+	return fmt.Sprintf("check: %s audit failed (design %v): %s\n%s", v.Phase, v.Design, v.Reason, v.Dump)
+}
+
+// Auditor verifies the translation-table invariants of one migrator.
+type Auditor struct {
+	t      *core.Table
+	design core.Design
+
+	steps      uint64
+	quiescents uint64
+}
+
+// New builds an auditor over the given table and design.
+func New(t *core.Table, design core.Design) *Auditor {
+	return &Auditor{t: t, design: design}
+}
+
+// Audits reports how many step-level and quiescent audits have run.
+func (a *Auditor) Audits() (steps, quiescents uint64) { return a.steps, a.quiescents }
+
+// AuditStep verifies the invariants that must hold at every swap-step
+// boundary, including mid-swap.
+func (a *Auditor) AuditStep() error {
+	a.steps++
+	return a.audit("step", false)
+}
+
+// AuditQuiescent verifies the stronger invariants that must hold whenever
+// no swap is in flight.
+func (a *Auditor) AuditQuiescent() error {
+	a.quiescents++
+	return a.audit("quiescent", true)
+}
+
+// audit runs the shared mapping checks; strict adds the quiescent-only ones.
+func (a *Auditor) audit(phase string, strict bool) error {
+	t := a.t
+	n := t.Slots()
+	omega := t.Omega()
+	fail := func(format string, args ...interface{}) error {
+		return &Violation{Design: a.design, Phase: phase, Reason: fmt.Sprintf(format, args...), Dump: a.dump()}
+	}
+
+	// Collect the pages whose translation can deviate from identity: every
+	// page < N, plus every page resident in a slot (the CAM population).
+	// All other pages (p >= N, not resident anywhere) translate to their
+	// own off-package home, which is injective among themselves by
+	// construction; collisions with that identity region are caught below.
+	residents := make(map[uint64]int, n) // page -> slot holding it
+	empties := 0
+	for s := 0; uint64(s) < n; s++ {
+		r := t.Resident(s)
+		if r == core.Empty {
+			empties++
+			continue
+		}
+		if r >= t.TotalPages() {
+			return fail("slot %d holds out-of-space page %d (total %d)", s, r, t.TotalPages())
+		}
+		if prev, dup := residents[r]; dup && strict {
+			return fail("page %d resident in two slots (%d and %d)", r, prev, s)
+		}
+		if _, dup := residents[r]; !dup {
+			residents[r] = s
+		}
+		// Weak CAM coherence (valid even mid-swap, when a stale copy of a
+		// page may linger in its old slot): the CAM must point at *a* slot
+		// that really holds the page.
+		if r >= n {
+			cam := t.SlotOf(r)
+			if cam < 0 {
+				return fail("migrated page %d resident in slot %d but absent from CAM", r, s)
+			}
+			if t.Resident(cam) != r {
+				return fail("CAM maps page %d to slot %d which holds %s",
+					r, cam, pageName(t.Resident(cam)))
+			}
+		}
+	}
+
+	// Injectivity of the deviating pages' translations, and validity of
+	// each target. A target in the off-package identity range must itself
+	// be a resident page (its home vacated by its own migration), or two
+	// pages' data would share one machine page.
+	target := make(map[uint64]uint64, uint64(len(residents))+n)
+	omegaPages := 0
+	audit1 := func(p uint64) error {
+		machine, onPkg := t.MachinePage(p)
+		if prev, dup := target[machine]; dup {
+			return fail("pages %d and %d both translate to machine page %d", prev, p, machine)
+		}
+		target[machine] = p
+		switch {
+		case machine == omega:
+			omegaPages++
+			if a.design == core.DesignN {
+				return fail("page %d translates to Ω under the N design (no Ω exists)", p)
+			}
+			if omegaPages > 1 {
+				return fail("more than one page translates to Ω (page %d is the second)", p)
+			}
+			if onPkg {
+				return fail("page %d translates to Ω but is reported on-package", p)
+			}
+		case machine < n:
+			if !onPkg {
+				return fail("page %d translates to slot %d but is reported off-package", p, machine)
+			}
+		case machine < t.TotalPages():
+			if onPkg {
+				return fail("page %d translates to off-package home %d but is reported on-package", p, machine)
+			}
+			if _, ok := residents[machine]; !ok && machine != p {
+				return fail("page %d translates to home of page %d, which still owns it (page %d is not migrated)",
+					p, machine, machine)
+			}
+		default:
+			return fail("page %d translates to invalid machine page %d", p, machine)
+		}
+		return nil
+	}
+	for p := uint64(0); p < n; p++ {
+		if err := audit1(p); err != nil {
+			return err
+		}
+	}
+	for p := range residents {
+		if p < n {
+			continue // already audited above
+		}
+		if err := audit1(p); err != nil {
+			return err
+		}
+	}
+
+	// P bits exist only on rows < N; pending rows must be routed to Ω.
+	pendingRows := 0
+	for p := uint64(0); p < n; p++ {
+		if !t.Pending(p) {
+			continue
+		}
+		pendingRows++
+		if m, _ := t.MachinePage(p); m != omega {
+			return fail("row %d has P set but translates to %d, not Ω", p, m)
+		}
+	}
+
+	if !strict {
+		return nil
+	}
+
+	// Quiescent-only invariants.
+	if pendingRows != 0 {
+		return fail("%d P bit(s) still set with no swap in flight (P bits must not leak across epochs)", pendingRows)
+	}
+	switch a.design {
+	case core.DesignN:
+		if empties != 0 || t.EmptyRow() >= 0 {
+			return fail("N design has %d empty slot(s) (emptyRow=%d); it must use all N", empties, t.EmptyRow())
+		}
+		if omegaPages != 0 {
+			return fail("N design parked a page in Ω")
+		}
+	default: // N-1 and Live sacrifice one slot
+		if empties != 1 || t.EmptyRow() < 0 {
+			return fail("design %v must keep exactly one empty slot when quiescent, found %d (emptyRow=%d)",
+				a.design, empties, t.EmptyRow())
+		}
+		if omegaPages != 1 {
+			return fail("design %v must park exactly the Ghost page in Ω when quiescent, found %d", a.design, omegaPages)
+		}
+		if ghost, ok := target[omega]; !ok || ghost != uint64(t.EmptyRow()) {
+			return fail("Ω holds page %d but the empty row is %d (the Ghost must be the empty row's page)",
+				target[omega], t.EmptyRow())
+		}
+	}
+	// Full RAM/CAM coherence only holds with no swap mid-flight.
+	if err := t.CheckInvariants(); err != nil {
+		return fail("table self-check: %v", err)
+	}
+	return nil
+}
+
+// AuditExhaustive walks every program-addressable page (O(TotalPages))
+// and verifies the whole translation is injective into the machine space.
+// It is the brute-force oracle the structural audits are checked against
+// in tests; production runs use AuditStep/AuditQuiescent.
+func (a *Auditor) AuditExhaustive() error {
+	t := a.t
+	omega := t.Omega()
+	seen := make(map[uint64]uint64, t.TotalPages())
+	for p := uint64(0); p < t.TotalPages(); p++ {
+		machine, _ := t.MachinePage(p)
+		if machine > omega {
+			return &Violation{Design: a.design, Phase: "exhaustive",
+				Reason: fmt.Sprintf("page %d translates past Ω to %d", p, machine), Dump: a.dump()}
+		}
+		if prev, dup := seen[machine]; dup {
+			return &Violation{Design: a.design, Phase: "exhaustive",
+				Reason: fmt.Sprintf("pages %d and %d both translate to machine page %d", prev, p, machine),
+				Dump:   a.dump()}
+		}
+		seen[machine] = p
+	}
+	return nil
+}
+
+// dump renders the interesting table state: the empty row, pending rows,
+// and every slot whose resident deviates from the identity mapping. Output
+// is capped so a huge table cannot flood an error message.
+func (a *Auditor) dump() string {
+	const maxLines = 24
+	t := a.t
+	var b strings.Builder
+	fmt.Fprintf(&b, "  table: N=%d total=%d Ω=%d emptyRow=%d\n", t.Slots(), t.TotalPages(), t.Omega(), t.EmptyRow())
+	lines := 0
+	for s := 0; uint64(s) < t.Slots(); s++ {
+		r := t.Resident(s)
+		deviates := r == core.Empty || r != uint64(s)
+		pending := uint64(s) < t.Slots() && t.Pending(uint64(s))
+		if !deviates && !pending {
+			continue
+		}
+		if lines >= maxLines {
+			b.WriteString("  ...\n")
+			break
+		}
+		lines++
+		fmt.Fprintf(&b, "  row %d: resident=%s class(row-page)=%v", s, pageName(r), t.Classify(uint64(s)))
+		if pending {
+			b.WriteString(" P=1")
+		}
+		b.WriteByte('\n')
+	}
+	return strings.TrimRight(b.String(), "\n")
+}
+
+// pageName renders a page ID, naming the Empty sentinel.
+func pageName(p uint64) string {
+	if p == core.Empty {
+		return "Empty"
+	}
+	return fmt.Sprintf("page %d", p)
+}

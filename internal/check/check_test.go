@@ -1,0 +1,182 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"heteromem/internal/core"
+)
+
+func newN1(t *testing.T) *core.Table {
+	t.Helper()
+	tab, err := core.NewTable(8, 32, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func TestFreshTablesPass(t *testing.T) {
+	for _, tc := range []struct {
+		design    core.Design
+		sacrifice bool
+	}{
+		{core.DesignN, false},
+		{core.DesignN1, true},
+		{core.DesignLive, true},
+	} {
+		tab, err := core.NewTable(8, 32, tc.sacrifice)
+		if err != nil {
+			t.Fatal(err)
+		}
+		a := New(tab, tc.design)
+		if err := a.AuditStep(); err != nil {
+			t.Fatalf("%v fresh step audit: %v", tc.design, err)
+		}
+		if err := a.AuditQuiescent(); err != nil {
+			t.Fatalf("%v fresh quiescent audit: %v", tc.design, err)
+		}
+		if err := a.AuditExhaustive(); err != nil {
+			t.Fatalf("%v fresh exhaustive audit: %v", tc.design, err)
+		}
+		if s, q := a.Audits(); s != 1 || q != 1 {
+			t.Fatalf("audit counts = %d,%d", s, q)
+		}
+	}
+}
+
+func TestMidSwapStateLegalOnlyAtStepLevel(t *testing.T) {
+	// Promote page 20 into the empty slot and set its row's P bit — the
+	// exact state after step 1 of Fig. 8 case (a). Legal mid-swap, illegal
+	// quiescent (empty slot consumed, P bit set).
+	tab := newN1(t)
+	er := tab.EmptyRow()
+	if err := tab.Install(er, 20); err != nil {
+		t.Fatal(err)
+	}
+	tab.SetPending(uint64(er), true)
+	a := New(tab, core.DesignN1)
+	if err := a.AuditStep(); err != nil {
+		t.Fatalf("step audit rejected a legal mid-swap state: %v", err)
+	}
+	if err := a.AuditQuiescent(); err == nil {
+		t.Fatal("quiescent audit accepted a mid-swap state")
+	}
+	if err := a.AuditExhaustive(); err != nil {
+		t.Fatalf("exhaustive audit rejected an injective mid-swap state: %v", err)
+	}
+}
+
+func TestPendingBitLeakDetected(t *testing.T) {
+	// A P bit left set while the ghost also parks in Ω means two pages map
+	// to Ω: both audit levels must reject it, and the quiescent audit
+	// names the leak.
+	tab := newN1(t)
+	tab.SetPending(2, true)
+	a := New(tab, core.DesignN1)
+	if err := a.AuditStep(); err == nil {
+		t.Fatal("step audit missed double-parking in Ω")
+	}
+	err := a.AuditQuiescent()
+	if err == nil {
+		t.Fatal("quiescent audit missed a leaked P bit")
+	}
+	v, ok := err.(*Violation)
+	if !ok {
+		t.Fatalf("error type %T, want *Violation", err)
+	}
+	if v.Phase != "quiescent" || v.Dump == "" {
+		t.Fatalf("violation lacks context: %+v", v)
+	}
+	if err := a.AuditExhaustive(); err == nil {
+		t.Fatal("exhaustive audit missed the Ω collision")
+	}
+}
+
+func TestOmegaForbiddenUnderN(t *testing.T) {
+	tab, err := core.NewTable(8, 32, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab.SetPending(3, true) // routes page 3 to Ω, which the N design lacks
+	a := New(tab, core.DesignN)
+	err = a.AuditStep()
+	if err == nil || !strings.Contains(err.Error(), "N design") {
+		t.Fatalf("step audit under N: %v", err)
+	}
+}
+
+func TestConsumedEmptySlotFailsQuiescent(t *testing.T) {
+	// Promoting a page into the empty slot without finishing the swap is a
+	// legal transient but not a legal resting state for N-1/Live.
+	tab := newN1(t)
+	if err := tab.Install(tab.EmptyRow(), 21); err != nil {
+		t.Fatal(err)
+	}
+	a := New(tab, core.DesignLive)
+	if err := a.AuditStep(); err != nil {
+		t.Fatalf("step audit: %v", err)
+	}
+	err := a.AuditQuiescent()
+	if err == nil || !strings.Contains(err.Error(), "exactly one empty slot") {
+		t.Fatalf("quiescent audit: %v", err)
+	}
+}
+
+func TestDoubleVacateDetected(t *testing.T) {
+	// Two empty slots mean two Ghost pages fighting over Ω: data loss.
+	tab := newN1(t)
+	if err := tab.Vacate(2); err != nil {
+		t.Fatal(err)
+	}
+	a := New(tab, core.DesignN1)
+	if err := a.AuditStep(); err == nil {
+		t.Fatal("step audit missed two pages parked in Ω")
+	}
+	if err := a.AuditExhaustive(); err == nil {
+		t.Fatal("exhaustive audit missed the Ω collision")
+	}
+}
+
+func TestMigratedStatePasses(t *testing.T) {
+	// A settled post-swap state — MF pages in foreign slots, their MS
+	// partners re-homed, Ghost in Ω — is exactly what the audits must
+	// accept at every level.
+	tab := newN1(t)
+	for s, p := range map[int]uint64{0: 20, 3: 22, 5: 30} {
+		if err := tab.Install(s, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	a := New(tab, core.DesignN1)
+	if err := a.AuditStep(); err != nil {
+		t.Fatalf("step audit rejected a consistent migrated state: %v", err)
+	}
+	if err := a.AuditExhaustive(); err != nil {
+		t.Fatalf("exhaustive audit rejected a consistent migrated state: %v", err)
+	}
+	if err := a.AuditQuiescent(); err != nil {
+		t.Fatalf("quiescent audit rejected a consistent migrated state: %v", err)
+	}
+}
+
+func TestViolationDumpIsBounded(t *testing.T) {
+	tab, err := core.NewTable(64, 256, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for s := 0; s < 40; s++ {
+		if err := tab.Install(s, uint64(64+s)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tab.SetPending(1, true)
+	a := New(tab, core.DesignN1)
+	verr := a.AuditQuiescent()
+	if verr == nil {
+		t.Fatal("expected violation")
+	}
+	if n := strings.Count(verr.Error(), "\n"); n > 30 {
+		t.Fatalf("dump not bounded: %d lines", n)
+	}
+}

@@ -344,6 +344,16 @@ const uint32max = 1<<32 - 1
 // SwapInFlight reports whether a swap is executing.
 func (m *Migrator) SwapInFlight() bool { return m.plan != nil }
 
+// CurrentPlan describes the in-flight swap for observers: the physical
+// page being promoted, the victim slot, the current step index, and the
+// total step count. ok is false when no swap is in flight.
+func (m *Migrator) CurrentPlan() (mru uint64, victim int, step, steps int, ok bool) {
+	if m.plan == nil {
+		return 0, 0, 0, 0, false
+	}
+	return m.plan.MRU, m.plan.Victim, m.stepIdx, len(m.plan.Steps), true
+}
+
 // CurrentStep returns the in-flight step, if any.
 func (m *Migrator) CurrentStep() (Step, bool) {
 	if m.plan == nil || m.stepIdx >= len(m.plan.Steps) {

@@ -1,0 +1,158 @@
+// Property-style tests: under long random access sequences, across all
+// three migration designs, the translation layer must remain a bijection
+// between physical and machine pages at every swap-step boundary. The
+// internal/check auditor is the oracle; it lives outside this package, so
+// these tests drive the Migrator purely through its public API.
+package core_test
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"heteromem/internal/check"
+	"heteromem/internal/core"
+)
+
+const (
+	propPageSize = 4096
+	propSubBlock = 512
+	propSlots    = 8
+	propTotal    = 32
+)
+
+func newPropMigrator(t *testing.T, d core.Design, seedVictim core.VictimPolicy) *core.Migrator {
+	t.Helper()
+	m, err := core.NewMigrator(core.Options{
+		Design:       d,
+		Slots:        propSlots,
+		TotalPages:   propTotal,
+		PageSize:     propPageSize,
+		SubBlockSize: propSubBlock,
+		SwapInterval: 50,
+		Victim:       seedVictim,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+// driveSwap executes an in-flight swap to completion, auditing at every
+// step boundary and verifying the exhaustive bijection oracle throughout.
+func driveSwap(t *testing.T, m *core.Migrator, aud *check.Auditor, subs []core.SubCopy) {
+	t.Helper()
+	for steps := 0; ; steps++ {
+		if steps > 16 {
+			t.Fatal("swap did not terminate within 16 steps")
+		}
+		for _, sc := range subs {
+			m.SubDone(sc.SubIndex)
+		}
+		next, done, err := m.StepDone()
+		if err != nil {
+			t.Fatalf("StepDone: %v", err)
+		}
+		if done {
+			if err := aud.AuditQuiescent(); err != nil {
+				t.Fatalf("quiescent audit after swap: %v", err)
+			}
+			if err := aud.AuditExhaustive(); err != nil {
+				t.Fatalf("exhaustive audit after swap: %v", err)
+			}
+			return
+		}
+		if err := aud.AuditStep(); err != nil {
+			t.Fatalf("step audit mid-swap: %v", err)
+		}
+		if err := aud.AuditExhaustive(); err != nil {
+			t.Fatalf("exhaustive audit mid-swap: %v", err)
+		}
+		subs = next
+	}
+}
+
+// TestRandomSwapsKeepBijection hammers each design with random accesses,
+// completing every triggered swap and checking the full invariant battery
+// at each step boundary.
+func TestRandomSwapsKeepBijection(t *testing.T) {
+	for _, d := range []core.Design{core.DesignN, core.DesignN1, core.DesignLive} {
+		for _, seed := range []int64{1, 2, 3, 42} {
+			t.Run(fmt.Sprintf("%v/seed%d", d, seed), func(t *testing.T) {
+				m := newPropMigrator(t, d, core.VictimClockPLRU)
+				aud := check.New(m.Table(), d)
+				rng := rand.New(rand.NewSource(seed))
+				swaps := 0
+				for i := 0; i < 50_000; i++ {
+					// Skewed accesses: a hot set of pages so swaps actually
+					// trigger, plus a uniform tail so victims churn.
+					var page uint64
+					if rng.Intn(4) > 0 {
+						page = uint64(propSlots + rng.Intn(4)) // hot off-package set
+					} else {
+						page = uint64(rng.Intn(propTotal))
+					}
+					phys := page*propPageSize + uint64(rng.Intn(propPageSize/64))*64
+					_, on := m.Translate(phys)
+					m.OnAccess(phys, on)
+					if subs := m.EpochTick(); subs != nil {
+						driveSwap(t, m, aud, subs)
+						swaps++
+					}
+				}
+				if swaps == 0 {
+					t.Fatal("workload triggered no swaps; property not exercised")
+				}
+				if err := aud.AuditQuiescent(); err != nil {
+					t.Fatalf("final quiescent audit: %v", err)
+				}
+				st := m.Stats()
+				if st.SwapsStarted != st.SwapsCompleted {
+					t.Fatalf("swap accounting diverged: %d started, %d completed",
+						st.SwapsStarted, st.SwapsCompleted)
+				}
+			})
+		}
+	}
+}
+
+// TestRandomSwapsTranslationTotal verifies, at quiescent points, that every
+// physical page still translates to a unique in-range machine page — the
+// user-visible consequence of the bijection (no two pages may alias and
+// no page may vanish).
+func TestRandomSwapsTranslationTotal(t *testing.T) {
+	for _, d := range []core.Design{core.DesignN, core.DesignN1, core.DesignLive} {
+		t.Run(d.String(), func(t *testing.T) {
+			m := newPropMigrator(t, d, core.VictimFIFO)
+			aud := check.New(m.Table(), d)
+			rng := rand.New(rand.NewSource(7))
+			for i := 0; i < 30_000; i++ {
+				page := uint64(rng.Intn(propTotal))
+				if rng.Intn(3) > 0 {
+					page = uint64(propSlots + rng.Intn(3))
+				}
+				phys := page * propPageSize
+				_, on := m.Translate(phys)
+				m.OnAccess(phys, on)
+				if subs := m.EpochTick(); subs != nil {
+					driveSwap(t, m, aud, subs)
+					// Quiescent: the machine image of all physical pages must
+					// be exactly {0..total-1} ∪ {Ω} minus one slot (N-1/Live)
+					// or {0..total-1} (N), with no duplicates.
+					seen := make(map[uint64]uint64, propTotal)
+					for p := uint64(0); p < propTotal; p++ {
+						machine, _ := m.Translate(p * propPageSize)
+						mp := machine / propPageSize
+						if prev, dup := seen[mp]; dup {
+							t.Fatalf("pages %d and %d alias machine page %d", prev, p, mp)
+						}
+						seen[mp] = p
+						if mp > m.Table().Omega() {
+							t.Fatalf("page %d translated out of range: machine page %d", p, mp)
+						}
+					}
+				}
+			}
+		})
+	}
+}

@@ -67,6 +67,9 @@ type Table struct {
 	pending  []bool         // P bit per row
 	back     map[uint64]int // CAM: page >= N -> slot; only migrated-fast pages appear
 	emptyRow int            // row whose slot is empty; -1 in the N design
+
+	pendingSets   uint64 // P-bit 0->1 transitions (observability)
+	pendingClears uint64 // P-bit 1->0 transitions
 }
 
 // NewTable builds the initial identity mapping: pages 0..n-1 occupy slots
@@ -116,8 +119,20 @@ func (t *Table) Pending(p uint64) bool { return p < t.n && t.pending[p] }
 // SetPending sets or clears row p's P bit.
 func (t *Table) SetPending(p uint64, v bool) {
 	if p < t.n {
+		if v && !t.pending[p] {
+			t.pendingSets++
+		} else if !v && t.pending[p] {
+			t.pendingClears++
+		}
 		t.pending[p] = v
 	}
+}
+
+// PendingTransitions returns the cumulative P-bit set and clear counts —
+// the paper's mechanism for keeping every page reachable mid-swap, made
+// countable for the observability layer.
+func (t *Table) PendingTransitions() (sets, clears uint64) {
+	return t.pendingSets, t.pendingClears
 }
 
 // SlotOf performs the CAM lookup: the slot holding page p, or -1.

@@ -16,6 +16,7 @@ import (
 	"fmt"
 
 	"heteromem/internal/config"
+	"heteromem/internal/obs"
 )
 
 // Geometry fixes the structure of one region's DRAM.
@@ -200,6 +201,20 @@ func (d *Device) Stats() (hits, misses, conflicts, bursts uint64) {
 
 // RefreshStalls returns how many commands a refresh window delayed.
 func (d *Device) RefreshStalls() uint64 { return d.refreshStalls }
+
+// PublishObs exports the device's cumulative statistics into reg as gauges
+// under prefix (e.g. "dram.on"). The device keeps its counters locally so
+// the timing hot path stays untouched; call this at snapshot time.
+func (d *Device) PublishObs(reg *obs.Registry, prefix string) {
+	if reg == nil {
+		return
+	}
+	reg.Gauge(prefix + ".row_hits").Set(int64(d.rowHits))
+	reg.Gauge(prefix + ".row_misses").Set(int64(d.rowMisses))
+	reg.Gauge(prefix + ".row_conflicts").Set(int64(d.rowConf))
+	reg.Gauge(prefix + ".bursts").Set(int64(d.bursts))
+	reg.Gauge(prefix + ".refresh_stalls").Set(int64(d.refreshStalls))
+}
 
 // Geometry returns the device geometry.
 func (d *Device) Geometry() Geometry { return d.geom }

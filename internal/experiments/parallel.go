@@ -1,14 +1,28 @@
 package experiments
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 )
+
+// workerPanic carries a panic out of a worker goroutine so it can be
+// re-raised on the caller's goroutine with the worker's stack attached.
+type workerPanic struct {
+	value any
+	stack []byte
+}
 
 // forEachIndex runs fn(i) for i in [0, n) on up to `workers` goroutines
 // (0 = GOMAXPROCS). Each simulation owns its generator and controller, so
 // configurations are embarrassingly parallel; results are written by index,
 // keeping output order deterministic regardless of scheduling.
+//
+// The first error stops further work and is returned. A panic in fn is
+// recovered on the worker, the remaining work is cancelled, and the panic
+// is re-raised on the calling goroutine (with the worker stack in the
+// value) once every worker has exited — a crash in one configuration
+// must not leak goroutines or kill the process from a detached stack.
 func forEachIndex(n, workers int, fn func(i int) error) error {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
@@ -28,12 +42,13 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 		wg       sync.WaitGroup
 		mu       sync.Mutex
 		firstErr error
+		panicked *workerPanic
 		next     int
 	)
 	claim := func() int {
 		mu.Lock()
 		defer mu.Unlock()
-		if firstErr != nil || next >= n {
+		if firstErr != nil || panicked != nil || next >= n {
 			return -1
 		}
 		i := next
@@ -56,7 +71,22 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 				if i < 0 {
 					return
 				}
-				if err := fn(i); err != nil {
+				err := func() (err error) {
+					defer func() {
+						if r := recover(); r != nil {
+							buf := make([]byte, 64<<10)
+							buf = buf[:runtime.Stack(buf, false)]
+							mu.Lock()
+							if panicked == nil {
+								panicked = &workerPanic{value: r, stack: buf}
+							}
+							mu.Unlock()
+							err = fmt.Errorf("experiments: worker panic: %v", r)
+						}
+					}()
+					return fn(i)
+				}()
+				if err != nil {
 					fail(err)
 					return
 				}
@@ -64,5 +94,9 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 		}()
 	}
 	wg.Wait()
+	if panicked != nil {
+		panic(fmt.Sprintf("experiments: panic in parallel worker: %v\n\nworker stack:\n%s",
+			panicked.value, panicked.stack))
+	}
 	return firstErr
 }

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+func TestForEachIndexCoversAllIndices(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 7, 64} {
+		for _, n := range []int{0, 1, 5, 100} {
+			var hits sync.Map
+			var count atomic.Int64
+			err := forEachIndex(n, workers, func(i int) error {
+				if _, dup := hits.LoadOrStore(i, true); dup {
+					return fmt.Errorf("index %d visited twice", i)
+				}
+				count.Add(1)
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("workers=%d n=%d: %v", workers, n, err)
+			}
+			if got := count.Load(); got != int64(n) {
+				t.Fatalf("workers=%d n=%d: visited %d indices", workers, n, got)
+			}
+		}
+	}
+}
+
+func TestForEachIndexWorkersExceedN(t *testing.T) {
+	// More workers than work items must not deadlock, leak, or double-run.
+	var count atomic.Int64
+	if err := forEachIndex(3, 100, func(i int) error {
+		count.Add(1)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if count.Load() != 3 {
+		t.Fatalf("ran %d of 3 items", count.Load())
+	}
+}
+
+func TestForEachIndexErrorPropagation(t *testing.T) {
+	sentinel := errors.New("boom")
+	var after atomic.Int64
+	err := forEachIndex(1000, 4, func(i int) error {
+		if i == 17 {
+			return sentinel
+		}
+		after.Add(1)
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v, want the sentinel error", err)
+	}
+	// The error must cancel the remaining work: with 4 workers, only a
+	// handful of already-claimed indices may still finish.
+	if after.Load() >= 1000-1 {
+		t.Fatalf("error did not stop the sweep: %d items ran", after.Load())
+	}
+}
+
+func TestForEachIndexFirstErrorWins(t *testing.T) {
+	// Concurrent failures: exactly one error must surface, and it must be
+	// one of the injected ones (not a data-race hybrid).
+	errA := errors.New("a")
+	errB := errors.New("b")
+	err := forEachIndex(100, 8, func(i int) error {
+		switch i % 2 {
+		case 0:
+			return errA
+		default:
+			return errB
+		}
+	})
+	if !errors.Is(err, errA) && !errors.Is(err, errB) {
+		t.Fatalf("got %v, want errA or errB", err)
+	}
+}
+
+func TestForEachIndexSerialPathError(t *testing.T) {
+	sentinel := errors.New("serial")
+	var ran int
+	err := forEachIndex(10, 1, func(i int) error {
+		ran++
+		if i == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("got %v", err)
+	}
+	if ran != 4 {
+		t.Fatalf("serial path ran %d items after the error, want exactly 4", ran)
+	}
+}
+
+func TestForEachIndexPanicPropagates(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		func() {
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Fatalf("workers=%d: panic did not propagate", workers)
+				}
+				msg := fmt.Sprint(r)
+				if !strings.Contains(msg, "kaboom-42") {
+					t.Fatalf("workers=%d: panic value lost: %q", workers, msg)
+				}
+				if workers > 1 && !strings.Contains(msg, "worker stack") {
+					t.Fatalf("workers=%d: worker stack missing from panic: %q", workers, msg)
+				}
+			}()
+			_ = forEachIndex(50, workers, func(i int) error {
+				if i == 10 {
+					panic("kaboom-42")
+				}
+				return nil
+			})
+		}()
+	}
+}
+
+func TestForEachIndexPanicCancelsRemainingWork(t *testing.T) {
+	var after atomic.Int64
+	func() {
+		defer func() { _ = recover() }()
+		_ = forEachIndex(10000, 4, func(i int) error {
+			if i == 5 {
+				panic("stop")
+			}
+			after.Add(1)
+			return nil
+		})
+	}()
+	if after.Load() >= 10000-1 {
+		t.Fatalf("panic did not cancel the sweep: %d items ran", after.Load())
+	}
+}

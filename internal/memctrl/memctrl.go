@@ -9,9 +9,11 @@ package memctrl
 import (
 	"fmt"
 
+	"heteromem/internal/check"
 	"heteromem/internal/config"
 	"heteromem/internal/core"
 	"heteromem/internal/dram"
+	"heteromem/internal/obs"
 	"heteromem/internal/power"
 	"heteromem/internal/sched"
 	"heteromem/internal/stats"
@@ -65,6 +67,17 @@ type Config struct {
 
 	// Power meters traffic when non-nil.
 	Power *power.Meter
+
+	// Obs receives runtime metrics (counters, latency histograms) and,
+	// when an event ring is enabled on it, the structured event trace.
+	// nil disables observability at zero hot-path cost.
+	Obs *obs.Registry
+
+	// Audit attaches an invariant auditor (internal/check) to the
+	// migration pipeline: the translation table is verified after every
+	// completed swap step and at every quiescent point. Violations
+	// surface as errors from Access and Err.
+	Audit bool
 }
 
 // Controller is the heterogeneity-aware on-chip memory controller.
@@ -108,6 +121,35 @@ type Controller struct {
 	// (write leg finished); integrity tests use it to maintain a shadow
 	// map of where every page's data lives.
 	onCopyDone func(core.SubCopy)
+
+	inst instruments    // observability instruments (all nil-safe)
+	aud  *check.Auditor // invariant auditor; nil when auditing is off
+
+	// firstErr latches the first asynchronous failure (audit violation or
+	// swap-step error inside a scheduler callback, where no error can be
+	// returned); Access and Err surface it.
+	firstErr error
+}
+
+// instruments holds the controller's observability hooks. Every field is
+// nil-safe: with Config.Obs == nil all pointers are nil and every record
+// call degrades to a single pointer test.
+type instruments struct {
+	accOn, accOff *obs.Counter // program accesses per region
+	pstalls       *obs.Counter // accesses redirected to Ω by a P bit
+	swapStarts    *obs.Counter
+	swapSteps     *obs.Counter
+	swapDone      *obs.Counter
+	copySubs      *obs.Counter // background sub-block copy legs completed
+	copyBytes     *obs.Counter // background copy traffic in bytes
+	stallCycles   *obs.Counter // N-design execution stall cycles
+	osPenalties   *obs.Counter // OS-assisted epoch charges
+	qlatOn        *obs.Histogram
+	qlatOff       *obs.Histogram
+	latOn         *obs.Histogram
+	latOff        *obs.Histogram
+	ring          *obs.EventRing
+	enabled       bool // any instrument live (guards extra lookups)
 }
 
 type accessMeta struct {
@@ -180,8 +222,66 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		if err != nil {
 			return nil, err
 		}
+		if cfg.Audit {
+			c.aud = check.New(c.mig.Table(), c.mig.Design())
+		}
+	}
+	if reg := cfg.Obs; reg != nil {
+		lb := obs.DefaultLatencyBuckets()
+		c.inst = instruments{
+			accOn:       reg.Counter("memctrl.access.on"),
+			accOff:      reg.Counter("memctrl.access.off"),
+			pstalls:     reg.Counter("memctrl.pstall.redirects"),
+			swapStarts:  reg.Counter("memctrl.swap.started"),
+			swapSteps:   reg.Counter("memctrl.swap.steps"),
+			swapDone:    reg.Counter("memctrl.swap.completed"),
+			copySubs:    reg.Counter("memctrl.copy.sub_blocks"),
+			copyBytes:   reg.Counter("memctrl.copy.bytes"),
+			stallCycles: reg.Counter("memctrl.stall.cycles"),
+			osPenalties: reg.Counter("memctrl.os.epoch_penalties"),
+			qlatOn:      reg.Histogram("memctrl.qlat.on", lb),
+			qlatOff:     reg.Histogram("memctrl.qlat.off", lb),
+			latOn:       reg.Histogram("memctrl.lat.on", lb),
+			latOff:      reg.Histogram("memctrl.lat.off", lb),
+			ring:        reg.Events(),
+			enabled:     true,
+		}
+		c.onSch.SetObs(reg.Counter("sched.on.aging_grants"), reg.Counter("sched.on.stolen_cycles"))
+		c.offSch.SetObs(reg.Counter("sched.off.aging_grants"), reg.Counter("sched.off.stolen_cycles"))
 	}
 	return c, nil
+}
+
+// Err returns the first failure recorded inside a scheduler callback —
+// an invariant-audit violation or a swap-step error — where no error
+// could be returned directly. Check it after Flush.
+func (c *Controller) Err() error { return c.firstErr }
+
+// fail latches the first asynchronous failure.
+func (c *Controller) fail(err error) {
+	if c.firstErr == nil {
+		c.firstErr = err
+	}
+}
+
+// auditAt runs the invariant auditor at a swap-step boundary at the given
+// cycle; quiescent selects the stricter no-swap-in-flight rules.
+func (c *Controller) auditAt(cycle int64, quiescent bool) {
+	if c.aud == nil {
+		return
+	}
+	var err error
+	var phase uint64
+	if quiescent {
+		err = c.aud.AuditQuiescent()
+		phase = 1
+	} else {
+		err = c.aud.AuditStep()
+	}
+	c.inst.ring.Emit(cycle, obs.EvAudit, phase, 0, 0)
+	if err != nil {
+		c.fail(err)
+	}
 }
 
 // Migrator exposes the migration controller (nil under static mapping).
@@ -189,6 +289,9 @@ func (c *Controller) Migrator() *core.Migrator { return c.mig }
 
 // Access processes one program access issued at cycle `now`.
 func (c *Controller) Access(phys uint64, write bool, now int64) error {
+	if c.firstErr != nil {
+		return c.firstErr
+	}
 	if now > c.now {
 		c.now = now
 	}
@@ -208,17 +311,35 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 	region := OffPackage
 	if onPkg {
 		region = OnPackage
+		c.inst.accOn.Inc()
+	} else {
+		c.inst.accOff.Inc()
 	}
 
 	if c.mig != nil {
+		if c.inst.enabled {
+			// A set P bit forces this page's RAM-direction translation to
+			// Ω while its new off-package home is still being written —
+			// the access "stalls" on the slow region it would otherwise
+			// have left behind.
+			if page := phys / c.cfg.Geometry.MacroPageSize; c.mig.Table().Pending(page) {
+				c.inst.pstalls.Inc()
+				c.inst.ring.Emit(now, obs.EvPStall, page, 0, 0)
+			}
+		}
 		c.mig.OnAccess(phys, onPkg)
 		epochsBefore := c.mig.Stats().Epochs
 		subs := c.mig.EpochTick()
-		if c.cfg.OSAssisted && c.mig.Stats().Epochs != epochsBefore {
-			// The OS periodical routine updates the software translation
-			// table every epoch; its user/kernel switch stalls the core
-			// (Section III-B: ~127 cycles, Liedtke SOSP'93).
-			c.osPenalty += c.cfg.Latencies.OSEpochOverhead
+		if epochs := c.mig.Stats().Epochs; epochs != epochsBefore {
+			c.inst.ring.Emit(now, obs.EvEpoch, epochs, 0, 0)
+			if c.cfg.OSAssisted {
+				// The OS periodical routine updates the software translation
+				// table every epoch; its user/kernel switch stalls the core
+				// (Section III-B: ~127 cycles, Liedtke SOSP'93).
+				c.osPenalty += c.cfg.Latencies.OSEpochOverhead
+				c.inst.osPenalties.Inc()
+				c.inst.ring.Emit(now, obs.EvOSPenalty, uint64(c.cfg.Latencies.OSEpochOverhead), 0, 0)
+			}
 		}
 		if subs != nil {
 			if err := c.beginSwap(subs, issue); err != nil {
@@ -291,9 +412,13 @@ func (c *Controller) requestDone(r *sched.Request) {
 	if meta.region == OnPackage {
 		c.onLat.Add(lat)
 		c.dramOn.Add(dram)
+		c.inst.latOn.Observe(lat)
+		c.inst.qlatOn.Observe(r.Start - r.Arrive)
 	} else {
 		c.offLat.Add(lat)
 		c.dramOff.Add(dram)
+		c.inst.latOff.Observe(lat)
+		c.inst.qlatOff.Observe(r.Start - r.Arrive)
 	}
 	c.coreLatSum += r.CoreLat
 	c.nDone++
@@ -338,6 +463,10 @@ func (c *Controller) regionOfMachine(machine uint64) bool {
 // completion immediately (execution is halted anyway); the N-1 designs
 // enqueue the first step's legs as background traffic.
 func (c *Controller) beginSwap(subs []core.SubCopy, now int64) error {
+	c.inst.swapStarts.Inc()
+	if mru, victim, _, _, ok := c.mig.CurrentPlan(); ok {
+		c.inst.ring.Emit(now, obs.EvSwapStart, mru, uint64(victim), 0)
+	}
 	if c.mig.Design() == core.DesignN {
 		return c.runStalledSwap(subs, now)
 	}
@@ -397,6 +526,12 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		c.onCopyDone(meta.sub)
 	}
 	c.mig.SubDone(meta.sub.SubIndex)
+	c.inst.copySubs.Inc()
+	c.inst.copyBytes.Add(meta.sub.Bytes)
+	if c.inst.ring != nil {
+		pageSize := c.cfg.Geometry.MacroPageSize
+		c.inst.ring.Emit(j.Done, obs.EvCopyDone, meta.sub.Src/pageSize, meta.sub.Dst/pageSize, meta.sub.Bytes)
+	}
 	if c.cfg.Power != nil {
 		c.cfg.Power.Copy(c.regionOfMachine(meta.sub.Src), meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
 	}
@@ -404,11 +539,23 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 	if meta.step.subsLeft > 0 {
 		return
 	}
+	mru, _, stepIdx, _, _ := c.mig.CurrentPlan()
 	next, done, err := c.mig.StepDone()
-	if err != nil || done {
+	if err != nil {
+		c.fail(err)
 		c.step = nil
 		return
 	}
+	c.inst.swapSteps.Inc()
+	c.inst.ring.Emit(j.Done, obs.EvSwapStep, mru, uint64(stepIdx), 0)
+	if done {
+		c.inst.swapDone.Inc()
+		c.inst.ring.Emit(j.Done, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
+		c.auditAt(j.Done, true)
+		c.step = nil
+		return
+	}
+	c.auditAt(j.Done, false)
 	c.step = &stepState{subsLeft: len(next)}
 	for _, sc := range next {
 		c.enqueueReadLeg(sc, j.Done)
@@ -453,20 +600,39 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 			if c.onCopyDone != nil {
 				c.onCopyDone(sc)
 			}
+			c.inst.copySubs.Inc()
+			c.inst.copyBytes.Add(sc.Bytes)
 			if writeDone > last {
 				last = writeDone
 			}
 		}
 		c.step = nil
 		start = last
+		mru, _, stepIdx, _, _ := c.mig.CurrentPlan()
 		next, done, err := c.mig.StepDone()
 		if err != nil {
 			return err
 		}
+		c.inst.swapSteps.Inc()
+		c.inst.ring.Emit(last, obs.EvSwapStep, mru, uint64(stepIdx), 0)
 		if done {
+			c.inst.swapDone.Inc()
+			c.inst.ring.Emit(last, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
+			c.auditAt(last, true)
 			break
 		}
+		c.auditAt(last, false)
+		if err := c.firstErr; err != nil {
+			return err
+		}
 		subs = next
+	}
+	if err := c.firstErr; err != nil {
+		return err
+	}
+	if stalled := start - now; stalled > 0 {
+		c.inst.stallCycles.Add(uint64(stalled))
+		c.inst.ring.Emit(now, obs.EvStall, uint64(stalled), 0, 0)
 	}
 	c.stallUntil = start
 	return nil
@@ -492,7 +658,53 @@ func (c *Controller) Flush() int64 {
 			break
 		}
 	}
+	// The drained controller must be at a quiescent point: no swap in
+	// flight and the translation table fully consistent.
+	if c.mig != nil && c.mig.SwapInFlight() && c.firstErr == nil {
+		c.fail(fmt.Errorf("memctrl: flush finished with a swap still in flight"))
+	}
+	c.auditAt(last, true)
 	return last
+}
+
+// PublishObs exports snapshot-time gauges — DRAM device statistics,
+// migration engine statistics, and translation-table P-bit transition
+// counts — into the configured registry. Call it once after Flush, before
+// taking the registry snapshot; counters and histograms recorded on the
+// hot path are already in the registry.
+func (c *Controller) PublishObs() {
+	reg := c.cfg.Obs
+	if reg == nil {
+		return
+	}
+	c.onDev.PublishObs(reg, "dram.on")
+	c.offDev.PublishObs(reg, "dram.off")
+	onServed, onBulk, _ := c.onSch.Stats()
+	offServed, offBulk, _ := c.offSch.Stats()
+	reg.Gauge("sched.on.served").Set(int64(onServed))
+	reg.Gauge("sched.on.bulk_served").Set(int64(onBulk))
+	reg.Gauge("sched.off.served").Set(int64(offServed))
+	reg.Gauge("sched.off.bulk_served").Set(int64(offBulk))
+	if c.mig == nil {
+		return
+	}
+	st := c.mig.Stats()
+	reg.Gauge("mig.epochs").Set(int64(st.Epochs))
+	reg.Gauge("mig.swaps_started").Set(int64(st.SwapsStarted))
+	reg.Gauge("mig.swaps_completed").Set(int64(st.SwapsCompleted))
+	reg.Gauge("mig.triggers_blocked").Set(int64(st.TriggersBlocked))
+	reg.Gauge("mig.triggers_cold").Set(int64(st.TriggersCold))
+	reg.Gauge("mig.pages_copied").Set(int64(st.PagesCopied))
+	reg.Gauge("mig.bytes_copied").Set(int64(st.BytesCopied))
+	reg.Gauge("mig.live_early_hits").Set(int64(st.LiveEarlyHits))
+	sets, clears := c.mig.Table().PendingTransitions()
+	reg.Gauge("table.pending_sets").Set(int64(sets))
+	reg.Gauge("table.pending_clears").Set(int64(clears))
+	if c.aud != nil {
+		steps, quiescents := c.aud.Audits()
+		reg.Gauge("check.audits.step").Set(int64(steps))
+		reg.Gauge("check.audits.quiescent").Set(int64(quiescents))
+	}
 }
 
 // Report summarizes controller-level statistics.

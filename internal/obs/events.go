@@ -1,0 +1,116 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// EventKind discriminates trace events.
+type EventKind uint8
+
+// Event kinds emitted by the instrumented pipeline.
+const (
+	EvEpoch     EventKind = iota + 1 // monitoring epoch boundary; A=epoch index
+	EvSwapStart                      // swap began; A=MRU page, B=victim slot
+	EvSwapStep                       // one plan step's table mutation applied; A=MRU page, B=step index
+	EvSwapDone                       // swap completed; A=MRU page, B=step count
+	EvPStall                         // access redirected to Ω by a P bit; A=physical page
+	EvStall                          // N-design execution stall; A=stall cycles
+	EvOSPenalty                      // OS-assisted epoch table update charged; A=penalty cycles
+	EvCopyDone                       // background sub-block copy finished; A=src machine page, B=dst machine page, C=bytes
+	EvAudit                          // invariant audit ran; A=1 for quiescent, 0 for step-level
+)
+
+// String names the event kind.
+func (k EventKind) String() string {
+	switch k {
+	case EvEpoch:
+		return "epoch"
+	case EvSwapStart:
+		return "swap-start"
+	case EvSwapStep:
+		return "swap-step"
+	case EvSwapDone:
+		return "swap-done"
+	case EvPStall:
+		return "p-stall"
+	case EvStall:
+		return "stall"
+	case EvOSPenalty:
+		return "os-penalty"
+	case EvCopyDone:
+		return "copy-done"
+	case EvAudit:
+		return "audit"
+	default:
+		return fmt.Sprintf("EventKind(%d)", uint8(k))
+	}
+}
+
+// MarshalJSON renders the kind as its string name.
+func (k EventKind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// Event is one structured trace event. A fixed-shape struct (no pointers,
+// no strings) so appends into the ring never allocate; the meaning of
+// A/B/C depends on Kind (see the kind constants).
+type Event struct {
+	Cycle int64     `json:"cycle"`
+	Kind  EventKind `json:"kind"`
+	A     uint64    `json:"a"`
+	B     uint64    `json:"b"`
+	C     uint64    `json:"c"`
+}
+
+// EventRing is a fixed-capacity ring buffer of events: recording is O(1)
+// and allocation-free, and when the simulation produces more events than
+// the capacity the oldest are overwritten (Total still counts them).
+type EventRing struct {
+	buf   []Event
+	next  int
+	total uint64
+}
+
+// NewEventRing returns a ring with the given capacity (minimum 1).
+func NewEventRing(capacity int) *EventRing {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &EventRing{buf: make([]Event, capacity)}
+}
+
+// Emit appends one event, overwriting the oldest when full. Safe on a nil
+// receiver (no-op), so components can hold the ring unconditionally.
+func (r *EventRing) Emit(cycle int64, kind EventKind, a, b, c uint64) {
+	if r == nil {
+		return
+	}
+	r.buf[r.next] = Event{Cycle: cycle, Kind: kind, A: a, B: b, C: c}
+	r.next++
+	if r.next == len(r.buf) {
+		r.next = 0
+	}
+	r.total++
+}
+
+// Total returns how many events were emitted over the ring's lifetime,
+// including any that have since been overwritten.
+func (r *EventRing) Total() uint64 {
+	if r == nil {
+		return 0
+	}
+	return r.total
+}
+
+// Events returns the retained events oldest-first (at most capacity).
+func (r *EventRing) Events() []Event {
+	if r == nil {
+		return nil
+	}
+	if r.total < uint64(len(r.buf)) {
+		return append([]Event(nil), r.buf[:r.next]...)
+	}
+	out := make([]Event, 0, len(r.buf))
+	out = append(out, r.buf[r.next:]...)
+	out = append(out, r.buf[:r.next]...)
+	return out
+}

@@ -23,6 +23,7 @@ import (
 	"math"
 
 	"heteromem/internal/dram"
+	"heteromem/internal/obs"
 )
 
 // Request is one memory transaction submitted to a region scheduler.
@@ -90,6 +91,11 @@ type Scheduler struct {
 	served      uint64
 	bulkServed  uint64
 	sumQueueing int64
+	agingGrants uint64
+
+	// Optional observability instruments (nil-safe; see SetObs).
+	obsGrants *obs.Counter
+	obsStolen *obs.Counter
 }
 
 // New builds a scheduler over dev. onDone fires as each request's service
@@ -215,8 +221,11 @@ func (s *Scheduler) drain(ch int, now int64) {
 					quantum = min64(j.remaining, s.quantum)
 					j.enqueued = now
 					s.grant[ch] = now
+					s.agingGrants++
+					s.obsGrants.Inc()
 				}
 				if quantum > 0 {
+					s.obsStolen.Add(uint64(quantum))
 					end := s.dev.ReserveBus(ch, bgAt, quantum)
 					if n := end - s.tcl; n > s.next[ch] {
 						s.next[ch] = n
@@ -293,6 +302,19 @@ func (s *Scheduler) BulkBacklog() int {
 	}
 	return n
 }
+
+// SetObs wires optional observability counters: grants counts aging-backstop
+// grants (background jobs served ahead of foreground work on a saturated
+// channel), stolen counts total bus cycles the background class consumed.
+// Either may be nil; recording into nil instruments is a no-op.
+func (s *Scheduler) SetObs(grants, stolen *obs.Counter) {
+	s.obsGrants = grants
+	s.obsStolen = stolen
+}
+
+// AgingGrants returns how many times the aging backstop promoted a starved
+// background job ahead of foreground traffic.
+func (s *Scheduler) AgingGrants() uint64 { return s.agingGrants }
 
 // Stats returns (requests served, bulk jobs served, mean queuing delay).
 func (s *Scheduler) Stats() (served, bulkServed uint64, meanQueue float64) {

@@ -17,6 +17,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/core"
 	"heteromem/internal/memctrl"
+	"heteromem/internal/obs"
 	"heteromem/internal/power"
 	"heteromem/internal/sched"
 	"heteromem/internal/trace"
@@ -54,6 +55,24 @@ type Config struct {
 	// with one point per that many records (including warmup), so migration
 	// convergence can be observed. See Result.Windows.
 	WindowRecords uint64
+
+	// Metrics enables the observability registry: counters, gauges, and
+	// latency histograms collected across the whole pipeline and returned
+	// in Result.Metrics. Off by default; the disabled cost is a nil check
+	// per record.
+	Metrics bool
+
+	// EventTrace, when positive, keeps a ring buffer of the last N
+	// structured pipeline events (epoch ticks, swap steps, P-bit stalls,
+	// copy completions, audits) and returns them in Result.Events.
+	// Implies Metrics.
+	EventTrace int
+
+	// Audit attaches the invariant auditor to the migration pipeline: the
+	// translation table is verified after every swap step and at every
+	// quiescent point, and any violation fails the run with a diagnostic
+	// error.
+	Audit bool
 }
 
 // Default fills in the Table II/III defaults for anything left zero.
@@ -88,6 +107,16 @@ type Result struct {
 	// Windows is the convergence time series (empty unless
 	// Config.WindowRecords was set).
 	Windows []Window
+
+	// Metrics is the observability snapshot (nil unless Config.Metrics or
+	// Config.EventTrace was set).
+	Metrics *obs.Snapshot `json:",omitempty"`
+
+	// Events is the tail of the structured event trace, oldest first
+	// (nil unless Config.EventTrace was set). EventsTotal counts every
+	// event emitted over the run, including those the ring dropped.
+	Events      []obs.Event `json:",omitempty"`
+	EventsTotal uint64      `json:",omitempty"`
 }
 
 // Window is one point of the convergence time series.
@@ -108,6 +137,15 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		Migration:  cfg.Migration,
 		OSAssisted: cfg.OSAssisted,
 		Sched:      cfg.Sched,
+		Audit:      cfg.Audit,
+	}
+	var reg *obs.Registry
+	if cfg.Metrics || cfg.EventTrace > 0 {
+		reg = obs.NewRegistry()
+		if cfg.EventTrace > 0 {
+			reg.EnableEvents(cfg.EventTrace)
+		}
+		mcfg.Obs = reg
 	}
 	var meter *power.Meter
 	if cfg.MeterPower {
@@ -165,7 +203,18 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		}
 	}
 	last := ctrl.Flush()
+	if err := ctrl.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
 
+	if reg != nil {
+		ctrl.PublishObs()
+		res.Metrics = reg.Snapshot()
+		if ring := reg.Events(); ring != nil {
+			res.Events = ring.Events()
+			res.EventsTotal = ring.Total()
+		}
+	}
 	res.Report = ctrl.Report()
 	res.Records = n
 	res.LastCycle = last
