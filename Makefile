@@ -1,10 +1,10 @@
 # Verification targets. `make ci` is the full gate: vet, build, the whole
-# test suite under the race detector (fuzz seed corpora included, in
-# regression mode), and the golden-file checks.
+# test suite under the race detector, the randomized fault soak, the fuzz
+# seed corpora (in regression mode), and the golden-file checks.
 
 GO ?= go
 
-.PHONY: all build vet test race fuzz-regression fuzz bench golden-update ci
+.PHONY: all build vet test race soak fuzz-regression fuzz bench golden-update ci
 
 all: ci
 
@@ -23,17 +23,26 @@ test:
 race:
 	$(GO) test -race ./...
 
+# Randomized fault soak: the acceptance campaign (1e-4 fault rates over a
+# million-record audited run of each migration design) with a fresh PRNG
+# seed each invocation. Set SOAK_SEED / SOAK_RECORDS to reproduce a run.
+SOAK_SEED ?= $(shell date +%s)
+soak:
+	SOAK_SEED=$(SOAK_SEED) $(GO) test -run TestFaultSoak -count=1 -v .
+
 # Run the committed fuzz seed corpora (testdata/fuzz/...) as regression
 # tests. This is what `go test` already does for fuzz targets without
 # -fuzz; the explicit target documents and isolates it.
 fuzz-regression:
 	$(GO) test ./internal/trace/ -run 'Fuzz'
+	$(GO) test ./internal/fault/ -run 'Fuzz'
 
 # Active fuzzing (not part of ci; run locally when touching the parsers).
 FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzTextReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
 
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' .
@@ -42,4 +51,4 @@ bench:
 golden-update:
 	$(GO) test ./cmd/hmreport/ -update
 
-ci: vet build race fuzz-regression
+ci: vet build race soak fuzz-regression

@@ -6,6 +6,7 @@ package heteromem
 // benches DESIGN.md calls out and microbenchmarks of the core data paths.
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -30,7 +31,7 @@ func benchParams(records uint64, wls ...string) experiments.Params {
 
 func BenchmarkTable1Footprints(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table1(io.Discard, experiments.Params{}); err != nil {
+		if err := experiments.Table1(context.Background(), io.Discard, experiments.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -38,7 +39,7 @@ func BenchmarkTable1Footprints(b *testing.B) {
 
 func BenchmarkTable2Config(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Table2(io.Discard, experiments.Params{}); err != nil {
+		if err := experiments.Table2(context.Background(), io.Discard, experiments.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -47,7 +48,7 @@ func BenchmarkTable2Config(b *testing.B) {
 func BenchmarkFig4MissRate(b *testing.B) {
 	p := benchParams(120_000, "EP.C", "CG.C", "FT.C")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig4Data(p)
+		pts, err := experiments.Fig4Data(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -58,7 +59,7 @@ func BenchmarkFig4MissRate(b *testing.B) {
 func BenchmarkFig5IPC(b *testing.B) {
 	p := benchParams(120_000, "EP.C", "FT.C")
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Fig5Data(p)
+		rows, err := experiments.Fig5Data(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -71,7 +72,7 @@ func BenchmarkFig5IPC(b *testing.B) {
 
 func BenchmarkFig10Overhead(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		if err := experiments.Fig10(io.Discard, experiments.Params{}); err != nil {
+		if err := experiments.Fig10(context.Background(), io.Discard, experiments.Params{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -83,7 +84,7 @@ func BenchmarkFig10Overhead(b *testing.B) {
 func BenchmarkFig11Designs(b *testing.B) {
 	p := benchParams(150_000, "SPEC2006")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig11Data(p, 1000)
+		pts, err := experiments.Fig11Data(context.Background(), p, 1000)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -105,7 +106,7 @@ func BenchmarkFig11Designs(b *testing.B) {
 func benchFig1214(b *testing.B, interval uint64) {
 	p := benchParams(200_000, "SPEC2006", "pgbench")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig1214Data(p, interval)
+		pts, err := experiments.Fig1214Data(context.Background(), p, interval)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -126,7 +127,7 @@ func BenchmarkFig14Interval100K(b *testing.B) { benchFig1214(b, 100000) }
 func BenchmarkTable4Effectiveness(b *testing.B) {
 	p := benchParams(400_000, "SPEC2006")
 	for i := 0; i < b.N; i++ {
-		rows, err := experiments.Table4Data(p)
+		rows, err := experiments.Table4Data(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -137,7 +138,7 @@ func BenchmarkTable4Effectiveness(b *testing.B) {
 func BenchmarkFig15Capacity(b *testing.B) {
 	p := benchParams(200_000, "pgbench")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig15Data(p)
+		pts, err := experiments.Fig15Data(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -148,7 +149,7 @@ func BenchmarkFig15Capacity(b *testing.B) {
 func BenchmarkFig16Power(b *testing.B) {
 	p := benchParams(120_000, "pgbench")
 	for i := 0; i < b.N; i++ {
-		pts, err := experiments.Fig16Data(p)
+		pts, err := experiments.Fig16Data(context.Background(), p)
 		if err != nil {
 			b.Fatal(err)
 		}

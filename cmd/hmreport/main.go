@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"encoding/csv"
 	"flag"
 	"fmt"
@@ -26,7 +27,7 @@ func main() {
 		seed    = flag.Int64("seed", 1, "workload seed")
 	)
 	flag.Parse()
-	if err := run(os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
+	if err := run(context.Background(), os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
 		fmt.Fprintln(os.Stderr, "hmreport:", err)
 		os.Exit(1)
 	}
@@ -34,13 +35,13 @@ func main() {
 
 // run executes the full report: CSV files into dir, the human-readable
 // measured-vs-paper summary onto w.
-func run(w io.Writer, dir string, p experiments.Params) error {
+func run(ctx context.Context, w io.Writer, dir string, p experiments.Params) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
 
 	// Table IV with the paper comparison.
-	rows, err := experiments.Table4Data(p)
+	rows, err := experiments.Table4Data(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -71,7 +72,7 @@ func run(w io.Writer, dir string, p experiments.Params) error {
 
 	// Fig. 11 (all three intervals) and Figs. 12-14.
 	for _, iv := range experiments.Intervals {
-		pts, err := experiments.Fig11Data(p, iv)
+		pts, err := experiments.Fig11Data(ctx, p, iv)
 		if err != nil {
 			return err
 		}
@@ -88,7 +89,7 @@ func run(w io.Writer, dir string, p experiments.Params) error {
 	}
 
 	// Fig. 15 capacity sensitivity.
-	pts15, err := experiments.Fig15Data(p)
+	pts15, err := experiments.Fig15Data(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -104,7 +105,7 @@ func run(w io.Writer, dir string, p experiments.Params) error {
 	}
 
 	// Fig. 16 power.
-	pts16, err := experiments.Fig16Data(p)
+	pts16, err := experiments.Fig16Data(ctx, p)
 	if err != nil {
 		return err
 	}

@@ -2,6 +2,7 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"flag"
 	"os"
 	"path/filepath"
@@ -48,7 +49,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func TestRunGolden(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(&buf, dir, goldenParams()); err != nil {
+	if err := run(context.Background(), &buf, dir, goldenParams()); err != nil {
 		t.Fatal(err)
 	}
 
@@ -76,7 +77,7 @@ func TestExperimentSummariesGolden(t *testing.T) {
 			t.Fatalf("experiment %q missing from registry", name)
 		}
 		var buf bytes.Buffer
-		if err := run(&buf, goldenParams()); err != nil {
+		if err := run(context.Background(), &buf, goldenParams()); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		checkGolden(t, name+".golden", buf.Bytes())

@@ -1,21 +1,24 @@
 // Command hmsim runs the paper's experiments: every table and figure of
 // the evaluation has a driver, selected with -exp. It also supports a
 // single-run mode (-workload) that simulates one workload through one
-// migration design and emits the full result — optionally with metrics
-// and an event trace — as JSON.
+// migration design and emits the full result — optionally with metrics,
+// an event trace, and fault injection — as JSON.
 //
 // Usage:
 //
 //	hmsim -exp table4                 # reproduce Table IV
 //	hmsim -exp fig11a -records 1e6    # Fig. 11 at swap interval 1000
-//	hmsim -exp all                    # everything (slow)
+//	hmsim -exp all -timeout 10m       # everything, bounded wall clock
 //	hmsim -list                       # show available experiments
 //
 //	hmsim -workload pgbench -design live -records 1000000 -metrics
 //	hmsim -workload tpcc -design n-1 -audit -events 256
+//	hmsim -workload pgbench -design live -audit \
+//	    -fault-device 1e-4 -fault-copy 1e-4 -fault-seed 7
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -35,6 +38,7 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "warmup records excluded from statistics (0 = records/2)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		timeout   = flag.Duration("timeout", 0, "experiment mode: wall-clock budget; exceeded runs abort between simulations")
 
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
@@ -44,8 +48,24 @@ func main() {
 		metrics      = flag.Bool("metrics", false, "single-run: collect and emit the metrics snapshot")
 		events       = flag.Int("events", 0, "single-run: keep the last N structured pipeline events")
 		audit        = flag.Bool("audit", false, "single-run: verify translation-table invariants throughout")
+
+		// Single-run fault injection (see heteromem.FaultConfig).
+		faultSeed     = flag.Uint64("fault-seed", 0, "single-run: fault injector PRNG seed")
+		faultDevice   = flag.Float64("fault-device", 0, "single-run: DRAM burst fault probability [0,1]")
+		faultCopy     = flag.Float64("fault-copy", 0, "single-run: migration copy-leg fault probability [0,1]")
+		faultBulk     = flag.Float64("fault-bulk", 0, "single-run: bulk step-completion fault probability [0,1]")
+		faultSchedule = flag.String("fault-schedule", "", "single-run: exact fault ordinals, e.g. 'copy@3,device@100x2,bulk@1-4'")
+		faultRetries  = flag.Int("fault-retries", 0, "single-run: retry budget per faulted operation (0 = default)")
+		faultBackoff  = flag.Int64("fault-backoff", 0, "single-run: base retry backoff in cycles (0 = default)")
+		faultRetire   = flag.Int("fault-retire-after", 0, "single-run: faults on one frame before its slot retires (0 = default)")
+		faultDegrade  = flag.Int("fault-degrade-budget", 0, "single-run: total faults before migration degrades to static (0 = never)")
 	)
 	flag.Parse()
+
+	usageErr := func(format string, args ...interface{}) {
+		fmt.Fprintf(os.Stderr, "hmsim: "+format+"\n", args...)
+		os.Exit(2)
+	}
 
 	if *list {
 		fmt.Println("available experiments:")
@@ -55,11 +75,69 @@ func main() {
 		return
 	}
 
+	// Validate the flag set up front so misuse fails immediately with a
+	// usage error instead of surfacing mid-run (or being ignored).
+	set := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	singleOnly := []string{
+		"design", "interval", "page", "metrics", "events", "audit",
+		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
+		"fault-schedule", "fault-retries", "fault-backoff",
+		"fault-retire-after", "fault-degrade-budget",
+	}
+	expOnly := []string{"workloads", "timeout"}
 	if *workloadName != "" {
+		if *exp != "" {
+			usageErr("-workload and -exp are mutually exclusive")
+		}
+		for _, name := range expOnly {
+			if set[name] {
+				usageErr("-%s applies only to experiment mode (-exp)", name)
+			}
+		}
+	} else {
+		for _, name := range singleOnly {
+			if set[name] {
+				usageErr("-%s applies only to single-run mode (-workload)", name)
+			}
+		}
+	}
+	if *events < 0 {
+		usageErr("-events must be >= 0, got %d", *events)
+	}
+	if *records > 0 && *warmup >= *records {
+		usageErr("-warmup (%d) must be smaller than -records (%d)", *warmup, *records)
+	}
+	if *timeout < 0 {
+		usageErr("-timeout must be >= 0, got %v", *timeout)
+	}
+
+	if *workloadName != "" {
+		d, ok := parseDesign(*design)
+		if !ok {
+			usageErr("unknown design %q (want n, n-1, live, or none)", *design)
+		}
+		if d.migrate && *interval == 0 {
+			usageErr("-interval must be > 0 when migration is enabled")
+		}
+		fcfg := heteromem.FaultConfig{
+			Seed:          *faultSeed,
+			DeviceRate:    *faultDevice,
+			CopyRate:      *faultCopy,
+			BulkRate:      *faultBulk,
+			Schedule:      *faultSchedule,
+			RetryBudget:   *faultRetries,
+			RetryBackoff:  *faultBackoff,
+			RetireAfter:   *faultRetire,
+			DegradeBudget: *faultDegrade,
+		}
+		if err := fcfg.Validate(); err != nil {
+			usageErr("%v", err)
+		}
 		if err := singleRun(os.Stdout, singleRunConfig{
-			Workload: *workloadName, Design: *design, Interval: *interval, Page: *page,
+			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
 			Records: *records, Warmup: *warmup, Seed: *seed,
-			Metrics: *metrics, Events: *events, Audit: *audit,
+			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
 			os.Exit(1)
@@ -68,8 +146,7 @@ func main() {
 	}
 
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "hmsim: -exp or -workload required (use -list to see experiments)")
-		os.Exit(2)
+		usageErr("-exp or -workload required (use -list to see experiments)")
 	}
 
 	p := experiments.Params{Records: *records, Warmup: *warmup, Seed: *seed}
@@ -83,12 +160,19 @@ func main() {
 		names = experiments.Names()
 	}
 	for _, name := range names {
-		run, ok := registry[name]
-		if !ok {
-			fmt.Fprintf(os.Stderr, "hmsim: unknown experiment %q (use -list)\n", name)
-			os.Exit(2)
+		if _, ok := registry[name]; !ok {
+			usageErr("unknown experiment %q (use -list)", name)
 		}
-		if err := run(os.Stdout, p); err != nil {
+	}
+
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	for _, name := range names {
+		if err := registry[name](ctx, os.Stdout, p); err != nil {
 			fmt.Fprintf(os.Stderr, "hmsim: %s: %v\n", name, err)
 			os.Exit(1)
 		}
@@ -96,10 +180,33 @@ func main() {
 	}
 }
 
+// designChoice is a parsed -design value.
+type designChoice struct {
+	name    string
+	migrate bool
+	design  heteromem.Design
+}
+
+// parseDesign maps the -design flag to a migration design.
+func parseDesign(s string) (designChoice, bool) {
+	switch strings.ToLower(s) {
+	case "n":
+		return designChoice{name: s, migrate: true, design: heteromem.DesignN}, true
+	case "n-1", "n1":
+		return designChoice{name: s, migrate: true, design: heteromem.DesignN1}, true
+	case "live":
+		return designChoice{name: s, migrate: true, design: heteromem.DesignLive}, true
+	case "none", "static":
+		return designChoice{name: s}, true
+	default:
+		return designChoice{}, false
+	}
+}
+
 // singleRunConfig collects the single-run flags.
 type singleRunConfig struct {
 	Workload string
-	Design   string
+	Design   designChoice
 	Interval uint64
 	Page     uint64
 	Records  uint64
@@ -108,6 +215,7 @@ type singleRunConfig struct {
 	Metrics  bool
 	Events   int
 	Audit    bool
+	Fault    heteromem.FaultConfig
 }
 
 // singleRunOutput is the JSON document single-run mode emits.
@@ -128,18 +236,10 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 		Metrics:       c.Metrics,
 		EventTrace:    c.Events,
 		Audit:         c.Audit,
+		Fault:         c.Fault,
 	}
-	switch strings.ToLower(c.Design) {
-	case "n":
-		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignN, SwapInterval: c.Interval}
-	case "n-1", "n1":
-		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignN1, SwapInterval: c.Interval}
-	case "live":
-		cfg.Migration = heteromem.Migration{Enabled: true, Design: heteromem.DesignLive, SwapInterval: c.Interval}
-	case "none", "static":
-		// static mapping baseline
-	default:
-		return fmt.Errorf("unknown design %q (want n, n-1, live, or none)", c.Design)
+	if c.Design.migrate {
+		cfg.Migration = heteromem.Migration{Enabled: true, Design: c.Design.design, SwapInterval: c.Interval}
 	}
 	sys, err := heteromem.New(cfg)
 	if err != nil {
@@ -155,7 +255,7 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	}
 	out := singleRunOutput{
 		Workload: c.Workload,
-		Design:   c.Design,
+		Design:   c.Design.name,
 		Interval: c.Interval,
 		PageSize: c.Page,
 		Records:  res.Records,

@@ -4,6 +4,8 @@ import (
 	"bytes"
 	"encoding/json"
 	"testing"
+
+	"heteromem"
 )
 
 // TestSingleRunMetricsJSON pins the acceptance contract of `hmsim
@@ -12,8 +14,12 @@ import (
 // and background-copy traffic, plus the structured event trace.
 func TestSingleRunMetricsJSON(t *testing.T) {
 	var buf bytes.Buffer
+	live, ok := parseDesign("live")
+	if !ok {
+		t.Fatal("parseDesign rejected \"live\"")
+	}
 	err := singleRun(&buf, singleRunConfig{
-		Workload: "pgbench", Design: "live", Interval: 1000,
+		Workload: "pgbench", Design: live, Interval: 1000,
 		Records: 200_000, Seed: 1,
 		Metrics: true, Events: 64, Audit: true,
 	})
@@ -72,11 +78,51 @@ func TestSingleRunMetricsJSON(t *testing.T) {
 	}
 }
 
-// TestSingleRunRejectsBadDesign covers the flag-validation path.
-func TestSingleRunRejectsBadDesign(t *testing.T) {
-	var buf bytes.Buffer
-	err := singleRun(&buf, singleRunConfig{Workload: "pgbench", Design: "bogus", Interval: 1000, Records: 10})
-	if err == nil {
+// TestParseDesign covers the flag-validation path.
+func TestParseDesign(t *testing.T) {
+	if _, ok := parseDesign("bogus"); ok {
 		t.Fatal("bogus design accepted")
+	}
+	for _, name := range []string{"n", "n-1", "n1", "live", "none", "static", "LIVE"} {
+		if _, ok := parseDesign(name); !ok {
+			t.Errorf("design %q rejected", name)
+		}
+	}
+	if d, _ := parseDesign("none"); d.migrate {
+		t.Error("design none should not migrate")
+	}
+}
+
+// TestSingleRunFaultInjection pins the fault-injection contract end to end:
+// a seeded fault campaign over an audited run must finish without error and
+// report a balanced disposition ledger in the JSON output.
+func TestSingleRunFaultInjection(t *testing.T) {
+	live, _ := parseDesign("live")
+	var buf bytes.Buffer
+	err := singleRun(&buf, singleRunConfig{
+		Workload: "pgbench", Design: live, Interval: 1000,
+		Records: 100_000, Seed: 1, Audit: true,
+		Fault: heteromem.FaultConfig{Seed: 7, DeviceRate: 1e-4, CopyRate: 1e-4, BulkRate: 1e-4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out struct {
+		Result struct {
+			Faults *heteromem.FaultReport
+		}
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("output is not valid JSON: %v", err)
+	}
+	f := out.Result.Faults
+	if f == nil {
+		t.Fatal("fault campaign produced no Faults ledger")
+	}
+	if f.Injected == 0 {
+		t.Fatal("fault campaign injected nothing")
+	}
+	if !f.Balanced(f.Injected) {
+		t.Fatalf("fault ledger unbalanced: %+v", f)
 	}
 }

@@ -37,6 +37,7 @@ import (
 	"heteromem/internal/addr"
 	"heteromem/internal/config"
 	"heteromem/internal/core"
+	"heteromem/internal/fault"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -102,7 +103,24 @@ type Config struct {
 	// and at every quiescent point; any violation fails the run with a
 	// diagnostic error.
 	Audit bool
+
+	// Fault enables deterministic fault injection with graceful
+	// degradation; see FaultConfig. The zero value is a no-op.
+	Fault FaultConfig
 }
+
+// FaultConfig configures deterministic fault injection: DRAM device
+// bursts, migration copy legs, and bulk-step completions can be failed by
+// seeded probability (DeviceRate/CopyRate/BulkRate) or by an explicit
+// schedule ("device@100,copy@5-8,bulk@3x2"). The controller responds with
+// bounded retries, swap rollback, slot retirement, and degraded mode; the
+// zero value disables injection and leaves results byte-identical.
+type FaultConfig = fault.Config
+
+// FaultReport is the fault-handling ledger returned in Result.Faults:
+// injected faults per point and the disposition of each (retried, rolled
+// back, retired, degraded).
+type FaultReport = fault.Report
 
 // Result re-exports the simulation outcome.
 type Result = sim.Result
@@ -151,6 +169,10 @@ func New(c Config) (*System, error) {
 	scfg.Metrics = c.Metrics
 	scfg.EventTrace = c.EventTrace
 	scfg.Audit = c.Audit
+	scfg.Fault = c.Fault
+	if err := scfg.Fault.Validate(); err != nil {
+		return nil, fmt.Errorf("heteromem: %w", err)
+	}
 	return &System{cfg: scfg}, nil
 }
 

@@ -89,6 +89,14 @@ func (a *Auditor) audit(phase string, strict bool) error {
 	empties := 0
 	for s := 0; uint64(s) < n; s++ {
 		r := t.Resident(s)
+		if t.Retired(s) {
+			// A retired slot is permanently out of service: it must read
+			// Empty and is excluded from empty-row accounting.
+			if r != core.Empty {
+				return fail("retired slot %d still holds %s", s, pageName(r))
+			}
+			continue
+		}
 		if r == core.Empty {
 			empties++
 			continue
@@ -153,6 +161,14 @@ func (a *Auditor) audit(phase string, strict bool) error {
 				return fail("page %d translates to home of page %d, which still owns it (page %d is not migrated)",
 					p, machine, machine)
 			}
+		case machine > omega && machine <= omega+t.Spares():
+			// Spare frames past Ω hold exiled pages (fault retirement).
+			if spare, ok := t.ExiledTo(p); !ok || spare != machine {
+				return fail("page %d translates to spare frame %d without being exiled there", p, machine)
+			}
+			if onPkg {
+				return fail("exiled page %d reported on-package", p)
+			}
 		default:
 			return fail("page %d translates to invalid machine page %d", p, machine)
 		}
@@ -201,7 +217,26 @@ func (a *Auditor) audit(phase string, strict bool) error {
 			return fail("N design parked a page in Ω")
 		}
 	default: // N-1 and Live sacrifice one slot
-		if empties != 1 || t.EmptyRow() < 0 {
+		if t.EmptyRow() < 0 {
+			// Legal only after the empty slot itself was retired: the table
+			// keeps no spare room, the former Ghost page stays parked in Ω,
+			// and migration is structurally over (the controller degrades).
+			if t.RetiredSlots() == 0 {
+				return fail("design %v must keep exactly one empty slot when quiescent, found %d (emptyRow=-1 with no retired slot to explain it)",
+					a.design, empties)
+			}
+			if empties != 0 {
+				return fail("design %v has emptyRow=-1 but %d live empty slot(s)", a.design, empties)
+			}
+			if omegaPages == 1 {
+				ghost := target[omega]
+				if !t.Retired(int(ghost)) {
+					return fail("Ω holds page %d but its slot is not retired (no empty row to justify a Ghost)", ghost)
+				}
+			}
+			break
+		}
+		if empties != 1 {
 			return fail("design %v must keep exactly one empty slot when quiescent, found %d (emptyRow=%d)",
 				a.design, empties, t.EmptyRow())
 		}
@@ -230,9 +265,9 @@ func (a *Auditor) AuditExhaustive() error {
 	seen := make(map[uint64]uint64, t.TotalPages())
 	for p := uint64(0); p < t.TotalPages(); p++ {
 		machine, _ := t.MachinePage(p)
-		if machine > omega {
+		if machine > omega+t.Spares() {
 			return &Violation{Design: a.design, Phase: "exhaustive",
-				Reason: fmt.Sprintf("page %d translates past Ω to %d", p, machine), Dump: a.dump()}
+				Reason: fmt.Sprintf("page %d translates past the spare frames to %d", p, machine), Dump: a.dump()}
 		}
 		if prev, dup := seen[machine]; dup {
 			return &Violation{Design: a.design, Phase: "exhaustive",
@@ -268,6 +303,9 @@ func (a *Auditor) dump() string {
 		fmt.Fprintf(&b, "  row %d: resident=%s class(row-page)=%v", s, pageName(r), t.Classify(uint64(s)))
 		if pending {
 			b.WriteString(" P=1")
+		}
+		if t.Retired(s) {
+			b.WriteString(" retired")
 		}
 		b.WriteByte('\n')
 	}

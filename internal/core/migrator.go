@@ -97,6 +97,8 @@ type Stats struct {
 	PagesCopied     uint64
 	BytesCopied     uint64
 	LiveEarlyHits   uint64 // accesses served on-package thanks to the fill bitmap
+	SwapsRolledBack uint64 // swaps aborted and unwound after fault-retry exhaustion
+	SlotsRetired    uint64 // on-package slots taken out of service
 }
 
 // Migrator is the migration controller of Fig. 3: it owns the translation
@@ -116,6 +118,10 @@ type Migrator struct {
 
 	plan    *Plan
 	stepIdx int
+
+	snap     *TableSnapshot // table state at swap start, for rollback
+	rollback bool           // in-flight swap is being unwound
+	degraded bool           // migration frozen; current mapping is final
 
 	fill struct {
 		active  bool
@@ -222,7 +228,13 @@ func (m *Migrator) Translate(phys uint64) (machine uint64, onPackage bool) {
 // OnAccess feeds one program access into the hotness trackers. onPackage
 // must be the routing Translate returned for the same access.
 func (m *Migrator) OnAccess(phys uint64, onPackage bool) {
+	if m.degraded {
+		return // mapping is frozen; hotness tracking is pointless
+	}
 	p := m.geom.PageOf(phys)
+	if _, ok := m.table.exiled[p]; ok {
+		return // exiled pages can never re-promote (their slot is dead)
+	}
 	if onPackage {
 		mp, _ := m.table.MachinePage(p)
 		if m.fill.active && p == m.fill.phys {
@@ -247,6 +259,9 @@ func (m *Migrator) OnAccess(phys uint64, onPackage bool) {
 // starts, returns the first step's sub-copies. A nil slice means no swap
 // started this access.
 func (m *Migrator) EpochTick() []SubCopy {
+	if m.degraded {
+		return nil
+	}
 	m.sinceTick++
 	if m.sinceTick < m.opt.SwapInterval {
 		return nil
@@ -258,6 +273,12 @@ func (m *Migrator) EpochTick() []SubCopy {
 		// "The existence of P bit and F bit prevents triggering another
 		// swap if the previous swap is not complete yet."
 		m.stats.TriggersBlocked++
+		m.resetEpochCounts()
+		return nil
+	}
+
+	if !m.CanSwap() {
+		// The empty row was retired; the N-1/Live designs have no room left.
 		m.resetEpochCounts()
 		return nil
 	}
@@ -295,6 +316,7 @@ func (m *Migrator) EpochTick() []SubCopy {
 	}
 	m.plan = plan
 	m.stepIdx = 0
+	m.snap = m.table.Snapshot() // rollback point if the swap must abort
 	m.stats.SwapsStarted++
 	m.resetEpochCounts()
 	return m.startStep()
@@ -409,6 +431,9 @@ func (m *Migrator) StepDone() (next []SubCopy, done bool, err error) {
 	if m.plan == nil {
 		return nil, true, fmt.Errorf("core: StepDone with no swap in flight")
 	}
+	if m.rollback {
+		return nil, true, fmt.Errorf("core: StepDone while rolling back")
+	}
 	st := m.plan.Steps[m.stepIdx]
 	if st.Critical {
 		m.fill.active = false
@@ -435,18 +460,194 @@ func (m *Migrator) StepDone() (next []SubCopy, done bool, err error) {
 func (m *Migrator) finishSwap() {
 	mru := m.plan.MRU
 	m.plan = nil
+	m.snap = nil
 	m.stats.SwapsCompleted++
 	m.mq.Remove(mru)
 	delete(m.lastSub, mru)
 	// Keep the (possibly moved) empty slot pinned and give the freshly
 	// promoted page a grace period by marking it referenced.
+	m.repinSlots()
+	if s := m.table.SlotOf(mru); s >= 0 {
+		m.clock.Touch(s)
+	}
+}
+
+// repinSlots rebuilds the victim selector's pin set: retired slots and the
+// empty row stay pinned, everything else becomes eligible again.
+func (m *Migrator) repinSlots() {
 	for s := uint64(0); s < m.table.Slots(); s++ {
+		if m.table.Retired(int(s)) {
+			continue // pinned forever
+		}
 		m.clock.Unpin(int(s))
 	}
 	if er := m.table.EmptyRow(); er >= 0 {
 		m.clock.Pin(er)
 	}
-	if s := m.table.SlotOf(mru); s >= 0 {
-		m.clock.Touch(s)
+}
+
+// CanSwap reports whether the design still has the structural room to swap:
+// the N design always does, the N-1 and Live designs need their empty row
+// (lost if the empty slot itself is retired).
+func (m *Migrator) CanSwap() bool {
+	return m.opt.Design == DesignN || m.table.EmptyRow() >= 0
+}
+
+// RollingBack reports whether the in-flight swap is being unwound.
+func (m *Migrator) RollingBack() bool { return m.rollback }
+
+// Degraded reports whether migration has been permanently frozen.
+func (m *Migrator) Degraded() bool { return m.degraded }
+
+// Degrade freezes migration forever: no more epochs, swaps, or hotness
+// tracking. The current mapping stays live (accesses still translate), so
+// the machine keeps running — slower, but correct. The caller must have
+// quiesced any in-flight swap first.
+func (m *Migrator) Degrade() {
+	m.degraded = true
+	m.fill.active = false
+	m.fill.done = nil
+}
+
+// RestartStep re-materializes the current step's sub-copies after a
+// step-completion fault, so the controller can re-run the whole step.
+func (m *Migrator) RestartStep() ([]SubCopy, error) {
+	if m.plan == nil || m.rollback {
+		return nil, fmt.Errorf("core: RestartStep with no forward swap in flight")
 	}
+	return m.startStep(), nil
+}
+
+// AbortSwap abandons the in-flight swap and returns the ordered undo
+// copy traffic that rewinds the data movement:
+//
+//   - If the current (incomplete) step is an exchange, its already-copied
+//     sub-blocks (partialSubs) are re-exchanged first — a partial exchange
+//     is the only forward copy that destroys data in place. Partial plain
+//     copies need no undo: their destination frame holds no live page under
+//     the snapshot mapping.
+//   - Completed steps are then undone in reverse order with full-page
+//     copies Dst -> Src (forward copies never destroyed their source, so
+//     the source frame is rebuilt from the still-live destination copy).
+//
+// The table keeps its mid-swap state — still consistent, every page
+// reachable via the P-bit protocol — until RollbackDone restores the
+// snapshot. Accesses may continue while the undo traffic drains.
+func (m *Migrator) AbortSwap(partialSubs []int) ([]SubCopy, error) {
+	if m.plan == nil {
+		return nil, fmt.Errorf("core: AbortSwap with no swap in flight")
+	}
+	if m.rollback {
+		return nil, fmt.Errorf("core: AbortSwap while already rolling back")
+	}
+	m.rollback = true
+	m.fill.active = false
+	m.fill.done = nil
+	var undo []SubCopy
+	if m.stepIdx < len(m.plan.Steps) {
+		if st := m.plan.Steps[m.stepIdx]; st.Exchange {
+			for i := len(partialSubs) - 1; i >= 0; i-- {
+				sub := partialSubs[i]
+				off := uint64(sub) * m.opt.SubBlockSize
+				undo = append(undo, SubCopy{
+					Src:      m.geom.Join(st.Dst, off),
+					Dst:      m.geom.Join(st.Src, off),
+					Bytes:    m.opt.SubBlockSize,
+					SubIndex: -1,
+					Exchange: true,
+				})
+			}
+		}
+	}
+	for i := m.stepIdx - 1; i >= 0; i-- {
+		st := m.plan.Steps[i]
+		undo = append(undo, SubCopy{
+			Src:      m.geom.Join(st.Dst, 0),
+			Dst:      m.geom.Join(st.Src, 0),
+			Bytes:    m.opt.PageSize,
+			SubIndex: -1,
+			Exchange: st.Exchange,
+		})
+	}
+	return undo, nil
+}
+
+// RollbackDone restores the swap-start snapshot once the undo traffic has
+// drained (or been abandoned, when the caller is degrading anyway). The
+// promoted page stays in the off-package tracker so a later epoch can try
+// again.
+func (m *Migrator) RollbackDone() error {
+	if m.plan == nil || !m.rollback {
+		return fmt.Errorf("core: RollbackDone with no rollback in flight")
+	}
+	if err := m.table.Restore(m.snap); err != nil {
+		return err
+	}
+	m.plan = nil
+	m.snap = nil
+	m.rollback = false
+	m.stepIdx = 0
+	m.stats.SwapsRolledBack++
+	m.repinSlots()
+	return nil
+}
+
+// RetireSlot takes on-package slot s out of service after repeated faults
+// and returns the ordered copy traffic that evacuates it. Only legal at a
+// quiescent point (no swap in flight). Depending on the slot's occupant:
+//
+//   - empty slot: no traffic; the N-1/Live designs lose their empty row and
+//     can no longer swap (CanSwap turns false — the caller degrades).
+//   - page s in its own slot (OF): one copy, slot -> spare frame.
+//   - migrated page q in the slot (MF): page s's data sits at frame q; copy
+//     frame q -> spare first (rescue page s), then slot -> frame q (send
+//     page q home). Order matters: the second copy overwrites the first's
+//     source.
+//
+// The slot is pinned in the victim selector forever and the exiled page can
+// never re-promote; the design degrades toward an (N-1)-shaped layout with
+// the retired slot as a hole.
+func (m *Migrator) RetireSlot(s int) ([]SubCopy, error) {
+	if m.plan != nil {
+		return nil, fmt.Errorf("core: RetireSlot with swap in flight")
+	}
+	if s < 0 || uint64(s) >= m.table.Slots() {
+		return nil, fmt.Errorf("core: retire slot %d out of range", s)
+	}
+	var copies []SubCopy
+	spare := m.table.Omega() + 1 + m.table.Spares() // frame RetireSlot will assign
+	switch r := m.table.Resident(s); {
+	case r == Empty:
+		// Nothing stored; no traffic.
+	case r == uint64(s):
+		copies = append(copies, SubCopy{
+			Src:      m.geom.Join(uint64(s), 0),
+			Dst:      m.geom.Join(spare, 0),
+			Bytes:    m.opt.PageSize,
+			SubIndex: -1,
+		})
+	default:
+		copies = append(copies,
+			SubCopy{
+				Src:      m.geom.Join(r, 0),
+				Dst:      m.geom.Join(spare, 0),
+				Bytes:    m.opt.PageSize,
+				SubIndex: -1,
+			},
+			SubCopy{
+				Src:      m.geom.Join(uint64(s), 0),
+				Dst:      m.geom.Join(r, 0),
+				Bytes:    m.opt.PageSize,
+				SubIndex: -1,
+			})
+	}
+	if _, _, err := m.table.RetireSlot(s); err != nil {
+		return nil, err
+	}
+	m.clock.Pin(s)
+	m.mq.Remove(uint64(s))
+	delete(m.lastSub, uint64(s))
+	delete(m.naive, uint64(s))
+	m.stats.SlotsRetired++
+	return copies, nil
 }

@@ -30,13 +30,16 @@ const Empty = ^uint64(0)
 // PageClass classifies a macro page per Section III-A.
 type PageClass int
 
-// Page categories of the paper.
+// Page categories of the paper, plus the fault-handling extension: a page
+// whose slot was retired after repeated faults is Exiled to a reserved
+// off-package spare frame and never migrates again.
 const (
 	OriginalFast PageClass = iota // ID < N, data in its own slot
 	OriginalSlow                  // ID >= N, data in its own off-package home
 	MigratedFast                  // ID >= N, data in some on-package slot
 	MigratedSlow                  // ID < N, data at its swap partner's off-package home
 	GhostPage                     // ID < N, data parked in Ω
+	ExiledPage                    // ID < N, slot retired, data at a spare frame past Ω
 )
 
 // String names the page class.
@@ -52,6 +55,8 @@ func (c PageClass) String() string {
 		return "MS"
 	case GhostPage:
 		return "Ghost"
+	case ExiledPage:
+		return "Exiled"
 	default:
 		return fmt.Sprintf("PageClass(%d)", int(c))
 	}
@@ -67,6 +72,13 @@ type Table struct {
 	pending  []bool         // P bit per row
 	back     map[uint64]int // CAM: page >= N -> slot; only migrated-fast pages appear
 	emptyRow int            // row whose slot is empty; -1 in the N design
+
+	// Fault-handling state: a retired row's slot is permanently out of
+	// service (its frame faulted too often), and its page — when it held
+	// data on-package — is exiled to a reserved spare frame past Ω.
+	retired []bool
+	exiled  map[uint64]uint64 // page < N -> spare machine page (Ω+1, Ω+2, ...)
+	spares  uint64            // spare frames allocated so far
 
 	pendingSets   uint64 // P-bit 0->1 transitions (observability)
 	pendingClears uint64 // P-bit 1->0 transitions
@@ -86,6 +98,8 @@ func NewTable(slots, totalPages uint64, sacrificeSlot bool) (*Table, error) {
 		pending:  make([]bool, slots),
 		back:     make(map[uint64]int),
 		emptyRow: -1,
+		retired:  make([]bool, slots),
+		exiled:   make(map[uint64]uint64),
 	}
 	for s := range t.resident {
 		t.resident[s] = uint64(s)
@@ -153,6 +167,9 @@ func (t *Table) SlotOf(p uint64) int {
 // Classify returns the paper's category for page p.
 func (t *Table) Classify(p uint64) PageClass {
 	if p < t.n {
+		if _, ok := t.exiled[p]; ok {
+			return ExiledPage
+		}
 		switch {
 		case t.resident[p] == p:
 			return OriginalFast
@@ -182,6 +199,9 @@ func (t *Table) MachinePage(p uint64) (machine uint64, onPackage bool) {
 		return p, false
 	}
 	if p < t.n {
+		if spare, ok := t.exiled[p]; ok {
+			return spare, false // Exiled: slot retired, data at its spare frame
+		}
 		if t.pending[p] {
 			return t.Omega(), false // P bit: RAM direction forced to Ω
 		}
@@ -204,6 +224,9 @@ func (t *Table) MachinePage(p uint64) (machine uint64, onPackage bool) {
 func (t *Table) Install(s int, p uint64) error {
 	if s < 0 || uint64(s) >= t.n {
 		return fmt.Errorf("core: slot %d out of range", s)
+	}
+	if t.retired[s] {
+		return fmt.Errorf("core: slot %d is retired", s)
 	}
 	if p < t.n && uint64(s) != p {
 		return fmt.Errorf("core: page %d < N may only occupy its own slot, not %d", p, s)
@@ -229,6 +252,9 @@ func (t *Table) Vacate(s int) error {
 	if s < 0 || uint64(s) >= t.n {
 		return fmt.Errorf("core: slot %d out of range", s)
 	}
+	if t.retired[s] {
+		return fmt.Errorf("core: slot %d is retired", s)
+	}
 	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == s {
 		delete(t.back, old)
 	}
@@ -237,11 +263,137 @@ func (t *Table) Vacate(s int) error {
 	return nil
 }
 
+// Retired reports whether slot s has been taken out of service.
+func (t *Table) Retired(s int) bool {
+	return s >= 0 && uint64(s) < t.n && t.retired[s]
+}
+
+// RetiredSlots counts slots taken out of service.
+func (t *Table) RetiredSlots() int {
+	n := 0
+	for _, r := range t.retired {
+		if r {
+			n++
+		}
+	}
+	return n
+}
+
+// Spares returns how many spare frames past Ω have been handed out to
+// exiled pages. Legal machine pages therefore run up to Omega()+Spares().
+func (t *Table) Spares() uint64 { return t.spares }
+
+// ExiledTo returns the spare frame page p was exiled to, if any.
+func (t *Table) ExiledTo(p uint64) (uint64, bool) {
+	spare, ok := t.exiled[p]
+	return spare, ok
+}
+
+// RetireSlot takes slot s permanently out of service after repeated faults.
+// The caller must have quiesced migration (no P bit on row s) and must have
+// already copied the affected data:
+//
+//   - empty slot: nothing to copy; the table loses its empty row, so the
+//     N-1 and Live designs can no longer swap (the caller degrades).
+//   - OF resident (page s in its own slot): page s's data must be copied to
+//     the returned spare frame before calling.
+//   - MF resident q: frame q currently holds page s's data (MS) and slot s
+//     holds page q's; page s's data must be copied to the spare and page q's
+//     back to frame q — in that order — before calling.
+//
+// On return the slot reads Empty but is excluded from empty-row accounting,
+// and page s (when it held data) translates to the spare frame forever.
+func (t *Table) RetireSlot(s int) (spare uint64, exiledPage bool, err error) {
+	if s < 0 || uint64(s) >= t.n {
+		return 0, false, fmt.Errorf("core: slot %d out of range", s)
+	}
+	if t.retired[s] {
+		return 0, false, fmt.Errorf("core: slot %d already retired", s)
+	}
+	if t.pending[s] {
+		return 0, false, fmt.Errorf("core: cannot retire slot %d with P bit set", s)
+	}
+	switch r := t.resident[s]; {
+	case r == Empty:
+		if t.emptyRow != s {
+			return 0, false, fmt.Errorf("core: slot %d empty but emptyRow=%d", s, t.emptyRow)
+		}
+		t.emptyRow = -1
+	case r == uint64(s): // OF: page s loses its slot, exiled to a spare
+		spare = t.Omega() + 1 + t.spares
+		t.spares++
+		t.exiled[uint64(s)] = spare
+		t.resident[s] = Empty
+		exiledPage = true
+	default: // MF: page r returns home, page s exiled to a spare
+		delete(t.back, r)
+		spare = t.Omega() + 1 + t.spares
+		t.spares++
+		t.exiled[uint64(s)] = spare
+		t.resident[s] = Empty
+		exiledPage = true
+	}
+	t.retired[s] = true
+	return spare, exiledPage, nil
+}
+
+// TableSnapshot captures the mutable translation state (RAM rows, P bits,
+// empty row) so an aborted swap can roll the table back. Retirement state
+// is deliberately not captured: retirements only happen at quiescent points,
+// never between a snapshot and its restore.
+type TableSnapshot struct {
+	resident []uint64
+	pending  []bool
+	emptyRow int
+}
+
+// Snapshot copies the current translation state.
+func (t *Table) Snapshot() *TableSnapshot {
+	snap := &TableSnapshot{
+		resident: make([]uint64, len(t.resident)),
+		pending:  make([]bool, len(t.pending)),
+		emptyRow: t.emptyRow,
+	}
+	copy(snap.resident, t.resident)
+	copy(snap.pending, t.pending)
+	return snap
+}
+
+// Restore rewinds the table to a snapshot, rebuilding the CAM from the
+// restored RAM direction. P-bit transition counters keep counting through
+// the restore so observability stays honest.
+func (t *Table) Restore(snap *TableSnapshot) error {
+	if snap == nil || len(snap.resident) != len(t.resident) {
+		return fmt.Errorf("core: snapshot does not match table shape")
+	}
+	copy(t.resident, snap.resident)
+	for p := range snap.pending {
+		t.SetPending(uint64(p), snap.pending[p])
+	}
+	t.emptyRow = snap.emptyRow
+	t.back = make(map[uint64]int, len(t.back))
+	for s, r := range t.resident {
+		if r != Empty && r >= t.n {
+			t.back[r] = s
+		}
+	}
+	return nil
+}
+
 // CheckInvariants validates the structural invariants the paper's design
 // relies on; it is used by tests and property checks.
 func (t *Table) CheckInvariants() error {
 	empties := 0
 	for s, r := range t.resident {
+		if t.retired[s] {
+			if r != Empty {
+				return fmt.Errorf("core: retired slot %d holds page %d", s, r)
+			}
+			if t.emptyRow == s {
+				return fmt.Errorf("core: emptyRow points at retired slot %d", s)
+			}
+			continue
+		}
 		switch {
 		case r == Empty:
 			empties++
@@ -268,6 +420,25 @@ func (t *Table) CheckInvariants() error {
 		if t.resident[s] != p {
 			return fmt.Errorf("core: CAM says page %d in slot %d, RAM says %d", p, s, t.resident[s])
 		}
+	}
+	if uint64(len(t.exiled)) > t.spares {
+		return fmt.Errorf("core: %d exiled pages but only %d spares", len(t.exiled), t.spares)
+	}
+	seenSpare := make(map[uint64]bool, len(t.exiled))
+	for p, spare := range t.exiled {
+		if p >= t.n {
+			return fmt.Errorf("core: exiled page %d >= N", p)
+		}
+		if !t.retired[p] {
+			return fmt.Errorf("core: page %d exiled but slot %d not retired", p, p)
+		}
+		if spare <= t.Omega() || spare > t.Omega()+t.spares {
+			return fmt.Errorf("core: page %d exiled to %d outside spare range", p, spare)
+		}
+		if seenSpare[spare] {
+			return fmt.Errorf("core: spare frame %d exiled to twice", spare)
+		}
+		seenSpare[spare] = true
 	}
 	return nil
 }

@@ -39,12 +39,18 @@ type Device struct {
 	bankBits uint
 	chanMask uint64
 
+	// faultHook, when set, is consulted once per serviced request burst;
+	// returning true marks the delivered data as faulty (the burst still
+	// consumed its bus and bank time — the device cannot know in advance).
+	faultHook func(a uint64, write bool, at int64) bool
+
 	// Statistics.
 	rowHits       uint64
 	rowMisses     uint64
 	rowConf       uint64 // row-buffer conflicts (row open but different)
 	bursts        uint64
 	refreshStalls uint64 // commands delayed by a refresh window
+	faultedBursts uint64 // serviced bursts the fault hook marked bad
 }
 
 type bank struct {
@@ -127,6 +133,14 @@ func (d *Device) BusFree(ch int) int64 { return d.busFree[ch] }
 // matching real DDRx behaviour and the paper's premise that the wide
 // on-package interface streams at interposer speed.
 func (d *Device) Service(a uint64, write bool, at int64) (done, coreLat int64) {
+	done, coreLat, _ = d.ServiceChecked(a, write, at)
+	return done, coreLat
+}
+
+// ServiceChecked is Service plus the device-fault check: faulted reports
+// whether the configured fault hook failed this burst (the caller decides
+// whether to retry; the timing cost has already been paid either way).
+func (d *Device) ServiceChecked(a uint64, write bool, at int64) (done, coreLat int64, faulted bool) {
 	loc := d.Decode(a)
 	bk := &d.banks[loc.Channel][loc.Bank]
 	issue := at
@@ -166,8 +180,21 @@ func (d *Device) Service(a uint64, write bool, at int64) (done, coreLat int64) {
 	// The DRAM-core portion: what this access would cost on an idle bank
 	// and bus, given the row-buffer state it found (Table IV's per-workload
 	// "DRAM core latency" row is the average of exactly this).
-	return done, rowDelay + d.timing.TCL + d.timing.TBurst
+	if d.faultHook != nil && d.faultHook(a, write, issue) {
+		d.faultedBursts++
+		faulted = true
+	}
+	return done, rowDelay + d.timing.TCL + d.timing.TBurst, faulted
 }
+
+// SetFaultHook installs (or clears, with nil) the per-burst fault check
+// consulted by ServiceChecked.
+func (d *Device) SetFaultHook(h func(a uint64, write bool, at int64) bool) {
+	d.faultHook = h
+}
+
+// FaultedBursts returns how many serviced bursts the fault hook failed.
+func (d *Device) FaultedBursts() uint64 { return d.faultedBursts }
 
 // ReserveBus blocks channel ch's data bus for dur cycles starting no
 // earlier than `at`, returning the completion cycle. Used for background
@@ -214,6 +241,11 @@ func (d *Device) PublishObs(reg *obs.Registry, prefix string) {
 	reg.Gauge(prefix + ".row_conflicts").Set(int64(d.rowConf))
 	reg.Gauge(prefix + ".bursts").Set(int64(d.bursts))
 	reg.Gauge(prefix + ".refresh_stalls").Set(int64(d.refreshStalls))
+	if d.faultHook != nil {
+		// Only surfaced when fault injection is wired, so fault-free runs
+		// keep their exact pre-fault metric snapshots.
+		reg.Gauge(prefix + ".faulted_bursts").Set(int64(d.faultedBursts))
+	}
 }
 
 // Geometry returns the device geometry.
@@ -231,6 +263,7 @@ func (d *Device) Reset() {
 		d.busFree[c] = 0
 	}
 	d.rowHits, d.rowMisses, d.rowConf, d.bursts, d.refreshStalls = 0, 0, 0, 0, 0
+	d.faultedBursts = 0
 }
 
 // afterRefresh pushes a command-issue time out of any all-bank refresh

@@ -6,6 +6,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
@@ -98,8 +99,9 @@ func traceConfig(pageSize uint64, mig *core.Options, records, warmup uint64) sim
 	return cfg
 }
 
-// Runner is an experiment entry point for the CLI.
-type Runner func(w io.Writer, p Params) error
+// Runner is an experiment entry point for the CLI. Cancelling ctx stops
+// the driver between simulations and surfaces ctx.Err().
+type Runner func(ctx context.Context, w io.Writer, p Params) error
 
 // Registry maps experiment IDs to their drivers.
 func Registry() map[string]Runner {
@@ -111,12 +113,12 @@ func Registry() map[string]Runner {
 		"fig4":   Fig4,
 		"fig5":   Fig5,
 		"fig10":  Fig10,
-		"fig11a": func(w io.Writer, p Params) error { return Fig11(w, p, 1000) },
-		"fig11b": func(w io.Writer, p Params) error { return Fig11(w, p, 10000) },
-		"fig11c": func(w io.Writer, p Params) error { return Fig11(w, p, 100000) },
-		"fig12":  func(w io.Writer, p Params) error { return Fig1214(w, p, 1000) },
-		"fig13":  func(w io.Writer, p Params) error { return Fig1214(w, p, 10000) },
-		"fig14":  func(w io.Writer, p Params) error { return Fig1214(w, p, 100000) },
+		"fig11a": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 1000) },
+		"fig11b": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 10000) },
+		"fig11c": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 100000) },
+		"fig12":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 1000) },
+		"fig13":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 10000) },
+		"fig14":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 100000) },
 		"fig15":  Fig15,
 		"fig16":  Fig16,
 	}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -35,7 +36,7 @@ func TestRegistryComplete(t *testing.T) {
 func TestTables(t *testing.T) {
 	for _, name := range []string{"table1", "table2", "table3", "fig10"} {
 		var buf bytes.Buffer
-		if err := Registry()[name](&buf, Params{}); err != nil {
+		if err := Registry()[name](context.Background(), &buf, Params{}); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if buf.Len() == 0 {
@@ -46,7 +47,7 @@ func TestTables(t *testing.T) {
 
 func TestFig10MatchesPaperReference(t *testing.T) {
 	var buf bytes.Buffer
-	if err := Fig10(&buf, Params{}); err != nil {
+	if err := Fig10(context.Background(), &buf, Params{}); err != nil {
 		t.Fatal(err)
 	}
 	if !strings.Contains(buf.String(), "9228") {
@@ -56,7 +57,7 @@ func TestFig10MatchesPaperReference(t *testing.T) {
 
 func TestFig4Shape(t *testing.T) {
 	p := Params{Records: 150000, Seed: 1, Workloads: []string{"EP.C", "FT.C"}}
-	points, err := Fig4Data(p)
+	points, err := Fig4Data(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -87,7 +88,7 @@ func TestFig4Shape(t *testing.T) {
 
 func TestFig5Shape(t *testing.T) {
 	p := Params{Records: 150000, Seed: 1, Workloads: []string{"EP.C", "FT.C"}}
-	rows, err := Fig5Data(p)
+	rows, err := Fig5Data(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -106,7 +107,7 @@ func TestFig11DesignOrdering(t *testing.T) {
 	// At 4 MB granularity with frequent swapping, N must not beat Live
 	// (the stall cost dominates), reproducing the Fig. 11 headline.
 	p := Params{Records: 300000, Warmup: 100000, Seed: 1, Workloads: []string{"SPEC2006"}}
-	points, err := Fig11Data(p, 1000)
+	points, err := Fig11Data(context.Background(), p, 1000)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -124,7 +125,7 @@ func TestFig11DesignOrdering(t *testing.T) {
 
 func TestTable4Effectiveness(t *testing.T) {
 	p := Params{Records: 600000, Warmup: 400000, Seed: 1, Workloads: []string{"SPEC2006"}}
-	rows, err := Table4Data(p)
+	rows, err := Table4Data(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -142,7 +143,7 @@ func TestTable4Effectiveness(t *testing.T) {
 
 func TestFig15CapacityMonotonic(t *testing.T) {
 	p := Params{Records: 300000, Warmup: 150000, Seed: 1, Workloads: []string{"SPEC2006"}}
-	points, err := Fig15Data(p)
+	points, err := Fig15Data(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -161,7 +162,7 @@ func TestFig15CapacityMonotonic(t *testing.T) {
 
 func TestFig16PowerAboveOne(t *testing.T) {
 	p := quickParams()
-	points, err := Fig16Data(p)
+	points, err := Fig16Data(context.Background(), p)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestRunnersRenderOutput(t *testing.T) {
 	p := quickParams()
 	for _, name := range []string{"fig12", "fig15", "fig16"} {
 		var buf bytes.Buffer
-		if err := Registry()[name](&buf, p); err != nil {
+		if err := Registry()[name](context.Background(), &buf, p); err != nil {
 			t.Fatalf("%s: %v", name, err)
 		}
 		if !strings.Contains(buf.String(), "pgbench") {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -18,12 +19,17 @@ type workerPanic struct {
 // configurations are embarrassingly parallel; results are written by index,
 // keeping output order deterministic regardless of scheduling.
 //
-// The first error stops further work and is returned. A panic in fn is
-// recovered on the worker, the remaining work is cancelled, and the panic
-// is re-raised on the calling goroutine (with the worker stack in the
-// value) once every worker has exited — a crash in one configuration
+// The first error stops further work and is returned. Cancelling ctx stops
+// new work from being claimed and returns ctx.Err() (jobs already running
+// finish first; simulations are not interruptible mid-record). A panic in
+// fn is recovered on the worker, the remaining work is cancelled, and the
+// panic is re-raised on the calling goroutine (with the worker stack in
+// the value) once every worker has exited — a crash in one configuration
 // must not leak goroutines or kill the process from a detached stack.
-func forEachIndex(n, workers int, fn func(i int) error) error {
+func forEachIndex(ctx context.Context, n, workers int, fn func(i int) error) error {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -32,6 +38,9 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 	}
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := fn(i); err != nil {
 				return err
 			}
@@ -46,6 +55,14 @@ func forEachIndex(n, workers int, fn func(i int) error) error {
 		next     int
 	)
 	claim := func() int {
+		if err := ctx.Err(); err != nil {
+			mu.Lock()
+			if firstErr == nil {
+				firstErr = err
+			}
+			mu.Unlock()
+			return -1
+		}
 		mu.Lock()
 		defer mu.Unlock()
 		if firstErr != nil || panicked != nil || next >= n {

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -14,7 +15,7 @@ func TestForEachIndexCoversAllIndices(t *testing.T) {
 		for _, n := range []int{0, 1, 5, 100} {
 			var hits sync.Map
 			var count atomic.Int64
-			err := forEachIndex(n, workers, func(i int) error {
+			err := forEachIndex(context.Background(), n, workers, func(i int) error {
 				if _, dup := hits.LoadOrStore(i, true); dup {
 					return fmt.Errorf("index %d visited twice", i)
 				}
@@ -34,7 +35,7 @@ func TestForEachIndexCoversAllIndices(t *testing.T) {
 func TestForEachIndexWorkersExceedN(t *testing.T) {
 	// More workers than work items must not deadlock, leak, or double-run.
 	var count atomic.Int64
-	if err := forEachIndex(3, 100, func(i int) error {
+	if err := forEachIndex(context.Background(), 3, 100, func(i int) error {
 		count.Add(1)
 		return nil
 	}); err != nil {
@@ -48,7 +49,7 @@ func TestForEachIndexWorkersExceedN(t *testing.T) {
 func TestForEachIndexErrorPropagation(t *testing.T) {
 	sentinel := errors.New("boom")
 	var after atomic.Int64
-	err := forEachIndex(1000, 4, func(i int) error {
+	err := forEachIndex(context.Background(), 1000, 4, func(i int) error {
 		if i == 17 {
 			return sentinel
 		}
@@ -70,7 +71,7 @@ func TestForEachIndexFirstErrorWins(t *testing.T) {
 	// one of the injected ones (not a data-race hybrid).
 	errA := errors.New("a")
 	errB := errors.New("b")
-	err := forEachIndex(100, 8, func(i int) error {
+	err := forEachIndex(context.Background(), 100, 8, func(i int) error {
 		switch i % 2 {
 		case 0:
 			return errA
@@ -86,7 +87,7 @@ func TestForEachIndexFirstErrorWins(t *testing.T) {
 func TestForEachIndexSerialPathError(t *testing.T) {
 	sentinel := errors.New("serial")
 	var ran int
-	err := forEachIndex(10, 1, func(i int) error {
+	err := forEachIndex(context.Background(), 10, 1, func(i int) error {
 		ran++
 		if i == 3 {
 			return sentinel
@@ -117,7 +118,7 @@ func TestForEachIndexPanicPropagates(t *testing.T) {
 					t.Fatalf("workers=%d: worker stack missing from panic: %q", workers, msg)
 				}
 			}()
-			_ = forEachIndex(50, workers, func(i int) error {
+			_ = forEachIndex(context.Background(), 50, workers, func(i int) error {
 				if i == 10 {
 					panic("kaboom-42")
 				}
@@ -131,7 +132,7 @@ func TestForEachIndexPanicCancelsRemainingWork(t *testing.T) {
 	var after atomic.Int64
 	func() {
 		defer func() { _ = recover() }()
-		_ = forEachIndex(10000, 4, func(i int) error {
+		_ = forEachIndex(context.Background(), 10000, 4, func(i int) error {
 			if i == 5 {
 				panic("stop")
 			}
@@ -141,5 +142,38 @@ func TestForEachIndexPanicCancelsRemainingWork(t *testing.T) {
 	}()
 	if after.Load() >= 10000-1 {
 		t.Fatalf("panic did not cancel the sweep: %d items ran", after.Load())
+	}
+}
+
+func TestForEachIndexContextCancel(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		ctx, cancel := context.WithCancel(context.Background())
+		var ran atomic.Int64
+		err := forEachIndex(ctx, 10000, workers, func(i int) error {
+			if ran.Add(1) == 5 {
+				cancel()
+			}
+			return nil
+		})
+		cancel()
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("workers=%d: want context.Canceled, got %v", workers, err)
+		}
+		if n := ran.Load(); n >= 10000 {
+			t.Fatalf("workers=%d: cancellation did not stop the sweep (%d ran)", workers, n)
+		}
+	}
+}
+
+func TestForEachIndexPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	err := forEachIndex(ctx, 100, 4, func(i int) error { ran.Add(1); return nil })
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() != 0 {
+		t.Fatalf("pre-cancelled context still ran %d jobs", ran.Load())
 	}
 }

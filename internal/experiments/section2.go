@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -14,7 +15,7 @@ import (
 
 // Table1 prints the NPB 3.3 memory footprints (Table I), computed from the
 // workload specs so the table cannot drift from the generators.
-func Table1(w io.Writer, p Params) error {
+func Table1(ctx context.Context, w io.Writer, p Params) error {
 	t := newTable("Workload", "Memory", "Description")
 	for _, name := range workload.ProgramNames() {
 		spec, err := workload.ProgramSpec(name)
@@ -30,7 +31,7 @@ func Table1(w io.Writer, p Params) error {
 
 // Table2 prints the baseline configuration (Table II) including the derived
 // on/off-package latency build-ups.
-func Table2(w io.Writer, p Params) error {
+func Table2(ctx context.Context, w io.Writer, p Params) error {
 	proc := config.Baseline()
 	lat := defaultLatencies()
 	t := newTable("Parameter", "Value")
@@ -75,7 +76,7 @@ var Fig4Capacities = []uint64{
 }
 
 // Fig4Data computes the Fig. 4 miss-rate curves.
-func Fig4Data(p Params) ([]Fig4Point, error) {
+func Fig4Data(ctx context.Context, p Params) ([]Fig4Point, error) {
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	type job struct {
@@ -95,7 +96,7 @@ func Fig4Data(p Params) ([]Fig4Point, error) {
 	if workers <= 0 || workers > 4 {
 		workers = 4
 	}
-	err := forEachIndex(len(jobs), workers, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), workers, func(i int) error {
 		j := jobs[i]
 		levels := config.SRAMHierarchy()
 		levels[2].Size = j.capa
@@ -129,8 +130,8 @@ func Fig4Data(p Params) ([]Fig4Point, error) {
 }
 
 // Fig4 renders the LLC miss rate vs capacity curves (Fig. 4).
-func Fig4(w io.Writer, p Params) error {
-	points, err := Fig4Data(p)
+func Fig4(ctx context.Context, w io.Writer, p Params) error {
+	points, err := Fig4Data(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -189,7 +190,7 @@ type fig5cfg struct {
 // Fig5Data runs the four Section II configurations per workload (plus the
 // dynamic-migration extension column). Half of each run warms the caches
 // and the L4/migration state, mirroring the paper's warmup phase.
-func Fig5Data(p Params) ([]Fig5Row, error) {
+func Fig5Data(ctx context.Context, p Params) ([]Fig5Row, error) {
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warmup := p.warmup(records)
@@ -234,8 +235,8 @@ func Fig5Data(p Params) ([]Fig5Row, error) {
 
 // Fig5 renders the IPC comparison (Fig. 5): IPC improvement over the
 // baseline for the L4-cache, static on-chip memory, and all-on-chip options.
-func Fig5(w io.Writer, p Params) error {
-	rows, err := Fig5Data(p)
+func Fig5(ctx context.Context, w io.Writer, p Params) error {
+	rows, err := Fig5Data(ctx, p)
 	if err != nil {
 		return err
 	}

@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -13,7 +14,7 @@ import (
 
 // Table3 prints the trace-based simulation parameters and workload
 // descriptions (Table III).
-func Table3(w io.Writer, p Params) error {
+func Table3(ctx context.Context, w io.Writer, p Params) error {
 	g := config.TraceGeometry()
 	t := newTable("Parameter", "Value")
 	t.AddRow("Total memory capacity", sizeLabel(g.TotalCapacity))
@@ -41,7 +42,7 @@ func Table3(w io.Writer, p Params) error {
 
 // Fig10 prints the pure-hardware management cost in bits as a function of
 // the migration granularity (Fig. 10), for 1 GB of on-package memory.
-func Fig10(w io.Writer, p Params) error {
+func Fig10(ctx context.Context, w io.Writer, p Params) error {
 	t := newTable("Macro page size", "Hardware overhead (bits)")
 	for _, size := range []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB, 256 * addr.KiB, 1 * addr.MiB, 4 * addr.MiB} {
 		bits := core.HardwareBits(1*addr.GiB, size, 4*addr.KiB, addr.Bits)
@@ -66,7 +67,7 @@ type Fig11Point struct {
 
 // Fig11Data runs the design comparison of Fig. 11 for one swap interval:
 // N vs N-1 vs Live Migration across migration granularities.
-func Fig11Data(p Params, interval uint64) ([]Fig11Point, error) {
+func Fig11Data(ctx context.Context, p Params, interval uint64) ([]Fig11Point, error) {
 	const defRecords = 1_500_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -84,7 +85,7 @@ func Fig11Data(p Params, interval uint64) ([]Fig11Point, error) {
 		}
 	}
 	out := make([]Fig11Point, len(jobs))
-	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		mig := &core.Options{Design: j.design, SwapInterval: interval}
 		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
@@ -107,8 +108,8 @@ func Fig11Data(p Params, interval uint64) ([]Fig11Point, error) {
 
 // Fig11 renders the average memory access latency of the N, N-1, and Live
 // designs across granularities for one swap interval (Fig. 11a/b/c).
-func Fig11(w io.Writer, p Params, interval uint64) error {
-	points, err := Fig11Data(p, interval)
+func Fig11(ctx context.Context, w io.Writer, p Params, interval uint64) error {
+	points, err := Fig11Data(ctx, p, interval)
 	if err != nil {
 		return err
 	}
@@ -156,7 +157,7 @@ type Fig1214Point struct {
 
 // Fig1214Data runs live migration across granularities for one interval
 // (Fig. 12: 1K, Fig. 13: 10K, Fig. 14: 100K).
-func Fig1214Data(p Params, interval uint64) ([]Fig1214Point, error) {
+func Fig1214Data(ctx context.Context, p Params, interval uint64) ([]Fig1214Point, error) {
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -171,7 +172,7 @@ func Fig1214Data(p Params, interval uint64) ([]Fig1214Point, error) {
 		}
 	}
 	out := make([]Fig1214Point, len(jobs))
-	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		mig := &core.Options{Design: core.DesignLive, SwapInterval: interval}
 		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
@@ -191,8 +192,8 @@ func Fig1214Data(p Params, interval uint64) ([]Fig1214Point, error) {
 }
 
 // Fig1214 renders one of the granularity/frequency figures.
-func Fig1214(w io.Writer, p Params, interval uint64) error {
-	points, err := Fig1214Data(p, interval)
+func Fig1214(ctx context.Context, w io.Writer, p Params, interval uint64) error {
+	points, err := Fig1214Data(ctx, p, interval)
 	if err != nil {
 		return err
 	}
@@ -236,7 +237,7 @@ type Table4Row struct {
 
 // Table4Data computes the per-workload effectiveness (Table IV): the static
 // baseline vs the best (granularity x interval) live-migration point.
-func Table4Data(p Params) ([]Table4Row, error) {
+func Table4Data(ctx context.Context, p Params) ([]Table4Row, error) {
 	const defRecords = 4_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -257,7 +258,7 @@ func Table4Data(p Params) ([]Table4Row, error) {
 		}
 	}
 	results := make([]sim.Result, len(jobs))
-	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		var mig *core.Options
 		page := j.page
@@ -307,8 +308,8 @@ func Table4Data(p Params) ([]Table4Row, error) {
 }
 
 // Table4 renders the effectiveness table (Table IV).
-func Table4(w io.Writer, p Params) error {
-	rows, err := Table4Data(p)
+func Table4(ctx context.Context, w io.Writer, p Params) error {
+	rows, err := Table4Data(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -346,7 +347,7 @@ type Fig15Point struct {
 var Fig15Capacities = []uint64{128 * addr.MiB, 256 * addr.MiB, 512 * addr.MiB}
 
 // Fig15Data runs the on-package capacity sensitivity study.
-func Fig15Data(p Params) ([]Fig15Point, error) {
+func Fig15Data(ctx context.Context, p Params) ([]Fig15Point, error) {
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -362,7 +363,7 @@ func Fig15Data(p Params) ([]Fig15Point, error) {
 		}
 	}
 	out := make([]Fig15Point, len(jobs))
-	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		base := traceConfig(page, nil, records, warm)
 		base.Geometry.OnPackageCapacity = j.capa
@@ -391,8 +392,8 @@ func Fig15Data(p Params) ([]Fig15Point, error) {
 }
 
 // Fig15 renders the capacity sensitivity figure.
-func Fig15(w io.Writer, p Params) error {
-	points, err := Fig15Data(p)
+func Fig15(ctx context.Context, w io.Writer, p Params) error {
+	points, err := Fig15Data(ctx, p)
 	if err != nil {
 		return err
 	}
@@ -421,7 +422,7 @@ var Fig16Sizes = []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB}
 
 // Fig16Data computes the relative memory power of the hybrid system with
 // dynamic migration vs an off-package-only system.
-func Fig16Data(p Params) ([]Fig16Point, error) {
+func Fig16Data(ctx context.Context, p Params) ([]Fig16Point, error) {
 	const defRecords = 1_500_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -439,7 +440,7 @@ func Fig16Data(p Params) ([]Fig16Point, error) {
 		}
 	}
 	out := make([]Fig16Point, len(jobs))
-	err := forEachIndex(len(jobs), p.Parallelism, func(i int) error {
+	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		cfg := traceConfig(j.page, &core.Options{Design: core.DesignLive, SwapInterval: j.interval}, records, warm)
 		cfg.MeterPower = true
@@ -460,8 +461,8 @@ func Fig16Data(p Params) ([]Fig16Point, error) {
 }
 
 // Fig16 renders the power comparison.
-func Fig16(w io.Writer, p Params) error {
-	points, err := Fig16Data(p)
+func Fig16(ctx context.Context, w io.Writer, p Params) error {
+	points, err := Fig16Data(ctx, p)
 	if err != nil {
 		return err
 	}

@@ -1,0 +1,366 @@
+// Package fault is a deterministic, seedable fault injector for the
+// migration pipeline. It decides — by probability, by an explicit schedule,
+// or both — whether a given operation fails: a DRAM device access
+// (PointDevice), one leg of a swap sub-block copy (PointCopy), or the
+// completion check of a whole bulk-copy step (PointBulk).
+//
+// The injector only decides; the controller owns the responses (bounded
+// retry with cycle-domain backoff, swap abort-and-rollback, on-package slot
+// retirement, and full migration degradation) and the accounting that pairs
+// every injected fault with exactly one response. Determinism matters: the
+// same Config over the same access stream injects the same faults, so a
+// failing soak run is replayable from its seed and schedule alone.
+package fault
+
+import "fmt"
+
+// Point identifies an injection site in the pipeline.
+type Point uint8
+
+// The three injection sites.
+const (
+	// PointDevice is one serviced DRAM burst for a program access: the
+	// transfer occupied the bus but the data failed its check.
+	PointDevice Point = iota
+	// PointCopy is one background sub-block copy leg (read or write side).
+	PointCopy
+	// PointBulk is the completion check of a whole swap step's bulk copy
+	// (an end-to-end checksum over the step, failing after all legs landed).
+	PointBulk
+
+	numPoints
+)
+
+// String names the point the way the schedule grammar spells it.
+func (p Point) String() string {
+	switch p {
+	case PointDevice:
+		return "device"
+	case PointCopy:
+		return "copy"
+	case PointBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("Point(%d)", uint8(p))
+	}
+}
+
+// Config describes a fault-injection campaign. The zero value disables
+// injection entirely: every pipeline hook stays nil and simulation results
+// are bit-identical to a build without the injector.
+type Config struct {
+	// Seed drives the probability draws. A zero seed with non-zero rates is
+	// normalized to 1 so "rates without a seed" still injects.
+	Seed uint64
+
+	// DeviceRate, CopyRate, and BulkRate are per-operation fault
+	// probabilities in [0, 1] for the three points.
+	DeviceRate float64
+	CopyRate   float64
+	BulkRate   float64
+
+	// Schedule injects faults at exact operation ordinals, independent of
+	// the rates (either may fire a probe). See ParseSchedule for the
+	// grammar, e.g. "copy@3, device@100x2, bulk@1-4".
+	Schedule string
+
+	// RetryBudget bounds fault-triggered re-attempts of one copy leg or one
+	// step completion before the controller aborts and rolls the swap back.
+	// Zero selects DefaultRetryBudget.
+	RetryBudget int
+
+	// RetryBackoff is the base backoff in cycles before a retry; attempt k
+	// waits RetryBackoff << (k-1), capped at MaxBackoffShift doublings.
+	// Zero selects DefaultRetryBackoff.
+	RetryBackoff int64
+
+	// RetireAfter is how many faults the same on-package macro-page frame
+	// may accumulate before the controller retires its slot. Zero selects
+	// DefaultRetireAfter.
+	RetireAfter int
+
+	// DegradeBudget is the total on-package fault count at which the
+	// controller disables migration entirely and falls back to a static
+	// mapping. Zero means never degrade.
+	DegradeBudget int
+}
+
+// Defaults for the zero-valued knobs of Config.
+const (
+	DefaultRetryBudget  = 3
+	DefaultRetryBackoff = 256
+	DefaultRetireAfter  = 8
+	MaxBackoffShift     = 8
+)
+
+// Enabled reports whether the config injects anything at all.
+func (c Config) Enabled() bool {
+	return c.DeviceRate > 0 || c.CopyRate > 0 || c.BulkRate > 0 || c.Schedule != ""
+}
+
+// Validate rejects malformed configurations.
+func (c Config) Validate() error {
+	for _, r := range []struct {
+		name string
+		v    float64
+	}{{"DeviceRate", c.DeviceRate}, {"CopyRate", c.CopyRate}, {"BulkRate", c.BulkRate}} {
+		if r.v < 0 || r.v > 1 || r.v != r.v {
+			return fmt.Errorf("fault: %s %v outside [0, 1]", r.name, r.v)
+		}
+	}
+	if c.RetryBudget < 0 {
+		return fmt.Errorf("fault: negative retry budget %d", c.RetryBudget)
+	}
+	if c.RetryBackoff < 0 {
+		return fmt.Errorf("fault: negative retry backoff %d", c.RetryBackoff)
+	}
+	if c.RetireAfter < 0 {
+		return fmt.Errorf("fault: negative retire-after %d", c.RetireAfter)
+	}
+	if c.DegradeBudget < 0 {
+		return fmt.Errorf("fault: negative degrade budget %d", c.DegradeBudget)
+	}
+	if c.Schedule != "" {
+		if _, err := ParseSchedule(c.Schedule); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// retryBudget returns the effective retry budget.
+func (c Config) retryBudget() int {
+	if c.RetryBudget > 0 {
+		return c.RetryBudget
+	}
+	return DefaultRetryBudget
+}
+
+// retireAfter returns the effective per-frame retirement threshold.
+func (c Config) retireAfter() int {
+	if c.RetireAfter > 0 {
+		return c.RetireAfter
+	}
+	return DefaultRetireAfter
+}
+
+// retryBackoff returns the effective base backoff.
+func (c Config) retryBackoff() int64 {
+	if c.RetryBackoff > 0 {
+		return c.RetryBackoff
+	}
+	return DefaultRetryBackoff
+}
+
+// Injector makes the per-operation fault decisions. All methods are safe on
+// a nil receiver (no fault, zero counts), so pipeline components hold the
+// injector unconditionally and a disabled run costs one pointer test per
+// probe site.
+type Injector struct {
+	cfg   Config
+	rng   uint64
+	rates [numPoints]float64
+	sched Schedule
+
+	probes [numPoints]uint64
+	faults uint64
+}
+
+// New validates cfg and builds an Injector. A disabled config (zero value)
+// returns (nil, nil): the nil injector is the "off" state.
+func New(cfg Config) (*Injector, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if !cfg.Enabled() {
+		return nil, nil
+	}
+	seed := cfg.Seed
+	if seed == 0 {
+		seed = 1
+	}
+	inj := &Injector{cfg: cfg, rng: seed}
+	inj.rates[PointDevice] = cfg.DeviceRate
+	inj.rates[PointCopy] = cfg.CopyRate
+	inj.rates[PointBulk] = cfg.BulkRate
+	if cfg.Schedule != "" {
+		s, err := ParseSchedule(cfg.Schedule)
+		if err != nil {
+			return nil, err
+		}
+		inj.sched = s
+	}
+	return inj, nil
+}
+
+// Fault probes injection point p for its next operation and reports whether
+// that operation faults. Every call advances the point's operation ordinal,
+// so schedules count real operations (including retried ones).
+func (i *Injector) Fault(p Point) bool {
+	if i == nil || p >= numPoints {
+		return false
+	}
+	i.probes[p]++
+	hit := i.sched.hits(p, i.probes[p])
+	if r := i.rates[p]; r > 0 && i.next01() < r {
+		hit = true
+	}
+	if hit {
+		i.faults++
+	}
+	return hit
+}
+
+// Faults returns the total number of faults injected so far; the
+// controller's response counters must sum to exactly this.
+func (i *Injector) Faults() uint64 {
+	if i == nil {
+		return 0
+	}
+	return i.faults
+}
+
+// Probes returns how many operations have been probed at point p.
+func (i *Injector) Probes(p Point) uint64 {
+	if i == nil || p >= numPoints {
+		return 0
+	}
+	return i.probes[p]
+}
+
+// RetryBudget returns the effective bounded-retry budget.
+func (i *Injector) RetryBudget() int {
+	if i == nil {
+		return DefaultRetryBudget
+	}
+	return i.cfg.retryBudget()
+}
+
+// RetireAfter returns the effective per-frame retirement threshold.
+func (i *Injector) RetireAfter() int {
+	if i == nil {
+		return DefaultRetireAfter
+	}
+	return i.cfg.retireAfter()
+}
+
+// DegradeBudget returns the on-package fault budget (0 = never degrade).
+func (i *Injector) DegradeBudget() int {
+	if i == nil {
+		return 0
+	}
+	return i.cfg.DegradeBudget
+}
+
+// Backoff returns the cycle-domain backoff before retry attempt `attempt`
+// (1-based): base << (attempt-1), with the doubling capped so a long retry
+// chain cannot overflow the cycle domain.
+func (i *Injector) Backoff(attempt int) int64 {
+	base := int64(DefaultRetryBackoff)
+	if i != nil {
+		base = i.cfg.retryBackoff()
+	}
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > MaxBackoffShift {
+		shift = MaxBackoffShift
+	}
+	return base << uint(shift)
+}
+
+// next01 draws the next deterministic uniform in [0, 1) via splitmix64.
+func (i *Injector) next01() float64 {
+	i.rng += 0x9e3779b97f4a7c15
+	z := i.rng
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+// Disposition is the controller's response to one injected fault. Every
+// fault gets exactly one disposition, so the four counters of Report sum to
+// the injector's fault count.
+type Disposition uint8
+
+// The four graceful-degradation responses.
+const (
+	Retried    Disposition = iota // operation re-attempted within budget
+	RolledBack                    // swap aborted, table rolled back
+	Retired                       // on-package slot retired off-package
+	Degraded                      // absorbed in (or by entering) degraded mode
+)
+
+// String names the disposition.
+func (d Disposition) String() string {
+	switch d {
+	case Retried:
+		return "retried"
+	case RolledBack:
+		return "rolled-back"
+	case Retired:
+		return "retired"
+	case Degraded:
+		return "degraded"
+	default:
+		return fmt.Sprintf("Disposition(%d)", uint8(d))
+	}
+}
+
+// Report is the fault ledger of one run: what was injected where, and how
+// the controller answered each fault.
+type Report struct {
+	// Injected is the total fault count; Retried + RolledBack + Retired +
+	// Degraded always equals it.
+	Injected uint64
+
+	// Per-point injection counts (these also sum to Injected).
+	DeviceFaults uint64
+	CopyFaults   uint64
+	BulkFaults   uint64
+
+	// Per-disposition counts.
+	Retried    uint64
+	RolledBack uint64
+	Retired    uint64
+	Degraded   uint64
+
+	// Response-event counts (not part of the fault ledger: one rollback
+	// answers one fault but undoes many copies).
+	SwapsRolledBack uint64 // in-flight swaps aborted and rolled back
+	SlotsRetired    uint64 // on-package slots permanently retired
+	DegradedMode    bool   // migration disabled by the fault budget
+}
+
+// Account records one fault at point p with disposition d.
+func (r *Report) Account(p Point, d Disposition) {
+	r.Injected++
+	switch p {
+	case PointDevice:
+		r.DeviceFaults++
+	case PointCopy:
+		r.CopyFaults++
+	case PointBulk:
+		r.BulkFaults++
+	}
+	switch d {
+	case Retried:
+		r.Retried++
+	case RolledBack:
+		r.RolledBack++
+	case Retired:
+		r.Retired++
+	case Degraded:
+		r.Degraded++
+	}
+}
+
+// Balanced reports whether the ledger is internally consistent and matches
+// the injector's fault count.
+func (r *Report) Balanced(injected uint64) bool {
+	sum := r.Retried + r.RolledBack + r.Retired + r.Degraded
+	return r.Injected == injected && sum == r.Injected &&
+		r.DeviceFaults+r.CopyFaults+r.BulkFaults == r.Injected
+}

@@ -1,0 +1,185 @@
+package fault
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDisabledConfig(t *testing.T) {
+	inj, err := New(Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inj != nil {
+		t.Fatalf("zero config built an injector: %+v", inj)
+	}
+	// The nil injector is the off state: no faults, zero counts, defaults.
+	if inj.Fault(PointDevice) || inj.Fault(PointCopy) || inj.Fault(PointBulk) {
+		t.Fatal("nil injector injected a fault")
+	}
+	if inj.Faults() != 0 || inj.Probes(PointDevice) != 0 {
+		t.Fatal("nil injector has non-zero counts")
+	}
+	if inj.RetryBudget() != DefaultRetryBudget || inj.RetireAfter() != DefaultRetireAfter {
+		t.Fatal("nil injector does not report defaults")
+	}
+	if inj.DegradeBudget() != 0 {
+		t.Fatal("nil injector has a degrade budget")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	bad := []Config{
+		{DeviceRate: -0.1},
+		{CopyRate: 1.5},
+		{BulkRate: math.NaN()},
+		{RetryBudget: -1, DeviceRate: 0.1},
+		{RetryBackoff: -5, DeviceRate: 0.1},
+		{RetireAfter: -2, DeviceRate: 0.1},
+		{DegradeBudget: -3, DeviceRate: 0.1},
+		{Schedule: "nope"},
+		{Schedule: "device@0"},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("config %+v validated", c)
+		}
+		if _, err := New(c); err == nil {
+			t.Errorf("config %+v built", c)
+		}
+	}
+	good := Config{Seed: 7, DeviceRate: 1e-4, CopyRate: 0.5, BulkRate: 1, Schedule: "copy@3"}
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	cfg := Config{Seed: 42, DeviceRate: 0.3, CopyRate: 0.1}
+	run := func() []bool {
+		inj, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var out []bool
+		for i := 0; i < 2000; i++ {
+			out = append(out, inj.Fault(PointDevice), inj.Fault(PointCopy))
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("decision %d differs between identical runs", i)
+		}
+	}
+}
+
+func TestRateConverges(t *testing.T) {
+	inj, err := New(Config{Seed: 9, DeviceRate: 0.25})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const n = 200000
+	hits := 0
+	for i := 0; i < n; i++ {
+		if inj.Fault(PointDevice) {
+			hits++
+		}
+	}
+	got := float64(hits) / n
+	if got < 0.24 || got > 0.26 {
+		t.Fatalf("rate 0.25 produced %.4f over %d probes", got, n)
+	}
+	if inj.Faults() != uint64(hits) || inj.Probes(PointDevice) != n {
+		t.Fatalf("counts: faults=%d probes=%d want %d/%d", inj.Faults(), inj.Probes(PointDevice), hits, n)
+	}
+}
+
+func TestScheduleExactOrdinals(t *testing.T) {
+	inj, err := New(Config{Schedule: "device@3, copy@2x2, bulk@5-6"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var devHits, copyHits, bulkHits []uint64
+	for i := uint64(1); i <= 8; i++ {
+		if inj.Fault(PointDevice) {
+			devHits = append(devHits, i)
+		}
+		if inj.Fault(PointCopy) {
+			copyHits = append(copyHits, i)
+		}
+		if inj.Fault(PointBulk) {
+			bulkHits = append(bulkHits, i)
+		}
+	}
+	want := func(name string, got, exp []uint64) {
+		if len(got) != len(exp) {
+			t.Fatalf("%s faulted at %v, want %v", name, got, exp)
+		}
+		for i := range exp {
+			if got[i] != exp[i] {
+				t.Fatalf("%s faulted at %v, want %v", name, got, exp)
+			}
+		}
+	}
+	want("device", devHits, []uint64{3})
+	want("copy", copyHits, []uint64{2, 3})
+	want("bulk", bulkHits, []uint64{5, 6})
+	if inj.Faults() != 5 {
+		t.Fatalf("faults=%d, want 5", inj.Faults())
+	}
+}
+
+func TestBackoff(t *testing.T) {
+	inj, err := New(Config{DeviceRate: 0.1, RetryBackoff: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := inj.Backoff(1); got != 100 {
+		t.Fatalf("attempt 1 backoff %d, want 100", got)
+	}
+	if got := inj.Backoff(3); got != 400 {
+		t.Fatalf("attempt 3 backoff %d, want 400", got)
+	}
+	// The doubling caps so huge attempt counts stay in the cycle domain.
+	if got := inj.Backoff(1000); got != 100<<MaxBackoffShift {
+		t.Fatalf("capped backoff %d, want %d", got, 100<<MaxBackoffShift)
+	}
+	var nilInj *Injector
+	if got := nilInj.Backoff(2); got != DefaultRetryBackoff*2 {
+		t.Fatalf("nil injector backoff %d", got)
+	}
+}
+
+func TestReportAccounting(t *testing.T) {
+	var r Report
+	r.Account(PointDevice, Retried)
+	r.Account(PointCopy, Retried)
+	r.Account(PointCopy, RolledBack)
+	r.Account(PointDevice, Retired)
+	r.Account(PointBulk, Degraded)
+	if !r.Balanced(5) {
+		t.Fatalf("ledger unbalanced: %+v", r)
+	}
+	if r.Balanced(4) {
+		t.Fatal("ledger balanced against wrong injected count")
+	}
+	if r.DeviceFaults != 2 || r.CopyFaults != 2 || r.BulkFaults != 1 {
+		t.Fatalf("per-point counts wrong: %+v", r)
+	}
+	if r.Retried != 2 || r.RolledBack != 1 || r.Retired != 1 || r.Degraded != 1 {
+		t.Fatalf("per-disposition counts wrong: %+v", r)
+	}
+}
+
+func TestDispositionAndPointNames(t *testing.T) {
+	if PointDevice.String() != "device" || PointCopy.String() != "copy" || PointBulk.String() != "bulk" {
+		t.Fatal("point names drifted from the schedule grammar")
+	}
+	for _, d := range []Disposition{Retried, RolledBack, Retired, Degraded} {
+		if d.String() == "" {
+			t.Fatalf("disposition %d has no name", d)
+		}
+	}
+}

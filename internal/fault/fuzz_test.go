@@ -1,0 +1,68 @@
+package fault
+
+import "testing"
+
+// FuzzParseSchedule drives the fault-schedule grammar with arbitrary input.
+// The parser must never panic; on accepted input the normalized rendering
+// must re-parse to the same normalized form (the parse/render fixed point),
+// and interval queries must be consistent with interval bounds.
+func FuzzParseSchedule(f *testing.F) {
+	for _, seed := range []string{
+		"device@1",
+		"copy@3",
+		"bulk@10",
+		"device@1-5",
+		"copy@2x3",
+		"device@3, copy@100x2, bulk@1-4",
+		"device@18446744073709551615",
+		"copy@1-3,copy@3-5,copy@6",
+		" device@ 7 x 2 ",
+		"bulk@2,device@2,copy@2",
+		"",
+		"@",
+		"device@0",
+		"device@5-1",
+		"pizza@1",
+		"device@1e9",
+	} {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, s string) {
+		sched, err := ParseSchedule(s)
+		if err != nil {
+			return
+		}
+		rendered := sched.String()
+		again, err := ParseSchedule(rendered)
+		if err != nil && rendered != "" {
+			t.Fatalf("normalized form %q (from %q) does not re-parse: %v", rendered, s, err)
+		}
+		if err == nil && again.String() != rendered {
+			t.Fatalf("normalization not a fixed point: %q -> %q -> %q", s, rendered, again.String())
+		}
+		// Spot-check interval coherence: every stored span must answer hits
+		// at both ends and miss just outside.
+		for p := Point(0); p < numPoints; p++ {
+			for _, sp := range sched.spans[p] {
+				if sp.lo == 0 || sp.hi < sp.lo {
+					t.Fatalf("invalid span %+v for %v from %q", sp, p, s)
+				}
+				if !sched.hits(p, sp.lo) || !sched.hits(p, sp.hi) {
+					t.Fatalf("span %+v for %v does not hit its own bounds (%q)", sp, p, s)
+				}
+				if sp.lo > 1 && sched.hits(p, sp.lo-1) {
+					// Only a failure if the previous span doesn't cover it.
+					covered := false
+					for _, other := range sched.spans[p] {
+						if other != sp && other.lo <= sp.lo-1 && sp.lo-1 <= other.hi {
+							covered = true
+						}
+					}
+					if !covered {
+						t.Fatalf("span %+v for %v hit below lo (%q)", sp, p, s)
+					}
+				}
+			}
+		}
+	})
+}

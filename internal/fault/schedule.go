@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Schedule is a parsed deterministic fault schedule: for each injection
+// point, the set of operation ordinals (1-based) that must fault,
+// represented as sorted disjoint inclusive intervals.
+type Schedule struct {
+	spans [numPoints][]span
+}
+
+type span struct{ lo, hi uint64 }
+
+// ParseSchedule parses the schedule grammar:
+//
+//	schedule := entry (',' entry)*
+//	entry    := point '@' spec
+//	point    := "device" | "copy" | "bulk"
+//	spec     := N          fault the Nth operation
+//	          | N '-' M    fault operations N through M inclusive
+//	          | N 'x' K    fault K consecutive operations starting at N
+//
+// Ordinals are 1-based and count every operation probed at that point,
+// including retried ones — "copy@5x4" therefore faults a copy leg and its
+// next three retries if nothing else intervenes. Whitespace around tokens
+// is ignored; entries for the same point merge.
+func ParseSchedule(s string) (Schedule, error) {
+	var sched Schedule
+	for _, raw := range strings.Split(s, ",") {
+		entry := strings.TrimSpace(raw)
+		if entry == "" {
+			if strings.TrimSpace(s) == "" {
+				return Schedule{}, fmt.Errorf("fault: empty schedule")
+			}
+			return Schedule{}, fmt.Errorf("fault: empty schedule entry in %q", s)
+		}
+		at := strings.IndexByte(entry, '@')
+		if at < 0 {
+			return Schedule{}, fmt.Errorf("fault: schedule entry %q missing '@'", entry)
+		}
+		var p Point
+		switch name := strings.TrimSpace(entry[:at]); name {
+		case "device":
+			p = PointDevice
+		case "copy":
+			p = PointCopy
+		case "bulk":
+			p = PointBulk
+		default:
+			return Schedule{}, fmt.Errorf("fault: unknown injection point %q (want device, copy, or bulk)", name)
+		}
+		sp, err := parseSpan(strings.TrimSpace(entry[at+1:]))
+		if err != nil {
+			return Schedule{}, fmt.Errorf("fault: entry %q: %w", entry, err)
+		}
+		sched.spans[p] = append(sched.spans[p], sp)
+	}
+	for p := range sched.spans {
+		sched.spans[p] = mergeSpans(sched.spans[p])
+	}
+	return sched, nil
+}
+
+// parseSpan parses N, N-M, or NxK into an inclusive interval.
+func parseSpan(spec string) (span, error) {
+	if spec == "" {
+		return span{}, fmt.Errorf("empty ordinal spec")
+	}
+	if i := strings.IndexAny(spec, "-x"); i >= 0 {
+		lo, err := parseOrdinal(spec[:i])
+		if err != nil {
+			return span{}, err
+		}
+		rest := strings.TrimSpace(spec[i+1:])
+		if spec[i] == '-' {
+			hi, err := parseOrdinal(rest)
+			if err != nil {
+				return span{}, err
+			}
+			if hi < lo {
+				return span{}, fmt.Errorf("range %d-%d runs backwards", lo, hi)
+			}
+			return span{lo, hi}, nil
+		}
+		k, err := parseOrdinal(rest)
+		if err != nil {
+			return span{}, err
+		}
+		hi := lo + k - 1
+		if hi < lo { // overflow
+			return span{}, fmt.Errorf("count %d overflows from %d", k, lo)
+		}
+		return span{lo, hi}, nil
+	}
+	n, err := parseOrdinal(spec)
+	if err != nil {
+		return span{}, err
+	}
+	return span{n, n}, nil
+}
+
+// parseOrdinal parses a positive 1-based decimal ordinal.
+func parseOrdinal(s string) (uint64, error) {
+	s = strings.TrimSpace(s)
+	n, err := strconv.ParseUint(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("bad ordinal %q: %w", s, err)
+	}
+	if n == 0 {
+		return 0, fmt.Errorf("ordinals are 1-based, got 0")
+	}
+	return n, nil
+}
+
+// mergeSpans sorts and coalesces overlapping or adjacent intervals.
+func mergeSpans(spans []span) []span {
+	if len(spans) < 2 {
+		return spans
+	}
+	sort.Slice(spans, func(i, j int) bool {
+		if spans[i].lo != spans[j].lo {
+			return spans[i].lo < spans[j].lo
+		}
+		return spans[i].hi < spans[j].hi
+	})
+	out := spans[:1]
+	for _, sp := range spans[1:] {
+		last := &out[len(out)-1]
+		if sp.lo <= last.hi+1 && last.hi+1 > last.hi { // adjacent/overlap, no overflow
+			if sp.hi > last.hi {
+				last.hi = sp.hi
+			}
+			continue
+		}
+		if sp.lo <= last.hi { // overlap when last.hi is the max ordinal
+			continue
+		}
+		out = append(out, sp)
+	}
+	return out
+}
+
+// hits reports whether ordinal n at point p is scheduled to fault.
+func (s Schedule) hits(p Point, n uint64) bool {
+	spans := s.spans[p]
+	i := sort.Search(len(spans), func(i int) bool { return spans[i].hi >= n })
+	return i < len(spans) && spans[i].lo <= n
+}
+
+// Empty reports whether the schedule contains no entries.
+func (s Schedule) Empty() bool {
+	for _, sp := range s.spans {
+		if len(sp) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the schedule back into the grammar (normalized: sorted,
+// merged, one entry per interval). Parsing the result yields an equal
+// schedule.
+func (s Schedule) String() string {
+	var parts []string
+	for p := Point(0); p < numPoints; p++ {
+		for _, sp := range s.spans[p] {
+			switch {
+			case sp.lo == sp.hi:
+				parts = append(parts, fmt.Sprintf("%s@%d", p, sp.lo))
+			default:
+				parts = append(parts, fmt.Sprintf("%s@%d-%d", p, sp.lo, sp.hi))
+			}
+		}
+	}
+	return strings.Join(parts, ",")
+}

@@ -1,0 +1,108 @@
+package fault
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestParseScheduleForms(t *testing.T) {
+	s, err := ParseSchedule(" device@3 ,copy@ 2 x 3, bulk@10-12, device@5-5 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cases := []struct {
+		p    Point
+		n    uint64
+		want bool
+	}{
+		{PointDevice, 2, false}, {PointDevice, 3, true}, {PointDevice, 4, false},
+		{PointDevice, 5, true}, {PointDevice, 6, false},
+		{PointCopy, 1, false}, {PointCopy, 2, true}, {PointCopy, 3, true},
+		{PointCopy, 4, true}, {PointCopy, 5, false},
+		{PointBulk, 9, false}, {PointBulk, 10, true}, {PointBulk, 12, true}, {PointBulk, 13, false},
+	}
+	for _, c := range cases {
+		if got := s.hits(c.p, c.n); got != c.want {
+			t.Errorf("hits(%v, %d) = %v, want %v", c.p, c.n, got, c.want)
+		}
+	}
+}
+
+func TestParseScheduleMerges(t *testing.T) {
+	s, err := ParseSchedule("copy@1-3,copy@3-5,copy@6,copy@10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-3, 3-5, and the adjacent 6 coalesce into 1-6.
+	if got := s.String(); got != "copy@1-6,copy@10" {
+		t.Fatalf("normalized form %q", got)
+	}
+}
+
+func TestParseScheduleErrors(t *testing.T) {
+	bad := []string{
+		"", "  ", ",", "device", "device@", "@3", "pizza@3",
+		"device@0", "device@x", "device@3-1", "device@-1",
+		"device@1x0", "device@1-", "device@1x", "device@18446744073709551615x2",
+		"device@3;copy@4", "device@3,,copy@4", "device@1e3",
+	}
+	for _, s := range bad {
+		if _, err := ParseSchedule(s); err == nil {
+			t.Errorf("ParseSchedule(%q) accepted", s)
+		}
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	for _, src := range []string{
+		"device@1", "copy@2-7,bulk@1", "device@3x4,device@100",
+		"bulk@1,copy@1,device@1",
+	} {
+		s, err := ParseSchedule(src)
+		if err != nil {
+			t.Fatalf("%q: %v", src, err)
+		}
+		rendered := s.String()
+		s2, err := ParseSchedule(rendered)
+		if err != nil {
+			t.Fatalf("re-parse %q (from %q): %v", rendered, src, err)
+		}
+		if s2.String() != rendered {
+			t.Fatalf("round trip drifted: %q -> %q -> %q", src, rendered, s2.String())
+		}
+	}
+}
+
+func TestScheduleEmpty(t *testing.T) {
+	var s Schedule
+	if !s.Empty() {
+		t.Fatal("zero schedule not empty")
+	}
+	if s.hits(PointCopy, 1) {
+		t.Fatal("empty schedule hit")
+	}
+	parsed, err := ParseSchedule("bulk@2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if parsed.Empty() {
+		t.Fatal("parsed schedule reported empty")
+	}
+}
+
+func TestScheduleMaxOrdinal(t *testing.T) {
+	// The top of the ordinal space must not overflow interval merging.
+	s, err := ParseSchedule("device@18446744073709551615,device@18446744073709551614")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !s.hits(PointDevice, 18446744073709551615) || !s.hits(PointDevice, 18446744073709551614) {
+		t.Fatal("max ordinals missed")
+	}
+	if s.hits(PointDevice, 18446744073709551613) {
+		t.Fatal("unexpected hit below the scheduled pair")
+	}
+	if !strings.Contains(s.String(), "device@18446744073709551614-18446744073709551615") {
+		t.Fatalf("adjacent max ordinals did not merge: %q", s.String())
+	}
+}

@@ -13,6 +13,7 @@ import (
 	"heteromem/internal/config"
 	"heteromem/internal/core"
 	"heteromem/internal/dram"
+	"heteromem/internal/fault"
 	"heteromem/internal/obs"
 	"heteromem/internal/power"
 	"heteromem/internal/sched"
@@ -78,6 +79,14 @@ type Config struct {
 	// completed swap step and at every quiescent point. Violations
 	// surface as errors from Access and Err.
 	Audit bool
+
+	// Fault configures deterministic fault injection (internal/fault):
+	// DRAM device bursts, migration copy legs, and step completions can be
+	// failed by rate or schedule, and the controller responds with bounded
+	// retry, swap rollback, slot retirement, or degraded mode instead of
+	// latching an error. The zero value disables injection entirely and
+	// leaves every code path byte-identical to a fault-free build.
+	Fault fault.Config
 }
 
 // Controller is the heterogeneity-aware on-chip memory controller.
@@ -129,6 +138,18 @@ type Controller struct {
 	// swap-step error inside a scheduler callback, where no error can be
 	// returned); Access and Err surface it.
 	firstErr error
+
+	// Fault-injection state (inj == nil means injection is off and none of
+	// the fields below are ever touched).
+	inj            *fault.Injector
+	faultRep       fault.Report   // disposition ledger (Account per fault)
+	frameFaults    map[uint64]int // on-package frame -> cumulative faults
+	retireQueue    []int          // slots awaiting quiescent retirement
+	retireQueued   map[int]bool   // slots queued or already retired
+	undoQueue      []core.SubCopy // remaining rollback copies, run one at a time
+	stepAttempts   int            // restarts consumed by the current step
+	degradePending bool           // degrade once the in-flight swap quiesces
+	degradedMode   bool           // migration permanently frozen
 }
 
 // instruments holds the controller's observability hooks. Every field is
@@ -166,10 +187,14 @@ type legMeta struct {
 	isRead   bool
 	dstOn    bool
 	earliest int64
+	attempts int // faulted attempts of this leg so far
 }
 
 type stepState struct {
-	subsLeft int
+	subsLeft  int
+	undo      bool  // rollback mini-step (no table mutation on completion)
+	aborted   bool  // swap aborted; in-flight legs of this step are stale
+	completed []int // sub indices whose write leg landed (rollback needs them)
 }
 
 // New builds the controller. onResult may be nil.
@@ -225,6 +250,25 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		if cfg.Audit {
 			c.aud = check.New(c.mig.Table(), c.mig.Design())
 		}
+	}
+	c.inj, err = fault.New(cfg.Fault)
+	if err != nil {
+		return nil, fmt.Errorf("memctrl: %w", err)
+	}
+	if c.inj != nil {
+		c.frameFaults = make(map[uint64]int)
+		c.retireQueued = make(map[int]bool)
+		hook := func(a uint64, write bool, at int64) bool {
+			return c.inj.Fault(fault.PointDevice)
+		}
+		c.onDev.SetFaultHook(hook)
+		c.offDev.SetFaultHook(hook)
+		c.onSch.SetFaultHandler(func(r *sched.Request) (bool, int64) {
+			return c.deviceFault(r, OnPackage)
+		})
+		c.offSch.SetFaultHandler(func(r *sched.Request) (bool, int64) {
+			return c.deviceFault(r, OffPackage)
+		})
 	}
 	if reg := cfg.Obs; reg != nil {
 		lb := obs.DefaultLatencyBuckets()
@@ -305,6 +349,11 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 	if c.osPenalty > 0 {
 		issue += c.osPenalty
 		c.osPenalty = 0
+	}
+	if c.inj != nil {
+		// Run deferred fault responses (slot retirement, pending degrade)
+		// before translating: they may remap the page being accessed.
+		c.serviceQuiescent(issue)
 	}
 
 	machine, onPkg := c.translate(phys)
@@ -470,6 +519,7 @@ func (c *Controller) beginSwap(subs []core.SubCopy, now int64) error {
 	if c.mig.Design() == core.DesignN {
 		return c.runStalledSwap(subs, now)
 	}
+	c.stepAttempts = 0
 	c.step = &stepState{subsLeft: len(subs)}
 	for _, sc := range subs {
 		c.enqueueReadLeg(sc, now)
@@ -504,13 +554,35 @@ func (c *Controller) submitBulk(on bool, machine uint64, job *sched.BulkJob) {
 }
 
 // bulkDone chains read leg -> write leg -> sub completion -> step/plan
-// completion for background swaps.
+// completion for background swaps. With fault injection on, every leg
+// completion is probed; a faulted leg is retried, accepted, or escalates
+// into a rollback per copyFaultVerdict.
 func (c *Controller) bulkDone(j *sched.BulkJob) {
 	meta := c.bulkMeta[j]
 	if meta == nil {
 		return
 	}
 	delete(c.bulkMeta, j)
+	if meta.step != nil && meta.step.aborted {
+		return // stale leg of an aborted (rolled-back or restarted) step
+	}
+	if c.inj != nil && c.inj.Fault(fault.PointCopy) {
+		c.inst.ring.Emit(j.Done, obs.EvFault, uint64(fault.PointCopy), meta.sub.Dst, uint64(meta.attempts))
+		switch c.copyFaultVerdict(!meta.isRead, meta.sub.Dst, meta.dstOn, meta.attempts, meta.step.undo, j.Done) {
+		case verdictRetry:
+			c.retryLeg(meta, j)
+			return
+		case verdictAbort:
+			if meta.step.undo {
+				c.abandonUndo(j.Done)
+			} else {
+				c.abortSwap(meta.step, j.Done)
+			}
+			return
+		case verdictAccept:
+			// fall through: the leg is treated as delivered
+		}
+	}
 	if meta.isRead {
 		write := &sched.BulkJob{
 			Tag:      j.Tag,
@@ -522,21 +594,32 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		return
 	}
 	// Write leg finished: the sub-block now lives at its destination.
+	c.inst.copySubs.Inc()
+	c.inst.copyBytes.Add(meta.sub.Bytes)
+	if c.cfg.Power != nil {
+		c.cfg.Power.Copy(c.regionOfMachine(meta.sub.Src), meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
+	}
+	if meta.step.undo {
+		// Rollback mini-step: no table mutation, no copy-done notification
+		// (the data is moving back where the shadow map already has it).
+		meta.step.subsLeft--
+		c.startNextUndo(j.Done)
+		return
+	}
 	if c.onCopyDone != nil {
 		c.onCopyDone(meta.sub)
 	}
 	c.mig.SubDone(meta.sub.SubIndex)
-	c.inst.copySubs.Inc()
-	c.inst.copyBytes.Add(meta.sub.Bytes)
 	if c.inst.ring != nil {
 		pageSize := c.cfg.Geometry.MacroPageSize
 		c.inst.ring.Emit(j.Done, obs.EvCopyDone, meta.sub.Src/pageSize, meta.sub.Dst/pageSize, meta.sub.Bytes)
 	}
-	if c.cfg.Power != nil {
-		c.cfg.Power.Copy(c.regionOfMachine(meta.sub.Src), meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
-	}
+	meta.step.completed = append(meta.step.completed, meta.sub.SubIndex)
 	meta.step.subsLeft--
 	if meta.step.subsLeft > 0 {
+		return
+	}
+	if c.inj != nil && c.inj.Fault(fault.PointBulk) && c.stepFault(j.Done) {
 		return
 	}
 	mru, _, stepIdx, _, _ := c.mig.CurrentPlan()
@@ -553,9 +636,11 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		c.inst.ring.Emit(j.Done, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
 		c.auditAt(j.Done, true)
 		c.step = nil
+		c.serviceQuiescent(j.Done)
 		return
 	}
 	c.auditAt(j.Done, false)
+	c.stepAttempts = 0
 	c.step = &stepState{subsLeft: len(next)}
 	for _, sc := range next {
 		c.enqueueReadLeg(sc, j.Done)
@@ -564,14 +649,19 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 
 // runStalledSwap executes an N-design swap synchronously: all copy traffic
 // is drained immediately and program execution resumes only after the last
-// byte moved (the paper: "it will halt the execution").
+// byte moved (the paper: "it will halt the execution"). Fault probes run
+// inline: a faulted leg re-reserves its buses after the backoff, a faulted
+// step completion re-runs the step's copies, and retry exhaustion rolls the
+// swap back synchronously.
 func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 	start := now
 	if c.stallUntil > start {
 		start = c.stallUntil
 	}
+	c.stepAttempts = 0
 	for {
 		c.step = &stepState{subsLeft: len(subs)}
+		var completed []int
 		var last int64
 		for _, sc := range subs {
 			srcOn := c.regionOfMachine(sc.Src)
@@ -579,20 +669,29 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 			// Synchronous execution: reserve the buses directly in order,
 			// each page copy on its page's channel.
 			rd := c.subDuration(srcOn, sc.Bytes, sc.Exchange)
-			srcPage := sc.Src / c.cfg.Geometry.MacroPageSize
-			dstPage := sc.Dst / c.cfg.Geometry.MacroPageSize
-			var readDone int64
-			if srcOn {
-				readDone = c.onDev.ReserveBus(int(srcPage%uint64(c.cfg.Geometry.OnChannels)), start, rd)
-			} else {
-				readDone = c.offDev.ReserveBus(int(srcPage%uint64(c.cfg.Geometry.OffChannels)), start, rd)
-			}
 			wd := c.subDuration(dstOn, sc.Bytes, sc.Exchange)
+			legStart := start
+			attempts := 0
 			var writeDone int64
-			if dstOn {
-				writeDone = c.onDev.ReserveBus(int(dstPage%uint64(c.cfg.Geometry.OnChannels)), readDone, wd)
-			} else {
-				writeDone = c.offDev.ReserveBus(int(dstPage%uint64(c.cfg.Geometry.OffChannels)), readDone, wd)
+		legLoop:
+			for {
+				readDone := c.reserve(srcOn, sc.Src, legStart, rd)
+				writeDone = c.reserve(dstOn, sc.Dst, readDone, wd)
+				if c.inj == nil || !c.inj.Fault(fault.PointCopy) {
+					break
+				}
+				c.inst.ring.Emit(writeDone, obs.EvFault, uint64(fault.PointCopy), sc.Dst, uint64(attempts))
+				switch c.copyFaultVerdict(true, sc.Dst, dstOn, attempts, false, writeDone) {
+				case verdictAbort:
+					c.step = nil
+					return c.stalledRollback(completed, writeDone)
+				case verdictAccept:
+					break legLoop
+				case verdictRetry:
+					attempts++
+					legStart = writeDone + c.inj.Backoff(attempts)
+					c.inst.ring.Emit(writeDone, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(attempts), uint64(legStart-writeDone))
+				}
 			}
 			if c.cfg.Power != nil {
 				c.cfg.Power.Copy(srcOn, dstOn, sc.Bytes, sc.Exchange)
@@ -602,12 +701,23 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 			}
 			c.inst.copySubs.Inc()
 			c.inst.copyBytes.Add(sc.Bytes)
+			completed = append(completed, sc.SubIndex)
 			if writeDone > last {
 				last = writeDone
 			}
 		}
 		c.step = nil
 		start = last
+		if c.inj != nil && c.inj.Fault(fault.PointBulk) {
+			c.inst.ring.Emit(last, obs.EvFault, uint64(fault.PointBulk), 0, uint64(c.stepAttempts))
+			redo, abort := c.stepFaultVerdict(last)
+			if abort {
+				return c.stalledRollback(completed, last)
+			}
+			if redo {
+				continue // re-run the same step's copies
+			}
+		}
 		mru, _, stepIdx, _, _ := c.mig.CurrentPlan()
 		next, done, err := c.mig.StepDone()
 		if err != nil {
@@ -625,6 +735,7 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 		if err := c.firstErr; err != nil {
 			return err
 		}
+		c.stepAttempts = 0
 		subs = next
 	}
 	if err := c.firstErr; err != nil {
@@ -635,7 +746,8 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 		c.inst.ring.Emit(now, obs.EvStall, uint64(stalled), 0, 0)
 	}
 	c.stallUntil = start
-	return nil
+	c.serviceQuiescent(start)
+	return c.firstErr
 }
 
 // Flush drains both regions and returns the final cycle. Draining one
@@ -658,12 +770,29 @@ func (c *Controller) Flush() int64 {
 			break
 		}
 	}
+	if c.inj != nil {
+		// Fault responses deferred to a quiescent point (slot retirements,
+		// a pending degrade) run now; retirement evacuation copies extend
+		// the bus schedules past the drained horizon.
+		c.serviceQuiescent(last)
+		for ch := 0; ch < c.cfg.Geometry.OnChannels; ch++ {
+			if f := c.onDev.BusFree(ch); f > last {
+				last = f
+			}
+		}
+		for ch := 0; ch < c.cfg.Geometry.OffChannels; ch++ {
+			if f := c.offDev.BusFree(ch); f > last {
+				last = f
+			}
+		}
+	}
 	// The drained controller must be at a quiescent point: no swap in
 	// flight and the translation table fully consistent.
 	if c.mig != nil && c.mig.SwapInFlight() && c.firstErr == nil {
 		c.fail(fmt.Errorf("memctrl: flush finished with a swap still in flight"))
 	}
 	c.auditAt(last, true)
+	c.checkFaultLedger()
 	return last
 }
 
@@ -685,6 +814,23 @@ func (c *Controller) PublishObs() {
 	reg.Gauge("sched.on.bulk_served").Set(int64(onBulk))
 	reg.Gauge("sched.off.served").Set(int64(offServed))
 	reg.Gauge("sched.off.bulk_served").Set(int64(offBulk))
+	if rep := c.FaultReport(); rep != nil {
+		reg.Gauge("fault.injected").Set(int64(rep.Injected))
+		reg.Gauge("fault.device").Set(int64(rep.DeviceFaults))
+		reg.Gauge("fault.copy").Set(int64(rep.CopyFaults))
+		reg.Gauge("fault.bulk").Set(int64(rep.BulkFaults))
+		reg.Gauge("fault.retried").Set(int64(rep.Retried))
+		reg.Gauge("fault.rolled_back").Set(int64(rep.RolledBack))
+		reg.Gauge("fault.retired").Set(int64(rep.Retired))
+		reg.Gauge("fault.degraded").Set(int64(rep.Degraded))
+		reg.Gauge("fault.swaps_rolled_back").Set(int64(rep.SwapsRolledBack))
+		reg.Gauge("fault.slots_retired").Set(int64(rep.SlotsRetired))
+		degraded := int64(0)
+		if rep.DegradedMode {
+			degraded = 1
+		}
+		reg.Gauge("fault.degraded_mode").Set(degraded)
+	}
 	if c.mig == nil {
 		return
 	}
@@ -721,6 +867,10 @@ type Report struct {
 	OnQueueMean  float64
 	OffQueueMean float64
 	Migration    core.Stats
+
+	// Faults is the fault-handling ledger; nil when injection is off, so
+	// fault-free reports stay byte-identical (omitted from JSON).
+	Faults *fault.Report `json:",omitempty"`
 }
 
 // Report returns the accumulated statistics.
@@ -739,6 +889,7 @@ func (c *Controller) Report() Report {
 	if c.mig != nil {
 		r.Migration = c.mig.Stats()
 	}
+	r.Faults = c.FaultReport()
 	return r
 }
 

@@ -19,6 +19,15 @@ const (
 	EvOSPenalty                      // OS-assisted epoch table update charged; A=penalty cycles
 	EvCopyDone                       // background sub-block copy finished; A=src machine page, B=dst machine page, C=bytes
 	EvAudit                          // invariant audit ran; A=1 for quiescent, 0 for step-level
+
+	// Fault-injection pipeline events (kinds appended so traces from
+	// fault-free builds keep their numbering).
+	EvFault        // injected fault observed; A=injection point, B=machine address, C=attempt count
+	EvFaultRetry   // faulted operation rescheduled; A=injection point, B=new attempt count, C=backoff cycles
+	EvSwapAbort    // in-flight swap aborted for rollback; A=MRU page, B=victim slot
+	EvRollbackDone // rollback finished, table restored; A=MRU page
+	EvRetire       // on-package slot retired; A=slot, B=spare machine page (0 if none)
+	EvDegrade      // migration permanently disabled; A=total injected faults so far
 )
 
 // String names the event kind.
@@ -42,6 +51,18 @@ func (k EventKind) String() string {
 		return "copy-done"
 	case EvAudit:
 		return "audit"
+	case EvFault:
+		return "fault"
+	case EvFaultRetry:
+		return "fault-retry"
+	case EvSwapAbort:
+		return "swap-abort"
+	case EvRollbackDone:
+		return "rollback-done"
+	case EvRetire:
+		return "retire"
+	case EvDegrade:
+		return "degrade"
 	default:
 		return fmt.Sprintf("EventKind(%d)", uint8(k))
 	}

@@ -21,6 +21,7 @@ package sched
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"heteromem/internal/dram"
 	"heteromem/internal/obs"
@@ -37,6 +38,11 @@ type Request struct {
 	Start   int64 // cycle service began (decision time)
 	Done    int64 // cycle the data burst completed
 	CoreLat int64 // DRAM-core-only portion (row state + CAS + burst)
+
+	// Attempts counts faulted service attempts so far; on a retry the
+	// request re-arrives (Arrive is advanced past the backoff) and goes
+	// through arbitration again.
+	Attempts int
 }
 
 // Latency returns the request's region-internal latency (queue + DRAM).
@@ -80,6 +86,12 @@ type Scheduler struct {
 	quantum int64
 	onDone  func(*Request)
 	onBulk  func(*BulkJob)
+
+	// onFault, when set, decides what happens after the device reports a
+	// faulted burst for a request: retry (after backoff cycles of settling
+	// time) or give up and deliver the access as-is. The faulted attempt's
+	// bus and bank time has been spent either way.
+	onFault func(*Request) (retry bool, backoff int64)
 
 	pending [][]*Request // per channel, arrival order
 	bulk    [][]*BulkJob // per channel, FIFO
@@ -133,8 +145,28 @@ func New(dev *dram.Device, cfg Config, onDone func(*Request), onBulk func(*BulkJ
 // clock `now` (>= r.Arrive) allows.
 func (s *Scheduler) Submit(r *Request, now int64) {
 	ch := s.dev.ChannelOf(r.Addr)
-	s.pending[ch] = append(s.pending[ch], r)
+	s.insert(ch, r)
 	s.drain(ch, now)
+}
+
+// SetFaultHandler installs the retry-policy callback consulted when the
+// device faults a request's burst (see the onFault field). Pass nil to
+// treat faults as silently delivered.
+func (s *Scheduler) SetFaultHandler(h func(*Request) (retry bool, backoff int64)) {
+	s.onFault = h
+}
+
+// insert adds r to its channel queue keeping arrival order. Trace arrivals
+// are monotonic so this is normally an append; fault retries re-arrive in
+// the future and may interleave with younger submissions, so the queue
+// must stay sorted for the decision-time logic to hold.
+func (s *Scheduler) insert(ch int, r *Request) {
+	q := s.pending[ch]
+	i := sort.Search(len(q), func(i int) bool { return q[i].Arrive > r.Arrive })
+	q = append(q, nil)
+	copy(q[i+1:], q[i:])
+	q[i] = r
+	s.pending[ch] = q
 }
 
 // SubmitBulk enqueues a background bulk job on channel ch.
@@ -271,12 +303,23 @@ func (s *Scheduler) drain(ch int, now int64) {
 			pick = 0
 		}
 		r := fg[pick]
-		r.Start = fgAt
-		r.Done, r.CoreLat = s.dev.Service(r.Addr, r.Write, fgAt)
-		if n := r.Done - s.tcl; n > s.next[ch] {
+		done, coreLat, faulted := s.dev.ServiceChecked(r.Addr, r.Write, fgAt)
+		if n := done - s.tcl; n > s.next[ch] {
 			s.next[ch] = n
 		}
 		s.pending[ch] = append(fg[:pick], fg[pick+1:]...)
+		if faulted && s.onFault != nil {
+			if retry, backoff := s.onFault(r); retry {
+				// The bad burst consumed real bus time; the retry re-arrives
+				// after the backoff and arbitrates like any other request.
+				r.Attempts++
+				r.Arrive = done + backoff
+				s.insert(ch, r)
+				continue
+			}
+		}
+		r.Start = fgAt
+		r.Done, r.CoreLat = done, coreLat
 		s.served++
 		s.sumQueueing += r.Start - r.Arrive
 		if s.onDone != nil {

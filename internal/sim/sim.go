@@ -16,6 +16,7 @@ import (
 
 	"heteromem/internal/config"
 	"heteromem/internal/core"
+	"heteromem/internal/fault"
 	"heteromem/internal/memctrl"
 	"heteromem/internal/obs"
 	"heteromem/internal/power"
@@ -73,6 +74,14 @@ type Config struct {
 	// quiescent point, and any violation fails the run with a diagnostic
 	// error.
 	Audit bool
+
+	// Fault configures deterministic fault injection into the memory
+	// pipeline (internal/fault): DRAM bursts, migration copy legs, and step
+	// completions can be failed by rate or schedule, and the controller
+	// degrades gracefully (retry, rollback, slot retirement, frozen
+	// migration) instead of erroring out. The zero value disables injection
+	// and leaves results byte-identical to a fault-free build.
+	Fault fault.Config
 }
 
 // Default fills in the Table II/III defaults for anything left zero.
@@ -117,6 +126,11 @@ type Result struct {
 	// event emitted over the run, including those the ring dropped.
 	Events      []obs.Event `json:",omitempty"`
 	EventsTotal uint64      `json:",omitempty"`
+
+	// Faults is the fault-handling ledger: injected fault counts per point
+	// and the disposition of each (retried, rolled back, retired,
+	// degraded). Nil unless Config.Fault enabled injection.
+	Faults *fault.Report `json:",omitempty"`
 }
 
 // Window is one point of the convergence time series.
@@ -138,6 +152,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		OSAssisted: cfg.OSAssisted,
 		Sched:      cfg.Sched,
 		Audit:      cfg.Audit,
+		Fault:      cfg.Fault,
 	}
 	var reg *obs.Registry
 	if cfg.Metrics || cfg.EventTrace > 0 {
@@ -216,6 +231,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		}
 	}
 	res.Report = ctrl.Report()
+	res.Faults = res.Report.Faults
 	res.Records = n
 	res.LastCycle = last
 	res.MeanLatency = res.Report.All.Mean()
