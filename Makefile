@@ -44,8 +44,14 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
 
+# Benchmarks: the raw text (BENCH_pr3.txt) is benchstat input, the JSON
+# (BENCH_pr3.json) is the archived machine-readable form. Compare the
+# TemporalObservabilityOff/On pair to bound the tracing overhead.
+BENCH_TXT ?= BENCH_pr3.txt
+BENCH_JSON ?= BENCH_pr3.json
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' .
+	$(GO) test -bench . -benchmem -run '^$$' . | tee $(BENCH_TXT)
+	$(GO) run ./tools/bench2json -o $(BENCH_JSON) < $(BENCH_TXT)
 
 # Rewrite the hmreport golden files after an intended output change.
 golden-update:

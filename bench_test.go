@@ -299,6 +299,30 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 	}
 }
 
+// benchTemporal is the end-to-end access benchmark with the temporal
+// observability layer at a given setting; compare Off against On with
+// benchstat. Off must stay within 5% of a build without the layer — the
+// disabled path is one nil check per touch point.
+func benchTemporal(b *testing.B, spans, series int) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = 64 * KiB
+	cfg.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cfg.MaxRecords = uint64(b.N)
+	cfg.SpanTrace = spans
+	cfg.EpochSeries = series
+	b.ResetTimer()
+	if _, err := sim.Run(trace.NewLimit(gen, uint64(b.N)), cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkTemporalObservabilityOff(b *testing.B) { benchTemporal(b, 0, 0) }
+func BenchmarkTemporalObservabilityOn(b *testing.B)  { benchTemporal(b, 1<<16, 1<<12) }
+
 func BenchmarkAblationVictimPolicy(b *testing.B) {
 	// Clock pseudo-LRU (paper) vs FIFO rotation vs random victim.
 	for i := 0; i < b.N; i++ {

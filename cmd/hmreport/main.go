@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	hmreport -out results/ [-records N] [-seed N]
+//	hmreport -out results/ [-records N] [-seed N] [-series WORKLOAD]
 package main
 
 import (
@@ -25,17 +25,19 @@ func main() {
 		out     = flag.String("out", "results", "directory for CSV output")
 		records = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
 		seed    = flag.Int64("seed", 1, "workload seed")
+		series  = flag.String("series", "pgbench", "workload for the per-epoch effectiveness trajectory (empty disables)")
 	)
 	flag.Parse()
-	if err := run(context.Background(), os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}); err != nil {
+	if err := run(context.Background(), os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}, *series); err != nil {
 		fmt.Fprintln(os.Stderr, "hmreport:", err)
 		os.Exit(1)
 	}
 }
 
 // run executes the full report: CSV files into dir, the human-readable
-// measured-vs-paper summary onto w.
-func run(ctx context.Context, w io.Writer, dir string, p experiments.Params) error {
+// measured-vs-paper summary onto w. When seriesWL names a workload, the
+// report also includes its per-epoch effectiveness trajectory.
+func run(ctx context.Context, w io.Writer, dir string, p experiments.Params, seriesWL string) error {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return err
 	}
@@ -125,7 +127,58 @@ func run(ctx context.Context, w io.Writer, dir string, p experiments.Params) err
 	}
 	fmt.Fprintf(w, "Fig. 16 minimum power overhead: measured %.2fx, paper ~%.1fx\n",
 		minPower, experiments.PaperFig16MinOverhead)
+
+	// Per-epoch effectiveness trajectory: how fast migration converges on
+	// its end-of-run η, from the series sampler rather than the aggregate.
+	if seriesWL != "" {
+		if err := writeTrajectory(ctx, w, dir, p, seriesWL); err != nil {
+			return err
+		}
+	}
 	fmt.Fprintf(w, "CSV files written to %s\n", dir)
+	return nil
+}
+
+// writeTrajectory emits epoch_series.csv plus a decimated stdout table of
+// the per-epoch effectiveness trajectory.
+func writeTrajectory(ctx context.Context, w io.Writer, dir string, p experiments.Params, name string) error {
+	pts, err := experiments.EpochTrajectoryData(ctx, p, name)
+	if err != nil {
+		return err
+	}
+	rows := [][]string{{"workload", "epoch", "cycle", "final", "on_share", "p_stalls", "stall_cycles", "swaps_completed", "mean_dram_lat", "effectiveness_pct"}}
+	for _, pt := range pts {
+		rows = append(rows, []string{
+			name,
+			strconv.FormatUint(pt.Epoch, 10), strconv.FormatInt(pt.Cycle, 10),
+			strconv.FormatBool(pt.Final), f(pt.OnShare),
+			strconv.FormatUint(pt.PStalls, 10), strconv.FormatUint(pt.StallCycles, 10),
+			strconv.FormatUint(pt.SwapsCompleted, 10),
+			f(pt.MeanDRAMLat), f(pt.Effectiveness),
+		})
+	}
+	if err := writeCSV(filepath.Join(dir, "epoch_series.csv"), rows); err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "Per-epoch effectiveness trajectory (%s, live, 4MB pages, interval %d):\n",
+		name, experiments.TrajectoryInterval)
+	fmt.Fprintf(w, "  %7s %12s %9s %6s %10s %7s\n", "epoch", "cycle", "on-share", "swaps", "mean-dram", "eta")
+	// Decimate to at most 8 rows; the final reconciling sample always prints.
+	step := 1
+	if len(pts) > 8 {
+		step = (len(pts) + 7) / 8
+	}
+	for i, pt := range pts {
+		if i%step != 0 && i != len(pts)-1 {
+			continue
+		}
+		label := strconv.FormatUint(pt.Epoch, 10)
+		if pt.Final {
+			label = "final"
+		}
+		fmt.Fprintf(w, "  %7s %12d %8.1f%% %6d %10.1f %6.1f%%\n",
+			label, pt.Cycle, pt.OnShare*100, pt.SwapsCompleted, pt.MeanDRAMLat, pt.Effectiveness)
+	}
 	return nil
 }
 

@@ -49,7 +49,7 @@ func checkGolden(t *testing.T, name string, got []byte) {
 func TestRunGolden(t *testing.T) {
 	dir := t.TempDir()
 	var buf bytes.Buffer
-	if err := run(context.Background(), &buf, dir, goldenParams()); err != nil {
+	if err := run(context.Background(), &buf, dir, goldenParams(), "pgbench"); err != nil {
 		t.Fatal(err)
 	}
 
@@ -57,7 +57,7 @@ func TestRunGolden(t *testing.T) {
 	summary := strings.ReplaceAll(buf.String(), dir, "<out>")
 	checkGolden(t, "summary.golden", []byte(summary))
 
-	for _, csv := range []string{"table4.csv", "fig11_interval1000.csv", "fig15.csv", "fig16.csv"} {
+	for _, csv := range []string{"table4.csv", "fig11_interval1000.csv", "fig15.csv", "fig16.csv", "epoch_series.csv"} {
 		got, err := os.ReadFile(filepath.Join(dir, csv))
 		if err != nil {
 			t.Fatalf("report did not write %s: %v", csv, err)

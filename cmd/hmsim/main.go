@@ -23,8 +23,11 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net"
+	"net/http"
 	"os"
 	"strings"
+	"time"
 
 	"heteromem"
 	"heteromem/internal/experiments"
@@ -39,6 +42,7 @@ func main() {
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		timeout   = flag.Duration("timeout", 0, "experiment mode: wall-clock budget; exceeded runs abort between simulations")
+		listen    = flag.String("listen", "", "experiment mode: serve live sweep telemetry (/metrics, /progress, pprof) on this address, e.g. :8080 or :0")
 
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
@@ -48,6 +52,8 @@ func main() {
 		metrics      = flag.Bool("metrics", false, "single-run: collect and emit the metrics snapshot")
 		events       = flag.Int("events", 0, "single-run: keep the last N structured pipeline events")
 		audit        = flag.Bool("audit", false, "single-run: verify translation-table invariants throughout")
+		traceOut     = flag.String("trace-out", "", "single-run: write a cycle-domain span trace as Chrome trace-event JSON to this file")
+		seriesOut    = flag.String("series-out", "", "single-run: write the per-epoch time series as JSONL to this file")
 
 		// Single-run fault injection (see heteromem.FaultConfig).
 		faultSeed     = flag.Uint64("fault-seed", 0, "single-run: fault injector PRNG seed")
@@ -81,11 +87,12 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	singleOnly := []string{
 		"design", "interval", "page", "metrics", "events", "audit",
+		"trace-out", "series-out",
 		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
 		"fault-schedule", "fault-retries", "fault-backoff",
 		"fault-retire-after", "fault-degrade-budget",
 	}
-	expOnly := []string{"workloads", "timeout"}
+	expOnly := []string{"workloads", "timeout", "listen"}
 	if *workloadName != "" {
 		if *exp != "" {
 			usageErr("-workload and -exp are mutually exclusive")
@@ -138,6 +145,7 @@ func main() {
 			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
 			Records: *records, Warmup: *warmup, Seed: *seed,
 			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
+			TraceOut: *traceOut, SeriesOut: *seriesOut,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
 			os.Exit(1)
@@ -171,13 +179,86 @@ func main() {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	for _, name := range names {
-		if err := registry[name](ctx, os.Stdout, p); err != nil {
-			fmt.Fprintf(os.Stderr, "hmsim: %s: %v\n", name, err)
-			os.Exit(1)
-		}
-		fmt.Println()
+	err := runExperiments(ctx, os.Stdout, expRunConfig{
+		Names: names, Params: p, Listen: *listen,
+		OnListen: func(addr string) {
+			fmt.Fprintf(os.Stderr, "hmsim: telemetry listening on http://%s\n", addr)
+		},
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+		os.Exit(1)
 	}
+}
+
+// expRunConfig collects the experiment-mode inputs.
+type expRunConfig struct {
+	Names    []string
+	Params   experiments.Params
+	Listen   string            // telemetry listen address ("" disables)
+	OnListen func(addr string) // called with the bound address once listening
+}
+
+// runExperiments runs the named drivers in order, optionally serving live
+// sweep telemetry while they execute. The telemetry server is shut down
+// cleanly whether the sweep finishes, fails, or the context is cancelled.
+func runExperiments(ctx context.Context, w io.Writer, c expRunConfig) error {
+	p := c.Params
+	if c.Listen != "" {
+		tel := experiments.NewTelemetry()
+		p.Telemetry = tel
+		srv, err := serveTelemetry(c.Listen, tel)
+		if err != nil {
+			return fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		if c.OnListen != nil {
+			c.OnListen(srv.Addr())
+		}
+	}
+	registry := experiments.Registry()
+	for _, name := range c.Names {
+		if err := registry[name](ctx, w, p); err != nil {
+			return fmt.Errorf("%s: %w", name, err)
+		}
+		fmt.Fprintln(w)
+	}
+	return nil
+}
+
+// telemetryServer is the live sweep-telemetry HTTP server.
+type telemetryServer struct {
+	ln   net.Listener
+	srv  *http.Server
+	done chan struct{}
+}
+
+// serveTelemetry binds addr and serves t's endpoints until Close.
+func serveTelemetry(addr string, t *experiments.Telemetry) (*telemetryServer, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	s := &telemetryServer{ln: ln, srv: &http.Server{Handler: t.Handler()}, done: make(chan struct{})}
+	go func() {
+		defer close(s.done)
+		if err := s.srv.Serve(ln); err != nil && err != http.ErrServerClosed {
+			fmt.Fprintf(os.Stderr, "hmsim: telemetry server: %v\n", err)
+		}
+	}()
+	return s, nil
+}
+
+// Addr returns the bound address (useful with ":0").
+func (s *telemetryServer) Addr() string { return s.ln.Addr().String() }
+
+// Close drains the server gracefully, bounded by a short timeout so a hung
+// client cannot wedge shutdown.
+func (s *telemetryServer) Close() {
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	_ = s.srv.Shutdown(ctx)
+	<-s.done
 }
 
 // designChoice is a parsed -design value.
@@ -216,6 +297,9 @@ type singleRunConfig struct {
 	Events   int
 	Audit    bool
 	Fault    heteromem.FaultConfig
+
+	TraceOut  string // Chrome trace-event JSON destination ("" disables)
+	SeriesOut string // per-epoch JSONL destination ("" disables)
 }
 
 // singleRunOutput is the JSON document single-run mode emits.
@@ -238,6 +322,12 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 		Audit:         c.Audit,
 		Fault:         c.Fault,
 	}
+	if c.TraceOut != "" {
+		cfg.SpanTrace = 1 << 20
+	}
+	if c.SeriesOut != "" {
+		cfg.EpochSeries = 1 << 16
+	}
 	if c.Design.migrate {
 		cfg.Migration = heteromem.Migration{Enabled: true, Design: c.Design.design, SwapInterval: c.Interval}
 	}
@@ -253,6 +343,19 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	if err != nil {
 		return err
 	}
+	if c.TraceOut != "" {
+		if err := writeTraceFile(c.TraceOut, res.Spans); err != nil {
+			return err
+		}
+		// The file is the deliverable; keep the stdout JSON readable.
+		res.Spans, res.SpansDropped = nil, 0
+	}
+	if c.SeriesOut != "" {
+		if err := writeSeriesFile(c.SeriesOut, res.Series); err != nil {
+			return err
+		}
+		res.Series, res.SeriesDropped = nil, 0
+	}
 	out := singleRunOutput{
 		Workload: c.Workload,
 		Design:   c.Design.name,
@@ -265,4 +368,34 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// writeTraceFile writes the span trace as Chrome trace-event JSON.
+func writeTraceFile(path string, spans []heteromem.Span) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := heteromem.WriteChromeTrace(f, spans); err != nil {
+		f.Close()
+		return fmt.Errorf("trace-out: %w", err)
+	}
+	return f.Close()
+}
+
+// writeSeriesFile writes the per-epoch time series as JSONL, one sample
+// per line.
+func writeSeriesFile(path string, series []heteromem.EpochSample) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, s := range series {
+		if err := enc.Encode(s); err != nil {
+			f.Close()
+			return fmt.Errorf("series-out: %w", err)
+		}
+	}
+	return f.Close()
 }

@@ -2,10 +2,19 @@ package main
 
 import (
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"testing"
+	"time"
 
 	"heteromem"
+	"heteromem/internal/experiments"
 )
 
 // TestSingleRunMetricsJSON pins the acceptance contract of `hmsim
@@ -75,6 +84,165 @@ func TestSingleRunMetricsJSON(t *testing.T) {
 	}
 	if len(out.Result.Events) == 0 || out.Result.EventsTotal == 0 {
 		t.Error("-events produced no event trace")
+	}
+}
+
+// TestSingleRunTraceAndSeriesOut pins the -trace-out/-series-out contract:
+// the trace file is loadable Chrome trace-event JSON, the series file is one
+// JSON EpochSample per line ending with the flush sample, and neither blob
+// leaks into the stdout result JSON.
+func TestSingleRunTraceAndSeriesOut(t *testing.T) {
+	dir := t.TempDir()
+	tracePath := filepath.Join(dir, "trace.json")
+	seriesPath := filepath.Join(dir, "series.jsonl")
+	live, _ := parseDesign("live")
+	var buf bytes.Buffer
+	err := singleRun(&buf, singleRunConfig{
+		Workload: "pgbench", Design: live, Interval: 1000,
+		Records: 200_000, Seed: 1,
+		TraceOut: tracePath, SeriesOut: seriesPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(tracePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("trace file is not valid Chrome trace JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit == "" || len(trace.TraceEvents) == 0 {
+		t.Fatalf("trace file empty or missing displayTimeUnit: %d events", len(trace.TraceEvents))
+	}
+	sawSwap := false
+	for _, ev := range trace.TraceEvents {
+		if ev.Name == "swap" && ev.Ph == "X" {
+			sawSwap = true
+			break
+		}
+	}
+	if !sawSwap {
+		t.Error("trace file has no complete swap spans")
+	}
+
+	sraw, err := os.ReadFile(seriesPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(sraw)), "\n")
+	if len(lines) < 2 {
+		t.Fatalf("series file has only %d lines", len(lines))
+	}
+	var last heteromem.EpochSample
+	for i, line := range lines {
+		var s heteromem.EpochSample
+		if err := json.Unmarshal([]byte(line), &s); err != nil {
+			t.Fatalf("series line %d is not valid JSON: %v", i, err)
+		}
+		last = s
+	}
+	if !last.Final {
+		t.Error("last series line is not the flush sample")
+	}
+
+	for _, key := range []string{"Spans", "Series"} {
+		if bytes.Contains(buf.Bytes(), []byte(`"`+key+`"`)) {
+			t.Errorf("stdout JSON leaks %q despite the file redirect", key)
+		}
+	}
+}
+
+// probeTelemetry fetches one endpoint and returns its body.
+func probeTelemetry(t *testing.T, url string) string {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("GET %s: read body: %v", url, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s: status %d", url, resp.StatusCode)
+	}
+	return string(body)
+}
+
+// TestRunExperimentsServesTelemetry is the -listen acceptance test run
+// in-process: a small sweep serves /metrics, /progress, and pprof while it
+// executes, and the server is gone once runExperiments returns.
+func TestRunExperimentsServesTelemetry(t *testing.T) {
+	var addr string
+	err := runExperiments(context.Background(), io.Discard, expRunConfig{
+		Names:  []string{"fig11a"},
+		Params: experiments.Params{Records: 40_000, Workloads: []string{"pgbench"}},
+		Listen: "127.0.0.1:0",
+		OnListen: func(a string) {
+			addr = a
+			metrics := probeTelemetry(t, "http://"+a+"/metrics")
+			for _, want := range []string{"hmsim_runs_planned", "hmsim_runs_completed", "hmsim_records_total"} {
+				if !strings.Contains(metrics, want) {
+					t.Errorf("/metrics missing %s", want)
+				}
+			}
+			var p struct {
+				Planned    int64   `json:"planned"`
+				ETASeconds float64 `json:"eta_seconds"`
+			}
+			if err := json.Unmarshal([]byte(probeTelemetry(t, "http://"+a+"/progress")), &p); err != nil {
+				t.Errorf("/progress is not valid JSON: %v", err)
+			}
+			if probeTelemetry(t, "http://"+a+"/debug/pprof/cmdline") == "" {
+				t.Error("pprof cmdline endpoint empty")
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if addr == "" {
+		t.Fatal("OnListen never fired")
+	}
+	// Clean shutdown: the port must be released once the sweep is done.
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/metrics"); err == nil {
+		t.Fatal("telemetry server still reachable after runExperiments returned")
+	}
+}
+
+// TestRunExperimentsTelemetryShutdownOnCancel checks the timeout path: a
+// cancelled context aborts the sweep with ctx.Err() and still tears the
+// telemetry server down.
+func TestRunExperimentsTelemetryShutdownOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var addr string
+	err := runExperiments(ctx, io.Discard, expRunConfig{
+		Names:    []string{"fig11a"},
+		Params:   experiments.Params{Records: 40_000, Workloads: []string{"pgbench"}},
+		Listen:   "127.0.0.1:0",
+		OnListen: func(a string) { addr = a },
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if addr == "" {
+		t.Fatal("server never started")
+	}
+	client := http.Client{Timeout: time.Second}
+	if _, err := client.Get("http://" + addr + "/progress"); err == nil {
+		t.Fatal("telemetry server survived the cancelled sweep")
 	}
 }
 

@@ -33,11 +33,13 @@ package heteromem
 
 import (
 	"fmt"
+	"io"
 
 	"heteromem/internal/addr"
 	"heteromem/internal/config"
 	"heteromem/internal/core"
 	"heteromem/internal/fault"
+	"heteromem/internal/obs"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -99,6 +101,16 @@ type Config struct {
 	// into Result.Events. Implies Metrics.
 	EventTrace int
 
+	// SpanTrace, when positive, records up to N cycle-domain begin/end
+	// spans (swap lifecycles, copy legs, N-design stalls, fault ladders)
+	// into Result.Spans; export them with WriteChromeTrace. Implies Metrics.
+	SpanTrace int
+
+	// EpochSeries, when positive, samples the cumulative pipeline counters
+	// at every monitoring-epoch boundary (plus once at flush) into
+	// Result.Series, keeping the last N samples. Implies Metrics.
+	EpochSeries int
+
 	// Audit verifies the translation-table invariants after every swap step
 	// and at every quiescent point; any violation fails the run with a
 	// diagnostic error.
@@ -124,6 +136,20 @@ type FaultReport = fault.Report
 
 // Result re-exports the simulation outcome.
 type Result = sim.Result
+
+// Span is one cycle-domain interval of the span trace (Result.Spans).
+type Span = obs.Span
+
+// EpochSample is one cumulative-counter record of the per-epoch time
+// series (Result.Series).
+type EpochSample = obs.EpochSample
+
+// WriteChromeTrace serializes a span trace as Chrome trace-event JSON,
+// loadable by chrome://tracing and Perfetto; timestamps are cycles and
+// each pipeline stage renders as its own thread lane.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	return obs.WriteChromeTrace(w, spans)
+}
 
 // Record re-exports the trace record type.
 type Record = trace.Record
@@ -168,6 +194,8 @@ func New(c Config) (*System, error) {
 	scfg.Warmup = c.Warmup
 	scfg.Metrics = c.Metrics
 	scfg.EventTrace = c.EventTrace
+	scfg.SpanTrace = c.SpanTrace
+	scfg.EpochSeries = c.EpochSeries
 	scfg.Audit = c.Audit
 	scfg.Fault = c.Fault
 	if err := scfg.Fault.Validate(); err != nil {

@@ -37,6 +37,10 @@ type Params struct {
 	// Parallelism caps the worker goroutines used for independent
 	// simulations (0 = GOMAXPROCS).
 	Parallelism int
+	// Telemetry, when non-nil, receives live sweep telemetry (run
+	// progress, merged metrics) from every driver; serve its Handler to
+	// watch a sweep over HTTP. Nil keeps the drivers telemetry-free.
+	Telemetry *Telemetry
 }
 
 func (p Params) records(def uint64) uint64 {

@@ -96,7 +96,7 @@ func Fig4Data(ctx context.Context, p Params) ([]Fig4Point, error) {
 	if workers <= 0 || workers > 4 {
 		workers = 4
 	}
-	err := forEachIndex(ctx, len(jobs), workers, func(i int) error {
+	err := p.forEach(ctx, len(jobs), workers, func(i int) error {
 		j := jobs[i]
 		levels := config.SRAMHierarchy()
 		levels[2].Size = j.capa

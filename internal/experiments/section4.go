@@ -85,10 +85,10 @@ func Fig11Data(ctx context.Context, p Params, interval uint64) ([]Fig11Point, er
 		}
 	}
 	out := make([]Fig11Point, len(jobs))
-	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
+	err := p.forEach(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		mig := &core.Options{Design: j.design, SwapInterval: interval}
-		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
+		res, err := p.runTrace(j.name, traceConfig(j.page, mig, records, warm))
 		if err != nil {
 			return fmt.Errorf("fig11 %s/%s/%s: %w", j.name, sizeLabel(j.page), j.design, err)
 		}
@@ -172,10 +172,10 @@ func Fig1214Data(ctx context.Context, p Params, interval uint64) ([]Fig1214Point
 		}
 	}
 	out := make([]Fig1214Point, len(jobs))
-	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
+	err := p.forEach(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		mig := &core.Options{Design: core.DesignLive, SwapInterval: interval}
-		res, err := runTrace(j.name, p.seed(), traceConfig(j.page, mig, records, warm))
+		res, err := p.runTrace(j.name, traceConfig(j.page, mig, records, warm))
 		if err != nil {
 			return fmt.Errorf("fig12-14 %s/%s: %w", j.name, sizeLabel(j.page), err)
 		}
@@ -258,7 +258,7 @@ func Table4Data(ctx context.Context, p Params) ([]Table4Row, error) {
 		}
 	}
 	results := make([]sim.Result, len(jobs))
-	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
+	err := p.forEach(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		var mig *core.Options
 		page := j.page
@@ -267,7 +267,7 @@ func Table4Data(ctx context.Context, p Params) ([]Table4Row, error) {
 		} else {
 			mig = &core.Options{Design: core.DesignLive, SwapInterval: j.interval}
 		}
-		res, err := runTrace(names[j.wl], p.seed(), traceConfig(page, mig, records, warm))
+		res, err := p.runTrace(names[j.wl], traceConfig(page, mig, records, warm))
 		if err != nil {
 			return fmt.Errorf("table4 %s: %w", names[j.wl], err)
 		}
@@ -363,17 +363,17 @@ func Fig15Data(ctx context.Context, p Params) ([]Fig15Point, error) {
 		}
 	}
 	out := make([]Fig15Point, len(jobs))
-	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
+	err := p.forEach(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		base := traceConfig(page, nil, records, warm)
 		base.Geometry.OnPackageCapacity = j.capa
-		static, err := runTrace(j.name, p.seed(), base)
+		static, err := p.runTrace(j.name, base)
 		if err != nil {
 			return err
 		}
 		migCfg := traceConfig(page, &core.Options{Design: core.DesignLive, SwapInterval: 1000}, records, warm)
 		migCfg.Geometry.OnPackageCapacity = j.capa
-		mig, err := runTrace(j.name, p.seed(), migCfg)
+		mig, err := p.runTrace(j.name, migCfg)
 		if err != nil {
 			return err
 		}
@@ -440,11 +440,11 @@ func Fig16Data(ctx context.Context, p Params) ([]Fig16Point, error) {
 		}
 	}
 	out := make([]Fig16Point, len(jobs))
-	err := forEachIndex(ctx, len(jobs), p.Parallelism, func(i int) error {
+	err := p.forEach(ctx, len(jobs), p.Parallelism, func(i int) error {
 		j := jobs[i]
 		cfg := traceConfig(j.page, &core.Options{Design: core.DesignLive, SwapInterval: j.interval}, records, warm)
 		cfg.MeterPower = true
-		res, err := runTrace(j.name, p.seed(), cfg)
+		res, err := p.runTrace(j.name, cfg)
 		if err != nil {
 			return err
 		}

@@ -1,0 +1,261 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"heteromem/internal/obs"
+	"heteromem/internal/sim"
+)
+
+// Telemetry is a goroutine-safe sweep-level aggregator layered over the
+// per-run single-threaded registries: each simulation still owns its own
+// obs.Registry (nothing in the hot path synchronizes), and completed runs
+// fold their snapshots into atomic sweep totals. Attach one to
+// Params.Telemetry and serve Handler() to watch a parallel sweep live —
+// Prometheus text at /metrics, run progress and an ETA at /progress, and
+// net/http/pprof under /debug/pprof/.
+type Telemetry struct {
+	start time.Time
+
+	planned   atomic.Int64
+	started   atomic.Int64
+	completed atomic.Int64
+	failed    atomic.Int64
+	records   atomic.Uint64
+	wallNS    atomic.Int64 // summed wall time of finished runs
+
+	mu     sync.Mutex
+	active map[string]int // workload label -> runs currently executing
+
+	// Sweep totals of the per-run metrics snapshots: counters and gauges
+	// are summed across runs. Values are *atomic.Int64 keyed by name.
+	sums sync.Map
+}
+
+// NewTelemetry returns an empty aggregator; the ETA clock starts now.
+func NewTelemetry() *Telemetry {
+	return &Telemetry{start: time.Now(), active: make(map[string]int)}
+}
+
+// addPlanned announces n upcoming runs. Nil-safe.
+func (t *Telemetry) addPlanned(n int) {
+	if t != nil {
+		t.planned.Add(int64(n))
+	}
+}
+
+// runStarted marks one run in flight. Nil-safe.
+func (t *Telemetry) runStarted() {
+	if t != nil {
+		t.started.Add(1)
+	}
+}
+
+// runFinished accounts one finished run and its wall time. Nil-safe.
+func (t *Telemetry) runFinished(began time.Time, err error) {
+	if t == nil {
+		return
+	}
+	t.wallNS.Add(int64(time.Since(began)))
+	if err != nil {
+		t.failed.Add(1)
+	} else {
+		t.completed.Add(1)
+	}
+}
+
+// setActive adjusts the in-flight count of one workload label. Nil-safe.
+func (t *Telemetry) setActive(label string, delta int) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.active[label] += delta
+	if t.active[label] <= 0 {
+		delete(t.active, label)
+	}
+	t.mu.Unlock()
+}
+
+// sum returns the named sweep total, creating it at zero.
+func (t *Telemetry) sum(name string) *atomic.Int64 {
+	if v, ok := t.sums.Load(name); ok {
+		return v.(*atomic.Int64)
+	}
+	v, _ := t.sums.LoadOrStore(name, new(atomic.Int64))
+	return v.(*atomic.Int64)
+}
+
+// observeRun folds one completed run into the sweep totals. Nil-safe; a
+// nil snapshot only counts records.
+func (t *Telemetry) observeRun(records uint64, snap *obs.Snapshot) {
+	if t == nil {
+		return
+	}
+	t.records.Add(records)
+	if snap == nil {
+		return
+	}
+	for name, v := range snap.Counters {
+		t.sum("counter." + name).Add(int64(v))
+	}
+	for name, v := range snap.Gauges {
+		t.sum("gauge." + name).Add(v)
+	}
+}
+
+// Progress is the /progress JSON payload.
+type Progress struct {
+	Planned        int64    `json:"planned"`
+	Started        int64    `json:"started"`
+	Completed      int64    `json:"completed"`
+	Failed         int64    `json:"failed"`
+	Records        uint64   `json:"records"`
+	Active         []string `json:"active"`          // workloads currently executing
+	ElapsedSeconds float64  `json:"elapsed_seconds"` // since NewTelemetry
+	ETASeconds     float64  `json:"eta_seconds"`     // -1 until a run completes
+}
+
+// Progress assembles the current sweep state.
+func (t *Telemetry) Progress() Progress {
+	p := Progress{
+		Planned:        t.planned.Load(),
+		Started:        t.started.Load(),
+		Completed:      t.completed.Load(),
+		Failed:         t.failed.Load(),
+		Records:        t.records.Load(),
+		ElapsedSeconds: time.Since(t.start).Seconds(),
+		ETASeconds:     -1,
+	}
+	t.mu.Lock()
+	for label, n := range t.active {
+		for i := 0; i < n; i++ {
+			p.Active = append(p.Active, label)
+		}
+	}
+	t.mu.Unlock()
+	sort.Strings(p.Active)
+	// The completion rate observed so far already bakes in the worker
+	// parallelism, so remaining/rate is the natural ETA.
+	if done := p.Completed + p.Failed; done > 0 && p.ElapsedSeconds > 0 {
+		remaining := p.Planned - done
+		if remaining < 0 {
+			remaining = 0
+		}
+		p.ETASeconds = float64(remaining) * p.ElapsedSeconds / float64(done)
+	}
+	return p
+}
+
+// promName sanitizes a dotted instrument name into a Prometheus metric name.
+func promName(name string) string {
+	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+}
+
+// WriteMetrics renders the sweep totals in Prometheus text exposition
+// format (version 0.0.4), deterministically sorted.
+func (t *Telemetry) WriteMetrics(w *strings.Builder) {
+	p := t.Progress()
+	fmt.Fprintf(w, "# TYPE hmsim_runs_planned gauge\nhmsim_runs_planned %d\n", p.Planned)
+	fmt.Fprintf(w, "# TYPE hmsim_runs_started counter\nhmsim_runs_started %d\n", p.Started)
+	fmt.Fprintf(w, "# TYPE hmsim_runs_completed counter\nhmsim_runs_completed %d\n", p.Completed)
+	fmt.Fprintf(w, "# TYPE hmsim_runs_failed counter\nhmsim_runs_failed %d\n", p.Failed)
+	fmt.Fprintf(w, "# TYPE hmsim_runs_active gauge\nhmsim_runs_active %d\n", len(p.Active))
+	fmt.Fprintf(w, "# TYPE hmsim_records_total counter\nhmsim_records_total %d\n", p.Records)
+	fmt.Fprintf(w, "# TYPE hmsim_run_seconds_total counter\nhmsim_run_seconds_total %g\n",
+		time.Duration(t.wallNS.Load()).Seconds())
+
+	type kv struct {
+		name string
+		v    int64
+	}
+	var rows []kv
+	t.sums.Range(func(k, v any) bool {
+		rows = append(rows, kv{k.(string), v.(*atomic.Int64).Load()})
+		return true
+	})
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	for _, r := range rows {
+		kind := "counter"
+		name := r.name
+		if cut, ok := strings.CutPrefix(name, "gauge."); ok {
+			// Summed across runs, so exposed as a counter-like total; the
+			// prefix keeps the provenance visible.
+			name = "hmsim_sim_" + promName(cut) + "_sum"
+		} else if cut, ok := strings.CutPrefix(name, "counter."); ok {
+			name = "hmsim_sim_" + promName(cut)
+		} else {
+			name = "hmsim_sim_" + promName(name)
+		}
+		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, kind, name, r.v)
+	}
+}
+
+// Handler serves the live sweep telemetry: /metrics (Prometheus text),
+// /progress (JSON), and the standard pprof endpoints under /debug/pprof/.
+func (t *Telemetry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		var b strings.Builder
+		t.WriteMetrics(&b)
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_, _ = w.Write([]byte(b.String()))
+	})
+	mux.HandleFunc("/progress", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(t.Progress())
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// forEach is forEachIndex plus sweep-telemetry accounting: the jobs are
+// announced up front (so /progress shows a stable denominator) and every
+// job's wall time and outcome is recorded.
+func (p Params) forEach(ctx context.Context, n, workers int, fn func(i int) error) error {
+	t := p.Telemetry
+	if t == nil {
+		return forEachIndex(ctx, n, workers, fn)
+	}
+	t.addPlanned(n)
+	return forEachIndex(ctx, n, workers, func(i int) error {
+		began := time.Now()
+		t.runStarted()
+		err := fn(i)
+		t.runFinished(began, err)
+		return err
+	})
+}
+
+// runTrace runs one (workload, configuration) simulation with telemetry:
+// the workload shows up in /progress while it executes, metrics collection
+// is forced on so the run's counters can fold into the sweep totals, and
+// the totals absorb the snapshot on success. Without telemetry it is
+// exactly the plain runTrace.
+func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
+	t := p.Telemetry
+	if t == nil {
+		return runTrace(name, p.seed(), cfg)
+	}
+	cfg.Metrics = true
+	t.setActive(name, +1)
+	defer t.setActive(name, -1)
+	res, err := runTrace(name, p.seed(), cfg)
+	if err == nil {
+		t.observeRun(res.Records, res.Metrics)
+	}
+	return res, err
+}

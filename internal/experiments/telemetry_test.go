@@ -1,0 +1,181 @@
+package experiments
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"heteromem/internal/addr"
+)
+
+// TestTelemetryNilSafe checks that a nil aggregator is inert: every
+// accounting hook must be callable through the Params wrappers without one.
+func TestTelemetryNilSafe(t *testing.T) {
+	var tel *Telemetry
+	tel.addPlanned(3)
+	tel.runStarted()
+	tel.runFinished(time.Now(), nil)
+	tel.setActive("x", +1)
+	tel.observeRun(100, nil)
+
+	p := Params{Records: 10_000, Workloads: []string{"pgbench"}}
+	if err := p.forEach(context.Background(), 2, 2, func(int) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	res, err := p.runTrace("pgbench", traceConfig(4*addr.MiB, nil, 10_000, 5_000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Metrics != nil {
+		t.Fatal("nil telemetry must not force metrics collection")
+	}
+}
+
+// TestTelemetryProgressAndMetrics checks the aggregate bookkeeping after a
+// real (small) sweep: planned/started/completed line up, records accumulate,
+// and the Prometheus rendering carries the folded simulation counters.
+func TestTelemetryProgressAndMetrics(t *testing.T) {
+	tel := NewTelemetry()
+	p := Params{Records: 10_000, Workloads: []string{"pgbench"}, Telemetry: tel}
+	if err := Fig11(context.Background(), io.Discard, p, 1000); err != nil {
+		t.Fatal(err)
+	}
+
+	prog := tel.Progress()
+	if prog.Planned == 0 || prog.Planned != prog.Started || prog.Planned != prog.Completed {
+		t.Fatalf("sweep accounting off: %+v", prog)
+	}
+	if prog.Failed != 0 || len(prog.Active) != 0 {
+		t.Fatalf("finished sweep still shows failures/active runs: %+v", prog)
+	}
+	if prog.Records == 0 {
+		t.Fatal("no records accumulated")
+	}
+	if prog.ETASeconds != 0 {
+		t.Fatalf("finished sweep ETA should be 0, got %g", prog.ETASeconds)
+	}
+
+	var b strings.Builder
+	tel.WriteMetrics(&b)
+	text := b.String()
+	for _, want := range []string{
+		"hmsim_runs_planned ",
+		"hmsim_runs_completed ",
+		"hmsim_records_total ",
+		"hmsim_run_seconds_total ",
+		"hmsim_sim_memctrl_access_on",
+		"hmsim_sim_mig_swaps_completed_sum",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics text missing %q:\n%s", want, text)
+		}
+	}
+}
+
+// TestTelemetryConcurrentScrapes hammers every telemetry read path from many
+// goroutines while a parallel sweep is writing — the race detector is the
+// real assertion here. It also checks that mid-sweep scrapes stay
+// well-formed.
+func TestTelemetryConcurrentScrapes(t *testing.T) {
+	tel := NewTelemetry()
+	srv := httptest.NewServer(tel.Handler())
+	defer srv.Close()
+
+	var done atomic.Bool
+	var wg sync.WaitGroup
+	var scrapes atomic.Int64
+	for i := 0; i < 4; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			client := srv.Client()
+			for !done.Load() {
+				resp, err := client.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				body, _ := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if !strings.Contains(string(body), "hmsim_runs_planned") {
+					t.Error("mid-sweep /metrics scrape malformed")
+					return
+				}
+				resp, err = client.Get(srv.URL + "/progress")
+				if err != nil {
+					t.Error(err)
+					return
+				}
+				var prog Progress
+				err = json.NewDecoder(resp.Body).Decode(&prog)
+				resp.Body.Close()
+				if err != nil {
+					t.Errorf("mid-sweep /progress not JSON: %v", err)
+					return
+				}
+				if prog.Started < prog.Completed+prog.Failed {
+					t.Errorf("progress counters inconsistent: %+v", prog)
+					return
+				}
+				scrapes.Add(1)
+			}
+		}()
+	}
+	// Direct (non-HTTP) readers race the same state.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !done.Load() {
+			var b strings.Builder
+			tel.WriteMetrics(&b)
+			_ = tel.Progress()
+		}
+	}()
+
+	p := Params{Records: 20_000, Parallelism: 4, Workloads: []string{"pgbench", "indexer"}, Telemetry: tel}
+	if err := Fig11(context.Background(), io.Discard, p, 1000); err != nil {
+		t.Fatal(err)
+	}
+	done.Store(true)
+	wg.Wait()
+
+	if scrapes.Load() == 0 {
+		t.Fatal("no successful scrapes during the sweep")
+	}
+	prog := tel.Progress()
+	if prog.Completed != prog.Planned || prog.Failed != 0 {
+		t.Fatalf("sweep did not complete cleanly: %+v", prog)
+	}
+}
+
+// TestTelemetryCountsFailures checks that erroring runs land in the failed
+// counter, not completed.
+func TestTelemetryCountsFailures(t *testing.T) {
+	tel := NewTelemetry()
+	p := Params{Telemetry: tel}
+	if _, err := p.runTrace("no-such-workload", traceConfig(4*addr.MiB, nil, 1000, 500)); err == nil {
+		t.Fatal("bogus workload should fail")
+	}
+	err := p.forEach(context.Background(), 3, 3, func(i int) error {
+		if i == 1 {
+			return context.DeadlineExceeded
+		}
+		return nil
+	})
+	if err == nil {
+		t.Fatal("forEach should surface the job error")
+	}
+	prog := tel.Progress()
+	if prog.Failed == 0 {
+		t.Fatalf("failures not counted: %+v", prog)
+	}
+	if prog.Planned != 3 {
+		t.Fatalf("planned should be 3, got %+v", prog)
+	}
+}

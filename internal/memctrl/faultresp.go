@@ -74,6 +74,7 @@ func (c *Controller) enterDegraded(cycle int64) {
 		c.mig.Degrade()
 	}
 	c.inst.ring.Emit(cycle, obs.EvDegrade, c.inj.Faults(), 0, 0)
+	c.inst.spans.Mark(obs.LaneFault, obs.MarkDegrade, cycle, c.inj.Faults(), 0, 0)
 }
 
 // canRetire reports whether slot s is a valid, not-yet-handled retirement
@@ -136,6 +137,7 @@ func (c *Controller) execRetire(s int, cycle int64) {
 	}
 	spare, _ := c.mig.Table().ExiledTo(uint64(s))
 	c.inst.ring.Emit(at, obs.EvRetire, uint64(s), spare, 0)
+	c.inst.spans.Span(obs.LaneFault, obs.SpanRetire, cycle, at, uint64(s), spare, 0)
 	if !c.mig.CanSwap() && !c.degradedMode {
 		// The retired slot was the empty row: the N-1/Live designs have no
 		// structural room left to swap.
@@ -159,6 +161,7 @@ func (c *Controller) reserve(on bool, machine uint64, at, dur int64) int64 {
 // when retry is true.
 func (c *Controller) deviceFault(r *sched.Request, region Region) (retry bool, backoff int64) {
 	c.inst.ring.Emit(c.now, obs.EvFault, uint64(fault.PointDevice), r.Addr, uint64(r.Attempts))
+	c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, c.now, uint64(fault.PointDevice), r.Addr, uint64(r.Attempts))
 	if c.degradedMode {
 		// Static fallback mode absorbs faults: deliver what the frame holds.
 		c.account(fault.PointDevice, fault.Degraded)
@@ -184,6 +187,7 @@ func (c *Controller) deviceFault(r *sched.Request, region Region) (retry bool, b
 		c.account(fault.PointDevice, fault.Retried)
 		backoff = c.inj.Backoff(r.Attempts + 1)
 		c.inst.ring.Emit(c.now, obs.EvFaultRetry, uint64(fault.PointDevice), uint64(r.Attempts+1), uint64(backoff))
+		c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, c.now, c.now+backoff, uint64(fault.PointDevice), uint64(r.Attempts+1), 0)
 		return true, backoff
 	}
 	// Retry budget exhausted on a single access: the frame is not coming
@@ -240,6 +244,7 @@ func (c *Controller) retryLeg(meta *legMeta, j *sched.BulkJob) {
 	}
 	c.bulkMeta[retry] = &nm
 	c.inst.ring.Emit(j.Done, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(nm.attempts), uint64(retry.Earliest-j.Done))
+	c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, j.Done, retry.Earliest, uint64(fault.PointCopy), uint64(nm.attempts), 0)
 	if nm.isRead {
 		c.submitBulk(c.regionOfMachine(nm.sub.Src), nm.sub.Src, retry)
 	} else {
@@ -274,6 +279,7 @@ func (c *Controller) stepFaultVerdict(cycle int64) (redo, abort bool) {
 // path; true means the normal StepDone chain must not run.
 func (c *Controller) stepFault(cycle int64) bool {
 	c.inst.ring.Emit(cycle, obs.EvFault, uint64(fault.PointBulk), 0, uint64(c.stepAttempts))
+	c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, cycle, uint64(fault.PointBulk), 0, uint64(c.stepAttempts))
 	redo, abort := c.stepFaultVerdict(cycle)
 	if abort {
 		c.abortSwap(c.step, cycle)
@@ -315,6 +321,7 @@ func (c *Controller) abortSwap(st *stepState, cycle int64) {
 		return
 	}
 	c.inst.ring.Emit(cycle, obs.EvSwapAbort, mru, uint64(victim), uint64(len(undo)))
+	c.rollBegin = cycle
 	c.undoQueue = undo
 	c.step = nil
 	c.startNextUndo(cycle)
@@ -344,6 +351,7 @@ func (c *Controller) finishRollback(cycle int64) {
 	}
 	c.step = nil
 	c.inst.ring.Emit(cycle, obs.EvRollbackDone, mru, 0, 0)
+	c.inst.spans.Span(obs.LaneFault, obs.SpanRollback, c.rollBegin, cycle, mru, 0, 0)
 	c.auditAt(cycle, true)
 	c.serviceQuiescent(cycle)
 }
@@ -364,6 +372,7 @@ func (c *Controller) abandonUndo(cycle int64) {
 	}
 	c.step = nil
 	c.inst.ring.Emit(cycle, obs.EvRollbackDone, mru, 1, 0)
+	c.inst.spans.Span(obs.LaneFault, obs.SpanRollback, c.rollBegin, cycle, mru, 1, 0)
 	c.requestDegrade(cycle)
 	c.auditAt(cycle, true)
 	c.serviceQuiescent(cycle)
@@ -398,6 +407,7 @@ undoLoop:
 				break
 			}
 			c.inst.ring.Emit(at, obs.EvFault, uint64(fault.PointCopy), sc.Dst, uint64(attempts))
+			c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, at, uint64(fault.PointCopy), sc.Dst, uint64(attempts))
 			switch c.copyFaultVerdict(true, sc.Dst, dstOn, attempts, true, at) {
 			case verdictAbort:
 				abandoned = true
@@ -408,6 +418,7 @@ undoLoop:
 				attempts++
 				legStart = at + c.inj.Backoff(attempts)
 				c.inst.ring.Emit(at, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(attempts), uint64(legStart-at))
+				c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, at, legStart, uint64(fault.PointCopy), uint64(attempts), 0)
 				continue
 			}
 			break
@@ -419,6 +430,7 @@ undoLoop:
 		return err
 	}
 	c.inst.ring.Emit(at, obs.EvRollbackDone, mru, boolToU64(abandoned), 0)
+	c.inst.spans.Span(obs.LaneFault, obs.SpanRollback, cycle, at, mru, boolToU64(abandoned), 0)
 	if abandoned {
 		c.requestDegrade(at)
 	}

@@ -122,6 +122,15 @@ type Controller struct {
 
 	coreLatSum int64 // DRAM-core portion, for the effectiveness metric
 	nDone      uint64
+	queueSum   int64 // queue-wait portion of dramAll, for the series split
+
+	// Span begin cycles for the background (N-1/Live) swap pipeline; the
+	// matching span is recorded when the step/swap/rollback completes.
+	swapBegin  int64
+	stepBegin  int64
+	rollBegin  int64
+	swapMRU    uint64
+	swapVictim uint64
 
 	onResult func(AccessResult)
 	reqID    uint64
@@ -170,7 +179,9 @@ type instruments struct {
 	latOn         *obs.Histogram
 	latOff        *obs.Histogram
 	ring          *obs.EventRing
-	enabled       bool // any instrument live (guards extra lookups)
+	spans         *obs.SpanTracer    // cycle-domain span trace
+	series        *obs.SeriesSampler // per-epoch time series
+	enabled       bool               // any instrument live (guards extra lookups)
 }
 
 type accessMeta struct {
@@ -288,6 +299,8 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 			latOn:       reg.Histogram("memctrl.lat.on", lb),
 			latOff:      reg.Histogram("memctrl.lat.off", lb),
 			ring:        reg.Events(),
+			spans:       reg.Spans(),
+			series:      reg.Series(),
 			enabled:     true,
 		}
 		c.onSch.SetObs(reg.Counter("sched.on.aging_grants"), reg.Counter("sched.on.stolen_cycles"))
@@ -330,6 +343,49 @@ func (c *Controller) auditAt(cycle int64, quiescent bool) {
 
 // Migrator exposes the migration controller (nil under static mapping).
 func (c *Controller) Migrator() *core.Migrator { return c.mig }
+
+// regionLane maps a machine-region side to its trace lane.
+func regionLane(on bool) obs.Lane {
+	if on {
+		return obs.LaneSchedOn
+	}
+	return obs.LaneSchedOff
+}
+
+// sampleSeries snapshots the cumulative pipeline counters into the
+// per-epoch series. Called at every epoch boundary and once at flush
+// (final=true); no-op when sampling is disabled.
+func (c *Controller) sampleSeries(cycle int64, final bool) {
+	if c.inst.series == nil {
+		return
+	}
+	sample := obs.EpochSample{
+		Cycle:       cycle,
+		Final:       final,
+		AccOn:       c.inst.accOn.Value(),
+		AccOff:      c.inst.accOff.Value(),
+		PStalls:     c.inst.pstalls.Value(),
+		StallCycles: c.inst.stallCycles.Value(),
+		OSPenalties: c.inst.osPenalties.Value(),
+		DRAMLatSum:  c.dramAll.Sum(),
+		DRAMLatN:    c.dramAll.Count(),
+		QueueLatSum: c.queueSum,
+	}
+	if c.mig != nil {
+		st := c.mig.Stats()
+		sample.Epoch = st.Epochs
+		sample.SwapsStarted = st.SwapsStarted
+		sample.SwapsCompleted = st.SwapsCompleted
+		sample.SwapsRolledBack = st.SwapsRolledBack
+	}
+	if rep := c.FaultReport(); rep != nil {
+		sample.FaultsInjected = rep.Injected
+		sample.FaultsRetried = rep.Retried
+		sample.FaultsRetired = rep.Retired
+		sample.FaultsDegraded = rep.Degraded
+	}
+	c.inst.series.Record(sample)
+}
 
 // Access processes one program access issued at cycle `now`.
 func (c *Controller) Access(phys uint64, write bool, now int64) error {
@@ -374,6 +430,7 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 			if page := phys / c.cfg.Geometry.MacroPageSize; c.mig.Table().Pending(page) {
 				c.inst.pstalls.Inc()
 				c.inst.ring.Emit(now, obs.EvPStall, page, 0, 0)
+				c.inst.spans.Mark(obs.LaneMigrator, obs.MarkPStall, now, page, 0, 0)
 			}
 		}
 		c.mig.OnAccess(phys, onPkg)
@@ -381,6 +438,8 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 		subs := c.mig.EpochTick()
 		if epochs := c.mig.Stats().Epochs; epochs != epochsBefore {
 			c.inst.ring.Emit(now, obs.EvEpoch, epochs, 0, 0)
+			c.inst.spans.Mark(obs.LaneMigrator, obs.MarkEpoch, now, epochs, 0, 0)
+			c.sampleSeries(now, false)
 			if c.cfg.OSAssisted {
 				// The OS periodical routine updates the software translation
 				// table every epoch; its user/kernel switch stalls the core
@@ -458,6 +517,7 @@ func (c *Controller) requestDone(r *sched.Request) {
 	c.hist.Add(lat)
 	dram := r.Done - r.Arrive
 	c.dramAll.Add(dram)
+	c.queueSum += r.Start - r.Arrive
 	if meta.region == OnPackage {
 		c.onLat.Add(lat)
 		c.dramOn.Add(dram)
@@ -515,10 +575,12 @@ func (c *Controller) beginSwap(subs []core.SubCopy, now int64) error {
 	c.inst.swapStarts.Inc()
 	if mru, victim, _, _, ok := c.mig.CurrentPlan(); ok {
 		c.inst.ring.Emit(now, obs.EvSwapStart, mru, uint64(victim), 0)
+		c.swapMRU, c.swapVictim = mru, uint64(victim)
 	}
 	if c.mig.Design() == core.DesignN {
 		return c.runStalledSwap(subs, now)
 	}
+	c.swapBegin, c.stepBegin = now, now
 	c.stepAttempts = 0
 	c.step = &stepState{subsLeft: len(subs)}
 	for _, sc := range subs {
@@ -568,6 +630,7 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 	}
 	if c.inj != nil && c.inj.Fault(fault.PointCopy) {
 		c.inst.ring.Emit(j.Done, obs.EvFault, uint64(fault.PointCopy), meta.sub.Dst, uint64(meta.attempts))
+		c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, j.Done, uint64(fault.PointCopy), meta.sub.Dst, uint64(meta.attempts))
 		switch c.copyFaultVerdict(!meta.isRead, meta.sub.Dst, meta.dstOn, meta.attempts, meta.step.undo, j.Done) {
 		case verdictRetry:
 			c.retryLeg(meta, j)
@@ -584,6 +647,10 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		}
 	}
 	if meta.isRead {
+		// The leg span covers the whole leg lifetime [Earliest, Done] —
+		// queueing plus bus time, possibly split across stolen quanta.
+		c.inst.spans.Span(regionLane(c.regionOfMachine(meta.sub.Src)), obs.SpanCopyRead,
+			j.Earliest, j.Done, meta.sub.Src/c.cfg.Geometry.MacroPageSize, uint64(meta.sub.SubIndex), meta.sub.Bytes)
 		write := &sched.BulkJob{
 			Tag:      j.Tag,
 			Duration: c.subDuration(meta.dstOn, meta.sub.Bytes, meta.sub.Exchange),
@@ -594,6 +661,8 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		return
 	}
 	// Write leg finished: the sub-block now lives at its destination.
+	c.inst.spans.Span(regionLane(meta.dstOn), obs.SpanCopyWrite,
+		j.Earliest, j.Done, meta.sub.Dst/c.cfg.Geometry.MacroPageSize, uint64(meta.sub.SubIndex), meta.sub.Bytes)
 	c.inst.copySubs.Inc()
 	c.inst.copyBytes.Add(meta.sub.Bytes)
 	if c.cfg.Power != nil {
@@ -631,9 +700,12 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 	}
 	c.inst.swapSteps.Inc()
 	c.inst.ring.Emit(j.Done, obs.EvSwapStep, mru, uint64(stepIdx), 0)
+	c.inst.spans.Span(obs.LaneMigrator, obs.SpanStep, c.stepBegin, j.Done, mru, uint64(stepIdx), 0)
+	c.stepBegin = j.Done
 	if done {
 		c.inst.swapDone.Inc()
 		c.inst.ring.Emit(j.Done, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
+		c.inst.spans.Span(obs.LaneMigrator, obs.SpanSwap, c.swapBegin, j.Done, c.swapMRU, c.swapVictim, uint64(stepIdx+1))
 		c.auditAt(j.Done, true)
 		c.step = nil
 		c.serviceQuiescent(j.Done)
@@ -658,8 +730,10 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 	if c.stallUntil > start {
 		start = c.stallUntil
 	}
+	swapStart := start
 	c.stepAttempts = 0
 	for {
+		stepBegin := start
 		c.step = &stepState{subsLeft: len(subs)}
 		var completed []int
 		var last int64
@@ -672,15 +746,16 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 			wd := c.subDuration(dstOn, sc.Bytes, sc.Exchange)
 			legStart := start
 			attempts := 0
-			var writeDone int64
+			var readDone, writeDone int64
 		legLoop:
 			for {
-				readDone := c.reserve(srcOn, sc.Src, legStart, rd)
+				readDone = c.reserve(srcOn, sc.Src, legStart, rd)
 				writeDone = c.reserve(dstOn, sc.Dst, readDone, wd)
 				if c.inj == nil || !c.inj.Fault(fault.PointCopy) {
 					break
 				}
 				c.inst.ring.Emit(writeDone, obs.EvFault, uint64(fault.PointCopy), sc.Dst, uint64(attempts))
+				c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, writeDone, uint64(fault.PointCopy), sc.Dst, uint64(attempts))
 				switch c.copyFaultVerdict(true, sc.Dst, dstOn, attempts, false, writeDone) {
 				case verdictAbort:
 					c.step = nil
@@ -691,8 +766,12 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 					attempts++
 					legStart = writeDone + c.inj.Backoff(attempts)
 					c.inst.ring.Emit(writeDone, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(attempts), uint64(legStart-writeDone))
+					c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, writeDone, legStart, uint64(fault.PointCopy), uint64(attempts), 0)
 				}
 			}
+			pageSize := c.cfg.Geometry.MacroPageSize
+			c.inst.spans.Span(regionLane(srcOn), obs.SpanCopyRead, legStart, readDone, sc.Src/pageSize, uint64(sc.SubIndex), sc.Bytes)
+			c.inst.spans.Span(regionLane(dstOn), obs.SpanCopyWrite, readDone, writeDone, sc.Dst/pageSize, uint64(sc.SubIndex), sc.Bytes)
 			if c.cfg.Power != nil {
 				c.cfg.Power.Copy(srcOn, dstOn, sc.Bytes, sc.Exchange)
 			}
@@ -710,6 +789,7 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 		start = last
 		if c.inj != nil && c.inj.Fault(fault.PointBulk) {
 			c.inst.ring.Emit(last, obs.EvFault, uint64(fault.PointBulk), 0, uint64(c.stepAttempts))
+			c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, last, uint64(fault.PointBulk), 0, uint64(c.stepAttempts))
 			redo, abort := c.stepFaultVerdict(last)
 			if abort {
 				return c.stalledRollback(completed, last)
@@ -725,9 +805,11 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 		}
 		c.inst.swapSteps.Inc()
 		c.inst.ring.Emit(last, obs.EvSwapStep, mru, uint64(stepIdx), 0)
+		c.inst.spans.Span(obs.LaneMigrator, obs.SpanStep, stepBegin, last, mru, uint64(stepIdx), 0)
 		if done {
 			c.inst.swapDone.Inc()
 			c.inst.ring.Emit(last, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
+			c.inst.spans.Span(obs.LaneMigrator, obs.SpanSwap, swapStart, last, c.swapMRU, c.swapVictim, uint64(stepIdx+1))
 			c.auditAt(last, true)
 			break
 		}
@@ -744,6 +826,7 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 	if stalled := start - now; stalled > 0 {
 		c.inst.stallCycles.Add(uint64(stalled))
 		c.inst.ring.Emit(now, obs.EvStall, uint64(stalled), 0, 0)
+		c.inst.spans.Span(obs.LaneMigrator, obs.SpanStall, now, start, uint64(stalled), 0, 0)
 	}
 	c.stallUntil = start
 	c.serviceQuiescent(start)
@@ -793,6 +876,9 @@ func (c *Controller) Flush() int64 {
 	}
 	c.auditAt(last, true)
 	c.checkFaultLedger()
+	// The flush-time sample closes the series: its cumulative counters equal
+	// the final metrics snapshot, so the two can be reconciled.
+	c.sampleSeries(last, true)
 	return last
 }
 
@@ -909,6 +995,7 @@ func (c *Controller) ResetStats() {
 	c.dramOff = stats.LatencyStat{}
 	c.coreLatSum = 0
 	c.nDone = 0
+	c.queueSum = 0
 	if c.cfg.Power != nil {
 		c.cfg.Power.Reset()
 	}

@@ -1,0 +1,111 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sort"
+)
+
+// Chrome trace-event export: spans serialize into the JSON object format
+// consumed by chrome://tracing and Perfetto (ui.perfetto.dev). Timestamps
+// are simulation cycles, not microseconds — the viewer's time axis reads
+// directly in the cycle domain. Each Lane becomes one "thread" so swap
+// lifecycles, per-region bus occupancy, and the fault ladder render as
+// parallel tracks.
+
+// chromeEvent is one trace-event record. Only the fields the viewers
+// require are emitted.
+type chromeEvent struct {
+	Name  string            `json:"name"`
+	Cat   string            `json:"cat,omitempty"`
+	Phase string            `json:"ph"`
+	TS    int64             `json:"ts"`
+	Dur   *int64            `json:"dur,omitempty"`
+	PID   int               `json:"pid"`
+	TID   int               `json:"tid"`
+	Scope string            `json:"s,omitempty"`    // instant-event scope
+	Args  map[string]uint64 `json:"args,omitempty"` // A/B/C payload
+	// Metadata payload (thread names); a different shape than Args.
+	MetaArgs map[string]interface{} `json:"margs,omitempty"`
+}
+
+// MarshalJSON emits metadata and span events with the single "args" key
+// the trace format uses for both shapes.
+func (e chromeEvent) MarshalJSON() ([]byte, error) {
+	if e.MetaArgs != nil {
+		return json.Marshal(struct {
+			Name  string                 `json:"name"`
+			Phase string                 `json:"ph"`
+			PID   int                    `json:"pid"`
+			TID   int                    `json:"tid"`
+			Args  map[string]interface{} `json:"args"`
+		}{e.Name, e.Phase, e.PID, e.TID, e.MetaArgs})
+	}
+	return json.Marshal(struct {
+		Name  string            `json:"name"`
+		Cat   string            `json:"cat,omitempty"`
+		Phase string            `json:"ph"`
+		TS    int64             `json:"ts"`
+		Dur   *int64            `json:"dur,omitempty"`
+		PID   int               `json:"pid"`
+		TID   int               `json:"tid"`
+		Scope string            `json:"s,omitempty"`
+		Args  map[string]uint64 `json:"args,omitempty"`
+	}{e.Name, e.Cat, e.Phase, e.TS, e.Dur, e.PID, e.TID, e.Scope, e.Args})
+}
+
+// chromeTrace is the top-level JSON object format.
+type chromeTrace struct {
+	TraceEvents []chromeEvent `json:"traceEvents"`
+	// displayTimeUnit must be "ms" or "ns"; "ns" keeps the axis closest to
+	// raw cycle numbers.
+	DisplayTimeUnit string `json:"displayTimeUnit"`
+}
+
+// tracePID is the single simulated process in the exported trace.
+const tracePID = 1
+
+// WriteChromeTrace serializes spans as Chrome trace-event JSON onto w.
+// Spans are sorted by begin cycle (stable across runs of the same
+// simulation); zero-duration spans become instant events.
+func WriteChromeTrace(w io.Writer, spans []Span) error {
+	sorted := append([]Span(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Begin < sorted[j].Begin })
+
+	events := make([]chromeEvent, 0, len(sorted)+int(laneEnd)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: tracePID, TID: 0,
+		MetaArgs: map[string]interface{}{"name": "hmsim"},
+	})
+	for lane := Lane(0); lane < laneEnd; lane++ {
+		events = append(events,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: tracePID, TID: int(lane),
+				MetaArgs: map[string]interface{}{"name": lane.String()},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: int(lane),
+				MetaArgs: map[string]interface{}{"sort_index": int(lane)},
+			})
+	}
+	for _, s := range sorted {
+		ev := chromeEvent{
+			Name: s.Kind.String(),
+			Cat:  s.Lane.String(),
+			TS:   s.Begin,
+			PID:  tracePID,
+			TID:  int(s.Lane),
+			Args: map[string]uint64{"a": s.A, "b": s.B, "c": s.C},
+		}
+		if d := s.Duration(); d > 0 {
+			ev.Phase = "X"
+			ev.Dur = &d
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t" // thread-scoped instant
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
+}

@@ -28,6 +28,8 @@ const (
 	EvRollbackDone // rollback finished, table restored; A=MRU page
 	EvRetire       // on-package slot retired; A=slot, B=spare machine page (0 if none)
 	EvDegrade      // migration permanently disabled; A=total injected faults so far
+
+	evKindEnd // sentinel; keep last
 )
 
 // String names the event kind.
@@ -120,6 +122,19 @@ func (r *EventRing) Total() uint64 {
 		return 0
 	}
 	return r.total
+}
+
+// Dropped returns how many events have been overwritten — the gap between
+// Total and what Events can still return. Non-zero means the trace is
+// truncated at the front.
+func (r *EventRing) Dropped() uint64 {
+	if r == nil {
+		return 0
+	}
+	if r.total <= uint64(len(r.buf)) {
+		return 0
+	}
+	return r.total - uint64(len(r.buf))
 }
 
 // Events returns the retained events oldest-first (at most capacity).

@@ -190,6 +190,8 @@ type Registry struct {
 	gauges   map[string]*Gauge
 	hists    map[string]*Histogram
 	ring     *EventRing
+	spans    *SpanTracer
+	series   *SeriesSampler
 }
 
 // NewRegistry returns an empty registry.
@@ -265,6 +267,48 @@ func (r *Registry) Events() *EventRing {
 		return nil
 	}
 	return r.ring
+}
+
+// EnableSpans attaches a span tracer of the given capacity (idempotent;
+// the first capacity wins). No-op on a nil registry.
+func (r *Registry) EnableSpans(capacity int) *SpanTracer {
+	if r == nil {
+		return nil
+	}
+	if r.spans == nil && capacity > 0 {
+		r.spans = NewSpanTracer(capacity)
+	}
+	return r.spans
+}
+
+// Spans returns the attached span tracer (nil when tracing is disabled;
+// a nil tracer is a valid no-op sink).
+func (r *Registry) Spans() *SpanTracer {
+	if r == nil {
+		return nil
+	}
+	return r.spans
+}
+
+// EnableSeries attaches a per-epoch series sampler of the given capacity
+// (idempotent; the first capacity wins). No-op on a nil registry.
+func (r *Registry) EnableSeries(capacity int) *SeriesSampler {
+	if r == nil {
+		return nil
+	}
+	if r.series == nil && capacity > 0 {
+		r.series = NewSeriesSampler(capacity)
+	}
+	return r.series
+}
+
+// Series returns the attached series sampler (nil when sampling is
+// disabled; a nil sampler is a valid no-op sink).
+func (r *Registry) Series() *SeriesSampler {
+	if r == nil {
+		return nil
+	}
+	return r.series
 }
 
 // HistogramSnapshot is the exported state of one histogram.

@@ -1,0 +1,140 @@
+package obs
+
+// Per-epoch time-series: at every monitoring-epoch boundary the controller
+// snapshots its cumulative pipeline counters into an EpochSample, so the
+// temporal shape of a run — how the on-package hit ratio converges, when
+// swaps burst, where stall cycles accumulate — is visible instead of only
+// the end-of-run aggregate. Samples are cumulative since the start of the
+// run (latency sums since the last stats reset, i.e. post-warmup), so any
+// window's activity is the difference of two samples and the last sample
+// reconciles against the final metrics snapshot.
+
+// EpochSample is the state of the pipeline at one epoch boundary. All
+// counters are cumulative.
+type EpochSample struct {
+	Epoch uint64 `json:"epoch"`           // epoch index (1-based); on the final sample, the epoch count at flush
+	Cycle int64  `json:"cycle"`           // cycle of the boundary
+	Final bool   `json:"final,omitempty"` // true for the extra flush-time sample
+
+	AccOn  uint64 `json:"acc_on"`  // program accesses routed on-package
+	AccOff uint64 `json:"acc_off"` // program accesses routed off-package
+
+	PStalls     uint64 `json:"p_stalls"`     // accesses redirected to Ω by a P bit
+	StallCycles uint64 `json:"stall_cycles"` // N-design execution stall cycles
+	OSPenalties uint64 `json:"os_penalties"` // OS-assisted epoch charges
+
+	SwapsStarted    uint64 `json:"swaps_started"`
+	SwapsCompleted  uint64 `json:"swaps_completed"`
+	SwapsRolledBack uint64 `json:"swaps_rolled_back"`
+
+	// Fault dispositions (all zero when injection is off).
+	FaultsInjected uint64 `json:"faults_injected,omitempty"`
+	FaultsRetried  uint64 `json:"faults_retried,omitempty"`
+	FaultsRetired  uint64 `json:"faults_retired,omitempty"`
+	FaultsDegraded uint64 `json:"faults_degraded,omitempty"`
+
+	// DRAM access latency (queue + device) sums over completed accesses,
+	// and the queue-wait portion alone; device time is the difference.
+	DRAMLatSum  float64 `json:"dram_lat_sum"`
+	DRAMLatN    uint64  `json:"dram_lat_n"`
+	QueueLatSum int64   `json:"queue_lat_sum"`
+}
+
+// OnShare returns the cumulative fraction of accesses routed on-package.
+func (s EpochSample) OnShare() float64 {
+	total := s.AccOn + s.AccOff
+	if total == 0 {
+		return 0
+	}
+	return float64(s.AccOn) / float64(total)
+}
+
+// MeanDRAMLatency returns the cumulative mean DRAM access latency.
+func (s EpochSample) MeanDRAMLatency() float64 {
+	if s.DRAMLatN == 0 {
+		return 0
+	}
+	return s.DRAMLatSum / float64(s.DRAMLatN)
+}
+
+// MeanQueueLatency returns the cumulative mean queue-wait portion.
+func (s EpochSample) MeanQueueLatency() float64 {
+	if s.DRAMLatN == 0 {
+		return 0
+	}
+	return float64(s.QueueLatSum) / float64(s.DRAMLatN)
+}
+
+// MeanDeviceLatency returns the cumulative mean device-service portion.
+func (s EpochSample) MeanDeviceLatency() float64 {
+	return s.MeanDRAMLatency() - s.MeanQueueLatency()
+}
+
+// SeriesSampler keeps the per-epoch samples in a fixed-capacity ring:
+// recording is O(1), and when a run produces more epochs than the capacity
+// the oldest samples are overwritten — the trajectory's tail (and the
+// reconciling final sample) always survives, and Dropped counts the loss.
+//
+// Every method is nil-safe, matching the instrument idiom.
+type SeriesSampler struct {
+	buf   []EpochSample
+	next  int
+	total uint64
+}
+
+// NewSeriesSampler returns a sampler retaining the last `capacity` samples
+// (minimum 1).
+func NewSeriesSampler(capacity int) *SeriesSampler {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &SeriesSampler{buf: make([]EpochSample, capacity)}
+}
+
+// Record appends one sample, overwriting the oldest when full. Safe on a
+// nil receiver (no-op).
+func (s *SeriesSampler) Record(sample EpochSample) {
+	if s == nil {
+		return
+	}
+	s.buf[s.next] = sample
+	s.next++
+	if s.next == len(s.buf) {
+		s.next = 0
+	}
+	s.total++
+}
+
+// Samples returns the retained samples oldest-first (at most capacity).
+func (s *SeriesSampler) Samples() []EpochSample {
+	if s == nil {
+		return nil
+	}
+	if s.total < uint64(len(s.buf)) {
+		return append([]EpochSample(nil), s.buf[:s.next]...)
+	}
+	out := make([]EpochSample, 0, len(s.buf))
+	out = append(out, s.buf[s.next:]...)
+	out = append(out, s.buf[:s.next]...)
+	return out
+}
+
+// Total returns how many samples were recorded over the sampler's
+// lifetime, including any overwritten.
+func (s *SeriesSampler) Total() uint64 {
+	if s == nil {
+		return 0
+	}
+	return s.total
+}
+
+// Dropped returns how many samples have been overwritten.
+func (s *SeriesSampler) Dropped() uint64 {
+	if s == nil {
+		return 0
+	}
+	if s.total <= uint64(len(s.buf)) {
+		return 0
+	}
+	return s.total - uint64(len(s.buf))
+}

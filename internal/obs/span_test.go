@@ -1,0 +1,233 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestNilSpanTracerIsSafe(t *testing.T) {
+	var tr *SpanTracer
+	tr.Span(LaneMigrator, SpanSwap, 0, 10, 1, 2, 3)
+	tr.Mark(LaneMigrator, MarkEpoch, 5, 1, 0, 0)
+	if tr.Spans() != nil || tr.Len() != 0 || tr.Dropped() != 0 || tr.Total() != 0 {
+		t.Fatal("nil tracer must be a no-op sink")
+	}
+}
+
+func TestSpanTracerKeepsEarliestAndCountsDropped(t *testing.T) {
+	tr := NewSpanTracer(3)
+	for i := int64(0); i < 5; i++ {
+		tr.Span(LaneMigrator, SpanStep, i, i+2, uint64(i), 0, 0)
+	}
+	got := tr.Spans()
+	if len(got) != 3 {
+		t.Fatalf("retained %d spans, want 3", len(got))
+	}
+	for i, s := range got {
+		if s.Begin != int64(i) || s.A != uint64(i) {
+			t.Fatalf("span %d = %+v: earliest spans must survive", i, s)
+		}
+	}
+	if tr.Dropped() != 2 {
+		t.Fatalf("Dropped = %d, want 2", tr.Dropped())
+	}
+	if tr.Total() != 5 {
+		t.Fatalf("Total = %d, want 5", tr.Total())
+	}
+	if tr.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", tr.Len())
+	}
+}
+
+func TestSpanTracerMarkIsInstant(t *testing.T) {
+	tr := NewSpanTracer(8)
+	tr.Mark(LaneFault, MarkFault, 42, 1, 2, 0)
+	got := tr.Spans()
+	if len(got) != 1 || got[0].Begin != 42 || got[0].End != 42 || got[0].Duration() != 0 {
+		t.Fatalf("mark = %+v", got)
+	}
+}
+
+func TestSpanTracerMinimumCapacity(t *testing.T) {
+	tr := NewSpanTracer(0)
+	tr.Span(LaneSchedOn, SpanCopyRead, 1, 2, 0, 0, 0)
+	tr.Span(LaneSchedOn, SpanCopyRead, 3, 4, 0, 0, 0)
+	if tr.Len() != 1 || tr.Dropped() != 1 {
+		t.Fatalf("len=%d dropped=%d, want 1/1", tr.Len(), tr.Dropped())
+	}
+}
+
+func TestSpanJSONUsesStringNames(t *testing.T) {
+	b, err := json.Marshal(Span{Lane: LaneSchedOff, Kind: SpanCopyWrite, Begin: 3, End: 9, A: 7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"lane":"sched off-pkg","kind":"copy-write","begin":3,"end":9,"a":7,"b":0,"c":0}`
+	if string(b) != want {
+		t.Fatalf("span json = %s\nwant       %s", b, want)
+	}
+}
+
+// Every Lane and SpanKind must have a real name: trace lanes named
+// "Lane(7)" mean a new constant was added without extending String().
+func TestLaneStringExhaustive(t *testing.T) {
+	seen := map[string]Lane{}
+	for l := Lane(0); l < laneEnd; l++ {
+		name := l.String()
+		if strings.HasPrefix(name, "Lane(") {
+			t.Errorf("Lane %d has no name", l)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("Lane %d and %d share name %q", prev, l, name)
+		}
+		seen[name] = l
+	}
+}
+
+func TestSpanKindStringExhaustive(t *testing.T) {
+	seen := map[string]SpanKind{}
+	for k := SpanKind(1); k < spanKindEnd; k++ {
+		name := k.String()
+		if strings.HasPrefix(name, "SpanKind(") {
+			t.Errorf("SpanKind %d has no name", k)
+		}
+		if prev, dup := seen[name]; dup {
+			t.Errorf("SpanKind %d and %d share name %q", prev, k, name)
+		}
+		seen[name] = k
+	}
+	if SpanKind(0).String() != "SpanKind(0)" || spanKindEnd.String() != "SpanKind(13)" {
+		t.Error("out-of-range kinds must render as SpanKind(n)")
+	}
+}
+
+func TestRegistrySpansLifecycle(t *testing.T) {
+	var nilReg *Registry
+	if nilReg.EnableSpans(16) != nil || nilReg.Spans() != nil {
+		t.Fatal("nil registry must return nil tracer")
+	}
+	r := NewRegistry()
+	if r.Spans() != nil {
+		t.Fatal("spans must be off until enabled")
+	}
+	tr := r.EnableSpans(16)
+	if tr == nil || r.Spans() != tr {
+		t.Fatal("EnableSpans must attach and return the tracer")
+	}
+	if again := r.EnableSpans(99); again != tr {
+		t.Fatal("EnableSpans must be idempotent")
+	}
+	if r.EnableSpans(0) != tr {
+		t.Fatal("EnableSpans(0) after enabling must keep the tracer")
+	}
+}
+
+// WriteChromeTrace must produce JSON loadable by chrome://tracing /
+// Perfetto: a traceEvents array where every event has name/ph/pid/tid,
+// "X" events carry ts+dur, instants carry scope "t", and each lane is
+// announced by thread_name metadata.
+func TestWriteChromeTraceSchema(t *testing.T) {
+	tr := NewSpanTracer(16)
+	// Recorded out of begin order on purpose: the exporter sorts.
+	tr.Span(LaneMigrator, SpanSwap, 100, 900, 7, 3, 2)
+	tr.Span(LaneSchedOff, SpanCopyRead, 120, 340, 11, 0, 4096)
+	tr.Mark(LaneMigrator, MarkEpoch, 50, 1, 0, 0)
+	tr.Mark(LaneFault, MarkFault, 200, 2, 99, 0)
+
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, tr.Spans()); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []map[string]interface{} `json:"traceEvents"`
+		Unit        string                   `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatalf("trace is not valid JSON: %v\n%s", err, buf.String())
+	}
+	if top.Unit != "ns" {
+		t.Fatalf("displayTimeUnit = %q", top.Unit)
+	}
+
+	threadNames := map[float64]string{}
+	var complete, instant int
+	var lastTS float64 = -1
+	for _, ev := range top.TraceEvents {
+		for _, req := range []string{"name", "ph", "pid", "tid"} {
+			if _, ok := ev[req]; !ok {
+				t.Fatalf("event missing %q: %v", req, ev)
+			}
+		}
+		switch ev["ph"] {
+		case "M":
+			if ev["name"] == "thread_name" {
+				args := ev["args"].(map[string]interface{})
+				threadNames[ev["tid"].(float64)] = args["name"].(string)
+			}
+		case "X":
+			complete++
+			if _, ok := ev["dur"]; !ok {
+				t.Fatalf("complete event missing dur: %v", ev)
+			}
+			fallthrough
+		case "i":
+			if ev["ph"] == "i" {
+				instant++
+				if ev["s"] != "t" {
+					t.Fatalf("instant event missing thread scope: %v", ev)
+				}
+			}
+			ts := ev["ts"].(float64)
+			if ts < lastTS {
+				t.Fatalf("events not sorted by ts: %v after %v", ts, lastTS)
+			}
+			lastTS = ts
+		default:
+			t.Fatalf("unexpected phase %v", ev["ph"])
+		}
+	}
+	if complete != 2 || instant != 2 {
+		t.Fatalf("complete=%d instant=%d, want 2/2", complete, instant)
+	}
+	for lane := Lane(0); lane < laneEnd; lane++ {
+		if threadNames[float64(lane)] != lane.String() {
+			t.Fatalf("lane %d thread_name = %q, want %q",
+				lane, threadNames[float64(lane)], lane.String())
+		}
+	}
+}
+
+func TestWriteChromeTraceEmpty(t *testing.T) {
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, nil); err != nil {
+		t.Fatal(err)
+	}
+	var top struct {
+		TraceEvents []json.RawMessage `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &top); err != nil {
+		t.Fatal(err)
+	}
+	// Metadata only: process_name + 2 per lane.
+	if want := 1 + 2*int(laneEnd); len(top.TraceEvents) != want {
+		t.Fatalf("empty trace has %d events, want %d", len(top.TraceEvents), want)
+	}
+}
+
+func BenchmarkSpanRecord(b *testing.B) {
+	tr := NewSpanTracer(1 << 20)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(LaneMigrator, SpanStep, int64(i), int64(i)+8, uint64(i), 0, 0)
+	}
+}
+
+func BenchmarkNilSpanRecord(b *testing.B) {
+	var tr *SpanTracer
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(LaneMigrator, SpanStep, int64(i), int64(i)+8, uint64(i), 0, 0)
+	}
+}

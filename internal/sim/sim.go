@@ -69,6 +69,16 @@ type Config struct {
 	// Implies Metrics.
 	EventTrace int
 
+	// SpanTrace, when positive, records up to N cycle-domain spans (swap
+	// lifecycles, copy legs, stalls, rollbacks, fault ladders) into
+	// Result.Spans, exportable as Chrome trace-event JSON. Implies Metrics.
+	SpanTrace int
+
+	// EpochSeries, when positive, samples the cumulative pipeline counters
+	// at every monitoring-epoch boundary (plus once at flush) into a ring of
+	// the last N samples, returned in Result.Series. Implies Metrics.
+	EpochSeries int
+
 	// Audit attaches the invariant auditor to the migration pipeline: the
 	// translation table is verified after every swap step and at every
 	// quiescent point, and any violation fails the run with a diagnostic
@@ -123,9 +133,24 @@ type Result struct {
 
 	// Events is the tail of the structured event trace, oldest first
 	// (nil unless Config.EventTrace was set). EventsTotal counts every
-	// event emitted over the run, including those the ring dropped.
-	Events      []obs.Event `json:",omitempty"`
-	EventsTotal uint64      `json:",omitempty"`
+	// event emitted over the run, including those the ring dropped;
+	// EventsDropped is how many the ring overwrote (non-zero means the
+	// trace is truncated at the front — no silent caps).
+	Events        []obs.Event `json:",omitempty"`
+	EventsTotal   uint64      `json:",omitempty"`
+	EventsDropped uint64      `json:",omitempty"`
+
+	// Spans is the cycle-domain span trace, earliest-first (nil unless
+	// Config.SpanTrace was set); SpansDropped counts spans discarded once
+	// the buffer filled.
+	Spans        []obs.Span `json:",omitempty"`
+	SpansDropped uint64     `json:",omitempty"`
+
+	// Series is the per-epoch time series, oldest-first, ending with the
+	// flush-time sample (nil unless Config.EpochSeries was set);
+	// SeriesDropped counts samples the ring overwrote.
+	Series        []obs.EpochSample `json:",omitempty"`
+	SeriesDropped uint64            `json:",omitempty"`
 
 	// Faults is the fault-handling ledger: injected fault counts per point
 	// and the disposition of each (retried, rolled back, retired,
@@ -155,10 +180,16 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		Fault:      cfg.Fault,
 	}
 	var reg *obs.Registry
-	if cfg.Metrics || cfg.EventTrace > 0 {
+	if cfg.Metrics || cfg.EventTrace > 0 || cfg.SpanTrace > 0 || cfg.EpochSeries > 0 {
 		reg = obs.NewRegistry()
 		if cfg.EventTrace > 0 {
 			reg.EnableEvents(cfg.EventTrace)
+		}
+		if cfg.SpanTrace > 0 {
+			reg.EnableSpans(cfg.SpanTrace)
+		}
+		if cfg.EpochSeries > 0 {
+			reg.EnableSeries(cfg.EpochSeries)
 		}
 		mcfg.Obs = reg
 	}
@@ -228,6 +259,15 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		if ring := reg.Events(); ring != nil {
 			res.Events = ring.Events()
 			res.EventsTotal = ring.Total()
+			res.EventsDropped = ring.Dropped()
+		}
+		if tr := reg.Spans(); tr != nil {
+			res.Spans = tr.Spans()
+			res.SpansDropped = tr.Dropped()
+		}
+		if ser := reg.Series(); ser != nil {
+			res.Series = ser.Samples()
+			res.SeriesDropped = ser.Dropped()
 		}
 	}
 	res.Report = ctrl.Report()

@@ -66,6 +66,9 @@ func (s *LatencyStat) Merge(other LatencyStat) {
 // Count returns the number of samples.
 func (s LatencyStat) Count() uint64 { return s.n }
 
+// Sum returns the sample sum.
+func (s LatencyStat) Sum() float64 { return s.sum }
+
 // Mean returns the arithmetic mean, or 0 with no samples.
 func (s LatencyStat) Mean() float64 {
 	if s.n == 0 {

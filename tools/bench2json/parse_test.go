@@ -1,0 +1,75 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const sample = `goos: linux
+goarch: amd64
+pkg: heteromem
+cpu: Test CPU @ 3.00GHz
+BenchmarkTranslationTableLookup-8   	50000000	        25.3 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFig11Designs-8    	       2	 612345678 ns/op	        88.5 N-minus-Live-cycles	12345 B/op	  678 allocs/op
+BenchmarkTemporalObservabilityOff 	  300000	      4100 ns/op
+PASS
+ok  	heteromem	12.345s
+`
+
+func TestParse(t *testing.T) {
+	rep, err := Parse(strings.NewReader(sample))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Goos != "linux" || rep.Goarch != "amd64" || rep.Pkg != "heteromem" {
+		t.Fatalf("envelope wrong: %+v", rep)
+	}
+	if rep.CPU != "Test CPU @ 3.00GHz" {
+		t.Fatalf("cpu wrong: %q", rep.CPU)
+	}
+	if len(rep.Benchmarks) != 3 {
+		t.Fatalf("parsed %d benchmarks, want 3", len(rep.Benchmarks))
+	}
+
+	b := rep.Benchmarks[0]
+	if b.Name != "TranslationTableLookup" || b.Procs != 8 || b.Iterations != 50000000 {
+		t.Fatalf("first benchmark wrong: %+v", b)
+	}
+	if b.Metrics["ns/op"] != 25.3 || b.Metrics["allocs/op"] != 0 {
+		t.Fatalf("first benchmark metrics wrong: %+v", b.Metrics)
+	}
+
+	// Custom ReportMetric units come through as ordinary metrics.
+	if got := rep.Benchmarks[1].Metrics["N-minus-Live-cycles"]; got != 88.5 {
+		t.Fatalf("custom metric = %v, want 88.5", got)
+	}
+
+	// No -P suffix means GOMAXPROCS 1.
+	b = rep.Benchmarks[2]
+	if b.Name != "TemporalObservabilityOff" || b.Procs != 1 || b.Metrics["ns/op"] != 4100 {
+		t.Fatalf("third benchmark wrong: %+v", b)
+	}
+}
+
+func TestParseRejectsMalformed(t *testing.T) {
+	for _, bad := range []string{
+		"BenchmarkX-4",               // no iteration count
+		"BenchmarkX-4 abc 1 ns/op",   // bad iteration count
+		"BenchmarkX-4 10 1 ns/op 2",  // unpaired value/unit
+		"BenchmarkX-4 10 oops ns/op", // bad metric value
+	} {
+		if _, err := Parse(strings.NewReader(bad + "\n")); err == nil {
+			t.Errorf("Parse accepted malformed line %q", bad)
+		}
+	}
+}
+
+func TestParseEmpty(t *testing.T) {
+	rep, err := Parse(strings.NewReader("PASS\nok x 1s\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Benchmarks) != 0 {
+		t.Fatalf("expected no benchmarks, got %+v", rep.Benchmarks)
+	}
+}
