@@ -36,6 +36,7 @@ soak:
 fuzz-regression:
 	$(GO) test ./internal/trace/ -run 'Fuzz'
 	$(GO) test ./internal/fault/ -run 'Fuzz'
+	$(GO) test ./internal/snap/ -run 'Fuzz'
 
 # Active fuzzing (not part of ci; run locally when touching the parsers).
 FUZZTIME ?= 30s
@@ -43,18 +44,22 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzTextReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/snap/ -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 
-# Benchmarks: the raw text (BENCH_pr3.txt) is benchstat input, the JSON
-# (BENCH_pr3.json) is the archived machine-readable form. Compare the
-# TemporalObservabilityOff/On pair to bound the tracing overhead.
-BENCH_TXT ?= BENCH_pr3.txt
-BENCH_JSON ?= BENCH_pr3.json
+# Benchmarks: the raw text is benchstat input, the JSON is the archived
+# machine-readable form; both default to per-PR names so history is kept
+# side by side. Compare the TemporalObservabilityOff/On pair to bound the
+# tracing overhead and the CheckpointOff/On pair to bound the checkpoint
+# serialization overhead.
+BENCH_TXT ?= BENCH_pr4.txt
+BENCH_JSON ?= BENCH_pr4.json
 bench:
 	$(GO) test -bench . -benchmem -run '^$$' . | tee $(BENCH_TXT)
 	$(GO) run ./tools/bench2json -o $(BENCH_JSON) < $(BENCH_TXT)
 
-# Rewrite the hmreport golden files after an intended output change.
+# Rewrite the golden files after an intended output change.
 golden-update:
 	$(GO) test ./cmd/hmreport/ -update
+	$(GO) test ./internal/workload/ -run TestGeneratorGolden -update
 
 ci: vet build race soak fuzz-regression

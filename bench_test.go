@@ -323,6 +323,41 @@ func benchTemporal(b *testing.B, spans, series int) {
 func BenchmarkTemporalObservabilityOff(b *testing.B) { benchTemporal(b, 0, 0) }
 func BenchmarkTemporalObservabilityOn(b *testing.B)  { benchTemporal(b, 1<<16, 1<<12) }
 
+// benchCheckpoint is the end-to-end access benchmark with checkpointing at
+// a given cadence (0 = off); compare Off against On with benchstat to bound
+// what serializing the full run state costs. The encoded snapshots are
+// discarded, so the number isolates serialization, not I/O.
+func benchCheckpoint(b *testing.B, every uint64) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = 64 * KiB
+	cfg.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cfg.MaxRecords = uint64(b.N)
+	if every > 0 {
+		cfg.CheckpointEvery = every
+		var bytes uint64
+		cfg.CheckpointSink = func(data []byte, _ uint64) error {
+			bytes += uint64(len(data))
+			return nil
+		}
+		defer func() {
+			if n := uint64(b.N) / every; n > 0 {
+				b.ReportMetric(float64(bytes)/float64(n), "snapshot-bytes")
+			}
+		}()
+	}
+	b.ResetTimer()
+	if _, err := sim.Run(trace.NewLimit(gen, uint64(b.N)), cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+func BenchmarkCheckpointOff(b *testing.B) { benchCheckpoint(b, 0) }
+func BenchmarkCheckpointOn(b *testing.B)  { benchCheckpoint(b, 10_000) }
+
 func BenchmarkAblationVictimPolicy(b *testing.B) {
 	// Clock pseudo-LRU (paper) vs FIFO rotation vs random victim.
 	for i := 0; i < b.N; i++ {

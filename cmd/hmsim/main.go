@@ -43,6 +43,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		timeout   = flag.Duration("timeout", 0, "experiment mode: wall-clock budget; exceeded runs abort between simulations")
 		listen    = flag.String("listen", "", "experiment mode: serve live sweep telemetry (/metrics, /progress, pprof) on this address, e.g. :8080 or :0")
+		manifest  = flag.String("manifest", "", "experiment mode: record completed runs in this JSONL file and skip cells it already holds (crash-resilient sweeps)")
 
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
@@ -54,6 +55,12 @@ func main() {
 		audit        = flag.Bool("audit", false, "single-run: verify translation-table invariants throughout")
 		traceOut     = flag.String("trace-out", "", "single-run: write a cycle-domain span trace as Chrome trace-event JSON to this file")
 		seriesOut    = flag.String("series-out", "", "single-run: write the per-epoch time series as JSONL to this file")
+
+		// Single-run checkpoint/resume.
+		ckOut   = flag.String("checkpoint-out", "", "single-run: write run-state checkpoints to this file (atomically replaced each time)")
+		ckEvery = flag.Uint64("checkpoint-every", 0, "single-run: records between checkpoints (requires -checkpoint-out)")
+		resume  = flag.String("resume", "", "single-run: resume from this checkpoint file")
+		ckInfo  = flag.String("checkpoint-info", "", "inspect a checkpoint file (validates checksums, prints metadata as JSON) and exit")
 
 		// Single-run fault injection (see heteromem.FaultConfig).
 		faultSeed     = flag.Uint64("fault-seed", 0, "single-run: fault injector PRNG seed")
@@ -81,6 +88,14 @@ func main() {
 		return
 	}
 
+	if *ckInfo != "" {
+		if err := printCheckpointInfo(os.Stdout, *ckInfo); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
+
 	// Validate the flag set up front so misuse fails immediately with a
 	// usage error instead of surfacing mid-run (or being ignored).
 	set := map[string]bool{}
@@ -88,11 +103,12 @@ func main() {
 	singleOnly := []string{
 		"design", "interval", "page", "metrics", "events", "audit",
 		"trace-out", "series-out",
+		"checkpoint-out", "checkpoint-every", "resume",
 		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
 		"fault-schedule", "fault-retries", "fault-backoff",
 		"fault-retire-after", "fault-degrade-budget",
 	}
-	expOnly := []string{"workloads", "timeout", "listen"}
+	expOnly := []string{"workloads", "timeout", "listen", "manifest"}
 	if *workloadName != "" {
 		if *exp != "" {
 			usageErr("-workload and -exp are mutually exclusive")
@@ -117,6 +133,12 @@ func main() {
 	}
 	if *timeout < 0 {
 		usageErr("-timeout must be >= 0, got %v", *timeout)
+	}
+	if *ckEvery > 0 && *ckOut == "" {
+		usageErr("-checkpoint-every requires -checkpoint-out")
+	}
+	if *ckOut != "" && *ckEvery == 0 {
+		usageErr("-checkpoint-out requires -checkpoint-every")
 	}
 
 	if *workloadName != "" {
@@ -146,6 +168,7 @@ func main() {
 			Records: *records, Warmup: *warmup, Seed: *seed,
 			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
 			TraceOut: *traceOut, SeriesOut: *seriesOut,
+			CheckpointOut: *ckOut, CheckpointEvery: *ckEvery, ResumeFrom: *resume,
 		}); err != nil {
 			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
 			os.Exit(1)
@@ -180,7 +203,7 @@ func main() {
 		defer cancel()
 	}
 	err := runExperiments(ctx, os.Stdout, expRunConfig{
-		Names: names, Params: p, Listen: *listen,
+		Names: names, Params: p, Listen: *listen, Manifest: *manifest,
 		OnListen: func(addr string) {
 			fmt.Fprintf(os.Stderr, "hmsim: telemetry listening on http://%s\n", addr)
 		},
@@ -196,6 +219,7 @@ type expRunConfig struct {
 	Names    []string
 	Params   experiments.Params
 	Listen   string            // telemetry listen address ("" disables)
+	Manifest string            // sweep manifest JSONL path ("" disables)
 	OnListen func(addr string) // called with the bound address once listening
 }
 
@@ -204,6 +228,20 @@ type expRunConfig struct {
 // cleanly whether the sweep finishes, fails, or the context is cancelled.
 func runExperiments(ctx context.Context, w io.Writer, c expRunConfig) error {
 	p := c.Params
+	if c.Manifest != "" {
+		man, err := experiments.OpenManifest(c.Manifest)
+		if err != nil {
+			return fmt.Errorf("manifest: %w", err)
+		}
+		defer func() {
+			fmt.Fprintf(os.Stderr, "hmsim: manifest %s: %d cells ran, %d served from manifest\n",
+				c.Manifest, man.Ran(), man.Hits())
+			if err := man.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: closing manifest: %v\n", err)
+			}
+		}()
+		p.Manifest = man
+	}
 	if c.Listen != "" {
 		tel := experiments.NewTelemetry()
 		p.Telemetry = tel
@@ -300,6 +338,10 @@ type singleRunConfig struct {
 
 	TraceOut  string // Chrome trace-event JSON destination ("" disables)
 	SeriesOut string // per-epoch JSONL destination ("" disables)
+
+	CheckpointOut   string // checkpoint file, atomically replaced ("" disables)
+	CheckpointEvery uint64 // records between checkpoints
+	ResumeFrom      string // checkpoint file to resume from ("" disables)
 }
 
 // singleRunOutput is the JSON document single-run mode emits.
@@ -339,9 +381,29 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	if records == 0 {
 		records = 1_000_000
 	}
-	res, err := sys.RunWorkload(c.Workload, c.Seed, records)
-	if err != nil {
-		return err
+	var ck heteromem.Checkpointing
+	if c.CheckpointOut != "" {
+		ck.Every = c.CheckpointEvery
+		ck.Sink = func(data []byte, n uint64) error {
+			return writeFileAtomic(c.CheckpointOut, data)
+		}
+	}
+	if c.ResumeFrom != "" {
+		data, err := os.ReadFile(c.ResumeFrom)
+		if err != nil {
+			return fmt.Errorf("resume: %w", err)
+		}
+		ck.Resume = data
+	}
+	var res heteromem.Result
+	var err2 error
+	if ck.Every > 0 || ck.Resume != nil {
+		res, err2 = sys.RunWorkloadCheckpointed(c.Workload, c.Seed, records, ck)
+	} else {
+		res, err2 = sys.RunWorkload(c.Workload, c.Seed, records)
+	}
+	if err2 != nil {
+		return err2
 	}
 	if c.TraceOut != "" {
 		if err := writeTraceFile(c.TraceOut, res.Spans); err != nil {
@@ -368,6 +430,35 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	enc := json.NewEncoder(w)
 	enc.SetIndent("", "  ")
 	return enc.Encode(out)
+}
+
+// writeFileAtomic writes data to path via a temp file and rename, so a
+// crash mid-write never leaves a truncated checkpoint behind.
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// printCheckpointInfo validates a checkpoint file and prints its metadata.
+func printCheckpointInfo(w io.Writer, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	info, err := heteromem.InspectCheckpoint(data)
+	if err != nil {
+		return fmt.Errorf("%s: %w", path, err)
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(struct {
+		File string
+		heteromem.CheckpointInfo
+		ConfigDigestHex string
+	}{File: path, CheckpointInfo: info, ConfigDigestHex: fmt.Sprintf("%016x", info.ConfigDigest)})
 }
 
 // writeTraceFile writes the span trace as Chrome trace-event JSON.

@@ -49,7 +49,7 @@ func usage() {
 	fmt.Fprintln(os.Stderr, `usage: hmtrace <gen|info|cat|wss> [flags]
   gen  -workload <name> -n <records> [-seed N] [-text] [-o file]
   info -i <file>
-  cat  -i <file>
+  cat  -i <file> [-skip N]
   wss  -i <file> [-window N] [-block B]   working-set profile per window
 workloads: `+strings.Join(workload.Names(), ", "))
 }
@@ -191,6 +191,7 @@ func cmdWSS(args []string) error {
 func cmdCat(args []string) error {
 	fs := flag.NewFlagSet("cat", flag.ExitOnError)
 	in := fs.String("i", "", "input trace file (binary format)")
+	skip := fs.Uint64("skip", 0, "skip the first N records before printing")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -199,6 +200,11 @@ func cmdCat(args []string) error {
 		return err
 	}
 	defer closer()
+	if *skip > 0 {
+		if err := src.(trace.Positioner).SkipTo(*skip); err != nil {
+			return err
+		}
+	}
 	_, err = trace.WriteText(os.Stdout, src)
 	return err
 }

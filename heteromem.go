@@ -211,6 +211,55 @@ func (s *System) Run(src Source, maxRecords uint64) (Result, error) {
 	return sim.Run(src, cfg)
 }
 
+// Checkpointing configures periodic run-state snapshots and crash-resilient
+// resume. Every `Every` records the complete simulation state — controller,
+// devices, schedulers, migration engine, fault injector, and trace-source
+// position — is serialized into a versioned, checksummed snapshot and
+// handed to Sink. A run restarted with Resume set to any such snapshot
+// (same configuration, same freshly constructed source) produces a Result
+// identical to the uninterrupted run. Checkpointing is incompatible with
+// the observability collectors (Metrics, EventTrace, SpanTrace,
+// EpochSeries).
+type Checkpointing struct {
+	Every  uint64                                  // records between checkpoints (0 = off)
+	Sink   func(data []byte, records uint64) error // receives each checkpoint
+	Resume []byte                                  // checkpoint to resume from (nil = fresh run)
+}
+
+// RunCheckpointed is Run with periodic checkpoints and/or resume.
+func (s *System) RunCheckpointed(src Source, maxRecords uint64, ck Checkpointing) (Result, error) {
+	cfg := s.cfg
+	cfg.MaxRecords = maxRecords
+	cfg.CheckpointEvery = ck.Every
+	cfg.CheckpointSink = ck.Sink
+	cfg.Resume = ck.Resume
+	return sim.Run(src, cfg)
+}
+
+// RunWorkloadCheckpointed is RunWorkload with periodic checkpoints and/or
+// resume. The built-in workload generators serialize their full PRNG state
+// into the checkpoint, so resume is exact at any boundary.
+func (s *System) RunWorkloadCheckpointed(name string, seed int64, maxRecords uint64, ck Checkpointing) (Result, error) {
+	gen, err := workload.NewMemory(name, seed)
+	if err != nil {
+		return Result{}, err
+	}
+	return s.RunCheckpointed(gen, maxRecords, ck)
+}
+
+// CheckpointInfo summarizes a checkpoint file without restoring it.
+type CheckpointInfo = sim.CheckpointInfo
+
+// InspectCheckpoint validates a checkpoint's checksums and version and
+// returns its metadata.
+func InspectCheckpoint(data []byte) (CheckpointInfo, error) {
+	return sim.InspectCheckpoint(data)
+}
+
+// ErrConfigMismatch reports a checkpoint taken under a different
+// configuration than the one resuming from it.
+var ErrConfigMismatch = sim.ErrConfigMismatch
+
 // RunWindows is Run with a convergence time series: one Result.Windows
 // point per `window` records, so the approach to steady state is visible.
 func (s *System) RunWindows(src Source, maxRecords, window uint64) (Result, error) {

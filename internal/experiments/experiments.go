@@ -41,6 +41,10 @@ type Params struct {
 	// progress, merged metrics) from every driver; serve its Handler to
 	// watch a sweep over HTTP. Nil keeps the drivers telemetry-free.
 	Telemetry *Telemetry
+	// Manifest, when non-nil, makes the sweep crash-resilient: completed
+	// (workload, seed, config) cells are recorded as they finish, and cells
+	// already recorded are served from the manifest instead of re-running.
+	Manifest *Manifest
 }
 
 func (p Params) records(def uint64) uint64 {

@@ -1,0 +1,168 @@
+package experiments
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"os"
+	"sync"
+	"sync/atomic"
+
+	"heteromem/internal/sim"
+)
+
+// Manifest makes a sweep crash-resilient: every completed (workload, seed,
+// configuration) simulation appends its Result to a JSONL file, and a sweep
+// restarted against the same file skips cells that already have a record.
+// Workers in a parallel sweep share one Manifest; appends are serialized
+// and flushed per record, so a killed sweep loses at most the runs that
+// were still in flight. A torn final line (the append the crash
+// interrupted) is ignored on reopen.
+type Manifest struct {
+	mu   sync.Mutex
+	file *os.File
+	w    *bufio.Writer
+	done map[string]json.RawMessage
+
+	ran  atomic.Uint64 // cells simulated by this process
+	hits atomic.Uint64 // cells satisfied from the manifest
+}
+
+// manifestRecord is one JSONL line: the cell key plus the fields it was
+// derived from (for human inspection) and the completed run's Result.
+type manifestRecord struct {
+	Key      string          `json:"key"`
+	Workload string          `json:"workload"`
+	Seed     int64           `json:"seed"`
+	Records  uint64          `json:"records"`
+	Digest   string          `json:"digest"`
+	Result   json.RawMessage `json:"result"`
+}
+
+// manifestKey identifies a sweep cell. The config digest covers everything
+// semantically relevant except MaxRecords (a run-control field), so the
+// record budget is keyed explicitly.
+func manifestKey(name string, seed int64, cfg sim.Config) string {
+	return fmt.Sprintf("%s|%d|%d|%016x", name, seed, cfg.MaxRecords, sim.ConfigDigest(cfg))
+}
+
+// OpenManifest opens (creating if needed) a sweep manifest file and loads
+// its completed-run records. Unparseable lines — a torn append from a
+// killed worker — are skipped, not fatal.
+func OpenManifest(path string) (*Manifest, error) {
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	m := &Manifest{file: f, done: make(map[string]json.RawMessage)}
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	for sc.Scan() {
+		var rec manifestRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
+			continue
+		}
+		m.done[rec.Key] = append(json.RawMessage(nil), rec.Result...)
+	}
+	if err := sc.Err(); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("experiments: reading manifest %s: %w", path, err)
+	}
+	// Appends go after whatever is there. A torn final line (no trailing
+	// newline) must not merge with the next record, so terminate it first;
+	// the scanner above already ignored it and will keep ignoring the now
+	// newline-terminated fragment.
+	end, err := f.Seek(0, 2)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	if end > 0 {
+		last := make([]byte, 1)
+		if _, err := f.ReadAt(last, end-1); err != nil {
+			f.Close()
+			return nil, err
+		}
+		if last[0] != '\n' {
+			if _, err := f.Write([]byte{'\n'}); err != nil {
+				f.Close()
+				return nil, err
+			}
+		}
+	}
+	m.w = bufio.NewWriter(f)
+	return m, nil
+}
+
+// Len reports how many completed cells the manifest holds.
+func (m *Manifest) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.done)
+}
+
+// Ran reports how many cells this process simulated (manifest misses).
+func (m *Manifest) Ran() uint64 { return m.ran.Load() }
+
+// Hits reports how many cells were satisfied from stored records.
+func (m *Manifest) Hits() uint64 { return m.hits.Load() }
+
+// lookup returns the stored Result for a cell, if present.
+func (m *Manifest) lookup(name string, seed int64, cfg sim.Config) (sim.Result, bool, error) {
+	key := manifestKey(name, seed, cfg)
+	m.mu.Lock()
+	raw, ok := m.done[key]
+	m.mu.Unlock()
+	if !ok {
+		return sim.Result{}, false, nil
+	}
+	var res sim.Result
+	if err := json.Unmarshal(raw, &res); err != nil {
+		return sim.Result{}, false, fmt.Errorf("experiments: manifest record %s: %w", key, err)
+	}
+	m.hits.Add(1)
+	return res, true, nil
+}
+
+// store appends a completed cell and flushes it to the file, so the record
+// survives even if the process is killed immediately after.
+func (m *Manifest) store(name string, seed int64, cfg sim.Config, res sim.Result) error {
+	m.ran.Add(1)
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return err
+	}
+	rec := manifestRecord{
+		Key:      manifestKey(name, seed, cfg),
+		Workload: name,
+		Seed:     seed,
+		Records:  cfg.MaxRecords,
+		Digest:   fmt.Sprintf("%016x", sim.ConfigDigest(cfg)),
+		Result:   raw,
+	}
+	line, err := json.Marshal(rec)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.done[rec.Key] = raw
+	if _, err := m.w.Write(append(line, '\n')); err != nil {
+		return err
+	}
+	if err := m.w.Flush(); err != nil {
+		return err
+	}
+	return m.file.Sync()
+}
+
+// Close flushes and closes the manifest file.
+func (m *Manifest) Close() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if err := m.w.Flush(); err != nil {
+		m.file.Close()
+		return err
+	}
+	return m.file.Close()
+}

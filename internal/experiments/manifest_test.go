@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"heteromem/internal/sim"
+)
+
+// manifestParams is a small but real sweep: Fig. 11 at one interval with
+// one workload is 6 granularities x 3 designs = 18 cells.
+func manifestParams(man *Manifest) Params {
+	return Params{
+		Records: 20_000, Warmup: 5_000, Seed: 1,
+		Workloads: []string{"pgbench"}, Parallelism: 1, Manifest: man,
+	}
+}
+
+// TestManifestKillAndResume is the sweep-resilience contract: a sweep
+// killed mid-flight and restarted against its manifest re-runs only the
+// cells that had not completed, and produces identical results.
+func TestManifestKillAndResume(t *testing.T) {
+	const cells = 18 // pgbench x 6 granularities x 3 designs
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+
+	// The uninterrupted sweep, manifest-free, is the reference.
+	want, err := Fig11Data(context.Background(), manifestParams(nil), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != cells {
+		t.Fatalf("sweep has %d cells, want %d", len(want), cells)
+	}
+
+	// Kill the sweep once at least killAfter cells have committed: cancel
+	// the context and let forEach abort between jobs.
+	const killAfter = 5
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		for man.Ran() < killAfter {
+			time.Sleep(time.Millisecond)
+		}
+		cancel()
+	}()
+	if _, err := Fig11Data(ctx, manifestParams(man), 1000); !errors.Is(err, context.Canceled) {
+		t.Fatalf("interrupted sweep: err = %v, want context.Canceled", err)
+	}
+	committed := man.Ran()
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if committed < killAfter || committed >= cells {
+		t.Fatalf("kill committed %d cells, want in [%d, %d)", committed, killAfter, cells)
+	}
+
+	// Resume: a fresh process opens the same manifest and re-runs the grid.
+	man2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man2.Close()
+	if got := man2.Len(); uint64(got) != committed {
+		t.Fatalf("reopened manifest holds %d cells, want %d", got, committed)
+	}
+	got, err := Fig11Data(context.Background(), manifestParams(man2), 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Hits() != committed {
+		t.Errorf("resume served %d cells from the manifest, want %d", man2.Hits(), committed)
+	}
+	if want := cells - committed; man2.Ran() != want {
+		t.Errorf("resume re-ran %d cells, want only the %d incomplete ones", man2.Ran(), want)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("resumed sweep diverged from the uninterrupted run:\n got %+v\nwant %+v", got, want)
+	}
+}
+
+// TestManifestTornLine verifies crash tolerance of the file itself: a kill
+// mid-append leaves a torn final line, which reopen must skip while keeping
+// every complete record.
+func TestManifestTornLine(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.MaxRecords = 123
+	if err := man.store("pgbench", 1, cfg, sim.Result{Records: 123}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Simulate the torn append.
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString(`{"key":"torn|1|456|abc","result":{"Rec`); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	man2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man2.Len() != 1 {
+		t.Fatalf("reopened manifest holds %d cells, want 1 (torn line skipped)", man2.Len())
+	}
+	res, ok, err := man2.lookup("pgbench", 1, cfg)
+	if err != nil || !ok {
+		t.Fatalf("lookup after torn line: ok=%v err=%v", ok, err)
+	}
+	if res.Records != 123 {
+		t.Fatalf("restored Records = %d, want 123", res.Records)
+	}
+
+	// The next append must start on a fresh line so the torn bytes never
+	// merge with a valid record.
+	cfg2 := cfg
+	cfg2.MaxRecords = 456
+	if err := man2.store("pgbench", 1, cfg2, sim.Result{Records: 456}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man2.Close(); err != nil {
+		t.Fatal(err)
+	}
+	man3, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man3.Close()
+	if man3.Len() != 2 {
+		t.Fatalf("manifest holds %d cells after post-torn append, want 2", man3.Len())
+	}
+}
+
+// TestManifestKeySeparatesCells: cells differing only in record budget or
+// configuration must not collide.
+func TestManifestKeySeparatesCells(t *testing.T) {
+	a := sim.Default()
+	a.MaxRecords = 1000
+	b := a
+	b.MaxRecords = 2000
+	c := a
+	c.Warmup = 500
+	keys := map[string]bool{
+		manifestKey("pgbench", 1, a): true,
+		manifestKey("pgbench", 2, a): true,
+		manifestKey("tpcc", 1, a):    true,
+		manifestKey("pgbench", 1, b): true,
+		manifestKey("pgbench", 1, c): true,
+	}
+	if len(keys) != 5 {
+		t.Fatalf("cell keys collide: %v", keys)
+	}
+}
+
+// TestManifestWithTelemetry: the two sweep layers compose — manifest hits
+// still fold their stored metrics into the sweep totals.
+func TestManifestWithTelemetry(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := manifestParams(man)
+	p.Telemetry = NewTelemetry()
+	cfg := traceConfig(Granularities[len(Granularities)-1], nil, 20_000, 5_000)
+	first, err := p.runTrace("pgbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Metrics == nil {
+		t.Fatal("telemetry run did not collect metrics")
+	}
+	again, err := p.runTrace("pgbench", cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if man.Ran() != 1 || man.Hits() != 1 {
+		t.Fatalf("Ran=%d Hits=%d, want 1/1", man.Ran(), man.Hits())
+	}
+	b1, err := json.Marshal(first)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := json.Marshal(again)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Fatalf("manifest hit diverged from the original run:\n got %s\nwant %s", b2, b1)
+	}
+	if p.Telemetry.records.Load() != first.Records+again.Records {
+		t.Fatalf("telemetry records = %d, want %d", p.Telemetry.records.Load(), first.Records+again.Records)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

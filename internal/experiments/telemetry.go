@@ -240,22 +240,38 @@ func (p Params) forEach(ctx context.Context, n, workers int, fn func(i int) erro
 	})
 }
 
-// runTrace runs one (workload, configuration) simulation with telemetry:
-// the workload shows up in /progress while it executes, metrics collection
-// is forced on so the run's counters can fold into the sweep totals, and
-// the totals absorb the snapshot on success. Without telemetry it is
-// exactly the plain runTrace.
+// runTrace runs one (workload, configuration) simulation with telemetry
+// and manifest support: a cell already recorded in the manifest is served
+// from it without simulating; otherwise the workload shows up in /progress
+// while it executes, metrics collection is forced on (under telemetry) so
+// the run's counters can fold into the sweep totals, and a completed run
+// is recorded in the manifest before its result is returned. Without
+// either, it is exactly the plain runTrace.
 func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
 	t := p.Telemetry
-	if t == nil {
-		return runTrace(name, p.seed(), cfg)
+	if p.Manifest != nil {
+		if res, ok, err := p.Manifest.lookup(name, p.seed(), cfg); err != nil {
+			return sim.Result{}, err
+		} else if ok {
+			t.observeRun(res.Records, res.Metrics)
+			return res, nil
+		}
 	}
-	cfg.Metrics = true
-	t.setActive(name, +1)
-	defer t.setActive(name, -1)
+	if t != nil {
+		cfg.Metrics = true
+		t.setActive(name, +1)
+		defer t.setActive(name, -1)
+	}
 	res, err := runTrace(name, p.seed(), cfg)
 	if err == nil {
-		t.observeRun(res.Records, res.Metrics)
+		if t != nil {
+			t.observeRun(res.Records, res.Metrics)
+		}
+		if p.Manifest != nil {
+			if serr := p.Manifest.store(name, p.seed(), cfg, res); serr != nil {
+				return res, fmt.Errorf("experiments: recording manifest cell: %w", serr)
+			}
+		}
 	}
 	return res, err
 }

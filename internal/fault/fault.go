@@ -12,7 +12,11 @@
 // failing soak run is replayable from its seed and schedule alone.
 package fault
 
-import "fmt"
+import (
+	"fmt"
+
+	"heteromem/internal/rng"
+)
 
 // Point identifies an injection site in the pipeline.
 type Point uint8
@@ -158,7 +162,7 @@ func (c Config) retryBackoff() int64 {
 // probe site.
 type Injector struct {
 	cfg   Config
-	rng   uint64
+	prng  rng.Rand
 	rates [numPoints]float64
 	sched Schedule
 
@@ -179,7 +183,8 @@ func New(cfg Config) (*Injector, error) {
 	if seed == 0 {
 		seed = 1
 	}
-	inj := &Injector{cfg: cfg, rng: seed}
+	inj := &Injector{cfg: cfg}
+	inj.prng.SetState(seed)
 	inj.rates[PointDevice] = cfg.DeviceRate
 	inj.rates[PointCopy] = cfg.CopyRate
 	inj.rates[PointBulk] = cfg.BulkRate
@@ -270,14 +275,11 @@ func (i *Injector) Backoff(attempt int) int64 {
 	return base << uint(shift)
 }
 
-// next01 draws the next deterministic uniform in [0, 1) via splitmix64.
+// next01 draws the next deterministic uniform in [0, 1) from the shared
+// splitmix64 generator (bit-identical to the formula this package embedded
+// before internal/rng existed, so seeded campaigns are unchanged).
 func (i *Injector) next01() float64 {
-	i.rng += 0x9e3779b97f4a7c15
-	z := i.rng
-	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
-	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
-	z ^= z >> 31
-	return float64(z>>11) / float64(1<<53)
+	return i.prng.Float64()
 }
 
 // Disposition is the controller's response to one injected fault. Every

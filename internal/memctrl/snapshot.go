@@ -1,0 +1,411 @@
+package memctrl
+
+import (
+	"fmt"
+	"sort"
+
+	"heteromem/internal/core"
+	"heteromem/internal/sched"
+	"heteromem/internal/snap"
+)
+
+// The controller snapshot captures the whole pipeline between two program
+// accesses: clocks, both DRAM devices, both schedulers, the migration
+// engine, the latency accumulators, the in-flight copy legs with their
+// shared step state, and the fault-response ledger. Auxiliary maps keyed by
+// request/job pointers are serialized positionally in the schedulers' own
+// deterministic walk order (on-package first, then off-package) and
+// reattached to the fresh pointers the scheduler restore materializes.
+
+// SnapshotTo writes the controller's dynamic state. A controller with a
+// latched asynchronous error refuses to snapshot: the checkpoint would
+// otherwise silently resurrect a run that already failed.
+func (c *Controller) SnapshotTo(e *snap.Encoder) {
+	if c.firstErr != nil {
+		e.Fail(fmt.Errorf("memctrl: cannot checkpoint a failed controller: %w", c.firstErr))
+		return
+	}
+	e.I64(c.now)
+	e.I64(c.stallUntil)
+	e.I64(c.osPenalty)
+	e.U64(c.reqID)
+
+	c.onDev.SnapshotTo(e)
+	c.offDev.SnapshotTo(e)
+	c.onSch.SnapshotTo(e)
+	c.offSch.SnapshotTo(e)
+
+	e.Bool(c.mig != nil)
+	if c.mig != nil {
+		c.mig.SnapshotTo(e)
+	}
+
+	c.allLat.SnapshotTo(e)
+	c.onLat.SnapshotTo(e)
+	c.offLat.SnapshotTo(e)
+	c.dramAll.SnapshotTo(e)
+	c.dramOn.SnapshotTo(e)
+	c.dramOff.SnapshotTo(e)
+	c.hist.SnapshotTo(e)
+	e.I64(c.coreLatSum)
+	e.U64(c.nDone)
+	e.I64(c.queueSum)
+	e.I64(c.swapBegin)
+	e.I64(c.stepBegin)
+	e.I64(c.rollBegin)
+	e.U64(c.swapMRU)
+	e.U64(c.swapVictim)
+
+	// Program accesses waiting in the schedulers, positionally.
+	nPending := 0
+	snapMeta := func(ch int, r *sched.Request) {
+		nPending++
+		meta := c.inFlight[r]
+		if meta == nil {
+			e.Fail(fmt.Errorf("memctrl: request %d queued without access metadata", r.ID))
+			return
+		}
+		e.U64(meta.phys)
+		e.U64(meta.machine)
+		e.I64(meta.issue)
+		e.Bool(meta.region == OnPackage)
+		e.Bool(meta.write)
+	}
+	e.U32(uint32(len(c.inFlight)))
+	c.onSch.ForEachPending(snapMeta)
+	c.offSch.ForEachPending(snapMeta)
+	if nPending != len(c.inFlight) {
+		e.Fail(fmt.Errorf("memctrl: %d in-flight accesses but %d queued requests", len(c.inFlight), nPending))
+	}
+
+	// Distinct step states shared by the in-flight copy legs. The current
+	// step comes first; stale (aborted) steps referenced only by still-queued
+	// legs follow in walk order.
+	var steps []*stepState
+	stepIdx := make(map[*stepState]int)
+	stepRef := func(st *stepState) int {
+		if st == nil {
+			return -1
+		}
+		if i, ok := stepIdx[st]; ok {
+			return i
+		}
+		stepIdx[st] = len(steps)
+		steps = append(steps, st)
+		return stepIdx[st]
+	}
+	stepRef(c.step)
+	legs := make([]*legMeta, 0, len(c.bulkMeta))
+	collectLeg := func(ch int, j *sched.BulkJob) {
+		meta := c.bulkMeta[j]
+		if meta == nil {
+			e.Fail(fmt.Errorf("memctrl: bulk job %d queued without leg metadata", j.Tag))
+			return
+		}
+		stepRef(meta.step)
+		legs = append(legs, meta)
+	}
+	c.onSch.ForEachBulk(collectLeg)
+	c.offSch.ForEachBulk(collectLeg)
+	if len(legs) != len(c.bulkMeta) {
+		e.Fail(fmt.Errorf("memctrl: %d leg metadata entries but %d queued bulk jobs", len(c.bulkMeta), len(legs)))
+	}
+	e.U32(uint32(len(steps)))
+	for _, st := range steps {
+		e.U32(uint32(st.subsLeft))
+		e.Bool(st.undo)
+		e.Bool(st.aborted)
+		e.U32(uint32(len(st.completed)))
+		for _, s := range st.completed {
+			e.I64(int64(s))
+		}
+	}
+	e.I64(int64(stepRef(c.step)))
+	e.U32(uint32(len(legs)))
+	for _, meta := range legs {
+		snapshotSubCopy(e, meta.sub)
+		e.Bool(meta.isRead)
+		e.Bool(meta.dstOn)
+		e.I64(meta.earliest)
+		e.U32(uint32(meta.attempts))
+		e.I64(int64(stepIdx[meta.step]))
+	}
+
+	e.U32(uint32(len(c.undoQueue)))
+	for _, sc := range c.undoQueue {
+		snapshotSubCopy(e, sc)
+	}
+	e.U32(uint32(c.stepAttempts))
+
+	e.Bool(c.inj != nil)
+	if c.inj != nil {
+		c.inj.SnapshotTo(e)
+		c.faultRep.SnapshotTo(e)
+		frames := make([]uint64, 0, len(c.frameFaults))
+		for f := range c.frameFaults {
+			frames = append(frames, f)
+		}
+		sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
+		e.U32(uint32(len(frames)))
+		for _, f := range frames {
+			e.U64(f)
+			e.U32(uint32(c.frameFaults[f]))
+		}
+		e.U32(uint32(len(c.retireQueue)))
+		for _, s := range c.retireQueue {
+			e.I64(int64(s))
+		}
+		queued := make([]int, 0, len(c.retireQueued))
+		for s := range c.retireQueued {
+			queued = append(queued, s)
+		}
+		sort.Ints(queued)
+		e.U32(uint32(len(queued)))
+		for _, s := range queued {
+			e.I64(int64(s))
+		}
+		e.Bool(c.degradePending)
+		e.Bool(c.degradedMode)
+	}
+
+	e.Bool(c.cfg.Power != nil)
+	if c.cfg.Power != nil {
+		c.cfg.Power.SnapshotTo(e)
+	}
+}
+
+// RestoreFrom reads the state written by SnapshotTo into a controller built
+// with the same configuration.
+func (c *Controller) RestoreFrom(d *snap.Decoder) error {
+	c.now = d.I64()
+	c.stallUntil = d.I64()
+	c.osPenalty = d.I64()
+	c.reqID = d.U64()
+
+	if err := c.onDev.RestoreFrom(d); err != nil {
+		return err
+	}
+	if err := c.offDev.RestoreFrom(d); err != nil {
+		return err
+	}
+	if err := c.onSch.RestoreFrom(d); err != nil {
+		return err
+	}
+	if err := c.offSch.RestoreFrom(d); err != nil {
+		return err
+	}
+
+	hasMig := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasMig != (c.mig != nil) {
+		d.Invalid("migration engine presence mismatch")
+		return d.Err()
+	}
+	if c.mig != nil {
+		if err := c.mig.RestoreFrom(d); err != nil {
+			return err
+		}
+	}
+
+	for _, ls := range []interface{ RestoreFrom(*snap.Decoder) error }{
+		&c.allLat, &c.onLat, &c.offLat, &c.dramAll, &c.dramOn, &c.dramOff, &c.hist,
+	} {
+		if err := ls.RestoreFrom(d); err != nil {
+			return err
+		}
+	}
+	c.coreLatSum = d.I64()
+	c.nDone = d.U64()
+	c.queueSum = d.I64()
+	c.swapBegin = d.I64()
+	c.stepBegin = d.I64()
+	c.rollBegin = d.I64()
+	c.swapMRU = d.U64()
+	c.swapVictim = d.U64()
+
+	nMeta := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	var reqs []*sched.Request
+	c.onSch.ForEachPending(func(ch int, r *sched.Request) { reqs = append(reqs, r) })
+	c.offSch.ForEachPending(func(ch int, r *sched.Request) { reqs = append(reqs, r) })
+	if nMeta != len(reqs) {
+		d.Invalid("snapshot has %d access metadata entries for %d queued requests", nMeta, len(reqs))
+		return d.Err()
+	}
+	c.inFlight = make(map[*sched.Request]*accessMeta, nMeta)
+	for _, r := range reqs {
+		meta := &accessMeta{
+			phys:    d.U64(),
+			machine: d.U64(),
+			issue:   d.I64(),
+		}
+		if d.Bool() {
+			meta.region = OnPackage
+		} else {
+			meta.region = OffPackage
+		}
+		meta.write = d.Bool()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.inFlight[r] = meta
+	}
+
+	nSteps := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	steps := make([]*stepState, nSteps)
+	for i := range steps {
+		st := &stepState{
+			subsLeft: int(d.U32()),
+			undo:     d.Bool(),
+			aborted:  d.Bool(),
+		}
+		ncomp := int(d.U32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if ncomp > 0 {
+			st.completed = make([]int, ncomp)
+			for k := range st.completed {
+				st.completed[k] = int(d.I64())
+			}
+		}
+		steps[i] = st
+	}
+	stepAt := func(i int) (*stepState, bool) {
+		if i == -1 {
+			return nil, true
+		}
+		if i < 0 || i >= len(steps) {
+			d.Invalid("step reference %d out of range (%d steps)", i, len(steps))
+			return nil, false
+		}
+		return steps[i], true
+	}
+	cur, ok := stepAt(int(d.I64()))
+	if !ok {
+		return d.Err()
+	}
+	c.step = cur
+	nLegs := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	var jobs []*sched.BulkJob
+	c.onSch.ForEachBulk(func(ch int, j *sched.BulkJob) { jobs = append(jobs, j) })
+	c.offSch.ForEachBulk(func(ch int, j *sched.BulkJob) { jobs = append(jobs, j) })
+	if nLegs != len(jobs) {
+		d.Invalid("snapshot has %d leg metadata entries for %d queued bulk jobs", nLegs, len(jobs))
+		return d.Err()
+	}
+	c.bulkMeta = make(map[*sched.BulkJob]*legMeta, nLegs)
+	for _, j := range jobs {
+		meta := &legMeta{sub: restoreSubCopy(d)}
+		meta.isRead = d.Bool()
+		meta.dstOn = d.Bool()
+		meta.earliest = d.I64()
+		meta.attempts = int(d.U32())
+		st, ok := stepAt(int(d.I64()))
+		if !ok {
+			return d.Err()
+		}
+		meta.step = st
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.bulkMeta[j] = meta
+	}
+
+	nUndo := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	c.undoQueue = nil
+	for i := 0; i < nUndo; i++ {
+		c.undoQueue = append(c.undoQueue, restoreSubCopy(d))
+	}
+	c.stepAttempts = int(d.U32())
+
+	hasInj := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasInj != (c.inj != nil) {
+		d.Invalid("fault injector presence mismatch")
+		return d.Err()
+	}
+	if c.inj != nil {
+		if err := c.inj.RestoreFrom(d); err != nil {
+			return err
+		}
+		if err := c.faultRep.RestoreFrom(d); err != nil {
+			return err
+		}
+		nf := int(d.U32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.frameFaults = make(map[uint64]int, nf)
+		for i := 0; i < nf; i++ {
+			f := d.U64()
+			c.frameFaults[f] = int(d.U32())
+		}
+		nr := int(d.U32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.retireQueue = nil
+		for i := 0; i < nr; i++ {
+			c.retireQueue = append(c.retireQueue, int(d.I64()))
+		}
+		nq := int(d.U32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		c.retireQueued = make(map[int]bool, nq)
+		for i := 0; i < nq; i++ {
+			c.retireQueued[int(d.I64())] = true
+		}
+		c.degradePending = d.Bool()
+		c.degradedMode = d.Bool()
+	}
+
+	hasPower := d.Bool()
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if hasPower != (c.cfg.Power != nil) {
+		d.Invalid("power meter presence mismatch")
+		return d.Err()
+	}
+	if c.cfg.Power != nil {
+		if err := c.cfg.Power.RestoreFrom(d); err != nil {
+			return err
+		}
+	}
+	return d.Err()
+}
+
+func snapshotSubCopy(e *snap.Encoder, sc core.SubCopy) {
+	e.U64(sc.Src)
+	e.U64(sc.Dst)
+	e.U64(sc.Bytes)
+	e.I64(int64(sc.SubIndex))
+	e.Bool(sc.Exchange)
+}
+
+func restoreSubCopy(d *snap.Decoder) core.SubCopy {
+	var sc core.SubCopy
+	sc.Src = d.U64()
+	sc.Dst = d.U64()
+	sc.Bytes = d.U64()
+	sc.SubIndex = int(d.I64())
+	sc.Exchange = d.Bool()
+	return sc
+}

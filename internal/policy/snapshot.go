@@ -1,0 +1,126 @@
+package policy
+
+import "heteromem/internal/snap"
+
+// Snapshot helpers for the policy trackers. Shapes (slot counts, level
+// counts, capacities) are construction inputs; restore targets must be
+// built with the same shape, and the snapshot's dimensions are validated
+// against it.
+
+func snapshotBools(e *snap.Encoder, bits []bool) {
+	e.U32(uint32(len(bits)))
+	for _, b := range bits {
+		e.Bool(b)
+	}
+}
+
+func restoreBools(d *snap.Decoder, bits []bool, what string) {
+	n := int(d.U32())
+	if d.Err() != nil {
+		return
+	}
+	if n != len(bits) {
+		d.Invalid("%s has %d slots, snapshot has %d", what, len(bits), n)
+		return
+	}
+	for i := range bits {
+		bits[i] = d.Bool()
+	}
+}
+
+// SnapshotTo writes the reference bits, pin bits, and clock hand.
+func (c *ClockPLRU) SnapshotTo(e *snap.Encoder) {
+	snapshotBools(e, c.ref)
+	snapshotBools(e, c.pinned)
+	e.U32(uint32(c.hand))
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (c *ClockPLRU) RestoreFrom(d *snap.Decoder) error {
+	restoreBools(d, c.ref, "clock")
+	restoreBools(d, c.pinned, "clock")
+	c.hand = int(d.U32())
+	if d.Err() == nil && c.hand >= len(c.ref) {
+		d.Invalid("clock hand %d out of range", c.hand)
+	}
+	return d.Err()
+}
+
+// SnapshotTo writes the PRNG state and pin bits.
+func (r *RandomVictim) SnapshotTo(e *snap.Encoder) {
+	e.U64(r.prng.State())
+	snapshotBools(e, r.pinned)
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (r *RandomVictim) RestoreFrom(d *snap.Decoder) error {
+	r.prng.SetState(d.U64())
+	restoreBools(d, r.pinned, "random victim")
+	return d.Err()
+}
+
+// SnapshotTo writes the rotation hand and pin bits.
+func (f *FIFOVictim) SnapshotTo(e *snap.Encoder) {
+	e.U32(uint32(f.hand))
+	snapshotBools(e, f.pinned)
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (f *FIFOVictim) RestoreFrom(d *snap.Decoder) error {
+	f.hand = int(d.U32())
+	restoreBools(d, f.pinned, "fifo victim")
+	if d.Err() == nil && f.hand >= len(f.pinned) {
+		d.Invalid("fifo hand %d out of range", f.hand)
+	}
+	return d.Err()
+}
+
+// SnapshotTo writes every tracked entry, level by level in LRU-to-MRU
+// order, so the lists and the index rebuild exactly.
+func (m *MultiQueue) SnapshotTo(e *snap.Encoder) {
+	e.U32(uint32(len(m.levels)))
+	for _, lv := range m.levels {
+		e.U32(uint32(lv.Len()))
+		for el := lv.Front(); el != nil; el = el.Next() {
+			ent := el.Value.(*mqEntry)
+			e.U64(ent.page)
+			e.U64(ent.count)
+		}
+	}
+}
+
+// RestoreFrom rebuilds the lists and index from the state written by
+// SnapshotTo into a tracker constructed with the same shape.
+func (m *MultiQueue) RestoreFrom(d *snap.Decoder) error {
+	nl := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if nl != len(m.levels) {
+		d.Invalid("multi-queue has %d levels, snapshot has %d", len(m.levels), nl)
+		return d.Err()
+	}
+	m.Reset()
+	for l := range m.levels {
+		n := int(d.U32())
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if n > m.perLevel {
+			d.Invalid("multi-queue level %d holds %d entries, capacity %d", l, n, m.perLevel)
+			return d.Err()
+		}
+		for i := 0; i < n; i++ {
+			ent := &mqEntry{page: d.U64(), count: d.U64(), level: l}
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if _, dup := m.index[ent.page]; dup {
+				d.Invalid("multi-queue page %d appears twice", ent.page)
+				return d.Err()
+			}
+			m.index[ent.page] = m.levels[l].PushBack(ent)
+		}
+	}
+	return d.Err()
+}

@@ -2,12 +2,15 @@ package policy
 
 import (
 	"fmt"
-	"math/rand"
+
+	"heteromem/internal/rng"
+	"heteromem/internal/snap"
 )
 
 // VictimSelector abstracts the on-package LRU-victim tracker so alternative
 // policies can be compared against the paper's clock pseudo-LRU (the
-// BenchmarkAblationVictimPolicy study).
+// BenchmarkAblationVictimPolicy study). Selectors are also Snapshotters:
+// their recency/hand/PRNG state checkpoints with the migration controller.
 type VictimSelector interface {
 	// Touch marks slot as recently used.
 	Touch(slot int)
@@ -18,6 +21,8 @@ type VictimSelector interface {
 	Victim() int
 	// BitCost is the hardware cost in bits.
 	BitCost() int
+
+	snap.Snapshotter
 }
 
 // ClockPLRU implements VictimSelector.
@@ -27,7 +32,7 @@ var _ VictimSelector = (*ClockPLRU)(nil)
 // It models the cheapest possible hardware (an LFSR) and ignores recency
 // entirely — the ablation baseline below which a real policy must not fall.
 type RandomVictim struct {
-	rng    *rand.Rand
+	prng   *rng.Rand
 	pinned []bool
 }
 
@@ -36,7 +41,7 @@ func NewRandomVictim(n int, seed int64) (*RandomVictim, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("policy: random victim needs at least one slot, got %d", n)
 	}
-	return &RandomVictim{rng: rand.New(rand.NewSource(seed)), pinned: make([]bool, n)}, nil
+	return &RandomVictim{prng: rng.New(uint64(seed)), pinned: make([]bool, n)}, nil
 }
 
 // Touch implements VictimSelector (recency is ignored).
@@ -59,7 +64,7 @@ func (r *RandomVictim) Unpin(slot int) {
 // Victim implements VictimSelector.
 func (r *RandomVictim) Victim() int {
 	n := len(r.pinned)
-	start := r.rng.Intn(n)
+	start := r.prng.Intn(n)
 	for i := 0; i < n; i++ {
 		s := (start + i) % n
 		if !r.pinned[s] {

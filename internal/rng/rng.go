@@ -1,0 +1,133 @@
+// Package rng provides the simulator's deterministic pseudo-random number
+// generator: a splitmix64 stream with an explicit, serializable state word.
+//
+// Every stochastic component in the simulator (fault injection, synthetic
+// workload generation, random victim selection) draws from a Rand so that
+// the complete PRNG state of a run is a handful of uint64s — trivially
+// checkpointable and bit-for-bit reproducible on restore. The core step and
+// the Float64 mapping are identical to the generator previously embedded in
+// internal/fault, so fault schedules keyed by seed are unchanged.
+package rng
+
+import "math"
+
+// Rand is a splitmix64 generator. The zero value is a valid generator
+// seeded with 0; use New to map seed 0 to a non-degenerate default the way
+// the fault injector always has.
+type Rand struct {
+	state uint64
+}
+
+// New returns a generator seeded with seed.
+func New(seed uint64) *Rand {
+	return &Rand{state: seed}
+}
+
+// State returns the current state word. Capturing it and later calling
+// SetState resumes the stream exactly.
+func (r *Rand) State() uint64 { return r.state }
+
+// SetState overwrites the state word, positioning the stream exactly where
+// a previous State call observed it.
+func (r *Rand) SetState(s uint64) { r.state = s }
+
+// Uint64 advances the stream one step and returns 64 uniform bits
+// (splitmix64, Steele et al.).
+func (r *Rand) Uint64() uint64 {
+	r.state += 0x9e3779b97f4a7c15
+	z := r.state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Float64 returns a uniform float64 in [0,1) built from the top 53 bits of
+// one Uint64 draw — the same mapping the fault injector has always used.
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / float64(1<<53)
+}
+
+// Int63n returns a uniform int64 in [0,n). It panics if n <= 0.
+func (r *Rand) Int63n(n int64) int64 {
+	if n <= 0 {
+		panic("rng: Int63n with n <= 0")
+	}
+	return int64(r.Uint64()>>1) % n
+}
+
+// Intn returns a uniform int in [0,n). It panics if n <= 0.
+func (r *Rand) Intn(n int) int {
+	return int(r.Int63n(int64(n)))
+}
+
+// ExpFloat64 returns an exponentially distributed float64 with rate 1
+// (mean 1) by inversion. One Uint64 draw per call.
+func (r *Rand) ExpFloat64() float64 {
+	return -math.Log(1 - r.Float64())
+}
+
+// Zipf draws integers in [0,imax] with probability proportional to
+// (v+k)**-s, matching the parameterization of math/rand.Zipf (rejection
+// method of Hörmann and Derflinger). All mutable state lives in the shared
+// Rand; the Zipf itself is immutable after NewZipf, so checkpointing the
+// Rand state word checkpoints the Zipf stream too.
+type Zipf struct {
+	r            *Rand
+	imax         float64
+	v            float64
+	q            float64
+	s            float64
+	oneminusQ    float64
+	oneminusQinv float64
+	hxm          float64
+	hx0minusHxm  float64
+}
+
+func (z *Zipf) h(x float64) float64 {
+	return math.Exp(z.oneminusQ*math.Log(z.v+x)) * z.oneminusQinv
+}
+
+func (z *Zipf) hinv(x float64) float64 {
+	return math.Exp(z.oneminusQinv*math.Log(z.oneminusQ*x)) - z.v
+}
+
+// NewZipf returns a Zipf variate generator drawing from r. Requirements
+// match math/rand.NewZipf: s > 1 and v >= 1; nil is returned otherwise.
+func NewZipf(r *Rand, s, v float64, imax uint64) *Zipf {
+	if s <= 1.0 || v < 1 {
+		return nil
+	}
+	z := &Zipf{
+		r:    r,
+		imax: float64(imax),
+		v:    v,
+		q:    s,
+	}
+	z.oneminusQ = 1.0 - z.q
+	z.oneminusQinv = 1.0 / z.oneminusQ
+	z.hxm = z.h(z.imax + 0.5)
+	z.hx0minusHxm = z.h(0.5) - math.Exp(math.Log(z.v)*(-z.q)) - z.hxm
+	z.s = 1 - z.hinv(z.h(1.5)-math.Exp(-z.q*math.Log(z.v+1.0)))
+	return z
+}
+
+// Uint64 returns one Zipf-distributed draw.
+func (z *Zipf) Uint64() uint64 {
+	if z == nil {
+		panic("rng: nil Zipf")
+	}
+	k := 0.0
+	for {
+		r := z.r.Float64()
+		ur := z.hxm + r*z.hx0minusHxm
+		x := z.hinv(ur)
+		k = math.Floor(x + 0.5)
+		if k-x <= z.s {
+			break
+		}
+		if ur >= z.h(k+0.5)-math.Exp(-math.Log(k+z.v)*z.q) {
+			break
+		}
+	}
+	return uint64(k)
+}

@@ -1,0 +1,125 @@
+package rng
+
+import (
+	"math"
+	"testing"
+)
+
+// faultNext01 is the exact draw formula historically embedded in
+// internal/fault.Injector.next01; the shared Rand must reproduce it
+// bit-for-bit so fault schedules keyed by seed survive the extraction.
+func faultNext01(state *uint64) float64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	return float64(z>>11) / float64(1<<53)
+}
+
+func TestFloat64MatchesFaultInjectorFormula(t *testing.T) {
+	for _, seed := range []uint64{1, 2, 0xdeadbeef, ^uint64(0)} {
+		r := New(seed)
+		state := seed
+		for i := 0; i < 1000; i++ {
+			want := faultNext01(&state)
+			got := r.Float64()
+			if got != want {
+				t.Fatalf("seed %#x draw %d: got %v want %v", seed, i, got, want)
+			}
+		}
+		if r.State() != state {
+			t.Fatalf("seed %#x: state diverged: got %#x want %#x", seed, r.State(), state)
+		}
+	}
+}
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(42)
+	for i := 0; i < 17; i++ {
+		r.Uint64()
+	}
+	saved := r.State()
+	var want [8]uint64
+	for i := range want {
+		want[i] = r.Uint64()
+	}
+	r2 := New(0)
+	r2.SetState(saved)
+	for i := range want {
+		if got := r2.Uint64(); got != want[i] {
+			t.Fatalf("draw %d after SetState: got %#x want %#x", i, got, want[i])
+		}
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if v := r.Intn(13); v < 0 || v >= 13 {
+			t.Fatalf("Intn(13) = %d out of range", v)
+		}
+		if v := r.Int63n(1); v != 0 {
+			t.Fatalf("Int63n(1) = %d, want 0", v)
+		}
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	r.Intn(0)
+}
+
+func TestExpFloat64Finite(t *testing.T) {
+	r := New(99)
+	var sum float64
+	const n = 100000
+	for i := 0; i < n; i++ {
+		v := r.ExpFloat64()
+		if v < 0 || math.IsInf(v, 0) || math.IsNaN(v) {
+			t.Fatalf("ExpFloat64 = %v", v)
+		}
+		sum += v
+	}
+	if mean := sum / n; mean < 0.95 || mean > 1.05 {
+		t.Fatalf("ExpFloat64 mean = %v, want ~1", mean)
+	}
+}
+
+func TestZipfDistribution(t *testing.T) {
+	r := New(3)
+	z := NewZipf(r, 1.2, 1, 999)
+	if z == nil {
+		t.Fatal("NewZipf returned nil for valid params")
+	}
+	counts := make([]int, 1000)
+	for i := 0; i < 200000; i++ {
+		k := z.Uint64()
+		if k > 999 {
+			t.Fatalf("Zipf draw %d out of range", k)
+		}
+		counts[k]++
+	}
+	// Rank 0 must dominate and the tail must still be populated.
+	if counts[0] <= counts[1] || counts[0] <= counts[10] {
+		t.Fatalf("Zipf head not dominant: c0=%d c1=%d c10=%d", counts[0], counts[1], counts[10])
+	}
+	var tail int
+	for _, c := range counts[500:] {
+		tail += c
+	}
+	if tail == 0 {
+		t.Fatal("Zipf tail never sampled")
+	}
+}
+
+func TestZipfRejectsBadParams(t *testing.T) {
+	r := New(1)
+	if NewZipf(r, 1.0, 1, 10) != nil {
+		t.Fatal("NewZipf accepted s=1")
+	}
+	if NewZipf(r, 2.0, 0.5, 10) != nil {
+		t.Fatal("NewZipf accepted v<1")
+	}
+}

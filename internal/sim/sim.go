@@ -92,6 +92,23 @@ type Config struct {
 	// migration) instead of erroring out. The zero value disables injection
 	// and leaves results byte-identical to a fault-free build.
 	Fault fault.Config
+
+	// CheckpointEvery, when positive, serializes the complete run state
+	// every that many records and hands it to CheckpointSink. A run resumed
+	// from any such checkpoint produces a Result identical to the
+	// uninterrupted run. Incompatible with the observability collectors
+	// (Metrics, EventTrace, SpanTrace, EpochSeries, WindowRecords).
+	CheckpointEvery uint64
+
+	// CheckpointSink receives each checkpoint (the encoded snapshot and the
+	// number of records completed). A sink error aborts the run.
+	CheckpointSink func(data []byte, records uint64) error
+
+	// Resume restores the run from a checkpoint before processing records.
+	// The configuration must match the one the checkpoint was taken under
+	// (ErrConfigMismatch otherwise), and the trace source must be the same
+	// source the checkpointed run used, freshly constructed.
+	Resume []byte
 }
 
 // Default fills in the Table II/III defaults for anything left zero.
@@ -168,6 +185,11 @@ type Window struct {
 
 // Run simulates src through a controller built from cfg.
 func Run(src trace.Source, cfg Config) (Result, error) {
+	if cfg.CheckpointEvery > 0 || cfg.Resume != nil {
+		if err := checkpointIncompatible(cfg); err != nil {
+			return Result{}, err
+		}
+	}
 	mcfg := memctrl.Config{
 		Geometry:   cfg.Geometry,
 		Latencies:  cfg.Latencies,
@@ -232,6 +254,11 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 	}
 
 	var n uint64
+	if cfg.Resume != nil {
+		if n, err = restoreCheckpoint(cfg, src, ctrl, cfg.Resume); err != nil {
+			return Result{}, err
+		}
+	}
 	for cfg.MaxRecords == 0 || n < cfg.MaxRecords {
 		rec, err := src.Next()
 		if errors.Is(err, io.EOF) {
@@ -246,6 +273,15 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		n++
 		if cfg.Warmup > 0 && n == cfg.Warmup {
 			ctrl.ResetStats()
+		}
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && n%cfg.CheckpointEvery == 0 {
+			data, err := takeCheckpoint(cfg, src, ctrl, n)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint at record %d: %w", n, err)
+			}
+			if err := cfg.CheckpointSink(data, n); err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint sink at record %d: %w", n, err)
+			}
 		}
 	}
 	last := ctrl.Flush()

@@ -1,0 +1,78 @@
+package snap
+
+import (
+	"errors"
+	"testing"
+)
+
+// FuzzSnapshotRestore hammers the decoder with arbitrary bytes: any input
+// must either decode cleanly or be rejected with ErrCorrupt / *VersionError
+// — never panic, never hang, never accept structurally damaged framing.
+// Valid inputs are additionally re-walked section by section to exercise
+// the payload readers.
+func FuzzSnapshotRestore(f *testing.F) {
+	// Seed corpus: a well-formed snapshot plus near-miss mutants.
+	good := func() []byte {
+		e := NewEncoder()
+		e.Section("meta")
+		e.U64(0x1234)
+		e.String("cfg")
+		e.Section("state")
+		e.Count(4)
+		for i := 0; i < 4; i++ {
+			e.U64(uint64(i))
+			e.Bool(i%2 == 0)
+		}
+		b, err := e.Finish()
+		if err != nil {
+			f.Fatal(err)
+		}
+		return b
+	}()
+	f.Add(good)
+	f.Add([]byte{})
+	f.Add([]byte("HMSN"))
+	trunc := append([]byte(nil), good[:len(good)-3]...)
+	f.Add(trunc)
+	flipped := append([]byte(nil), good...)
+	flipped[5] ^= 0x01 // version byte
+	f.Add(flipped)
+	bitrot := append([]byte(nil), good...)
+	bitrot[len(bitrot)/2] ^= 0x40
+	f.Add(bitrot)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := NewDecoder(data)
+		if err != nil {
+			var ve *VersionError
+			if !errors.Is(err, ErrCorrupt) && !errors.As(err, &ve) {
+				t.Fatalf("untyped decode error: %v", err)
+			}
+			return
+		}
+		// Structurally valid: drain every section through the typed
+		// readers; latched errors are fine, panics are not.
+		for _, name := range d.Sections() {
+			if err := d.Section(name); err != nil {
+				return
+			}
+			for d.Remaining() > 0 && d.Err() == nil {
+				switch d.Remaining() % 5 {
+				case 0:
+					d.U64()
+				case 1:
+					d.U8()
+				case 2:
+					d.Bytes()
+				case 3:
+					d.Bool()
+				case 4:
+					d.Count(1)
+				}
+			}
+		}
+		if err := d.Err(); err != nil && !errors.Is(err, ErrCorrupt) {
+			t.Fatalf("untyped read error: %v", err)
+		}
+	})
+}

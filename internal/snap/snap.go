@@ -1,0 +1,456 @@
+// Package snap implements the simulator's checkpoint container: a
+// versioned, CRC-checksummed, length-prefixed binary format plus the
+// Snapshotter interface every stateful component implements.
+//
+// # Container layout
+//
+// A snapshot is a flat byte stream:
+//
+//	magic   "HMSN"                      4 bytes
+//	version uint16 LE                   format version (Version)
+//	flags   uint16 LE                   reserved, must be zero
+//	section*                            one per named component
+//	trailer nameLen=0 byte, then
+//	        crc32 uint32 LE             IEEE CRC of every preceding byte
+//
+// Each section is:
+//
+//	nameLen uint8  (>= 1)
+//	name    nameLen bytes
+//	payLen  uint32 LE
+//	payload payLen bytes
+//	crc     uint32 LE                   IEEE CRC of the payload
+//
+// Section payloads are sequences of little-endian primitives written by
+// the component that owns the section; the container does not interpret
+// them. Decoding validates the magic, version, every section CRC, and the
+// whole-file CRC before any payload is handed to a component, so a
+// truncated or bit-flipped snapshot is rejected with ErrCorrupt (or a
+// *VersionError for a version skew) rather than mis-restored.
+//
+// # Error latching
+//
+// Both Encoder and Decoder latch their first error: after it, every
+// primitive call is a cheap no-op (reads return zero values) and the
+// error surfaces once from Finish/Err. Components can therefore write and
+// read their state linearly without per-call error plumbing.
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"math"
+)
+
+// Version is the current snapshot format version. Snapshots recording any
+// other version are rejected with a *VersionError.
+const Version uint16 = 1
+
+var magic = [4]byte{'H', 'M', 'S', 'N'}
+
+// ErrCorrupt is the sentinel wrapped by every structural decoding error:
+// bad magic, truncation, CRC mismatch, malformed section framing, or a
+// component reading past its payload. Match with errors.Is.
+var ErrCorrupt = errors.New("snap: corrupt snapshot")
+
+// VersionError reports a snapshot written by a different format version.
+type VersionError struct {
+	Got, Want uint16
+}
+
+func (e *VersionError) Error() string {
+	return fmt.Sprintf("snap: snapshot format version %d, want %d", e.Got, e.Want)
+}
+
+func corruptf(format string, args ...any) error {
+	return fmt.Errorf("%w: %s", ErrCorrupt, fmt.Sprintf(format, args...))
+}
+
+// Snapshotter is implemented by every component whose state participates
+// in a checkpoint. SnapshotTo writes the state into the encoder's current
+// section (errors latch inside the encoder); RestoreFrom reads it back and
+// reports the first inconsistency.
+type Snapshotter interface {
+	SnapshotTo(e *Encoder)
+	RestoreFrom(d *Decoder) error
+}
+
+// Encoder builds a snapshot. Open a section with Section, write primitives,
+// then call Finish for the framed bytes. The zero value is not usable; use
+// NewEncoder.
+type Encoder struct {
+	out     []byte
+	name    string
+	payload []byte
+	open    bool
+	err     error
+}
+
+// NewEncoder returns an encoder with the container header written.
+func NewEncoder() *Encoder {
+	e := &Encoder{out: make([]byte, 0, 4096)}
+	e.out = append(e.out, magic[:]...)
+	e.out = binary.LittleEndian.AppendUint16(e.out, Version)
+	e.out = binary.LittleEndian.AppendUint16(e.out, 0) // flags
+	return e
+}
+
+// Fail latches err (the first one wins). Subsequent writes are no-ops and
+// Finish returns the error.
+func (e *Encoder) Fail(err error) {
+	if e.err == nil && err != nil {
+		e.err = err
+	}
+}
+
+// Err returns the latched error, if any.
+func (e *Encoder) Err() error { return e.err }
+
+func (e *Encoder) flushSection() {
+	if !e.open {
+		return
+	}
+	e.open = false
+	if e.err != nil {
+		return
+	}
+	if len(e.payload) > math.MaxUint32 {
+		e.Fail(fmt.Errorf("snap: section %q payload exceeds 4 GiB", e.name))
+		return
+	}
+	e.out = append(e.out, byte(len(e.name)))
+	e.out = append(e.out, e.name...)
+	e.out = binary.LittleEndian.AppendUint32(e.out, uint32(len(e.payload)))
+	e.out = append(e.out, e.payload...)
+	e.out = binary.LittleEndian.AppendUint32(e.out, crc32.ChecksumIEEE(e.payload))
+	e.payload = e.payload[:0]
+}
+
+// Section closes any open section and opens a new one named name. Names
+// must be 1..255 bytes.
+func (e *Encoder) Section(name string) {
+	e.flushSection()
+	if e.err != nil {
+		return
+	}
+	if len(name) == 0 || len(name) > 255 {
+		e.Fail(fmt.Errorf("snap: invalid section name %q", name))
+		return
+	}
+	e.name = name
+	e.open = true
+}
+
+// Finish closes the last section, appends the trailer and whole-file CRC,
+// and returns the snapshot bytes, or the first latched error.
+func (e *Encoder) Finish() ([]byte, error) {
+	e.flushSection()
+	if e.err != nil {
+		return nil, e.err
+	}
+	e.out = append(e.out, 0) // trailer: nameLen 0
+	e.out = binary.LittleEndian.AppendUint32(e.out, crc32.ChecksumIEEE(e.out))
+	return e.out, nil
+}
+
+func (e *Encoder) checkOpen() bool {
+	if e.err != nil {
+		return false
+	}
+	if !e.open {
+		e.Fail(errors.New("snap: primitive written outside a section"))
+		return false
+	}
+	return true
+}
+
+// U64 writes a little-endian uint64.
+func (e *Encoder) U64(v uint64) {
+	if e.checkOpen() {
+		e.payload = binary.LittleEndian.AppendUint64(e.payload, v)
+	}
+}
+
+// I64 writes an int64 (two's complement, little-endian).
+func (e *Encoder) I64(v int64) { e.U64(uint64(v)) }
+
+// U32 writes a little-endian uint32.
+func (e *Encoder) U32(v uint32) {
+	if e.checkOpen() {
+		e.payload = binary.LittleEndian.AppendUint32(e.payload, v)
+	}
+}
+
+// U16 writes a little-endian uint16.
+func (e *Encoder) U16(v uint16) {
+	if e.checkOpen() {
+		e.payload = binary.LittleEndian.AppendUint16(e.payload, v)
+	}
+}
+
+// U8 writes one byte.
+func (e *Encoder) U8(v uint8) {
+	if e.checkOpen() {
+		e.payload = append(e.payload, v)
+	}
+}
+
+// Bool writes one byte, 0 or 1.
+func (e *Encoder) Bool(v bool) {
+	b := uint8(0)
+	if v {
+		b = 1
+	}
+	e.U8(b)
+}
+
+// F64 writes a float64 as its IEEE-754 bit pattern.
+func (e *Encoder) F64(v float64) { e.U64(math.Float64bits(v)) }
+
+// Bytes writes a u32 length prefix followed by the raw bytes.
+func (e *Encoder) Bytes(b []byte) {
+	if !e.checkOpen() {
+		return
+	}
+	if len(b) > math.MaxUint32 {
+		e.Fail(errors.New("snap: byte slice exceeds 4 GiB"))
+		return
+	}
+	e.payload = binary.LittleEndian.AppendUint32(e.payload, uint32(len(b)))
+	e.payload = append(e.payload, b...)
+}
+
+// String writes a length-prefixed string.
+func (e *Encoder) String(s string) { e.Bytes([]byte(s)) }
+
+// Count writes a u32 element count; the decoder's Count validates it
+// against the remaining payload.
+func (e *Encoder) Count(n int) {
+	if n < 0 || n > math.MaxUint32 {
+		e.Fail(fmt.Errorf("snap: count %d out of range", n))
+		return
+	}
+	e.U32(uint32(n))
+}
+
+// Decoder reads a snapshot previously produced by an Encoder. NewDecoder
+// fully validates the container framing and checksums; Section then
+// positions the reader at a named payload.
+type Decoder struct {
+	sections map[string][]byte
+	order    []string
+	cur      []byte
+	curName  string
+	err      error
+}
+
+// NewDecoder validates the container (magic, version, framing, every
+// section CRC, whole-file CRC) and indexes the sections. It returns
+// ErrCorrupt-wrapped errors for structural damage and *VersionError for a
+// format version skew.
+func NewDecoder(data []byte) (*Decoder, error) {
+	const header = 4 + 2 + 2
+	const trailer = 1 + 4
+	if len(data) < header+trailer {
+		return nil, corruptf("short snapshot (%d bytes)", len(data))
+	}
+	if [4]byte(data[:4]) != magic {
+		return nil, corruptf("bad magic %q", data[:4])
+	}
+	// Whole-file CRC first: it covers everything up to and including the
+	// trailer's zero byte, so any damage (including to a section CRC
+	// field itself) is caught before deeper parsing.
+	fileCRC := binary.LittleEndian.Uint32(data[len(data)-4:])
+	if crc32.ChecksumIEEE(data[:len(data)-4]) != fileCRC {
+		return nil, corruptf("file checksum mismatch")
+	}
+	if v := binary.LittleEndian.Uint16(data[4:6]); v != Version {
+		return nil, &VersionError{Got: v, Want: Version}
+	}
+	if f := binary.LittleEndian.Uint16(data[6:8]); f != 0 {
+		return nil, corruptf("unknown flags %#x", f)
+	}
+	d := &Decoder{sections: make(map[string][]byte)}
+	body := data[header : len(data)-4]
+	for {
+		if len(body) < 1 {
+			return nil, corruptf("missing trailer")
+		}
+		nameLen := int(body[0])
+		body = body[1:]
+		if nameLen == 0 {
+			if len(body) != 0 {
+				return nil, corruptf("%d trailing bytes after trailer", len(body))
+			}
+			return d, nil
+		}
+		if len(body) < nameLen+4 {
+			return nil, corruptf("truncated section header")
+		}
+		name := string(body[:nameLen])
+		body = body[nameLen:]
+		payLen := int(binary.LittleEndian.Uint32(body[:4]))
+		body = body[4:]
+		if len(body) < payLen+4 {
+			return nil, corruptf("section %q truncated", name)
+		}
+		payload := body[:payLen]
+		body = body[payLen:]
+		crc := binary.LittleEndian.Uint32(body[:4])
+		body = body[4:]
+		if crc32.ChecksumIEEE(payload) != crc {
+			return nil, corruptf("section %q checksum mismatch", name)
+		}
+		if _, dup := d.sections[name]; dup {
+			return nil, corruptf("duplicate section %q", name)
+		}
+		d.sections[name] = payload
+		d.order = append(d.order, name)
+	}
+}
+
+// Sections returns the section names in file order.
+func (d *Decoder) Sections() []string { return append([]string(nil), d.order...) }
+
+// SectionLen returns the payload length of a named section and whether it
+// exists; a zero-length section reports (0, true).
+func (d *Decoder) SectionLen(name string) (int, bool) {
+	p, ok := d.sections[name]
+	return len(p), ok
+}
+
+// Section positions the decoder at the start of the named payload. A
+// missing section is an ErrCorrupt-wrapped error (it also latches).
+func (d *Decoder) Section(name string) error {
+	if d.err != nil {
+		return d.err
+	}
+	p, ok := d.sections[name]
+	if !ok {
+		d.err = corruptf("missing section %q", name)
+		return d.err
+	}
+	d.cur = p
+	d.curName = name
+	return nil
+}
+
+// Err returns the first error latched by any read.
+func (d *Decoder) Err() error { return d.err }
+
+// Invalid latches a semantic validation failure found by a component while
+// restoring (a count that disagrees with the rebuilt structure, an enum out
+// of range, ...). It wraps ErrCorrupt like the structural errors do.
+func (d *Decoder) Invalid(format string, args ...any) {
+	d.fail(format, args...)
+}
+
+// Remaining reports how many unread bytes the current section holds.
+func (d *Decoder) Remaining() int { return len(d.cur) }
+
+func (d *Decoder) fail(format string, args ...any) {
+	if d.err == nil {
+		d.err = corruptf("section %q: %s", d.curName, fmt.Sprintf(format, args...))
+	}
+}
+
+func (d *Decoder) take(n int) []byte {
+	if d.err != nil {
+		return nil
+	}
+	if len(d.cur) < n {
+		d.fail("read past end of payload")
+		return nil
+	}
+	b := d.cur[:n]
+	d.cur = d.cur[n:]
+	return b
+}
+
+// U64 reads a little-endian uint64 (zero after a latched error).
+func (d *Decoder) U64() uint64 {
+	if b := d.take(8); b != nil {
+		return binary.LittleEndian.Uint64(b)
+	}
+	return 0
+}
+
+// I64 reads an int64.
+func (d *Decoder) I64() int64 { return int64(d.U64()) }
+
+// U32 reads a little-endian uint32.
+func (d *Decoder) U32() uint32 {
+	if b := d.take(4); b != nil {
+		return binary.LittleEndian.Uint32(b)
+	}
+	return 0
+}
+
+// U16 reads a little-endian uint16.
+func (d *Decoder) U16() uint16 {
+	if b := d.take(2); b != nil {
+		return binary.LittleEndian.Uint16(b)
+	}
+	return 0
+}
+
+// U8 reads one byte.
+func (d *Decoder) U8() uint8 {
+	if b := d.take(1); b != nil {
+		return b[0]
+	}
+	return 0
+}
+
+// Bool reads one byte and requires it to be 0 or 1.
+func (d *Decoder) Bool() bool {
+	switch d.U8() {
+	case 0:
+		return false
+	case 1:
+		return true
+	default:
+		d.fail("invalid bool byte")
+		return false
+	}
+}
+
+// F64 reads a float64 bit pattern.
+func (d *Decoder) F64() float64 { return math.Float64frombits(d.U64()) }
+
+// Bytes reads a length-prefixed byte slice (a copy).
+func (d *Decoder) Bytes() []byte {
+	n := int(d.U32())
+	if d.err != nil {
+		return nil
+	}
+	if n > len(d.cur) {
+		d.fail("byte slice length %d exceeds payload", n)
+		return nil
+	}
+	return append([]byte(nil), d.take(n)...)
+}
+
+// String reads a length-prefixed string.
+func (d *Decoder) String() string { return string(d.Bytes()) }
+
+// Count reads an element count written by Encoder.Count and bounds it:
+// with each element at least itemMin bytes, the count may not exceed the
+// remaining payload. This keeps hostile counts from driving huge
+// allocations before the per-element reads would fail anyway.
+func (d *Decoder) Count(itemMin int) int {
+	n := int(d.U32())
+	if d.err != nil {
+		return 0
+	}
+	if itemMin < 1 {
+		itemMin = 1
+	}
+	if n > len(d.cur)/itemMin {
+		d.fail("count %d exceeds remaining payload", n)
+		return 0
+	}
+	return n
+}

@@ -1,0 +1,256 @@
+package snap
+
+import (
+	"encoding/binary"
+	"errors"
+	"testing"
+)
+
+func buildSample(t *testing.T) []byte {
+	t.Helper()
+	e := NewEncoder()
+	e.Section("alpha")
+	e.U64(0xdeadbeefcafef00d)
+	e.I64(-42)
+	e.F64(3.5)
+	e.Bool(true)
+	e.Bool(false)
+	e.U32(7)
+	e.U16(300)
+	e.U8(9)
+	e.String("hello")
+	e.Section("beta")
+	e.Count(3)
+	for i := 0; i < 3; i++ {
+		e.U64(uint64(i * 11))
+	}
+	e.Section("empty")
+	b, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestRoundTrip(t *testing.T) {
+	b := buildSample(t)
+	d, err := NewDecoder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := d.Sections(); len(got) != 3 || got[0] != "alpha" || got[1] != "beta" || got[2] != "empty" {
+		t.Fatalf("sections = %v", got)
+	}
+	if err := d.Section("alpha"); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U64(); v != 0xdeadbeefcafef00d {
+		t.Fatalf("U64 = %#x", v)
+	}
+	if v := d.I64(); v != -42 {
+		t.Fatalf("I64 = %d", v)
+	}
+	if v := d.F64(); v != 3.5 {
+		t.Fatalf("F64 = %v", v)
+	}
+	if !d.Bool() || d.Bool() {
+		t.Fatal("Bool round-trip failed")
+	}
+	if d.U32() != 7 || d.U16() != 300 || d.U8() != 9 {
+		t.Fatal("small ints round-trip failed")
+	}
+	if s := d.String(); s != "hello" {
+		t.Fatalf("String = %q", s)
+	}
+	if d.Remaining() != 0 {
+		t.Fatalf("alpha has %d leftover bytes", d.Remaining())
+	}
+	if err := d.Section("beta"); err != nil {
+		t.Fatal(err)
+	}
+	n := d.Count(8)
+	if n != 3 {
+		t.Fatalf("Count = %d", n)
+	}
+	for i := 0; i < n; i++ {
+		if v := d.U64(); v != uint64(i*11) {
+			t.Fatalf("beta[%d] = %d", i, v)
+		}
+	}
+	if ln, ok := d.SectionLen("empty"); !ok || ln != 0 {
+		t.Fatalf("empty section: len=%d ok=%v", ln, ok)
+	}
+	if d.Err() != nil {
+		t.Fatal(d.Err())
+	}
+}
+
+func TestReadPastEndLatches(t *testing.T) {
+	b := buildSample(t)
+	d, err := NewDecoder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("empty"); err != nil {
+		t.Fatal(err)
+	}
+	if v := d.U64(); v != 0 {
+		t.Fatalf("read past end returned %d, want 0", v)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Err() = %v, want ErrCorrupt", d.Err())
+	}
+	// Latched: further reads stay zero, error unchanged.
+	first := d.Err()
+	if d.U32() != 0 || d.Err() != first {
+		t.Fatal("error did not latch")
+	}
+}
+
+func TestMissingSection(t *testing.T) {
+	d, err := NewDecoder(buildSample(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("nope"); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("missing section: %v", err)
+	}
+}
+
+func TestVersionSkewRejected(t *testing.T) {
+	b := buildSample(t)
+	// Bump the version field and re-seal the file CRC so only the version
+	// check can object.
+	binary.LittleEndian.PutUint16(b[4:6], Version+1)
+	reseal(b)
+	_, err := NewDecoder(b)
+	var ve *VersionError
+	if !errors.As(err, &ve) {
+		t.Fatalf("got %v, want *VersionError", err)
+	}
+	if ve.Got != Version+1 || ve.Want != Version {
+		t.Fatalf("VersionError = %+v", ve)
+	}
+}
+
+// reseal rewrites the trailing whole-file CRC after a deliberate mutation.
+func reseal(b []byte) {
+	binary.LittleEndian.PutUint32(b[len(b)-4:], crcIEEE(b[:len(b)-4]))
+}
+
+func crcIEEE(b []byte) uint32 {
+	// Small local helper to keep the test self-contained.
+	const poly = 0xedb88320
+	crc := ^uint32(0)
+	for _, c := range b {
+		crc ^= uint32(c)
+		for i := 0; i < 8; i++ {
+			if crc&1 != 0 {
+				crc = crc>>1 ^ poly
+			} else {
+				crc >>= 1
+			}
+		}
+	}
+	return ^crc
+}
+
+func TestCorruptionRejected(t *testing.T) {
+	orig := buildSample(t)
+	cases := []struct {
+		name   string
+		mutate func([]byte) []byte
+	}{
+		{"truncated", func(b []byte) []byte { return b[:len(b)/2] }},
+		{"bad magic", func(b []byte) []byte { b[0] ^= 0xff; return b }},
+		{"payload bit flip", func(b []byte) []byte { b[12] ^= 0x01; return b }},
+		// Resealing the file CRC leaves only the per-section CRC to
+		// catch a payload flip (first payload byte of "alpha" is at
+		// offset 18: 8-byte header + nameLen + 5-byte name + payLen).
+		{"payload flip, file crc resealed", func(b []byte) []byte { b[18] ^= 0x01; reseal(b); return b }},
+		{"file crc flip", func(b []byte) []byte { b[len(b)-1] ^= 0x80; return b }},
+		{"empty", func(b []byte) []byte { return nil }},
+	}
+	for _, tc := range cases {
+		b := append([]byte(nil), orig...)
+		if _, err := NewDecoder(tc.mutate(b)); !errors.Is(err, ErrCorrupt) {
+			t.Errorf("%s: got %v, want ErrCorrupt", tc.name, err)
+		}
+	}
+}
+
+func TestDuplicateSectionRejected(t *testing.T) {
+	e := NewEncoder()
+	e.Section("x")
+	e.U8(1)
+	e.Section("x")
+	e.U8(2)
+	b, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewDecoder(b); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("duplicate section: %v", err)
+	}
+}
+
+func TestCountBoundsAllocation(t *testing.T) {
+	e := NewEncoder()
+	e.Section("s")
+	e.U32(1 << 30) // hostile count with no elements behind it
+	b, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	if n := d.Count(8); n != 0 {
+		t.Fatalf("hostile count returned %d", n)
+	}
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Err() = %v", d.Err())
+	}
+}
+
+func TestEncoderErrorLatches(t *testing.T) {
+	e := NewEncoder()
+	e.U64(1) // primitive outside any section
+	e.Section("late")
+	e.U64(2)
+	if _, err := e.Finish(); err == nil {
+		t.Fatal("Finish succeeded after misuse")
+	}
+	e2 := NewEncoder()
+	e2.Section("ok")
+	sentinel := errors.New("component failed")
+	e2.Fail(sentinel)
+	if _, err := e2.Finish(); !errors.Is(err, sentinel) {
+		t.Fatalf("Finish = %v, want sentinel", err)
+	}
+}
+
+func TestBoolRejectsJunkByte(t *testing.T) {
+	e := NewEncoder()
+	e.Section("s")
+	e.U8(2)
+	b, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := NewDecoder(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("s"); err != nil {
+		t.Fatal(err)
+	}
+	_ = d.Bool()
+	if !errors.Is(d.Err(), ErrCorrupt) {
+		t.Fatalf("Bool(2): %v", d.Err())
+	}
+}

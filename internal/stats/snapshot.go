@@ -1,0 +1,74 @@
+package stats
+
+import (
+	"encoding/json"
+
+	"heteromem/internal/snap"
+)
+
+// SnapshotTo writes the accumulator's full Welford state.
+func (s *LatencyStat) SnapshotTo(e *snap.Encoder) {
+	e.U64(s.n)
+	e.F64(s.sum)
+	e.I64(s.min)
+	e.I64(s.max)
+	e.F64(s.m2)
+	e.F64(s.mu)
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (s *LatencyStat) RestoreFrom(d *snap.Decoder) error {
+	s.n = d.U64()
+	s.sum = d.F64()
+	s.min = d.I64()
+	s.max = d.I64()
+	s.m2 = d.F64()
+	s.mu = d.F64()
+	return d.Err()
+}
+
+// latencyStatJSON is the exported JSON shape of a LatencyStat. The fields
+// carry the complete accumulator state (not just derived summaries) so a
+// Result stored in a sweep manifest reloads with full fidelity.
+type latencyStatJSON struct {
+	Count uint64  `json:"count"`
+	Sum   float64 `json:"sum"`
+	Min   int64   `json:"min"`
+	Max   int64   `json:"max"`
+	Mean  float64 `json:"mean"`
+	M2    float64 `json:"m2"`
+}
+
+// MarshalJSON encodes the full accumulator state.
+func (s LatencyStat) MarshalJSON() ([]byte, error) {
+	return json.Marshal(latencyStatJSON{
+		Count: s.n, Sum: s.sum, Min: s.min, Max: s.max, Mean: s.mu, M2: s.m2,
+	})
+}
+
+// UnmarshalJSON decodes the state written by MarshalJSON.
+func (s *LatencyStat) UnmarshalJSON(b []byte) error {
+	var j latencyStatJSON
+	if err := json.Unmarshal(b, &j); err != nil {
+		return err
+	}
+	s.n, s.sum, s.min, s.max, s.mu, s.m2 = j.Count, j.Sum, j.Min, j.Max, j.Mean, j.M2
+	return nil
+}
+
+// SnapshotTo writes the bucket counts and total.
+func (h *Histogram) SnapshotTo(e *snap.Encoder) {
+	for _, b := range h.buckets {
+		e.U64(b)
+	}
+	e.U64(h.total)
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (h *Histogram) RestoreFrom(d *snap.Decoder) error {
+	for i := range h.buckets {
+		h.buckets[i] = d.U64()
+	}
+	h.total = d.U64()
+	return d.Err()
+}

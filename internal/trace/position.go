@@ -1,0 +1,71 @@
+package trace
+
+import (
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Positioner is a Source that tracks an absolute record index and can seek
+// to one. Position returns the index of the record the next Next call will
+// yield; SkipTo advances the source so the next record yielded is record n.
+// Streaming sources reject seeking backward, and every implementation
+// rejects skipping past the end of the trace.
+type Positioner interface {
+	Source
+	Position() uint64
+	SkipTo(n uint64) error
+}
+
+// Position implements Positioner.
+func (s *SliceSource) Position() uint64 { return uint64(s.i) }
+
+// SkipTo implements Positioner; an in-memory source can seek both ways.
+// Skipping to exactly the record count positions the source at EOF.
+func (s *SliceSource) SkipTo(n uint64) error {
+	if n > uint64(len(s.recs)) {
+		return fmt.Errorf("trace: skip to record %d past end of %d-record trace", n, len(s.recs))
+	}
+	s.i = int(n)
+	return nil
+}
+
+// Position implements Positioner.
+func (r *Reader) Position() uint64 { return r.n }
+
+// SkipTo implements Positioner by decoding and discarding records; the
+// binary stream cannot seek backward.
+func (r *Reader) SkipTo(n uint64) error {
+	if n < r.n {
+		return fmt.Errorf("trace: cannot seek backward from record %d to %d", r.n, n)
+	}
+	for r.n < n {
+		if _, err := r.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("trace: skip to record %d past end of trace (%d records)", n, r.n)
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Position implements Positioner.
+func (t *TextReader) Position() uint64 { return t.n }
+
+// SkipTo implements Positioner by parsing and discarding records; the text
+// stream cannot seek backward.
+func (t *TextReader) SkipTo(n uint64) error {
+	if n < t.n {
+		return fmt.Errorf("trace: cannot seek backward from record %d to %d", t.n, n)
+	}
+	for t.n < n {
+		if _, err := t.Next(); err != nil {
+			if errors.Is(err, io.EOF) {
+				return fmt.Errorf("trace: skip to record %d past end of trace (%d records)", n, t.n)
+			}
+			return err
+		}
+	}
+	return nil
+}

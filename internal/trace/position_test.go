@@ -1,0 +1,197 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"heteromem/internal/snap"
+)
+
+func positionTestRecords(n int) []Record {
+	recs := make([]Record, n)
+	for i := range recs {
+		recs[i] = Record{Cycle: uint64(i * 10), Addr: uint64(i) << 6, CPU: uint8(i % 4), Write: i%3 == 0}
+	}
+	return recs
+}
+
+// sources builds one of each Positioner implementation over the same records.
+func positionSources(t *testing.T, recs []Record) map[string]Positioner {
+	t.Helper()
+	var bin bytes.Buffer
+	w, err := NewWriter(&bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range recs {
+		if err := w.Write(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	rd, err := NewReader(bytes.NewReader(bin.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var txt bytes.Buffer
+	if _, err := WriteText(&txt, NewSliceSource(recs)); err != nil {
+		t.Fatal(err)
+	}
+	return map[string]Positioner{
+		"slice":  NewSliceSource(recs),
+		"binary": rd,
+		"text":   NewTextReader(strings.NewReader(txt.String())),
+	}
+}
+
+func TestPositionerSkipTo(t *testing.T) {
+	recs := positionTestRecords(20)
+	for name, src := range positionSources(t, recs) {
+		t.Run(name, func(t *testing.T) {
+			if got := src.Position(); got != 0 {
+				t.Fatalf("initial position = %d, want 0", got)
+			}
+			if err := src.SkipTo(0); err != nil {
+				t.Fatalf("skip-to-zero: %v", err)
+			}
+			if err := src.SkipTo(7); err != nil {
+				t.Fatalf("SkipTo(7): %v", err)
+			}
+			if got := src.Position(); got != 7 {
+				t.Fatalf("position after skip = %d, want 7", got)
+			}
+			r, err := src.Next()
+			if err != nil {
+				t.Fatalf("Next after skip: %v", err)
+			}
+			if r != recs[7] {
+				t.Fatalf("record after skip = %+v, want %+v", r, recs[7])
+			}
+			if got := src.Position(); got != 8 {
+				t.Fatalf("position after next = %d, want 8", got)
+			}
+			// Skipping to the exact record count parks the source at EOF.
+			if err := src.SkipTo(uint64(len(recs))); err != nil {
+				t.Fatalf("SkipTo(end): %v", err)
+			}
+			if _, err := src.Next(); err == nil {
+				t.Fatal("Next at end should return EOF")
+			}
+		})
+	}
+}
+
+func TestPositionerSkipPastEOF(t *testing.T) {
+	recs := positionTestRecords(5)
+	for name, src := range positionSources(t, recs) {
+		t.Run(name, func(t *testing.T) {
+			if err := src.SkipTo(uint64(len(recs)) + 1); err == nil {
+				t.Fatal("skip past EOF should fail")
+			}
+		})
+	}
+}
+
+func TestStreamingSkipBackward(t *testing.T) {
+	recs := positionTestRecords(5)
+	for name, src := range positionSources(t, recs) {
+		if name == "slice" {
+			// In-memory sources may rewind.
+			if err := src.SkipTo(3); err != nil {
+				t.Fatal(err)
+			}
+			if err := src.SkipTo(1); err != nil {
+				t.Fatalf("slice rewind: %v", err)
+			}
+			continue
+		}
+		t.Run(name, func(t *testing.T) {
+			if err := src.SkipTo(3); err != nil {
+				t.Fatal(err)
+			}
+			if err := src.SkipTo(1); err == nil {
+				t.Fatal("backward seek on a streaming source should fail")
+			}
+		})
+	}
+}
+
+// snapSource is a Snapshotter test double: a counting source whose only
+// state is how many records it has emitted.
+type snapSource struct{ n uint64 }
+
+func (s *snapSource) Next() (Record, error) {
+	r := Record{Cycle: s.n * 10, Addr: s.n << 6}
+	s.n++
+	return r, nil
+}
+func (s *snapSource) SnapshotTo(e *snap.Encoder) { e.U64(s.n) }
+func (s *snapSource) RestoreFrom(d *snap.Decoder) error {
+	s.n = d.U64()
+	return d.Err()
+}
+
+// limitRoundTrip snapshots l after consuming k records and restores the
+// snapshot into fresh, returning the next record from each.
+func limitRoundTrip(t *testing.T, l, fresh *Limit, k int) (Record, Record) {
+	t.Helper()
+	for i := 0; i < k; i++ {
+		if _, err := l.Next(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e := snap.NewEncoder()
+	e.Section("limit")
+	l.SnapshotTo(e)
+	data, err := e.Finish()
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := snap.NewDecoder(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Section("limit"); err != nil {
+		t.Fatal(err)
+	}
+	if err := fresh.RestoreFrom(d); err != nil {
+		t.Fatal(err)
+	}
+	want, err := l.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := fresh.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return want, got
+}
+
+func TestLimitSnapshotSnapshotterSource(t *testing.T) {
+	want, got := limitRoundTrip(t, NewLimit(&snapSource{}, 10), NewLimit(&snapSource{}, 10), 4)
+	if want != got {
+		t.Fatalf("restored Limit yielded %+v, want %+v", got, want)
+	}
+}
+
+func TestLimitSnapshotPositionerSource(t *testing.T) {
+	recs := positionTestRecords(12)
+	want, got := limitRoundTrip(t, NewLimit(NewSliceSource(recs), 10), NewLimit(NewSliceSource(recs), 10), 4)
+	if want != got {
+		t.Fatalf("restored Limit yielded %+v, want %+v", got, want)
+	}
+}
+
+func TestLimitSnapshotUnsupportedSource(t *testing.T) {
+	l := NewLimit(NewMerge(0, false), 10)
+	e := snap.NewEncoder()
+	e.Section("limit")
+	l.SnapshotTo(e)
+	if _, err := e.Finish(); err == nil {
+		t.Fatal("snapshotting a Limit over a non-checkpointable source should fail")
+	}
+}

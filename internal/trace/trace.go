@@ -124,6 +124,7 @@ func (w *Writer) Flush() error {
 // Reader decodes the binary trace format and implements Source.
 type Reader struct {
 	r *bufio.Reader
+	n uint64 // records yielded so far
 }
 
 // NewReader validates the header and returns a Reader.
@@ -151,6 +152,7 @@ func (r *Reader) Next() (Record, error) {
 		}
 		return Record{}, err
 	}
+	r.n++
 	return Record{
 		Cycle: binary.LittleEndian.Uint64(buf[0:]),
 		Addr:  binary.LittleEndian.Uint64(buf[8:]),
@@ -188,6 +190,7 @@ func WriteText(w io.Writer, src Source) (uint64, error) {
 type TextReader struct {
 	sc   *bufio.Scanner
 	line int
+	n    uint64 // records yielded so far
 }
 
 // NewTextReader returns a TextReader over r.
@@ -229,6 +232,7 @@ func (t *TextReader) Next() (Record, error) {
 		default:
 			return Record{}, fmt.Errorf("trace: line %d: bad rw flag %q", t.line, f[3])
 		}
+		t.n++
 		return Record{Cycle: cycle, Addr: a, CPU: uint8(cpu), Write: write}, nil
 	}
 	if err := t.sc.Err(); err != nil {

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"math/rand"
+	"heteromem/internal/rng"
 
 	"heteromem/internal/addr"
 )
@@ -21,7 +21,7 @@ func scratch(weight int) Component {
 		Name:   "scratch",
 		Weight: weight,
 		Region: 2 * addr.MiB,
-		Make: func(rng *rand.Rand, region uint64) stream {
+		Make: func(rng *rng.Rand, region uint64) stream {
 			return newZipfStream(rng, region, 256, 1.3, false)
 		},
 	}
@@ -36,11 +36,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(55),
 				{Name: "grid-sweep", Weight: 35, Region: 640 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				{Name: "block-reuse", Weight: 10, Region: 64 * addr.MiB, WriteFrac: 0.2,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.1, false)
 					}},
 			},
@@ -54,11 +54,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(45),
 				{Name: "matrix-scan", Weight: 25, Region: 800 * addr.MiB, WriteFrac: 0.05,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				{Name: "vector-gather", Weight: 30, Region: 118 * addr.MiB, WriteFrac: 0.1,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &uniformStream{size: region}
 					}},
 			},
@@ -76,17 +76,17 @@ var programSpecs = map[string]func() Spec{
 				// is wasted on them, which is why DC.B is one of the paper's
 				// two workloads where the L4 cache beats static mapping.
 				{Name: "input-staging", Weight: 1, Region: 1024 * addr.MiB, WriteFrac: 0.05,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 				{Name: "cube-scan", Weight: 15, Region: 4352 * addr.MiB, WriteFrac: 0.15,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				// The aggregation hash tables: working set ~96 MB — too big
 				// for the 8 MB L3, comfortably inside a 1 GB L4.
 				{Name: "hash-update", Weight: 45, Region: 498 * addr.MiB, WriteFrac: 0.5,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, 96*addr.MiB, 4096, 1.05, false)
 					}},
 			},
@@ -100,7 +100,7 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(80),
 				{Name: "tables", Weight: 20, Region: 14 * addr.MiB, WriteFrac: 0.1,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 1024, 1.2, false)
 					}},
 			},
@@ -114,11 +114,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(40),
 				{Name: "dim-x", Weight: 13, Region: 2560 * addr.MiB, WriteFrac: 0.4,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 16}
 					}},
 				{Name: "dim-yz", Weight: 35, Region: 2395 * addr.MiB, WriteFrac: 0.4,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						// Each transposed position moves a 512 B element row
 						// (8 cache lines), so the walk has block-level
 						// spatial reuse a DRAM cache can exploit even though
@@ -129,7 +129,7 @@ var programSpecs = map[string]func() Spec{
 				// butterfly stage, far above the first gigabyte — L4-cache
 				// friendly, static-mapping hostile (the paper's FT.C case).
 				{Name: "twiddle", Weight: 12, Region: 192 * addr.MiB, WriteFrac: 0.1,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						// Working set ~96 MB: L3-exceeding, L4-resident.
 						return newZipfStream(rng, 96*addr.MiB, 4096, 1.3, false)
 					}},
@@ -144,11 +144,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(40),
 				{Name: "key-scan", Weight: 30, Region: 100 * addr.MiB, WriteFrac: 0.1,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				{Name: "bucket-scatter", Weight: 30, Region: 62 * addr.MiB, WriteFrac: 0.6,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &uniformStream{size: region}
 					}},
 			},
@@ -162,11 +162,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(50),
 				{Name: "wavefront", Weight: 40, Region: 560 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				{Name: "factor-reuse", Weight: 10, Region: 53 * addr.MiB, WriteFrac: 0.2,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.1, false)
 					}},
 			},
@@ -180,7 +180,7 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(40),
 				{Name: "v-cycle", Weight: 60, Region: 3424 * addr.MiB, WriteFrac: 0.3,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newVCycleStream(region, 5, 1<<16)
 					}},
 			},
@@ -194,11 +194,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(50),
 				{Name: "grid-sweep", Weight: 40, Region: 700 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 				{Name: "rhs-reuse", Weight: 10, Region: 56 * addr.MiB, WriteFrac: 0.2,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.1, false)
 					}},
 			},
@@ -212,11 +212,11 @@ var programSpecs = map[string]func() Spec{
 			Components: []Component{
 				scratch(45),
 				{Name: "mesh-gather", Weight: 35, Region: 400 * addr.MiB, WriteFrac: 0.25,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.05, true)
 					}},
 				{Name: "refine-scan", Weight: 20, Region: 108 * addr.MiB, WriteFrac: 0.3,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &seqStream{size: region, stride: 8}
 					}},
 			},

@@ -8,12 +8,19 @@
 // preserves the behaviour the experiments measure.
 package workload
 
-import "math/rand"
+import (
+	"heteromem/internal/rng"
+	"heteromem/internal/snap"
+)
 
 // stream produces a sequence of byte offsets within a region of the
-// workload's address space.
+// workload's address space. Every stream serializes its mutable position
+// state (streams_snapshot.go) so a Generator mid-trace is checkpointable;
+// distribution parameters and layout are rebuilt from the Spec.
 type stream interface {
-	next(rng *rand.Rand) uint64
+	next(rng *rng.Rand) uint64
+	snapshotTo(e *snap.Encoder)
+	restoreFrom(d *snap.Decoder)
 }
 
 // seqStream walks a region sequentially with a fixed stride, wrapping.
@@ -30,12 +37,12 @@ type seqStream struct {
 // start would make the static-mapping baseline swing wildly between seeds
 // depending on whether the front happens to begin inside the statically
 // on-package low addresses.
-func newSeqStreamAt(_ *rand.Rand, size, stride uint64) *seqStream {
+func newSeqStreamAt(_ *rng.Rand, size, stride uint64) *seqStream {
 	pos := size * 5 / 8 / stride * stride
 	return &seqStream{size: size, stride: stride, pos: pos}
 }
 
-func (s *seqStream) next(*rand.Rand) uint64 {
+func (s *seqStream) next(*rng.Rand) uint64 {
 	a := s.pos
 	s.pos += s.stride
 	if s.pos >= s.size {
@@ -59,7 +66,7 @@ type stridedStream struct {
 	inCh   uint64
 }
 
-func (s *stridedStream) next(*rand.Rand) uint64 {
+func (s *stridedStream) next(*rng.Rand) uint64 {
 	chunk := s.chunk
 	if chunk < 64 {
 		chunk = 64
@@ -85,26 +92,26 @@ func (s *stridedStream) next(*rand.Rand) uint64 {
 // physically contiguous — the shape of transactional/server heaps, and the
 // reason those workloads favor fine migration granularity in the paper.
 type zipfStream struct {
-	z       *rand.Zipf
+	z       *rng.Zipf
 	block   uint64
 	nblocks uint64
 	scatter bool
 }
 
-func newZipfStream(rng *rand.Rand, size, block uint64, s float64, scatter bool) *zipfStream {
+func newZipfStream(r *rng.Rand, size, block uint64, s float64, scatter bool) *zipfStream {
 	n := size / block
 	if n == 0 {
 		n = 1
 	}
 	return &zipfStream{
-		z:       rand.NewZipf(rng, s, 1, n-1),
+		z:       rng.NewZipf(r, s, 1, n-1),
 		block:   block,
 		nblocks: n,
 		scatter: scatter,
 	}
 }
 
-func (s *zipfStream) next(rng *rand.Rand) uint64 {
+func (s *zipfStream) next(rng *rng.Rand) uint64 {
 	rank := s.z.Uint64()
 	blk := rank
 	if s.scatter {
@@ -119,7 +126,7 @@ type uniformStream struct {
 	size uint64
 }
 
-func (s *uniformStream) next(rng *rand.Rand) uint64 {
+func (s *uniformStream) next(rng *rng.Rand) uint64 {
 	return uint64(rng.Int63n(int64(s.size))) &^ 63
 }
 
@@ -130,7 +137,7 @@ type chaseStream struct {
 	cur  uint64
 }
 
-func (s *chaseStream) next(*rand.Rand) uint64 {
+func (s *chaseStream) next(*rng.Rand) uint64 {
 	s.cur = s.cur*6364136223846793005 + 1442695040888963407
 	return s.cur % s.size &^ 63
 }
@@ -177,7 +184,7 @@ func (v *vcycleStream) base(l int) uint64 {
 	return b
 }
 
-func (v *vcycleStream) next(rng *rand.Rand) uint64 {
+func (v *vcycleStream) next(rng *rng.Rand) uint64 {
 	l := v.sched[v.idx]
 	a := v.base(l) + v.levels[l].next(rng)
 	v.count++
@@ -207,7 +214,7 @@ type driftStream struct {
 	init   bool
 }
 
-func (d *driftStream) next(rng *rand.Rand) uint64 {
+func (d *driftStream) next(rng *rng.Rand) uint64 {
 	if !d.init {
 		// Start mid-window for the same determinism reason as
 		// newSeqStreamAt: the static baseline must not depend on whether

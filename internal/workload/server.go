@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"math/rand"
+	"heteromem/internal/rng"
 
 	"heteromem/internal/addr"
 )
@@ -35,7 +35,7 @@ var memorySpecs = map[string]func() Spec{
 				// on-package region absorbs the same pattern — migrating
 				// these pages pays off through bank parallelism, not reuse.
 				{Name: "dim-yz-walk", Weight: 45, Region: 1600 * addr.MiB, WriteFrac: 0.45,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						// The walk transforms one 512 MB array section at a
 						// time (an FFT phase), then moves to the next.
 						return &driftStream{
@@ -45,11 +45,11 @@ var memorySpecs = map[string]func() Spec{
 						}
 					}},
 				{Name: "dim-x-sweep", Weight: 25, Region: 1200 * addr.MiB, WriteFrac: 0.4,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 				{Name: "phase-local", Weight: 30, Region: 800 * addr.MiB, WriteFrac: 0.4,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &driftStream{
 							inner:  newSeqStreamAt(rng, 384*addr.MiB, 64),
 							window: region, span: 384 * addr.MiB, period: 400000,
@@ -66,20 +66,20 @@ var memorySpecs = map[string]func() Spec{
 			MeanGap:     55, Cores: 4,
 			Components: []Component{
 				{Name: "finest-grid", Weight: 17, Region: 2600 * addr.MiB, WriteFrac: 0.3,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 				// Inter-grid restriction/prolongation: strided touches that
 				// conflict in the 8-bank off-package DRAM.
 				{Name: "grid-transfer", Weight: 8, Region: 160 * addr.MiB, WriteFrac: 0.4,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &stridedStream{size: region, stride: 128 * addr.KiB, unit: 64}
 					}},
 				// Smoothing of the coarser grids plus residual/boundary
 				// arrays: touched every V-cycle step, so the reuse is dense
 				// and concentrated toward the coarse end of the hierarchy.
 				{Name: "coarse-grids", Weight: 75, Region: 300 * addr.MiB, WriteFrac: 0.3,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 16*addr.KiB, 1.15, false)
 					}},
 			},
@@ -92,15 +92,15 @@ var memorySpecs = map[string]func() Spec{
 			MeanGap:     45, Cores: 4,
 			Components: []Component{
 				{Name: "buffer-pool", Weight: 60, Region: 2200 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 8192, 1.5, true)
 					}},
 				{Name: "indexes", Weight: 34, Region: 160 * addr.MiB, WriteFrac: 0.25,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.3, true)
 					}},
 				{Name: "wal+vacuum", Weight: 6, Region: 300 * addr.MiB, WriteFrac: 0.8,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 			},
@@ -113,15 +113,15 @@ var memorySpecs = map[string]func() Spec{
 			MeanGap:     50, Cores: 4,
 			Components: []Component{
 				{Name: "doc-stream", Weight: 30, Region: 1700 * addr.MiB, WriteFrac: 0.1,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 				{Name: "index-heap", Weight: 60, Region: 500 * addr.MiB, WriteFrac: 0.45,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, region, 4096, 1.3, true)
 					}},
 				{Name: "merge", Weight: 10, Region: 256 * addr.MiB, WriteFrac: 0.5,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return &driftStream{
 							inner:  newSeqStreamAt(rng, 64*addr.MiB, 64),
 							window: region, span: 64 * addr.MiB, period: 250000,
@@ -141,7 +141,7 @@ var memorySpecs = map[string]func() Spec{
 				{Name: "jvm2-heap", Weight: 20, Region: 720 * addr.MiB, WriteFrac: 0.4, Make: jbbHeap},
 				{Name: "jvm3-heap", Weight: 20, Region: 720 * addr.MiB, WriteFrac: 0.4, Make: jbbHeap},
 				{Name: "gc-scans", Weight: 20, Region: 256 * addr.MiB, WriteFrac: 0.2,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, region, 64)
 					}},
 			},
@@ -157,19 +157,19 @@ var memorySpecs = map[string]func() Spec{
 				// total ~400 MB, comfortably inside the 512 MB on-package
 				// region — which is why the mixture is the paper's best case.
 				{Name: "gcc", Weight: 30, Region: 700 * addr.MiB, WriteFrac: 0.3,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, 96*addr.MiB, 4096, 1.7, false)
 					}},
 				{Name: "mcf", Weight: 15, Region: 900 * addr.MiB, WriteFrac: 0.2,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, 112*addr.MiB, 4096, 1.5, false)
 					}},
 				{Name: "perl", Weight: 35, Region: 500 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newZipfStream(rng, 32*addr.MiB, 4096, 1.8, false)
 					}},
 				{Name: "zeusmp", Weight: 20, Region: 900 * addr.MiB, WriteFrac: 0.35,
-					Make: func(rng *rand.Rand, region uint64) stream {
+					Make: func(rng *rng.Rand, region uint64) stream {
 						return newSeqStreamAt(rng, 64*addr.MiB, 64)
 					}},
 			},
@@ -180,7 +180,7 @@ var memorySpecs = map[string]func() Spec{
 // jbbHeap builds one JVM's heap stream: Zipf-hot live objects whose
 // placement churns (allocation/GC moves the hot set every few hundred
 // thousand accesses).
-func jbbHeap(rng *rand.Rand, region uint64) stream {
+func jbbHeap(rng *rng.Rand, region uint64) stream {
 	return &driftStream{
 		inner:  newZipfStream(rng, 280*addr.MiB, 4096, 1.2, true),
 		window: region, span: 280 * addr.MiB, period: 200000,

@@ -2,7 +2,7 @@ package workload
 
 import (
 	"fmt"
-	"math/rand"
+	"heteromem/internal/rng"
 	"sort"
 
 	"heteromem/internal/trace"
@@ -17,7 +17,7 @@ type Component struct {
 	Region    uint64  // bytes of address space this component covers
 	WriteFrac float64 // fraction of accesses that are stores
 	// Make builds the stream; region is the component's size.
-	Make func(rng *rand.Rand, region uint64) stream
+	Make func(rng *rng.Rand, region uint64) stream
 }
 
 // Spec describes a synthetic workload.
@@ -41,7 +41,7 @@ func (s Spec) Footprint() uint64 {
 // Generator emits the trace of a Spec; it implements trace.Source.
 type Generator struct {
 	spec    Spec
-	rng     *rand.Rand
+	rng     *rng.Rand
 	streams []stream
 	bases   []uint64
 	cum     []int // cumulative weights
@@ -58,7 +58,7 @@ func New(spec Spec, seed int64) (*Generator, error) {
 	if spec.MeanGap <= 0 {
 		return nil, fmt.Errorf("workload %q: mean gap must be positive", spec.Name)
 	}
-	g := &Generator{spec: spec, rng: rand.New(rand.NewSource(seed))}
+	g := &Generator{spec: spec, rng: rng.New(uint64(seed))}
 	var base uint64
 	total := 0
 	for _, c := range spec.Components {

@@ -1,7 +1,7 @@
 package workload
 
 import (
-	"math/rand"
+	"heteromem/internal/rng"
 	"testing"
 
 	"heteromem/internal/addr"
@@ -156,11 +156,11 @@ func TestWriteFractionRespected(t *testing.T) {
 }
 
 func TestZipfSkew(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
-	z := newZipfStream(rng, 1<<24, 4096, 1.3, false)
+	r := rng.New(5)
+	z := newZipfStream(r, 1<<24, 4096, 1.3, false)
 	counts := map[uint64]int{}
 	for i := 0; i < 100000; i++ {
-		counts[z.next(rng)/4096]++
+		counts[z.next(r)/4096]++
 	}
 	// The hottest block must carry far more than a uniform share.
 	max := 0
@@ -187,15 +187,15 @@ func TestSeqStreamWraps(t *testing.T) {
 }
 
 func TestDriftStreamMovesHotRegion(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	d := &driftStream{
 		inner:  &seqStream{size: 4096, stride: 64},
 		window: 1 << 24, span: 4096, period: 100,
 	}
-	first := d.next(rng)
+	first := d.next(r)
 	var moved bool
 	for i := 0; i < 1000; i++ {
-		a := d.next(rng)
+		a := d.next(r)
 		if a/4096 != first/4096 && a-first > 8192 {
 			moved = true
 		}
@@ -206,13 +206,13 @@ func TestDriftStreamMovesHotRegion(t *testing.T) {
 }
 
 func TestDriftStreamSlideWraps(t *testing.T) {
-	rng := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	d := &driftStream{
 		inner:  &seqStream{size: 1024, stride: 64},
 		window: 8192, span: 1024, period: 10, slide: 2048,
 	}
 	for i := 0; i < 500; i++ {
-		if a := d.next(rng); a >= 8192+1024 {
+		if a := d.next(r); a >= 8192+1024 {
 			t.Fatalf("slide escaped the window: %d", a)
 		}
 	}
@@ -220,9 +220,9 @@ func TestDriftStreamSlideWraps(t *testing.T) {
 
 func TestVCycleStaysInRegion(t *testing.T) {
 	v := newVCycleStream(1<<24, 4, 64)
-	rng := rand.New(rand.NewSource(5))
+	r := rng.New(5)
 	for i := 0; i < 100000; i++ {
-		if a := v.next(rng); a >= 1<<24 {
+		if a := v.next(r); a >= 1<<24 {
 			t.Fatalf("v-cycle address %d out of region", a)
 		}
 	}
