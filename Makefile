@@ -4,7 +4,7 @@
 
 GO ?= go
 
-.PHONY: all build vet test race soak fuzz-regression fuzz bench golden-update ci
+.PHONY: all build vet test race soak fuzz-regression fuzz bench benchdiff golden-update ci
 
 all: ci
 
@@ -51,11 +51,22 @@ fuzz:
 # side by side. Compare the TemporalObservabilityOff/On pair to bound the
 # tracing overhead and the CheckpointOff/On pair to bound the checkpoint
 # serialization overhead.
-BENCH_TXT ?= BENCH_pr4.txt
-BENCH_JSON ?= BENCH_pr4.json
+BENCH_TXT ?= BENCH_pr5.txt
+BENCH_JSON ?= BENCH_pr5.json
+BENCH_COUNT ?= 3
 bench:
-	$(GO) test -bench . -benchmem -run '^$$' . | tee $(BENCH_TXT)
+	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
 	$(GO) run ./tools/bench2json -o $(BENCH_JSON) < $(BENCH_TXT)
+
+# Regression gate between two archived benchmark runs: fails if NEW is
+# slower than OLD past the threshold (default 10%, with an absolute ns/op
+# jitter floor) or allocates more. -count'ed archives are folded to each
+# benchmark's best sample, so the gate compares code, not host load.
+#   make benchdiff OLD=BENCH_pr4.json NEW=BENCH_pr5.json
+OLD ?= BENCH_pr4.json
+NEW ?= BENCH_pr5.json
+benchdiff:
+	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 
 # Rewrite the golden files after an intended output change.
 golden-update:

@@ -14,6 +14,7 @@ import (
 	"heteromem/internal/core"
 	"heteromem/internal/dram"
 	"heteromem/internal/experiments"
+	"heteromem/internal/memctrl"
 	"heteromem/internal/sched"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
@@ -228,6 +229,84 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 
 // ---- Microbenchmarks of the core data paths ----
 
+// benchAccessPath drives Controller.Access directly — no sim layer, no
+// generator work inside the timed region — over a pre-materialized trace,
+// so ns/op and allocs/op measure the per-record access path alone. The
+// paths taken at steady state (translation, policy touch, scheduling,
+// completion accounting, object recycling) must be allocation-free.
+func benchAccessPath(b *testing.B, design core.Design) {
+	scfg := sim.Default()
+	scfg.Geometry.MacroPageSize = 64 * KiB
+	mcfg := memctrl.Config{
+		Geometry:  scfg.Geometry,
+		Latencies: scfg.Latencies,
+		OffTiming: scfg.OffTiming,
+		OnTiming:  scfg.OnTiming,
+		Sched:     scfg.Sched,
+		Migration: &core.Options{Design: design, SwapInterval: 1000},
+	}
+	ctrl, err := memctrl.New(mcfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type rec struct {
+		addr  uint64
+		gap   int64
+		write bool
+	}
+	const n = 1 << 15
+	recs := make([]rec, n)
+	var prev uint64
+	for i := range recs {
+		r, err := gen.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = rec{addr: r.Addr, gap: int64(r.Cycle - prev), write: r.Write}
+		prev = r.Cycle
+	}
+	// One untimed pass warms the freelists, scheduler queues, and policy
+	// arenas and gets the first swaps out of the way.
+	var cycle int64
+	for _, r := range recs {
+		cycle += r.gap
+		if err := ctrl.Access(r.addr, r.write, cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i&(n-1)]
+		cycle += r.gap
+		if err := ctrl.Access(r.addr, r.write, cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	ctrl.Flush()
+	if err := ctrl.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkAccessPath(b *testing.B) {
+	for _, d := range []struct {
+		name   string
+		design core.Design
+	}{
+		{"N", core.DesignN},
+		{"N-1", core.DesignN1},
+		{"Live", core.DesignLive},
+	} {
+		b.Run(d.name, func(b *testing.B) { benchAccessPath(b, d.design) })
+	}
+}
+
 func BenchmarkTranslationTableLookup(b *testing.B) {
 	mig, err := core.NewMigrator(core.Options{
 		Design: core.DesignLive, Slots: 128, TotalPages: 1024,
@@ -259,14 +338,30 @@ func BenchmarkSchedulerThroughput(b *testing.B) {
 	dev, _ := dram.New(dram.Geometry{
 		Channels: 4, BanksPerCh: 8, RowBytes: 8192, BurstBytes: 64,
 	}, iconfig.OffPackageTiming())
-	s, err := sched.New(dev, sched.Config{}, nil, nil)
+	// Recycle requests through a freelist fed by the completion callback,
+	// the way the memory controller drives the scheduler at steady state.
+	var free []*sched.Request
+	s, err := sched.New(dev, sched.Config{}, func(r *sched.Request) {
+		free = append(free, r)
+	}, nil)
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		now := int64(i) * 25
-		s.Submit(&sched.Request{ID: uint64(i), Arrive: now, Addr: uint64(i) * 64 % (1 << 30)}, now)
+		var r *sched.Request
+		if n := len(free); n > 0 {
+			r, free = free[n-1], free[:n-1]
+			*r = sched.Request{}
+		} else {
+			r = new(sched.Request)
+		}
+		r.ID = uint64(i)
+		r.Arrive = now
+		r.Addr = uint64(i) * 64 % (1 << 30)
+		s.Submit(r, now)
 	}
 	s.Flush()
 }

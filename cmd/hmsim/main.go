@@ -26,6 +26,8 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -57,6 +59,9 @@ func main() {
 		seriesOut    = flag.String("series-out", "", "single-run: write the per-epoch time series as JSONL to this file")
 
 		// Single-run checkpoint/resume.
+		cpuProfile = flag.String("cpuprofile", "", "single-run: write a CPU profile to this file")
+		memProfile = flag.String("memprofile", "", "single-run: write a heap profile to this file at exit")
+
 		ckOut   = flag.String("checkpoint-out", "", "single-run: write run-state checkpoints to this file (atomically replaced each time)")
 		ckEvery = flag.Uint64("checkpoint-every", 0, "single-run: records between checkpoints (requires -checkpoint-out)")
 		resume  = flag.String("resume", "", "single-run: resume from this checkpoint file")
@@ -102,7 +107,7 @@ func main() {
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
 	singleOnly := []string{
 		"design", "interval", "page", "metrics", "events", "audit",
-		"trace-out", "series-out",
+		"trace-out", "series-out", "cpuprofile", "memprofile",
 		"checkpoint-out", "checkpoint-every", "resume",
 		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
 		"fault-schedule", "fault-retries", "fault-backoff",
@@ -163,14 +168,53 @@ func main() {
 		if err := fcfg.Validate(); err != nil {
 			usageErr("%v", err)
 		}
-		if err := singleRun(os.Stdout, singleRunConfig{
+		// Profiling brackets the simulation itself; the profile files are
+		// finalized before any error exit so a failed run still profiles.
+		var cpuFile *os.File
+		if *cpuProfile != "" {
+			f, err := os.Create(*cpuProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+				os.Exit(1)
+			}
+			if err := pprof.StartCPUProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: cpu profile: %v\n", err)
+				os.Exit(1)
+			}
+			cpuFile = f
+		}
+		runErr := singleRun(os.Stdout, singleRunConfig{
 			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
 			Records: *records, Warmup: *warmup, Seed: *seed,
 			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
 			TraceOut: *traceOut, SeriesOut: *seriesOut,
 			CheckpointOut: *ckOut, CheckpointEvery: *ckEvery, ResumeFrom: *resume,
-		}); err != nil {
-			fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+		})
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: cpu profile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if *memProfile != "" {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+				os.Exit(1)
+			}
+			runtime.GC() // settle the heap so the profile shows live objects
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: heap profile: %v\n", err)
+				os.Exit(1)
+			}
+			if err := f.Close(); err != nil {
+				fmt.Fprintf(os.Stderr, "hmsim: heap profile: %v\n", err)
+				os.Exit(1)
+			}
+		}
+		if runErr != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: %v\n", runErr)
 			os.Exit(1)
 		}
 		return

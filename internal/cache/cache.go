@@ -5,7 +5,10 @@
 // a hit costs two sequential DRAM accesses (tags, then data).
 package cache
 
-import "fmt"
+import (
+	"fmt"
+	"math/bits"
+)
 
 // Stats counts cache events.
 type Stats struct {
@@ -24,21 +27,28 @@ func (s Stats) MissRate() float64 {
 	return float64(s.Misses) / float64(s.Accesses)
 }
 
-type slot struct {
-	tag   uint64
-	valid bool
-	dirty bool
-}
+// Each slot packs into one word: tag<<2 | dirty<<1 | valid. Tag bits fit
+// because the tag is the line address shifted down by the set bits. One
+// word per slot halves the per-set footprint of the old 16-byte struct and
+// turns the LRU shuffle into a plain word copy.
+const (
+	slotValid = 1 << 0
+	slotDirty = 1 << 1
+	slotTag   = 2 // tag shift
+)
 
 // Cache is a set-associative, write-back, write-allocate cache with true
 // LRU replacement (slot order within a set is recency order).
 type Cache struct {
-	name     string
-	lineSize uint64
-	sets     uint64
-	ways     int
-	slots    []slot // sets*ways, set-major, index 0 of a set = MRU
-	stats    Stats
+	name      string
+	lineShift uint   // log2(lineSize); New enforces the power of two
+	setShift  uint   // log2(sets); New enforces the power of two
+	setMask   uint64 // sets-1
+	lineSize  uint64
+	sets      uint64
+	ways      int
+	slots     []uint64 // sets*ways, set-major, index 0 of a set = MRU
+	stats     Stats
 }
 
 // New builds a cache. size must be ways*lineSize*2^k for some k.
@@ -58,11 +68,14 @@ func New(name string, size, lineSize uint64, ways int) (*Cache, error) {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two (size=%d)", name, sets, size)
 	}
 	return &Cache{
-		name:     name,
-		lineSize: lineSize,
-		sets:     sets,
-		ways:     ways,
-		slots:    make([]slot, sets*uint64(ways)),
+		name:      name,
+		lineShift: uint(bits.TrailingZeros64(lineSize)),
+		setShift:  uint(bits.TrailingZeros64(sets)),
+		setMask:   sets - 1,
+		lineSize:  lineSize,
+		sets:      sets,
+		ways:      ways,
+		slots:     make([]uint64, sets*uint64(ways)),
 	}, nil
 }
 
@@ -77,50 +90,54 @@ func (c *Cache) LineSize() uint64 { return c.lineSize }
 // writeback accounting.
 func (c *Cache) Access(a uint64, write bool) (hit bool, writeback uint64, hasWB bool) {
 	c.stats.Accesses++
-	line := a / c.lineSize
-	set := line % c.sets
-	tag := line / c.sets
+	line := a >> c.lineShift
+	set := line & c.setMask
+	tag := line >> c.setShift
 	base := int(set) * c.ways
 	ss := c.slots[base : base+c.ways]
 
-	for i := range ss {
-		if ss[i].valid && ss[i].tag == tag {
+	want := tag<<slotTag | slotValid
+	for i, w := range ss {
+		if w&^slotDirty == want {
 			c.stats.Hits++
-			hitSlot := ss[i]
 			if write {
-				hitSlot.dirty = true
+				w |= slotDirty
 			}
 			// Move to MRU position.
 			copy(ss[1:i+1], ss[:i])
-			ss[0] = hitSlot
+			ss[0] = w
 			return true, 0, false
 		}
 	}
 	c.stats.Misses++
 
 	victim := ss[c.ways-1]
-	if victim.valid {
+	if victim&slotValid != 0 {
 		c.stats.Evictions++
-		if victim.dirty {
+		if victim&slotDirty != 0 {
 			c.stats.Writebacks++
 			hasWB = true
-			writeback = (victim.tag*c.sets + set) * c.lineSize
+			writeback = ((victim>>slotTag)<<c.setShift | set) << c.lineShift
 		}
 	}
 	copy(ss[1:], ss[:c.ways-1])
-	ss[0] = slot{tag: tag, valid: true, dirty: write}
+	if write {
+		want |= slotDirty
+	}
+	ss[0] = want
 	return false, writeback, hasWB
 }
 
 // Contains reports whether the line holding a is cached, without touching
 // recency or statistics.
 func (c *Cache) Contains(a uint64) bool {
-	line := a / c.lineSize
-	set := line % c.sets
-	tag := line / c.sets
+	line := a >> c.lineShift
+	set := line & c.setMask
+	tag := line >> c.setShift
 	base := int(set) * c.ways
-	for _, s := range c.slots[base : base+c.ways] {
-		if s.valid && s.tag == tag {
+	want := tag<<slotTag | slotValid
+	for _, w := range c.slots[base : base+c.ways] {
+		if w&^slotDirty == want {
 			return true
 		}
 	}
@@ -132,8 +149,6 @@ func (c *Cache) Stats() Stats { return c.stats }
 
 // Reset clears contents and statistics.
 func (c *Cache) Reset() {
-	for i := range c.slots {
-		c.slots[i] = slot{}
-	}
+	clear(c.slots)
 	c.stats = Stats{}
 }

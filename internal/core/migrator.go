@@ -112,8 +112,15 @@ type Migrator struct {
 	clock policy.VictimSelector
 
 	slotCount []uint32 // per-slot access counts for the current epoch
-	naive     map[uint64]uint32
-	lastSub   map[uint64]int // last accessed sub-block per off-package page (critical-first)
+	// naive (ablation) is a dense per-page counter plus the list of pages
+	// touched this epoch, so an epoch reset clears only what was dirtied
+	// instead of rehashing a map.
+	naive      []uint32
+	naiveDirty []uint64
+	// lastSub[p] is the last accessed sub-block of off-package page p
+	// (critical-first seed), -1 when untouched. Dense so the per-access
+	// update is one indexed store instead of a map insert.
+	lastSub   []int32
 	sinceTick uint64
 
 	plan    *Plan
@@ -183,10 +190,13 @@ func NewMigrator(opt Options) (*Migrator, error) {
 		mq:        mq,
 		clock:     clock,
 		slotCount: make([]uint32, opt.Slots),
-		lastSub:   make(map[uint64]int),
+		lastSub:   make([]int32, opt.TotalPages),
+	}
+	for i := range m.lastSub {
+		m.lastSub[i] = -1
 	}
 	if opt.NaiveMRU {
-		m.naive = make(map[uint64]uint32)
+		m.naive = make([]uint32, opt.TotalPages)
 	}
 	if er := table.EmptyRow(); er >= 0 {
 		clock.Pin(er)
@@ -232,7 +242,10 @@ func (m *Migrator) OnAccess(phys uint64, onPackage bool) {
 		return // mapping is frozen; hotness tracking is pointless
 	}
 	p := m.geom.PageOf(phys)
-	if _, ok := m.table.exiled[p]; ok {
+	if p >= m.table.total {
+		return // reserved pages are not tracked
+	}
+	if p < m.table.n && m.table.exiledTo[p] != Empty {
 		return // exiled pages can never re-promote (their slot is dead)
 	}
 	if onPackage {
@@ -247,11 +260,14 @@ func (m *Migrator) OnAccess(phys uint64, onPackage bool) {
 		return
 	}
 	if m.naive != nil {
+		if m.naive[p] == 0 {
+			m.naiveDirty = append(m.naiveDirty, p)
+		}
 		m.naive[p]++
 	} else {
 		m.mq.Touch(p)
 	}
-	m.lastSub[p] = int(m.geom.OffsetOf(phys) / m.opt.SubBlockSize)
+	m.lastSub[p] = int32(m.geom.OffsetOf(phys) / m.opt.SubBlockSize)
 }
 
 // EpochTick advances the epoch counter by one access; when the swap
@@ -330,9 +346,10 @@ func (m *Migrator) resetEpochCounts() {
 		m.slotCount[i] = 0
 	}
 	if m.naive != nil {
-		for k := range m.naive {
-			delete(m.naive, k)
+		for _, p := range m.naiveDirty {
+			m.naive[p] = 0
 		}
+		m.naiveDirty = m.naiveDirty[:0]
 	} else {
 		m.mq.Reset()
 	}
@@ -343,8 +360,9 @@ func (m *Migrator) hottest() (page uint64, heat uint32, ok bool) {
 	if m.naive != nil {
 		var best uint64
 		var bestC uint32
-		for p, c := range m.naive {
-			if c > bestC || (c == bestC && p < best) {
+		for _, p := range m.naiveDirty {
+			c := m.naive[p]
+			if c > bestC || (c == bestC && c > 0 && p < best) {
 				best, bestC = p, c
 			}
 		}
@@ -392,7 +410,7 @@ func (m *Migrator) startStep() []SubCopy {
 	nsub := m.SubBlocksPerPage()
 	start := 0
 	if st.Critical && m.opt.Design == DesignLive {
-		if s, ok := m.lastSub[m.plan.MRU]; ok && s < nsub && !m.opt.NoCriticalFirst {
+		if s := int(m.lastSub[m.plan.MRU]); s >= 0 && s < nsub && !m.opt.NoCriticalFirst {
 			start = s
 		}
 		m.fill.active = true
@@ -463,7 +481,7 @@ func (m *Migrator) finishSwap() {
 	m.snap = nil
 	m.stats.SwapsCompleted++
 	m.mq.Remove(mru)
-	delete(m.lastSub, mru)
+	m.lastSub[mru] = -1
 	// Keep the (possibly moved) empty slot pinned and give the freshly
 	// promoted page a grace period by marking it referenced.
 	m.repinSlots()
@@ -646,8 +664,10 @@ func (m *Migrator) RetireSlot(s int) ([]SubCopy, error) {
 	}
 	m.clock.Pin(s)
 	m.mq.Remove(uint64(s))
-	delete(m.lastSub, uint64(s))
-	delete(m.naive, uint64(s))
+	m.lastSub[s] = -1
+	if m.naive != nil {
+		m.naive[s] = 0
+	}
 	m.stats.SlotsRetired++
 	return copies, nil
 }

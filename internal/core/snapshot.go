@@ -23,15 +23,14 @@ func (t *Table) SnapshotTo(e *snap.Encoder) {
 	for _, r := range t.retired {
 		e.Bool(r)
 	}
-	pages := make([]uint64, 0, len(t.exiled))
-	for p := range t.exiled {
-		pages = append(pages, p)
-	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	e.U32(uint32(len(pages)))
-	for _, p := range pages {
-		e.U64(p)
-		e.U64(t.exiled[p])
+	// Index order over the dense array is ascending-page order, matching the
+	// sorted-by-page framing the map-backed encoder always wrote.
+	e.U32(uint32(t.exiledCount))
+	for p, spare := range t.exiledTo {
+		if spare != Empty {
+			e.U64(uint64(p))
+			e.U64(spare)
+		}
 	}
 	e.U64(t.spares)
 	e.U64(t.pendingSets)
@@ -65,7 +64,10 @@ func (t *Table) RestoreFrom(d *snap.Decoder) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	t.exiled = make(map[uint64]uint64, ne)
+	for i := range t.exiledTo {
+		t.exiledTo[i] = Empty
+	}
+	t.exiledCount = 0
 	for i := 0; i < ne; i++ {
 		p := d.U64()
 		spare := d.U64()
@@ -76,11 +78,11 @@ func (t *Table) RestoreFrom(d *snap.Decoder) error {
 			d.Invalid("exiled page %d out of range", p)
 			return d.Err()
 		}
-		if _, dup := t.exiled[p]; dup {
+		if t.exiledTo[p] != Empty {
 			d.Invalid("exiled page %d appears twice", p)
 			return d.Err()
 		}
-		t.exiled[p] = spare
+		t.setExiled(p, spare)
 	}
 	t.spares = d.U64()
 	t.pendingSets = d.U64()
@@ -92,10 +94,12 @@ func (t *Table) RestoreFrom(d *snap.Decoder) error {
 		d.Invalid("empty row %d out of range", t.emptyRow)
 		return d.Err()
 	}
-	t.back = make(map[uint64]int)
+	for p := range t.back {
+		t.back[p] = noSlot
+	}
 	for s, r := range t.resident {
 		if r != Empty && r >= t.n {
-			t.back[r] = s
+			t.back[r] = int32(s)
 		}
 	}
 	return d.Err()
@@ -146,19 +150,23 @@ func restoreTableSnapshot(d *snap.Decoder, n uint64) *TableSnapshot {
 // view so a restored swap rebuilds the exact steps the original run built.
 func (t *Table) rewoundTo(ts *TableSnapshot) *Table {
 	tmp := &Table{
-		n:        t.n,
-		total:    t.total,
-		resident: append([]uint64(nil), ts.resident...),
-		pending:  append([]bool(nil), ts.pending...),
-		back:     make(map[uint64]int),
-		emptyRow: ts.emptyRow,
-		retired:  t.retired,
-		exiled:   t.exiled,
-		spares:   t.spares,
+		n:           t.n,
+		total:       t.total,
+		resident:    append([]uint64(nil), ts.resident...),
+		pending:     append([]bool(nil), ts.pending...),
+		back:        make([]int32, t.total),
+		emptyRow:    ts.emptyRow,
+		retired:     t.retired,
+		exiledTo:    t.exiledTo,
+		exiledCount: t.exiledCount,
+		spares:      t.spares,
+	}
+	for p := range tmp.back {
+		tmp.back[p] = noSlot
 	}
 	for s, r := range tmp.resident {
 		if r != Empty && r >= tmp.n {
-			tmp.back[r] = s
+			tmp.back[r] = int32(s)
 		}
 	}
 	return tmp
@@ -180,9 +188,13 @@ func (m *Migrator) SnapshotTo(e *snap.Encoder) {
 	}
 	e.Bool(m.naive != nil)
 	if m.naive != nil {
-		pages := make([]uint64, 0, len(m.naive))
-		for p := range m.naive {
-			pages = append(pages, p)
+		// Only this epoch's touched pages can be non-zero; sort them so the
+		// framing matches the sorted-map encoding exactly.
+		pages := make([]uint64, 0, len(m.naiveDirty))
+		for _, p := range m.naiveDirty {
+			if m.naive[p] != 0 {
+				pages = append(pages, p)
+			}
 		}
 		sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
 		e.U32(uint32(len(pages)))
@@ -191,15 +203,18 @@ func (m *Migrator) SnapshotTo(e *snap.Encoder) {
 			e.U32(m.naive[p])
 		}
 	}
-	pages := make([]uint64, 0, len(m.lastSub))
-	for p := range m.lastSub {
-		pages = append(pages, p)
+	nls := 0
+	for _, s := range m.lastSub {
+		if s >= 0 {
+			nls++
+		}
 	}
-	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
-	e.U32(uint32(len(pages)))
-	for _, p := range pages {
-		e.U64(p)
-		e.U32(uint32(m.lastSub[p]))
+	e.U32(uint32(nls))
+	for p, s := range m.lastSub {
+		if s >= 0 {
+			e.U64(uint64(p))
+			e.U32(uint32(s))
+		}
 	}
 	e.U64(m.sinceTick)
 	e.Bool(m.degraded)
@@ -277,20 +292,44 @@ func (m *Migrator) RestoreFrom(d *snap.Decoder) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		m.naive = make(map[uint64]uint32, nn)
+		for i := range m.naive {
+			m.naive[i] = 0
+		}
+		m.naiveDirty = m.naiveDirty[:0]
 		for i := 0; i < nn; i++ {
 			p := d.U64()
-			m.naive[p] = d.U32()
+			c := d.U32()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if p >= uint64(len(m.naive)) {
+				d.Invalid("naive-MRU page %d out of range", p)
+				return d.Err()
+			}
+			if m.naive[p] == 0 && c != 0 {
+				m.naiveDirty = append(m.naiveDirty, p)
+			}
+			m.naive[p] = c
 		}
 	}
 	ns := int(d.U32())
 	if d.Err() != nil {
 		return d.Err()
 	}
-	m.lastSub = make(map[uint64]int, ns)
+	for i := range m.lastSub {
+		m.lastSub[i] = -1
+	}
 	for i := 0; i < ns; i++ {
 		p := d.U64()
-		m.lastSub[p] = int(d.U32())
+		s := d.U32()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if p >= uint64(len(m.lastSub)) {
+			d.Invalid("lastSub page %d out of range", p)
+			return d.Err()
+		}
+		m.lastSub[p] = int32(s)
 	}
 	m.sinceTick = d.U64()
 	m.degraded = d.Bool()

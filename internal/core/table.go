@@ -66,23 +66,34 @@ func (c PageClass) String() string {
 // direction (row index -> resident page) and a CAM in the reverse direction
 // (page -> slot holding it), as the paper requires.
 type Table struct {
-	n        uint64         // number of on-package slots (= rows)
-	total    uint64         // total macro pages in the memory space
-	resident []uint64       // resident[s]: page in slot s, or Empty
-	pending  []bool         // P bit per row
-	back     map[uint64]int // CAM: page >= N -> slot; only migrated-fast pages appear
-	emptyRow int            // row whose slot is empty; -1 in the N design
+	n        uint64   // number of on-package slots (= rows)
+	total    uint64   // total macro pages in the memory space
+	resident []uint64 // resident[s]: page in slot s, or Empty
+	pending  []bool   // P bit per row
+	// back is the CAM as the hardware builds it: a dense reverse index over
+	// the whole page-ID space (back[p] = slot holding page p, or -1). Only
+	// migrated-fast pages (p >= N) ever hold an entry; the array replaces the
+	// previous map so the hot-path reverse lookup is one indexed load with no
+	// hashing and no allocation.
+	back     []int32
+	emptyRow int // row whose slot is empty; -1 in the N design
 
 	// Fault-handling state: a retired row's slot is permanently out of
 	// service (its frame faulted too often), and its page — when it held
 	// data on-package — is exiled to a reserved spare frame past Ω.
-	retired []bool
-	exiled  map[uint64]uint64 // page < N -> spare machine page (Ω+1, Ω+2, ...)
-	spares  uint64            // spare frames allocated so far
+	// Exiled pages are always < N, so the page -> spare-frame association is
+	// a dense array indexed by page with Empty as the no-entry sentinel.
+	retired     []bool
+	exiledTo    []uint64 // exiledTo[p]: spare machine page of exiled page p, or Empty
+	exiledCount int
+	spares      uint64 // spare frames allocated so far
 
 	pendingSets   uint64 // P-bit 0->1 transitions (observability)
 	pendingClears uint64 // P-bit 1->0 transitions
 }
+
+// noSlot is the CAM's no-entry sentinel.
+const noSlot = int32(-1)
 
 // NewTable builds the initial identity mapping: pages 0..n-1 occupy slots
 // 0..n-1. If sacrificeSlot is true (the N-1 and Live designs), the last
@@ -96,10 +107,16 @@ func NewTable(slots, totalPages uint64, sacrificeSlot bool) (*Table, error) {
 		total:    totalPages,
 		resident: make([]uint64, slots),
 		pending:  make([]bool, slots),
-		back:     make(map[uint64]int),
+		back:     make([]int32, totalPages),
 		emptyRow: -1,
 		retired:  make([]bool, slots),
-		exiled:   make(map[uint64]uint64),
+		exiledTo: make([]uint64, slots),
+	}
+	for p := range t.back {
+		t.back[p] = noSlot
+	}
+	for p := range t.exiledTo {
+		t.exiledTo[p] = Empty
 	}
 	for s := range t.resident {
 		t.resident[s] = uint64(s)
@@ -158,16 +175,19 @@ func (t *Table) SlotOf(p uint64) int {
 		}
 		return -1
 	}
-	if s, ok := t.back[p]; ok {
-		return s
+	if p >= t.total {
+		return -1
 	}
-	return -1
+	return int(t.back[p])
 }
 
 // Classify returns the paper's category for page p.
 func (t *Table) Classify(p uint64) PageClass {
+	if p >= t.total {
+		return OriginalSlow
+	}
 	if p < t.n {
-		if _, ok := t.exiled[p]; ok {
+		if t.exiledTo[p] != Empty {
 			return ExiledPage
 		}
 		switch {
@@ -179,7 +199,7 @@ func (t *Table) Classify(p uint64) PageClass {
 			return MigratedSlow
 		}
 	}
-	if _, ok := t.back[p]; ok {
+	if t.back[p] != noSlot {
 		return MigratedFast
 	}
 	return OriginalSlow
@@ -199,7 +219,7 @@ func (t *Table) MachinePage(p uint64) (machine uint64, onPackage bool) {
 		return p, false
 	}
 	if p < t.n {
-		if spare, ok := t.exiled[p]; ok {
+		if spare := t.exiledTo[p]; spare != Empty {
 			return spare, false // Exiled: slot retired, data at its spare frame
 		}
 		if t.pending[p] {
@@ -214,7 +234,7 @@ func (t *Table) MachinePage(p uint64) (machine uint64, onPackage bool) {
 			return r, false // MS: at partner r's off-package home
 		}
 	}
-	if s, ok := t.back[p]; ok {
+	if s := t.back[p]; s != noSlot {
 		return uint64(s), true // MF: in slot s
 	}
 	return p, false // OS: own home
@@ -234,12 +254,12 @@ func (t *Table) Install(s int, p uint64) error {
 	// Drop the CAM entry of the page being overwritten — unless a swap step
 	// has already re-homed that page to a different slot (mid-swap a page can
 	// transiently have copies in two slots; the CAM tracks the live one).
-	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == s {
-		delete(t.back, old)
+	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == int32(s) {
+		t.back[old] = noSlot
 	}
 	t.resident[s] = p
 	if p >= t.n && p != Empty {
-		t.back[p] = s
+		t.back[p] = int32(s)
 	}
 	if t.emptyRow == s {
 		t.emptyRow = -1
@@ -255,8 +275,8 @@ func (t *Table) Vacate(s int) error {
 	if t.retired[s] {
 		return fmt.Errorf("core: slot %d is retired", s)
 	}
-	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == s {
-		delete(t.back, old)
+	if old := t.resident[s]; old != Empty && old >= t.n && t.back[old] == int32(s) {
+		t.back[old] = noSlot
 	}
 	t.resident[s] = Empty
 	t.emptyRow = s
@@ -285,8 +305,10 @@ func (t *Table) Spares() uint64 { return t.spares }
 
 // ExiledTo returns the spare frame page p was exiled to, if any.
 func (t *Table) ExiledTo(p uint64) (uint64, bool) {
-	spare, ok := t.exiled[p]
-	return spare, ok
+	if p >= t.n || t.exiledTo[p] == Empty {
+		return 0, false
+	}
+	return t.exiledTo[p], true
 }
 
 // RetireSlot takes slot s permanently out of service after repeated faults.
@@ -322,19 +344,27 @@ func (t *Table) RetireSlot(s int) (spare uint64, exiledPage bool, err error) {
 	case r == uint64(s): // OF: page s loses its slot, exiled to a spare
 		spare = t.Omega() + 1 + t.spares
 		t.spares++
-		t.exiled[uint64(s)] = spare
+		t.setExiled(uint64(s), spare)
 		t.resident[s] = Empty
 		exiledPage = true
 	default: // MF: page r returns home, page s exiled to a spare
-		delete(t.back, r)
+		t.back[r] = noSlot
 		spare = t.Omega() + 1 + t.spares
 		t.spares++
-		t.exiled[uint64(s)] = spare
+		t.setExiled(uint64(s), spare)
 		t.resident[s] = Empty
 		exiledPage = true
 	}
 	t.retired[s] = true
 	return spare, exiledPage, nil
+}
+
+// setExiled records page p's exile destination, keeping the entry count.
+func (t *Table) setExiled(p, spare uint64) {
+	if t.exiledTo[p] == Empty {
+		t.exiledCount++
+	}
+	t.exiledTo[p] = spare
 }
 
 // TableSnapshot captures the mutable translation state (RAM rows, P bits,
@@ -371,10 +401,12 @@ func (t *Table) Restore(snap *TableSnapshot) error {
 		t.SetPending(uint64(p), snap.pending[p])
 	}
 	t.emptyRow = snap.emptyRow
-	t.back = make(map[uint64]int, len(t.back))
+	for p := range t.back {
+		t.back[p] = noSlot
+	}
 	for s, r := range t.resident {
 		if r != Empty && r >= t.n {
-			t.back[r] = s
+			t.back[r] = int32(s)
 		}
 	}
 	return nil
@@ -405,8 +437,8 @@ func (t *Table) CheckInvariants() error {
 				return fmt.Errorf("core: page %d < N resident in foreign slot %d", r, s)
 			}
 		default:
-			if got, ok := t.back[r]; !ok || got != s {
-				return fmt.Errorf("core: CAM out of sync for page %d in slot %d (cam=%d,%v)", r, s, got, ok)
+			if got := t.back[r]; got != int32(s) {
+				return fmt.Errorf("core: CAM out of sync for page %d in slot %d (cam=%d)", r, s, got)
 			}
 		}
 	}
@@ -417,18 +449,24 @@ func (t *Table) CheckInvariants() error {
 		return fmt.Errorf("core: no emptyRow but %d empty slots", empties)
 	}
 	for p, s := range t.back {
-		if t.resident[s] != p {
+		if s == noSlot {
+			continue
+		}
+		if t.resident[s] != uint64(p) {
 			return fmt.Errorf("core: CAM says page %d in slot %d, RAM says %d", p, s, t.resident[s])
 		}
 	}
-	if uint64(len(t.exiled)) > t.spares {
-		return fmt.Errorf("core: %d exiled pages but only %d spares", len(t.exiled), t.spares)
+	if uint64(t.exiledCount) > t.spares {
+		return fmt.Errorf("core: %d exiled pages but only %d spares", t.exiledCount, t.spares)
 	}
-	seenSpare := make(map[uint64]bool, len(t.exiled))
-	for p, spare := range t.exiled {
-		if p >= t.n {
-			return fmt.Errorf("core: exiled page %d >= N", p)
+	seenSpare := make(map[uint64]bool, t.exiledCount)
+	count := 0
+	for pi, spare := range t.exiledTo {
+		if spare == Empty {
+			continue
 		}
+		count++
+		p := uint64(pi)
 		if !t.retired[p] {
 			return fmt.Errorf("core: page %d exiled but slot %d not retired", p, p)
 		}
@@ -439,6 +477,9 @@ func (t *Table) CheckInvariants() error {
 			return fmt.Errorf("core: spare frame %d exiled to twice", spare)
 		}
 		seenSpare[spare] = true
+	}
+	if count != t.exiledCount {
+		return fmt.Errorf("core: exiled entry count %d != tracked %d", count, t.exiledCount)
 	}
 	return nil
 }

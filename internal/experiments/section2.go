@@ -79,54 +79,64 @@ var Fig4Capacities = []uint64{
 func Fig4Data(ctx context.Context, p Params) ([]Fig4Point, error) {
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
-	type job struct {
-		name string
-		capa uint64
-	}
-	var jobs []job
-	for _, name := range p.workloads(workload.ProgramNames()) {
-		for _, capa := range Fig4Capacities {
-			jobs = append(jobs, job{name, capa})
-		}
-	}
-	out := make([]Fig4Point, len(jobs))
+	names := p.workloads(workload.ProgramNames())
+	out := make([]Fig4Point, len(names)*len(Fig4Capacities))
 	// A 1 GB LLC model holds ~256 MB of tag state, so cap the concurrent
 	// hierarchies regardless of GOMAXPROCS.
 	workers := p.Parallelism
 	if workers <= 0 || workers > 4 {
 		workers = 4
 	}
-	err := p.forEach(ctx, len(jobs), workers, func(i int) error {
-		j := jobs[i]
-		levels := config.SRAMHierarchy()
-		levels[2].Size = j.capa
-		h, err := cache.NewHierarchy(config.Baseline().Cores, levels)
+	// Every capacity point replays the identical trace (same workload, same
+	// seed), so materialize each workload's trace once and share the
+	// read-only slice across the parallel capacity jobs: the Zipf sampling
+	// math is paid once instead of once per capacity, and the replay is
+	// bit-identical to regeneration. One workload's trace is live at a time.
+	for wi, name := range names {
+		recs, err := materialize(name, p.seed(), records)
 		if err != nil {
-			return err
+			return nil, err
 		}
-		gen, err := workload.NewProgram(j.name, p.seed())
-		if err != nil {
-			return err
-		}
-		src := trace.NewLimit(gen, records)
-		for {
-			rec, err := src.Next()
+		err = p.forEach(ctx, len(Fig4Capacities), workers, func(i int) error {
+			levels := config.SRAMHierarchy()
+			levels[2].Size = Fig4Capacities[i]
+			h, err := cache.NewHierarchy(config.Baseline().Cores, levels)
 			if err != nil {
-				break
+				return err
 			}
-			h.Access(int(rec.CPU), rec.Addr, rec.Write)
+			for _, rec := range recs {
+				h.Access(int(rec.CPU), rec.Addr, rec.Write)
+			}
+			st := h.L3Stats()
+			out[wi*len(Fig4Capacities)+i] = Fig4Point{
+				Workload: name, Capacity: Fig4Capacities[i],
+				MissRate: st.MissRate(), Accesses: st.Accesses, L3Misses: st.Misses,
+			}
+			return nil
+		})
+		if err != nil {
+			return nil, err
 		}
-		st := h.L3Stats()
-		out[i] = Fig4Point{
-			Workload: j.name, Capacity: j.capa,
-			MissRate: st.MissRate(), Accesses: st.Accesses, L3Misses: st.Misses,
-		}
-		return nil
-	})
+	}
+	return out, nil
+}
+
+// materialize generates n records of the named program workload into a
+// slice for repeated replay.
+func materialize(name string, seed int64, n uint64) ([]trace.Record, error) {
+	gen, err := workload.NewProgram(name, seed)
 	if err != nil {
 		return nil, err
 	}
-	return out, nil
+	recs := make([]trace.Record, n)
+	for i := range recs {
+		rec, err := gen.Next()
+		if err != nil {
+			return nil, err
+		}
+		recs[i] = rec
+	}
+	return recs, nil
 }
 
 // Fig4 renders the LLC miss rate vs capacity curves (Fig. 4).
@@ -217,12 +227,16 @@ func Fig5Data(ctx context.Context, p Params) ([]Fig5Row, error) {
 			{cpu.AllOn{Lat: lat}, &row.AllOn},
 			{migModel, &row.Migrating},
 		}
+		// All five configurations consume the identical trace, so generate
+		// it once and replay the slice (bit-identical to regeneration).
+		recs, err := materialize(name, p.seed(), records)
+		if err != nil {
+			return nil, err
+		}
+		src := trace.NewSliceSource(recs)
 		for _, c := range configs {
-			gen, err := workload.NewProgram(name, p.seed())
-			if err != nil {
-				return nil, err
-			}
-			res, err := cpu.RunWarm(gen, measured, warmup, levels, lat, model, c.mem)
+			src.Reset()
+			res, err := cpu.RunWarm(src, measured, warmup, levels, lat, model, c.mem)
 			if err != nil {
 				return nil, fmt.Errorf("fig5 %s/%s: %w", name, c.mem.Name(), err)
 			}

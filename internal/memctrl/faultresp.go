@@ -86,6 +86,17 @@ func (c *Controller) canRetire(s int) bool {
 	return !c.retireQueued[s] && !c.mig.Table().Retired(s)
 }
 
+// frameFault books one fault against an on-package frame and reports the
+// cumulative count. Frames are machine-page indices below OnPackageSlots,
+// so the ledger is a dense per-frame array.
+func (c *Controller) frameFault(frame uint64) int {
+	if frame >= uint64(len(c.frameFaults)) {
+		return 0
+	}
+	c.frameFaults[frame]++
+	return c.frameFaults[frame]
+}
+
 // queueRetire marks slot s for evacuation at the next quiescent point.
 func (c *Controller) queueRetire(s int) {
 	c.retireQueued[s] = true
@@ -169,8 +180,7 @@ func (c *Controller) deviceFault(r *sched.Request, region Region) (retry bool, b
 	}
 	if region == OnPackage && c.mig != nil {
 		frame := r.Addr / c.cfg.Geometry.MacroPageSize
-		c.frameFaults[frame]++
-		if c.frameFaults[frame] >= c.inj.RetireAfter() && c.canRetire(int(frame)) {
+		if c.frameFault(frame) >= c.inj.RetireAfter() && c.canRetire(int(frame)) {
 			// The frame keeps failing: deliver this access as-is and
 			// evacuate the slot at the next quiescent point.
 			c.account(fault.PointDevice, fault.Retired)
@@ -207,8 +217,7 @@ func (c *Controller) copyFaultVerdict(isWrite bool, dst uint64, dstOn bool, atte
 	}
 	if isWrite && dstOn && c.mig != nil {
 		frame := dst / c.cfg.Geometry.MacroPageSize
-		c.frameFaults[frame]++
-		if c.frameFaults[frame] >= c.inj.RetireAfter() && c.canRetire(int(frame)) {
+		if c.frameFault(frame) >= c.inj.RetireAfter() && c.canRetire(int(frame)) {
 			c.account(fault.PointCopy, fault.Retired)
 			c.queueRetire(int(frame))
 			return verdictRetry // the leg still has to land; evacuation follows
@@ -233,22 +242,22 @@ func (c *Controller) copyFaultVerdict(isWrite bool, dst uint64, dstOn bool, atte
 	return verdictAbort
 }
 
-// retryLeg reschedules a faulted bulk leg after its backoff.
+// retryLeg reschedules a faulted bulk leg after its backoff, reusing the
+// leg's metadata record on a fresh (pooled) job.
 func (c *Controller) retryLeg(meta *legMeta, j *sched.BulkJob) {
-	nm := *meta
-	nm.attempts++
-	retry := &sched.BulkJob{
-		Tag:      j.Tag,
-		Duration: j.Duration,
-		Earliest: j.Done + c.inj.Backoff(nm.attempts),
-	}
-	c.bulkMeta[retry] = &nm
-	c.inst.ring.Emit(j.Done, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(nm.attempts), uint64(retry.Earliest-j.Done))
-	c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, j.Done, retry.Earliest, uint64(fault.PointCopy), uint64(nm.attempts), 0)
-	if nm.isRead {
-		c.submitBulk(c.regionOfMachine(nm.sub.Src), nm.sub.Src, retry)
+	meta.attempts++
+	retry := c.newBulkJob()
+	retry.Tag = j.Tag
+	retry.Duration = j.Duration
+	retry.Earliest = j.Done + c.inj.Backoff(meta.attempts)
+	retry.Meta = meta
+	c.inst.ring.Emit(j.Done, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(meta.attempts), uint64(retry.Earliest-j.Done))
+	c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, j.Done, retry.Earliest, uint64(fault.PointCopy), uint64(meta.attempts), 0)
+	c.freeBulkJob(j)
+	if meta.isRead {
+		c.submitBulk(c.regionOfMachine(meta.sub.Src), meta.sub.Src, retry)
 	} else {
-		c.submitBulk(nm.dstOn, nm.sub.Dst, retry)
+		c.submitBulk(meta.dstOn, meta.sub.Dst, retry)
 	}
 }
 

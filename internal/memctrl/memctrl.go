@@ -100,8 +100,13 @@ type Controller struct {
 
 	mig *core.Migrator
 
-	inFlight map[*sched.Request]*accessMeta
-	bulkMeta map[*sched.BulkJob]*legMeta
+	// Freelists for the per-access and per-copy-leg objects. Access metadata
+	// lives in the Request itself and leg metadata hangs off BulkJob.Meta
+	// (intrusive), so the steady-state data path allocates nothing: completed
+	// objects are recycled as soon as their completion callback returns.
+	reqFree []*sched.Request
+	jobFree []*sched.BulkJob
+	legFree []*legMeta
 
 	step *stepState // in-flight N-1/Live swap step
 
@@ -152,9 +157,9 @@ type Controller struct {
 	// the fields below are ever touched).
 	inj            *fault.Injector
 	faultRep       fault.Report   // disposition ledger (Account per fault)
-	frameFaults    map[uint64]int // on-package frame -> cumulative faults
+	frameFaults    []int          // per on-package frame: cumulative faults
 	retireQueue    []int          // slots awaiting quiescent retirement
-	retireQueued   map[int]bool   // slots queued or already retired
+	retireQueued   []bool         // per slot: queued or already retired
 	undoQueue      []core.SubCopy // remaining rollback copies, run one at a time
 	stepAttempts   int            // restarts consumed by the current step
 	degradePending bool           // degrade once the in-flight swap quiesces
@@ -182,14 +187,6 @@ type instruments struct {
 	spans         *obs.SpanTracer    // cycle-domain span trace
 	series        *obs.SeriesSampler // per-epoch time series
 	enabled       bool               // any instrument live (guards extra lookups)
-}
-
-type accessMeta struct {
-	phys    uint64
-	machine uint64
-	issue   int64
-	region  Region
-	write   bool
 }
 
 type legMeta struct {
@@ -236,8 +233,6 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		cfg:      cfg,
 		onDev:    onDev,
 		offDev:   offDev,
-		inFlight: make(map[*sched.Request]*accessMeta),
-		bulkMeta: make(map[*sched.BulkJob]*legMeta),
 		onResult: onResult,
 	}
 	c.onSch, err = sched.New(onDev, cfg.Sched, c.requestDone, c.bulkDone)
@@ -267,8 +262,8 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		return nil, fmt.Errorf("memctrl: %w", err)
 	}
 	if c.inj != nil {
-		c.frameFaults = make(map[uint64]int)
-		c.retireQueued = make(map[int]bool)
+		c.frameFaults = make([]int, g.OnPackageSlots())
+		c.retireQueued = make([]bool, g.OnPackageSlots())
 		hook := func(a uint64, write bool, at int64) bool {
 			return c.inj.Fault(fault.PointDevice)
 		}
@@ -343,6 +338,50 @@ func (c *Controller) auditAt(cycle int64, quiescent bool) {
 
 // Migrator exposes the migration controller (nil under static mapping).
 func (c *Controller) Migrator() *core.Migrator { return c.mig }
+
+// newRequest pops a zeroed request off the freelist (or allocates one while
+// the pool warms up). The scheduler dequeues a request before invoking its
+// completion callback, so recycling inside requestDone is safe.
+func (c *Controller) newRequest() *sched.Request {
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		*r = sched.Request{}
+		return r
+	}
+	return new(sched.Request)
+}
+
+func (c *Controller) freeRequest(r *sched.Request) { c.reqFree = append(c.reqFree, r) }
+
+// newBulkJob pops a zeroed bulk job off the freelist.
+func (c *Controller) newBulkJob() *sched.BulkJob {
+	if n := len(c.jobFree); n > 0 {
+		j := c.jobFree[n-1]
+		c.jobFree = c.jobFree[:n-1]
+		*j = sched.BulkJob{}
+		return j
+	}
+	return new(sched.BulkJob)
+}
+
+func (c *Controller) freeBulkJob(j *sched.BulkJob) {
+	j.Meta = nil
+	c.jobFree = append(c.jobFree, j)
+}
+
+// newLeg pops a leg-metadata record off the freelist; the caller overwrites
+// every field.
+func (c *Controller) newLeg() *legMeta {
+	if n := len(c.legFree); n > 0 {
+		m := c.legFree[n-1]
+		c.legFree = c.legFree[:n-1]
+		return m
+	}
+	return new(legMeta)
+}
+
+func (c *Controller) freeLeg(m *legMeta) { c.legFree = append(c.legFree, m) }
 
 // regionLane maps a machine-region side to its trace lane.
 func regionLane(on bool) obs.Lane {
@@ -467,8 +506,14 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 	arrive := issue + lookup + inb
 
 	c.reqID++
-	req := &sched.Request{ID: c.reqID, Arrive: arrive, Write: write}
-	c.inFlight[req] = &accessMeta{phys: phys, machine: machine, issue: issue, region: region, write: write}
+	req := c.newRequest()
+	req.ID = c.reqID
+	req.Arrive = arrive
+	req.Write = write
+	req.Phys = phys
+	req.Machine = machine
+	req.Issue = issue
+	req.OnPkg = region == OnPackage
 	if region == OnPackage {
 		req.Addr = machine
 		c.onSch.Submit(req, arrive)
@@ -503,22 +548,22 @@ func (c *Controller) pathDelays(r Region) (inbound, outbound int64) {
 	return in, out
 }
 
-// requestDone finalizes a program access.
+// requestDone finalizes a program access. The scheduler has already dequeued
+// the request, so it is recycled into the pool on the way out.
 func (c *Controller) requestDone(r *sched.Request) {
-	meta := c.inFlight[r]
-	if meta == nil {
-		return
+	region := OffPackage
+	if r.OnPkg {
+		region = OnPackage
 	}
-	delete(c.inFlight, r)
-	_, outb := c.pathDelays(meta.region)
+	_, outb := c.pathDelays(region)
 	done := r.Done + outb
-	lat := done - meta.issue
+	lat := done - r.Issue
 	c.allLat.Add(lat)
 	c.hist.Add(lat)
 	dram := r.Done - r.Arrive
 	c.dramAll.Add(dram)
 	c.queueSum += r.Start - r.Arrive
-	if meta.region == OnPackage {
+	if r.OnPkg {
 		c.onLat.Add(lat)
 		c.dramOn.Add(dram)
 		c.inst.latOn.Observe(lat)
@@ -532,14 +577,15 @@ func (c *Controller) requestDone(r *sched.Request) {
 	c.coreLatSum += r.CoreLat
 	c.nDone++
 	if c.cfg.Power != nil {
-		c.cfg.Power.Access(meta.region == OnPackage, c.cfg.Geometry.BurstBytes)
+		c.cfg.Power.Access(r.OnPkg, c.cfg.Geometry.BurstBytes)
 	}
 	if c.onResult != nil {
 		c.onResult(AccessResult{
-			Phys: meta.phys, Machine: meta.machine, Region: meta.region,
-			Issue: meta.issue, Done: done, Write: meta.write,
+			Phys: r.Phys, Machine: r.Machine, Region: region,
+			Issue: r.Issue, Done: done, Write: r.Write,
 		})
 	}
+	c.freeRequest(r)
 }
 
 // subDuration is the bus occupancy of one sub-block copy leg on a region:
@@ -593,12 +639,13 @@ func (c *Controller) beginSwap(subs []core.SubCopy, now int64) error {
 func (c *Controller) enqueueReadLeg(sc core.SubCopy, earliest int64) {
 	srcOn := c.regionOfMachine(sc.Src)
 	dstOn := c.regionOfMachine(sc.Dst)
-	job := &sched.BulkJob{
-		Tag:      uint64(sc.SubIndex),
-		Duration: c.subDuration(srcOn, sc.Bytes, sc.Exchange),
-		Earliest: earliest,
-	}
-	c.bulkMeta[job] = &legMeta{step: c.step, sub: sc, isRead: true, dstOn: dstOn}
+	job := c.newBulkJob()
+	job.Tag = uint64(sc.SubIndex)
+	job.Duration = c.subDuration(srcOn, sc.Bytes, sc.Exchange)
+	job.Earliest = earliest
+	meta := c.newLeg()
+	*meta = legMeta{step: c.step, sub: sc, isRead: true, dstOn: dstOn}
+	job.Meta = meta
 	c.submitBulk(srcOn, sc.Src, job)
 }
 
@@ -620,26 +667,32 @@ func (c *Controller) submitBulk(on bool, machine uint64, job *sched.BulkJob) {
 // completion is probed; a faulted leg is retried, accepted, or escalates
 // into a rollback per copyFaultVerdict.
 func (c *Controller) bulkDone(j *sched.BulkJob) {
-	meta := c.bulkMeta[j]
+	meta, _ := j.Meta.(*legMeta)
 	if meta == nil {
 		return
 	}
-	delete(c.bulkMeta, j)
-	if meta.step != nil && meta.step.aborted {
-		return // stale leg of an aborted (rolled-back or restarted) step
+	st := meta.step
+	if st != nil && st.aborted {
+		// Stale leg of an aborted (rolled-back or restarted) step.
+		c.freeLeg(meta)
+		c.freeBulkJob(j)
+		return
 	}
 	if c.inj != nil && c.inj.Fault(fault.PointCopy) {
 		c.inst.ring.Emit(j.Done, obs.EvFault, uint64(fault.PointCopy), meta.sub.Dst, uint64(meta.attempts))
 		c.inst.spans.Mark(obs.LaneFault, obs.MarkFault, j.Done, uint64(fault.PointCopy), meta.sub.Dst, uint64(meta.attempts))
-		switch c.copyFaultVerdict(!meta.isRead, meta.sub.Dst, meta.dstOn, meta.attempts, meta.step.undo, j.Done) {
+		switch c.copyFaultVerdict(!meta.isRead, meta.sub.Dst, meta.dstOn, meta.attempts, st.undo, j.Done) {
 		case verdictRetry:
 			c.retryLeg(meta, j)
 			return
 		case verdictAbort:
-			if meta.step.undo {
-				c.abandonUndo(j.Done)
+			done := j.Done
+			c.freeLeg(meta)
+			c.freeBulkJob(j)
+			if st.undo {
+				c.abandonUndo(done)
 			} else {
-				c.abortSwap(meta.step, j.Done)
+				c.abortSwap(st, done)
 			}
 			return
 		case verdictAccept:
@@ -651,71 +704,81 @@ func (c *Controller) bulkDone(j *sched.BulkJob) {
 		// queueing plus bus time, possibly split across stolen quanta.
 		c.inst.spans.Span(regionLane(c.regionOfMachine(meta.sub.Src)), obs.SpanCopyRead,
 			j.Earliest, j.Done, meta.sub.Src/c.cfg.Geometry.MacroPageSize, uint64(meta.sub.SubIndex), meta.sub.Bytes)
-		write := &sched.BulkJob{
-			Tag:      j.Tag,
-			Duration: c.subDuration(meta.dstOn, meta.sub.Bytes, meta.sub.Exchange),
-			Earliest: j.Done,
-		}
-		c.bulkMeta[write] = &legMeta{step: meta.step, sub: meta.sub, isRead: false, dstOn: meta.dstOn}
-		c.submitBulk(meta.dstOn, meta.sub.Dst, write)
+		write := c.newBulkJob()
+		write.Tag = j.Tag
+		write.Duration = c.subDuration(meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
+		write.Earliest = j.Done
+		// The read leg's metadata is reused for the write leg: same step and
+		// sub-block, direction flipped, faulted-attempt count restarted.
+		meta.isRead = false
+		meta.attempts = 0
+		write.Meta = meta
+		dstOn, dst := meta.dstOn, meta.sub.Dst
+		c.freeBulkJob(j)
+		c.submitBulk(dstOn, dst, write)
 		return
 	}
 	// Write leg finished: the sub-block now lives at its destination.
-	c.inst.spans.Span(regionLane(meta.dstOn), obs.SpanCopyWrite,
-		j.Earliest, j.Done, meta.sub.Dst/c.cfg.Geometry.MacroPageSize, uint64(meta.sub.SubIndex), meta.sub.Bytes)
+	sub := meta.sub
+	dstOn := meta.dstOn
+	done, earliest := j.Done, j.Earliest
+	c.freeLeg(meta)
+	c.freeBulkJob(j)
+	c.inst.spans.Span(regionLane(dstOn), obs.SpanCopyWrite,
+		earliest, done, sub.Dst/c.cfg.Geometry.MacroPageSize, uint64(sub.SubIndex), sub.Bytes)
 	c.inst.copySubs.Inc()
-	c.inst.copyBytes.Add(meta.sub.Bytes)
+	c.inst.copyBytes.Add(sub.Bytes)
 	if c.cfg.Power != nil {
-		c.cfg.Power.Copy(c.regionOfMachine(meta.sub.Src), meta.dstOn, meta.sub.Bytes, meta.sub.Exchange)
+		c.cfg.Power.Copy(c.regionOfMachine(sub.Src), dstOn, sub.Bytes, sub.Exchange)
 	}
-	if meta.step.undo {
+	if st.undo {
 		// Rollback mini-step: no table mutation, no copy-done notification
 		// (the data is moving back where the shadow map already has it).
-		meta.step.subsLeft--
-		c.startNextUndo(j.Done)
+		st.subsLeft--
+		c.startNextUndo(done)
 		return
 	}
 	if c.onCopyDone != nil {
-		c.onCopyDone(meta.sub)
+		c.onCopyDone(sub)
 	}
-	c.mig.SubDone(meta.sub.SubIndex)
+	c.mig.SubDone(sub.SubIndex)
 	if c.inst.ring != nil {
 		pageSize := c.cfg.Geometry.MacroPageSize
-		c.inst.ring.Emit(j.Done, obs.EvCopyDone, meta.sub.Src/pageSize, meta.sub.Dst/pageSize, meta.sub.Bytes)
+		c.inst.ring.Emit(done, obs.EvCopyDone, sub.Src/pageSize, sub.Dst/pageSize, sub.Bytes)
 	}
-	meta.step.completed = append(meta.step.completed, meta.sub.SubIndex)
-	meta.step.subsLeft--
-	if meta.step.subsLeft > 0 {
+	st.completed = append(st.completed, sub.SubIndex)
+	st.subsLeft--
+	if st.subsLeft > 0 {
 		return
 	}
-	if c.inj != nil && c.inj.Fault(fault.PointBulk) && c.stepFault(j.Done) {
+	if c.inj != nil && c.inj.Fault(fault.PointBulk) && c.stepFault(done) {
 		return
 	}
 	mru, _, stepIdx, _, _ := c.mig.CurrentPlan()
-	next, done, err := c.mig.StepDone()
+	next, swapDone, err := c.mig.StepDone()
 	if err != nil {
 		c.fail(err)
 		c.step = nil
 		return
 	}
 	c.inst.swapSteps.Inc()
-	c.inst.ring.Emit(j.Done, obs.EvSwapStep, mru, uint64(stepIdx), 0)
-	c.inst.spans.Span(obs.LaneMigrator, obs.SpanStep, c.stepBegin, j.Done, mru, uint64(stepIdx), 0)
-	c.stepBegin = j.Done
-	if done {
+	c.inst.ring.Emit(done, obs.EvSwapStep, mru, uint64(stepIdx), 0)
+	c.inst.spans.Span(obs.LaneMigrator, obs.SpanStep, c.stepBegin, done, mru, uint64(stepIdx), 0)
+	c.stepBegin = done
+	if swapDone {
 		c.inst.swapDone.Inc()
-		c.inst.ring.Emit(j.Done, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
-		c.inst.spans.Span(obs.LaneMigrator, obs.SpanSwap, c.swapBegin, j.Done, c.swapMRU, c.swapVictim, uint64(stepIdx+1))
-		c.auditAt(j.Done, true)
+		c.inst.ring.Emit(done, obs.EvSwapDone, mru, uint64(stepIdx+1), 0)
+		c.inst.spans.Span(obs.LaneMigrator, obs.SpanSwap, c.swapBegin, done, c.swapMRU, c.swapVictim, uint64(stepIdx+1))
+		c.auditAt(done, true)
 		c.step = nil
-		c.serviceQuiescent(j.Done)
+		c.serviceQuiescent(done)
 		return
 	}
-	c.auditAt(j.Done, false)
+	c.auditAt(done, false)
 	c.stepAttempts = 0
 	c.step = &stepState{subsLeft: len(next)}
 	for _, sc := range next {
-		c.enqueueReadLeg(sc, j.Done)
+		c.enqueueReadLeg(sc, done)
 	}
 }
 

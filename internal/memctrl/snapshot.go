@@ -2,7 +2,6 @@ package memctrl
 
 import (
 	"fmt"
-	"sort"
 
 	"heteromem/internal/core"
 	"heteromem/internal/sched"
@@ -12,10 +11,12 @@ import (
 // The controller snapshot captures the whole pipeline between two program
 // accesses: clocks, both DRAM devices, both schedulers, the migration
 // engine, the latency accumulators, the in-flight copy legs with their
-// shared step state, and the fault-response ledger. Auxiliary maps keyed by
-// request/job pointers are serialized positionally in the schedulers' own
-// deterministic walk order (on-package first, then off-package) and
-// reattached to the fresh pointers the scheduler restore materializes.
+// shared step state, and the fault-response ledger. Access and leg metadata
+// live intrusively on the requests/jobs themselves; they are serialized
+// positionally in the schedulers' own deterministic walk order (on-package
+// first, then off-package) and reattached to the fresh objects the
+// scheduler restore materializes. The framing is unchanged from the old
+// side-table layout.
 
 // SnapshotTo writes the controller's dynamic state. A controller with a
 // latched asynchronous error refuses to snapshot: the checkpoint would
@@ -56,27 +57,19 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 	e.U64(c.swapMRU)
 	e.U64(c.swapVictim)
 
-	// Program accesses waiting in the schedulers, positionally.
-	nPending := 0
+	// Program accesses waiting in the schedulers, positionally. The access
+	// metadata lives on the requests themselves, so the walk serializes it
+	// in place; the framing matches the old side-table layout exactly.
 	snapMeta := func(ch int, r *sched.Request) {
-		nPending++
-		meta := c.inFlight[r]
-		if meta == nil {
-			e.Fail(fmt.Errorf("memctrl: request %d queued without access metadata", r.ID))
-			return
-		}
-		e.U64(meta.phys)
-		e.U64(meta.machine)
-		e.I64(meta.issue)
-		e.Bool(meta.region == OnPackage)
-		e.Bool(meta.write)
+		e.U64(r.Phys)
+		e.U64(r.Machine)
+		e.I64(r.Issue)
+		e.Bool(r.OnPkg)
+		e.Bool(r.Write)
 	}
-	e.U32(uint32(len(c.inFlight)))
+	e.U32(uint32(c.onSch.QueueLen() + c.offSch.QueueLen()))
 	c.onSch.ForEachPending(snapMeta)
 	c.offSch.ForEachPending(snapMeta)
-	if nPending != len(c.inFlight) {
-		e.Fail(fmt.Errorf("memctrl: %d in-flight accesses but %d queued requests", len(c.inFlight), nPending))
-	}
 
 	// Distinct step states shared by the in-flight copy legs. The current
 	// step comes first; stale (aborted) steps referenced only by still-queued
@@ -95,9 +88,9 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 		return stepIdx[st]
 	}
 	stepRef(c.step)
-	legs := make([]*legMeta, 0, len(c.bulkMeta))
+	var legs []*legMeta
 	collectLeg := func(ch int, j *sched.BulkJob) {
-		meta := c.bulkMeta[j]
+		meta, _ := j.Meta.(*legMeta)
 		if meta == nil {
 			e.Fail(fmt.Errorf("memctrl: bulk job %d queued without leg metadata", j.Tag))
 			return
@@ -107,9 +100,6 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 	}
 	c.onSch.ForEachBulk(collectLeg)
 	c.offSch.ForEachBulk(collectLeg)
-	if len(legs) != len(c.bulkMeta) {
-		e.Fail(fmt.Errorf("memctrl: %d leg metadata entries but %d queued bulk jobs", len(c.bulkMeta), len(legs)))
-	}
 	e.U32(uint32(len(steps)))
 	for _, st := range steps {
 		e.U32(uint32(st.subsLeft))
@@ -141,28 +131,37 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 	if c.inj != nil {
 		c.inj.SnapshotTo(e)
 		c.faultRep.SnapshotTo(e)
-		frames := make([]uint64, 0, len(c.frameFaults))
-		for f := range c.frameFaults {
-			frames = append(frames, f)
+		// The dense per-frame arrays serialize as sparse sorted entry lists:
+		// ascending index order is exactly the sorted-key order the map-backed
+		// layout produced, so the framing is unchanged.
+		nf := 0
+		for _, v := range c.frameFaults {
+			if v != 0 {
+				nf++
+			}
 		}
-		sort.Slice(frames, func(i, j int) bool { return frames[i] < frames[j] })
-		e.U32(uint32(len(frames)))
-		for _, f := range frames {
-			e.U64(f)
-			e.U32(uint32(c.frameFaults[f]))
+		e.U32(uint32(nf))
+		for f, v := range c.frameFaults {
+			if v != 0 {
+				e.U64(uint64(f))
+				e.U32(uint32(v))
+			}
 		}
 		e.U32(uint32(len(c.retireQueue)))
 		for _, s := range c.retireQueue {
 			e.I64(int64(s))
 		}
-		queued := make([]int, 0, len(c.retireQueued))
-		for s := range c.retireQueued {
-			queued = append(queued, s)
+		nq := 0
+		for _, q := range c.retireQueued {
+			if q {
+				nq++
+			}
 		}
-		sort.Ints(queued)
-		e.U32(uint32(len(queued)))
-		for _, s := range queued {
-			e.I64(int64(s))
+		e.U32(uint32(nq))
+		for s, q := range c.retireQueued {
+			if q {
+				e.I64(int64(s))
+			}
 		}
 		e.Bool(c.degradePending)
 		e.Bool(c.degradedMode)
@@ -236,23 +235,19 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 		d.Invalid("snapshot has %d access metadata entries for %d queued requests", nMeta, len(reqs))
 		return d.Err()
 	}
-	c.inFlight = make(map[*sched.Request]*accessMeta, nMeta)
 	for _, r := range reqs {
-		meta := &accessMeta{
-			phys:    d.U64(),
-			machine: d.U64(),
-			issue:   d.I64(),
-		}
-		if d.Bool() {
-			meta.region = OnPackage
-		} else {
-			meta.region = OffPackage
-		}
-		meta.write = d.Bool()
+		r.Phys = d.U64()
+		r.Machine = d.U64()
+		r.Issue = d.I64()
+		r.OnPkg = d.Bool()
+		w := d.Bool()
 		if d.Err() != nil {
 			return d.Err()
 		}
-		c.inFlight[r] = meta
+		if w != r.Write {
+			d.Invalid("request %d write flag disagrees with its metadata", r.ID)
+			return d.Err()
+		}
 	}
 
 	nSteps := int(d.U32())
@@ -304,7 +299,6 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 		d.Invalid("snapshot has %d leg metadata entries for %d queued bulk jobs", nLegs, len(jobs))
 		return d.Err()
 	}
-	c.bulkMeta = make(map[*sched.BulkJob]*legMeta, nLegs)
 	for _, j := range jobs {
 		meta := &legMeta{sub: restoreSubCopy(d)}
 		meta.isRead = d.Bool()
@@ -319,7 +313,7 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		c.bulkMeta[j] = meta
+		j.Meta = meta
 	}
 
 	nUndo := int(d.U32())
@@ -351,10 +345,20 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		c.frameFaults = make(map[uint64]int, nf)
+		for i := range c.frameFaults {
+			c.frameFaults[i] = 0
+		}
 		for i := 0; i < nf; i++ {
 			f := d.U64()
-			c.frameFaults[f] = int(d.U32())
+			v := int(d.U32())
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if f >= uint64(len(c.frameFaults)) {
+				d.Invalid("frame-fault entry %d out of range (%d frames)", f, len(c.frameFaults))
+				return d.Err()
+			}
+			c.frameFaults[f] = v
 		}
 		nr := int(d.U32())
 		if d.Err() != nil {
@@ -368,9 +372,19 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 		if d.Err() != nil {
 			return d.Err()
 		}
-		c.retireQueued = make(map[int]bool, nq)
+		for i := range c.retireQueued {
+			c.retireQueued[i] = false
+		}
 		for i := 0; i < nq; i++ {
-			c.retireQueued[int(d.I64())] = true
+			s := d.I64()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if s < 0 || s >= int64(len(c.retireQueued)) {
+				d.Invalid("retire-queued slot %d out of range (%d slots)", s, len(c.retireQueued))
+				return d.Err()
+			}
+			c.retireQueued[s] = true
 		}
 		c.degradePending = d.Bool()
 		c.degradedMode = d.Bool()

@@ -11,10 +11,25 @@ import "fmt"
 // ClockPLRU is a clock (second-chance) pseudo-LRU over a fixed set of
 // slots. Each slot has one reference bit; Victim sweeps the clock hand,
 // clearing reference bits, and returns the first unreferenced slot.
+//
+// Reference and pin state are packed bitmaps — literally the 1 bit per
+// slot the paper's overhead accounting charges — so the tracker is a few
+// words of state with allocation-free operations.
 type ClockPLRU struct {
-	ref    []bool
-	pinned []bool
+	ref    []uint64
+	pinned []uint64
+	n      int
 	hand   int
+}
+
+func bitGet(w []uint64, i int) bool { return w[i>>6]>>(uint(i)&63)&1 != 0 }
+
+func bitSet(w []uint64, i int, v bool) {
+	if v {
+		w[i>>6] |= 1 << (uint(i) & 63)
+	} else {
+		w[i>>6] &^= 1 << (uint(i) & 63)
+	}
 }
 
 // NewClockPLRU returns a tracker over n slots, all unreferenced.
@@ -22,37 +37,38 @@ func NewClockPLRU(n int) (*ClockPLRU, error) {
 	if n <= 0 {
 		return nil, fmt.Errorf("policy: clock needs at least one slot, got %d", n)
 	}
-	return &ClockPLRU{ref: make([]bool, n), pinned: make([]bool, n)}, nil
+	words := (n + 63) / 64
+	return &ClockPLRU{ref: make([]uint64, words), pinned: make([]uint64, words), n: n}, nil
 }
 
 // Len returns the slot count.
-func (c *ClockPLRU) Len() int { return len(c.ref) }
+func (c *ClockPLRU) Len() int { return c.n }
 
 // Touch marks slot as recently used.
 func (c *ClockPLRU) Touch(slot int) {
-	if slot >= 0 && slot < len(c.ref) {
-		c.ref[slot] = true
+	if slot >= 0 && slot < c.n {
+		bitSet(c.ref, slot, true)
 	}
 }
 
 // Pin excludes slot from victim selection (e.g. the empty slot of the N-1
 // design, or a slot whose copy is still in flight).
 func (c *ClockPLRU) Pin(slot int) {
-	if slot >= 0 && slot < len(c.pinned) {
-		c.pinned[slot] = true
+	if slot >= 0 && slot < c.n {
+		bitSet(c.pinned, slot, true)
 	}
 }
 
 // Unpin re-admits slot to victim selection.
 func (c *ClockPLRU) Unpin(slot int) {
-	if slot >= 0 && slot < len(c.pinned) {
-		c.pinned[slot] = false
+	if slot >= 0 && slot < c.n {
+		bitSet(c.pinned, slot, false)
 	}
 }
 
 // Pinned reports whether slot is pinned.
 func (c *ClockPLRU) Pinned(slot int) bool {
-	return slot >= 0 && slot < len(c.pinned) && c.pinned[slot]
+	return slot >= 0 && slot < c.n && bitGet(c.pinned, slot)
 }
 
 // Victim advances the clock hand and returns the first slot whose
@@ -61,14 +77,14 @@ func (c *ClockPLRU) Pinned(slot int) bool {
 func (c *ClockPLRU) Victim() int {
 	// At most two sweeps: the first may clear every reference bit,
 	// the second must then find a victim among unpinned slots.
-	for pass := 0; pass < 2*len(c.ref); pass++ {
+	for pass := 0; pass < 2*c.n; pass++ {
 		s := c.hand
-		c.hand = (c.hand + 1) % len(c.ref)
-		if c.pinned[s] {
+		c.hand = (c.hand + 1) % c.n
+		if bitGet(c.pinned, s) {
 			continue
 		}
-		if c.ref[s] {
-			c.ref[s] = false
+		if bitGet(c.ref, s) {
+			bitSet(c.ref, s, false)
 			continue
 		}
 		return s
@@ -78,4 +94,4 @@ func (c *ClockPLRU) Victim() int {
 
 // BitCost returns the hardware cost of the tracker in bits (one reference
 // bit per slot), matching the paper's overhead accounting.
-func (c *ClockPLRU) BitCost() int { return len(c.ref) }
+func (c *ClockPLRU) BitCost() int { return c.n }

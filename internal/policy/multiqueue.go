@@ -1,7 +1,6 @@
 package policy
 
 import (
-	"container/list"
 	"fmt"
 )
 
@@ -15,18 +14,31 @@ import (
 // sizes (3 levels x 10 entries = 78 bits x 10): when a level overflows, its
 // least recently used entry is demoted one level; overflow out of level 0
 // evicts the page from the tracker entirely.
-type MultiQueue struct {
-	levels    []*list.List // each element value is *mqEntry; front = LRU, back = MRU
-	index     map[uint64]*list.Element
-	perLevel  int
-	bitsEntry int
+//
+// The per-level LRU lists are intrusive doubly-linked lists threaded through
+// a fixed slice arena — the hardware's shape is a handful of registers, and
+// mirroring that keeps the per-access hot path free of heap allocation
+// (container/list allocated an element per insert). The page->node index is
+// a map kept alive across Reset so its buckets are reused.
+type mqNode struct {
+	page       uint64
+	count      uint64
+	level      int32
+	prev, next int32 // arena indices; -1 terminates
 }
 
-type mqEntry struct {
-	page  uint64
-	count uint64
-	level int
+// MultiQueue is the bounded multi-queue MRU tracker.
+type MultiQueue struct {
+	nodes      []mqNode
+	head, tail []int32 // per level; head = LRU end, tail = MRU end
+	sizes      []int32
+	free       int32 // free-list head, linked through next
+	index      map[uint64]int32
+	perLevel   int
+	bitsEntry  int
 }
+
+const mqNil = int32(-1)
 
 // NewMultiQueue returns a tracker with the given shape. The paper's
 // configuration is NewMultiQueue(3, 10).
@@ -35,56 +47,118 @@ func NewMultiQueue(levels, entriesPerLevel int) (*MultiQueue, error) {
 		return nil, fmt.Errorf("policy: multi-queue shape %dx%d invalid", levels, entriesPerLevel)
 	}
 	m := &MultiQueue{
-		levels:   make([]*list.List, levels),
-		index:    make(map[uint64]*list.Element),
-		perLevel: entriesPerLevel,
+		// One node beyond capacity: an insert lands before the spill that
+		// restores the bound, so the arena transiently holds capacity+1.
+		nodes: make([]mqNode, levels*entriesPerLevel+1),
+		head:  make([]int32, levels),
+		tail:  make([]int32, levels),
+		sizes: make([]int32, levels),
+		index: make(map[uint64]int32, levels*entriesPerLevel+1),
 		// The page ID (26 bits for a 48-bit space at 4 MB pages) dominates
 		// the per-entry cost; 26 bits x 30 entries gives the 780-bit
 		// figure the paper reports for the 3x10 multi-queue.
+		perLevel:  entriesPerLevel,
 		bitsEntry: 26,
 	}
-	for i := range m.levels {
-		m.levels[i] = list.New()
-	}
+	m.initLinks()
 	return m, nil
+}
+
+// initLinks empties every level and threads the whole arena onto the free
+// list.
+func (m *MultiQueue) initLinks() {
+	for l := range m.head {
+		m.head[l], m.tail[l], m.sizes[l] = mqNil, mqNil, 0
+	}
+	for i := range m.nodes {
+		m.nodes[i].next = int32(i) + 1
+	}
+	m.nodes[len(m.nodes)-1].next = mqNil
+	m.free = 0
+}
+
+// alloc pops a node off the free list.
+func (m *MultiQueue) alloc() int32 {
+	i := m.free
+	m.free = m.nodes[i].next
+	return i
+}
+
+// release returns node i to the free list.
+func (m *MultiQueue) release(i int32) {
+	m.nodes[i].next = m.free
+	m.free = i
+}
+
+// unlink removes node i from its level's list.
+func (m *MultiQueue) unlink(i int32) {
+	n := &m.nodes[i]
+	if n.prev != mqNil {
+		m.nodes[n.prev].next = n.next
+	} else {
+		m.head[n.level] = n.next
+	}
+	if n.next != mqNil {
+		m.nodes[n.next].prev = n.prev
+	} else {
+		m.tail[n.level] = n.prev
+	}
+	m.sizes[n.level]--
+}
+
+// pushBack appends node i at level l's MRU end.
+func (m *MultiQueue) pushBack(l int, i int32) {
+	n := &m.nodes[i]
+	n.level = int32(l)
+	n.prev = m.tail[l]
+	n.next = mqNil
+	if m.tail[l] != mqNil {
+		m.nodes[m.tail[l]].next = i
+	} else {
+		m.head[l] = i
+	}
+	m.tail[l] = i
+	m.sizes[l]++
 }
 
 // Touch records an access to page, inserting or promoting it.
 func (m *MultiQueue) Touch(page uint64) {
-	if el, ok := m.index[page]; ok {
-		e := el.Value.(*mqEntry)
-		e.count++
-		want := levelFor(e.count, len(m.levels))
-		if want != e.level {
-			m.levels[e.level].Remove(el)
-			e.level = want
-			m.index[page] = m.levels[want].PushBack(e)
+	if i, ok := m.index[page]; ok {
+		n := &m.nodes[i]
+		n.count++
+		want := levelFor(n.count, len(m.head))
+		if want != int(n.level) {
+			m.unlink(i)
+			m.pushBack(want, i)
 			m.spill(want)
-		} else {
-			m.levels[e.level].MoveToBack(el)
+		} else if m.tail[n.level] != i {
+			m.unlink(i)
+			m.pushBack(int(n.level), i)
 		}
 		return
 	}
-	e := &mqEntry{page: page, count: 1, level: 0}
-	m.index[page] = m.levels[0].PushBack(e)
+	i := m.alloc()
+	m.nodes[i].page = page
+	m.nodes[i].count = 1
+	m.index[page] = i
+	m.pushBack(0, i)
 	m.spill(0)
 }
 
 // spill demotes the LRU entry of any overfull level, cascading downward.
 func (m *MultiQueue) spill(level int) {
 	for l := level; l >= 0; l-- {
-		for m.levels[l].Len() > m.perLevel {
-			victim := m.levels[l].Front()
-			e := victim.Value.(*mqEntry)
-			m.levels[l].Remove(victim)
+		for int(m.sizes[l]) > m.perLevel {
+			victim := m.head[l]
+			m.unlink(victim)
 			if l == 0 {
-				delete(m.index, e.page)
+				delete(m.index, m.nodes[victim].page)
+				m.release(victim)
 				continue
 			}
-			e.level = l - 1
 			// Demoted entries land at the MRU end of the lower level so a
 			// recently hot page is not immediately evicted outright.
-			m.index[e.page] = m.levels[l-1].PushBack(e)
+			m.pushBack(l-1, victim)
 		}
 	}
 }
@@ -100,9 +174,9 @@ func levelFor(count uint64, levels int) int {
 // Hottest returns the most recently used page of the highest occupied
 // level, or ok=false if the tracker is empty.
 func (m *MultiQueue) Hottest() (page uint64, ok bool) {
-	for l := len(m.levels) - 1; l >= 0; l-- {
-		if back := m.levels[l].Back(); back != nil {
-			return back.Value.(*mqEntry).page, true
+	for l := len(m.head) - 1; l >= 0; l-- {
+		if t := m.tail[l]; t != mqNil {
+			return m.nodes[t].page, true
 		}
 	}
 	return 0, false
@@ -110,26 +184,27 @@ func (m *MultiQueue) Hottest() (page uint64, ok bool) {
 
 // Count returns the recorded access count for page (0 if untracked).
 func (m *MultiQueue) Count(page uint64) uint64 {
-	if el, ok := m.index[page]; ok {
-		return el.Value.(*mqEntry).count
+	if i, ok := m.index[page]; ok {
+		return m.nodes[i].count
 	}
 	return 0
 }
 
 // Remove drops page from the tracker (after it migrates on-package).
 func (m *MultiQueue) Remove(page uint64) {
-	if el, ok := m.index[page]; ok {
-		m.levels[el.Value.(*mqEntry).level].Remove(el)
+	if i, ok := m.index[page]; ok {
+		m.unlink(i)
 		delete(m.index, page)
+		m.release(i)
 	}
 }
 
-// Reset clears all entries, starting a fresh monitoring epoch.
+// Reset clears all entries, starting a fresh monitoring epoch. The index
+// map is cleared in place so its buckets (sized by earlier epochs) are
+// reused without reallocation.
 func (m *MultiQueue) Reset() {
-	for _, l := range m.levels {
-		l.Init()
-	}
-	m.index = make(map[uint64]*list.Element)
+	m.initLinks()
+	clear(m.index)
 }
 
 // Len returns the number of tracked pages.
@@ -138,4 +213,4 @@ func (m *MultiQueue) Len() int { return len(m.index) }
 // BitCost returns the hardware cost in bits: page ID per entry times
 // capacity, the accounting behind the paper's "size of multi-queue is 780
 // bits" for 3 levels x 10 entries.
-func (m *MultiQueue) BitCost() int { return m.bitsEntry * m.perLevel * len(m.levels) }
+func (m *MultiQueue) BitCost() int { return m.bitsEntry * m.perLevel * len(m.head) }

@@ -28,19 +28,43 @@ func restoreBools(d *snap.Decoder, bits []bool, what string) {
 	}
 }
 
+// snapshotBits writes a packed bitmap with the same framing as
+// snapshotBools, so the on-disk format is unchanged by the bitmap layout.
+func snapshotBits(e *snap.Encoder, w []uint64, n int) {
+	e.U32(uint32(n))
+	for i := 0; i < n; i++ {
+		e.Bool(bitGet(w, i))
+	}
+}
+
+// restoreBits reads the framing snapshotBits writes into a packed bitmap.
+func restoreBits(d *snap.Decoder, w []uint64, n int, what string) {
+	got := int(d.U32())
+	if d.Err() != nil {
+		return
+	}
+	if got != n {
+		d.Invalid("%s has %d slots, snapshot has %d", what, n, got)
+		return
+	}
+	for i := 0; i < n; i++ {
+		bitSet(w, i, d.Bool())
+	}
+}
+
 // SnapshotTo writes the reference bits, pin bits, and clock hand.
 func (c *ClockPLRU) SnapshotTo(e *snap.Encoder) {
-	snapshotBools(e, c.ref)
-	snapshotBools(e, c.pinned)
+	snapshotBits(e, c.ref, c.n)
+	snapshotBits(e, c.pinned, c.n)
 	e.U32(uint32(c.hand))
 }
 
 // RestoreFrom reads the state written by SnapshotTo.
 func (c *ClockPLRU) RestoreFrom(d *snap.Decoder) error {
-	restoreBools(d, c.ref, "clock")
-	restoreBools(d, c.pinned, "clock")
+	restoreBits(d, c.ref, c.n, "clock")
+	restoreBits(d, c.pinned, c.n, "clock")
 	c.hand = int(d.U32())
-	if d.Err() == nil && c.hand >= len(c.ref) {
+	if d.Err() == nil && c.hand >= c.n {
 		d.Invalid("clock hand %d out of range", c.hand)
 	}
 	return d.Err()
@@ -78,13 +102,12 @@ func (f *FIFOVictim) RestoreFrom(d *snap.Decoder) error {
 // SnapshotTo writes every tracked entry, level by level in LRU-to-MRU
 // order, so the lists and the index rebuild exactly.
 func (m *MultiQueue) SnapshotTo(e *snap.Encoder) {
-	e.U32(uint32(len(m.levels)))
-	for _, lv := range m.levels {
-		e.U32(uint32(lv.Len()))
-		for el := lv.Front(); el != nil; el = el.Next() {
-			ent := el.Value.(*mqEntry)
-			e.U64(ent.page)
-			e.U64(ent.count)
+	e.U32(uint32(len(m.head)))
+	for l := range m.head {
+		e.U32(uint32(m.sizes[l]))
+		for i := m.head[l]; i != mqNil; i = m.nodes[i].next {
+			e.U64(m.nodes[i].page)
+			e.U64(m.nodes[i].count)
 		}
 	}
 }
@@ -96,12 +119,12 @@ func (m *MultiQueue) RestoreFrom(d *snap.Decoder) error {
 	if d.Err() != nil {
 		return d.Err()
 	}
-	if nl != len(m.levels) {
-		d.Invalid("multi-queue has %d levels, snapshot has %d", len(m.levels), nl)
+	if nl != len(m.head) {
+		d.Invalid("multi-queue has %d levels, snapshot has %d", len(m.head), nl)
 		return d.Err()
 	}
 	m.Reset()
-	for l := range m.levels {
+	for l := range m.head {
 		n := int(d.U32())
 		if d.Err() != nil {
 			return d.Err()
@@ -111,15 +134,20 @@ func (m *MultiQueue) RestoreFrom(d *snap.Decoder) error {
 			return d.Err()
 		}
 		for i := 0; i < n; i++ {
-			ent := &mqEntry{page: d.U64(), count: d.U64(), level: l}
+			page := d.U64()
+			count := d.U64()
 			if d.Err() != nil {
 				return d.Err()
 			}
-			if _, dup := m.index[ent.page]; dup {
-				d.Invalid("multi-queue page %d appears twice", ent.page)
+			if _, dup := m.index[page]; dup {
+				d.Invalid("multi-queue page %d appears twice", page)
 				return d.Err()
 			}
-			m.index[ent.page] = m.levels[l].PushBack(ent)
+			node := m.alloc()
+			m.nodes[node].page = page
+			m.nodes[node].count = count
+			m.index[page] = node
+			m.pushBack(l, node)
 		}
 	}
 	return d.Err()

@@ -43,6 +43,14 @@ type Request struct {
 	// request re-arrives (Arrive is advanced past the backoff) and goes
 	// through arbitration again.
 	Attempts int
+
+	// Intrusive caller metadata: the memory controller records the access's
+	// origin and routing directly on the request, so it needs no
+	// pointer-keyed side table and can pool completed requests.
+	Phys    uint64
+	Machine uint64
+	Issue   int64
+	OnPkg   bool
 }
 
 // Latency returns the request's region-internal latency (queue + DRAM).
@@ -54,6 +62,10 @@ type BulkJob struct {
 	Duration int64  // total bus cycles the transfer needs
 	Earliest int64  // not schedulable before this cycle
 	Done     int64  // completion cycle, valid once the callback fires
+
+	// Meta is an opaque caller slot: the memory controller hangs its
+	// copy-leg state here instead of keying a side map on the job pointer.
+	Meta any
 
 	remaining int64
 	enqueued  int64

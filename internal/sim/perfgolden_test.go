@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"heteromem/internal/core"
+	"heteromem/internal/workload"
+)
+
+var updatePerfGoldens = flag.Bool("update", false, "rewrite the perf-rewrite byte-identity goldens")
+
+// perfGoldenConfig mirrors equivConfig but always runs with the invariant
+// auditor attached, so the goldens also pin that the audited pipeline is
+// observationally unchanged.
+func perfGoldenConfig(design core.Design, faults bool) Config {
+	cfg := equivConfig(design, faults)
+	cfg.Audit = true
+	return cfg
+}
+
+// TestPerfRewriteByteIdentical is the contract for the zero-allocation
+// data-path rewrite: for the seed workloads, every design × faults-on/off
+// combination (audit on) must produce a Result whose canonical JSON is
+// byte-identical to the goldens committed BEFORE the rewrite. The rewrite
+// must be observationally invisible except for speed; regenerate with
+// -update only for a real behavior bug, with justification in the PR.
+func TestPerfRewriteByteIdentical(t *testing.T) {
+	for _, wl := range []string{"pgbench", "SPEC2006"} {
+		for _, design := range []core.Design{core.DesignN, core.DesignN1, core.DesignLive} {
+			for _, faults := range []bool{false, true} {
+				name := fmt.Sprintf("%s/%v/faults=%v", wl, design, faults)
+				t.Run(name, func(t *testing.T) {
+					gen, err := workload.NewMemory(wl, 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(gen, perfGoldenConfig(design, faults))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := canonical(t, res)
+
+					file := fmt.Sprintf("%s_%s_faults%v.json", wl,
+						strings.ReplaceAll(design.String(), "-", ""), faults)
+					path := filepath.Join("testdata", "perf", file)
+					if *updatePerfGoldens {
+						if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(path, got, 0o644); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden (run with -update before the rewrite): %v", err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("result diverged from pre-rewrite golden %s:\n got %s\nwant %s", path, got, want)
+					}
+				})
+			}
+		}
+	}
+}

@@ -152,7 +152,9 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return math.MaxInt64
 }
 
-// Counter is a named monotonic counter set.
+// Counter is a named monotonic counter set. It is a convenience API for
+// report-time accounting; code on a per-record hot path should use a
+// CounterSet, which replaces the string hashing with an array index.
 type Counter struct {
 	names  []string
 	values map[string]uint64
@@ -171,22 +173,105 @@ func (c *Counter) Inc(name string, delta uint64) {
 	c.values[name] += delta
 }
 
-// Get returns the current value of name (zero if absent).
-func (c *Counter) Get(name string) uint64 { return c.values[name] }
+// Get returns the current value of name, registering it at zero if absent:
+// a read is a declaration of interest, so the name shows up in Names and
+// Snapshot instead of silently vanishing from reports.
+func (c *Counter) Get(name string) uint64 {
+	v, ok := c.values[name]
+	if !ok {
+		c.names = append(c.names, name)
+		c.values[name] = 0
+	}
+	return v
+}
 
-// Names returns counter names in first-use order.
-func (c *Counter) Names() []string { return append([]string(nil), c.names...) }
+// Names returns the registered counter names in sorted order, so report
+// output is deterministic regardless of first-use order.
+func (c *Counter) Names() []string {
+	names := append([]string(nil), c.names...)
+	sort.Strings(names)
+	return names
+}
 
 // Snapshot returns a sorted name=value dump.
 func (c *Counter) Snapshot() string {
-	keys := append([]string(nil), c.names...)
-	sort.Strings(keys)
 	var b strings.Builder
-	for i, k := range keys {
+	for i, k := range c.Names() {
 		if i > 0 {
 			b.WriteByte(' ')
 		}
 		fmt.Fprintf(&b, "%s=%d", k, c.values[k])
+	}
+	return b.String()
+}
+
+// CounterID indexes one counter of a CounterSet.
+type CounterID int
+
+// CounterSet is a fixed, enum-indexed set of monotonic counters: the hot
+// path increments a slot by integer index (one bounds-checked array write,
+// no hashing, no allocation) and the string names are only consulted at
+// report time. Declare the IDs as an iota enum matching the construction
+// order of the names.
+type CounterSet struct {
+	names  []string
+	values []uint64
+}
+
+// NewCounterSet builds a set with one slot per name, all zero.
+func NewCounterSet(names ...string) *CounterSet {
+	return &CounterSet{
+		names:  append([]string(nil), names...),
+		values: make([]uint64, len(names)),
+	}
+}
+
+// Inc adds delta to counter id. Out-of-range IDs are ignored.
+func (c *CounterSet) Inc(id CounterID, delta uint64) {
+	if id >= 0 && int(id) < len(c.values) {
+		c.values[id] += delta
+	}
+}
+
+// Get returns counter id's value (zero for out-of-range IDs).
+func (c *CounterSet) Get(id CounterID) uint64 {
+	if id >= 0 && int(id) < len(c.values) {
+		return c.values[id]
+	}
+	return 0
+}
+
+// Name returns counter id's report-time name.
+func (c *CounterSet) Name(id CounterID) string {
+	if id >= 0 && int(id) < len(c.names) {
+		return c.names[id]
+	}
+	return ""
+}
+
+// Len returns the number of counters.
+func (c *CounterSet) Len() int { return len(c.values) }
+
+// Reset zeroes every counter, keeping the names.
+func (c *CounterSet) Reset() {
+	for i := range c.values {
+		c.values[i] = 0
+	}
+}
+
+// Snapshot returns a sorted name=value dump, matching Counter.Snapshot.
+func (c *CounterSet) Snapshot() string {
+	idx := make([]int, len(c.names))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return c.names[idx[a]] < c.names[idx[b]] })
+	var b strings.Builder
+	for i, k := range idx {
+		if i > 0 {
+			b.WriteByte(' ')
+		}
+		fmt.Fprintf(&b, "%s=%d", c.names[k], c.values[k])
 	}
 	return b.String()
 }

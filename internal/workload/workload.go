@@ -2,9 +2,8 @@ package workload
 
 import (
 	"fmt"
-	"heteromem/internal/rng"
-	"sort"
 
+	"heteromem/internal/rng"
 	"heteromem/internal/trace"
 )
 
@@ -38,16 +37,23 @@ func (s Spec) Footprint() uint64 {
 	return f
 }
 
-// Generator emits the trace of a Spec; it implements trace.Source.
+// Generator emits the trace of a Spec; it implements trace.Source. The
+// per-component fields consulted on every record (region, write fraction)
+// are mirrored into parallel slices so the hot loop never copies a whole
+// Component struct out of the spec.
 type Generator struct {
-	spec    Spec
-	rng     *rng.Rand
-	streams []stream
-	bases   []uint64
-	cum     []int // cumulative weights
-	total   int
-	cycle   uint64
-	n       uint64
+	spec       Spec
+	rng        *rng.Rand
+	streams    []stream
+	bases      []uint64
+	regions    []uint64
+	writeFracs []float64
+	cum        []int // cumulative weights
+	total      int
+	meanGap    float64
+	cores      int
+	cycle      uint64
+	n          uint64
 }
 
 // New builds a deterministic generator for spec with the given seed.
@@ -58,7 +64,10 @@ func New(spec Spec, seed int64) (*Generator, error) {
 	if spec.MeanGap <= 0 {
 		return nil, fmt.Errorf("workload %q: mean gap must be positive", spec.Name)
 	}
-	g := &Generator{spec: spec, rng: rng.New(uint64(seed))}
+	g := &Generator{spec: spec, rng: rng.New(uint64(seed)), meanGap: spec.MeanGap, cores: spec.Cores}
+	if g.cores <= 0 {
+		g.cores = 4
+	}
 	var base uint64
 	total := 0
 	for _, c := range spec.Components {
@@ -67,6 +76,8 @@ func New(spec Spec, seed int64) (*Generator, error) {
 		}
 		g.streams = append(g.streams, c.Make(g.rng, c.Region))
 		g.bases = append(g.bases, base)
+		g.regions = append(g.regions, c.Region)
+		g.writeFracs = append(g.writeFracs, c.WriteFrac)
 		base += c.Region
 		total += c.Weight
 		g.cum = append(g.cum, total)
@@ -85,29 +96,31 @@ func (g *Generator) Footprint() uint64 { return g.spec.Footprint() }
 // trace.NewLimit for a finite run.
 func (g *Generator) Next() (trace.Record, error) {
 	w := g.rng.Intn(g.total)
-	i := sort.SearchInts(g.cum, w+1)
-	c := g.spec.Components[i]
+	// Pick the component whose cumulative-weight bucket holds w. Component
+	// counts are tiny (a handful per spec), so a linear scan beats the
+	// binary search's branches; the picked index is identical.
+	i := 0
+	for g.cum[i] <= w {
+		i++
+	}
+	region := g.regions[i]
 	off := g.streams[i].next(g.rng)
-	if off >= c.Region {
-		off %= c.Region
+	if off >= region {
+		off %= region
 	}
 	addr := g.bases[i] + off
 
-	gap := g.rng.ExpFloat64() * g.spec.MeanGap
+	gap := g.rng.ExpFloat64() * g.meanGap
 	if gap < 1 {
 		gap = 1
 	}
 	g.cycle += uint64(gap)
-	cores := g.spec.Cores
-	if cores <= 0 {
-		cores = 4
-	}
 	g.n++
 	return trace.Record{
 		Cycle: g.cycle,
 		Addr:  addr,
-		CPU:   uint8(g.rng.Intn(cores)),
-		Write: g.rng.Float64() < c.WriteFrac,
+		CPU:   uint8(g.rng.Intn(g.cores)),
+		Write: g.rng.Float64() < g.writeFracs[i],
 	}, nil
 }
 

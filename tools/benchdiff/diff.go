@@ -1,0 +1,125 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// Benchmark and Report mirror the bench2json output schema; benchdiff only
+// reads the fields it compares.
+type Benchmark struct {
+	Name    string             `json:"name"`
+	Metrics map[string]float64 `json:"metrics"`
+}
+
+// Report is the envelope of one archived benchmark run.
+type Report struct {
+	Benchmarks []Benchmark `json:"benchmarks"`
+}
+
+// Row is the comparison of one benchmark across the two runs.
+type Row struct {
+	Name      string
+	OldNs     float64
+	NewNs     float64
+	Speedup   float64 // old/new; >1 means the new run is faster
+	OldAllocs float64
+	NewAllocs float64
+	Regressed bool
+}
+
+func load(path string) (*Report, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var rep Report
+	if err := json.Unmarshal(data, &rep); err != nil {
+		return nil, fmt.Errorf("%s: %v", path, err)
+	}
+	return &rep, nil
+}
+
+// Diff compares every benchmark present in both reports, in name order. A
+// benchmark regresses when its ns/op grew past threshold AND by more than
+// noise nanoseconds — the absolute floor keeps timer jitter on
+// sub-microsecond benchmarks from tripping a purely relative gate — or
+// when its allocs/op grew by more than allocSlack (allocation counts are
+// exact, so no noise floor applies). Benchmarks present in only one report
+// are skipped: additions and removals are not regressions.
+func Diff(old, new_ *Report, threshold, allocSlack, noise float64) (rows []Row, regressions int) {
+	byName := fold(old)
+	for _, nb := range fold(new_).ordered {
+		ob, ok := byName.m[nb.Name]
+		if !ok {
+			continue
+		}
+		r := Row{
+			Name:      nb.Name,
+			OldNs:     ob.Metrics["ns/op"],
+			NewNs:     nb.Metrics["ns/op"],
+			OldAllocs: ob.Metrics["allocs/op"],
+			NewAllocs: nb.Metrics["allocs/op"],
+		}
+		if r.NewNs > 0 {
+			r.Speedup = r.OldNs / r.NewNs
+		}
+		if r.OldNs > 0 && r.NewNs > r.OldNs*threshold && r.NewNs-r.OldNs > noise {
+			r.Regressed = true
+		}
+		if r.NewAllocs > r.OldAllocs+allocSlack {
+			r.Regressed = true
+		}
+		if r.Regressed {
+			regressions++
+		}
+		rows = append(rows, r)
+	}
+	sort.Slice(rows, func(i, j int) bool { return rows[i].Name < rows[j].Name })
+	return rows, regressions
+}
+
+// folded is a report reduced to one entry per benchmark name.
+type folded struct {
+	m       map[string]Benchmark
+	ordered []Benchmark
+}
+
+// fold collapses repeated entries for the same benchmark (a `-count=N`
+// run) into one, keeping the minimum of each compared metric: the best
+// observed sample measures the code's cost, the rest measure scheduler
+// interference, so comparing minima makes the gate robust on noisy hosts.
+func fold(rep *Report) folded {
+	f := folded{m: make(map[string]Benchmark, len(rep.Benchmarks))}
+	for _, b := range rep.Benchmarks {
+		prev, ok := f.m[b.Name]
+		if !ok {
+			f.m[b.Name] = b
+			f.ordered = append(f.ordered, b)
+			continue
+		}
+		merged := Benchmark{Name: b.Name, Metrics: map[string]float64{}}
+		for k, v := range prev.Metrics {
+			merged.Metrics[k] = v
+		}
+		for _, k := range []string{"ns/op", "allocs/op"} {
+			v, ok := b.Metrics[k]
+			if !ok {
+				continue
+			}
+			if pv, ok := merged.Metrics[k]; !ok || v < pv {
+				merged.Metrics[k] = v
+			}
+		}
+		f.m[b.Name] = merged
+		for i := range f.ordered {
+			if f.ordered[i].Name == b.Name {
+				f.ordered[i] = merged
+				break
+			}
+		}
+	}
+	return f
+}

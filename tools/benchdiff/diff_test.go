@@ -1,0 +1,90 @@
+package main
+
+import "testing"
+
+func rep(bs ...Benchmark) *Report { return &Report{Benchmarks: bs} }
+
+func bench(name string, ns, allocs float64) Benchmark {
+	return Benchmark{Name: name, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
+}
+
+func TestDiffSpeedupAndOrder(t *testing.T) {
+	old := rep(bench("Zeta", 100, 4), bench("Alpha", 200, 8))
+	new_ := rep(bench("Alpha", 100, 8), bench("Zeta", 100, 4))
+	rows, regressions := Diff(old, new_, 1.10, 0, 0)
+	if regressions != 0 {
+		t.Fatalf("regressions = %d, want 0", regressions)
+	}
+	if len(rows) != 2 || rows[0].Name != "Alpha" || rows[1].Name != "Zeta" {
+		t.Fatalf("rows not sorted by name: %+v", rows)
+	}
+	if rows[0].Speedup != 2.0 {
+		t.Fatalf("Alpha speedup = %f, want 2", rows[0].Speedup)
+	}
+}
+
+func TestDiffNsRegression(t *testing.T) {
+	old := rep(bench("A", 100, 0))
+	// 15% slower with a 10% threshold: regression.
+	rows, regressions := Diff(old, rep(bench("A", 115, 0)), 1.10, 0, 0)
+	if regressions != 1 || !rows[0].Regressed {
+		t.Fatalf("want ns/op regression, got %+v", rows)
+	}
+	// 5% slower is inside the threshold.
+	_, regressions = Diff(old, rep(bench("A", 105, 0)), 1.10, 0, 0)
+	if regressions != 0 {
+		t.Fatalf("5%% slowdown flagged at 10%% threshold")
+	}
+}
+
+func TestDiffAllocRegression(t *testing.T) {
+	old := rep(bench("A", 100, 2))
+	_, regressions := Diff(old, rep(bench("A", 100, 3)), 1.10, 0, 0)
+	if regressions != 1 {
+		t.Fatal("alloc growth not flagged with zero slack")
+	}
+	_, regressions = Diff(old, rep(bench("A", 100, 3)), 1.10, 1, 0)
+	if regressions != 0 {
+		t.Fatal("alloc growth inside slack flagged")
+	}
+}
+
+// A relative slowdown under the absolute noise floor is jitter, not a
+// regression; past the floor the ratio threshold governs again.
+func TestDiffNoiseFloor(t *testing.T) {
+	old := rep(bench("Micro", 80, 0))
+	_, regressions := Diff(old, rep(bench("Micro", 100, 0)), 1.10, 0, 50)
+	if regressions != 0 {
+		t.Fatal("20ns growth under a 50ns floor flagged")
+	}
+	_, regressions = Diff(old, rep(bench("Micro", 140, 0)), 1.10, 0, 50)
+	if regressions != 1 {
+		t.Fatal("60ns growth past the floor not flagged")
+	}
+}
+
+// A -count=N archive holds repeated entries per benchmark; the diff folds
+// them to the per-metric minimum before comparing.
+func TestDiffFoldsRepeatedEntries(t *testing.T) {
+	old := rep(bench("A", 100, 3), bench("A", 90, 2), bench("A", 120, 3))
+	new_ := rep(bench("A", 200, 2), bench("A", 95, 2))
+	rows, regressions := Diff(old, new_, 1.10, 0, 0)
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v, want 1 folded row", rows)
+	}
+	r := rows[0]
+	if r.OldNs != 90 || r.NewNs != 95 || r.OldAllocs != 2 || r.NewAllocs != 2 {
+		t.Fatalf("folded minima wrong: %+v", r)
+	}
+	if regressions != 0 {
+		t.Fatal("95 vs 90 within 10%: no regression expected")
+	}
+}
+
+func TestDiffSkipsUnmatched(t *testing.T) {
+	old := rep(bench("OnlyOld", 100, 0), bench("Common", 100, 0))
+	rows, regressions := Diff(old, rep(bench("Common", 50, 0), bench("OnlyNew", 1, 0)), 1.10, 0, 0)
+	if len(rows) != 1 || rows[0].Name != "Common" || regressions != 0 {
+		t.Fatalf("unmatched benchmarks not skipped: %+v", rows)
+	}
+}

@@ -1,0 +1,71 @@
+// Command benchdiff compares two archived benchmark JSON files (the
+// bench2json output that `make bench` writes) and fails when the new run
+// regresses past a threshold, so performance changes are gated the same
+// way correctness is: `make benchdiff OLD=BENCH_pr4.json NEW=BENCH_pr5.json`.
+//
+// Archives produced with -count=N hold repeated entries per benchmark;
+// those fold to the per-metric minimum (the best sample measures the
+// code, the rest measure scheduler interference). For every benchmark
+// present in both files it reports the ns/op speedup (old/new, so >1 is
+// faster) and the allocs/op delta. The exit status is
+// non-zero if any common benchmark got slower than -threshold allows (and
+// by more than the -noise jitter floor in absolute ns/op) or grew its
+// allocations beyond -alloc-slack.
+//
+// Usage:
+//
+//	benchdiff [-threshold 1.10] [-alloc-slack 0] [-noise 50] OLD.json NEW.json
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+)
+
+func main() {
+	threshold := flag.Float64("threshold", 1.10, "max allowed ns/op ratio new/old before failing (1.10 = 10% slower)")
+	allocSlack := flag.Float64("alloc-slack", 0, "allocs/op increase allowed before failing")
+	noise := flag.Float64("noise", 50, "absolute ns/op growth a regression must also exceed (jitter floor for sub-microsecond benchmarks)")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 2 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	old, err := load(flag.Arg(0))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+	new_, err := load(flag.Arg(1))
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchdiff:", err)
+		os.Exit(1)
+	}
+
+	rows, regressions := Diff(old, new_, *threshold, *allocSlack, *noise)
+	if len(rows) == 0 {
+		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
+		os.Exit(1)
+	}
+	fmt.Printf("%-40s %14s %14s %8s %12s %12s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	for _, r := range rows {
+		mark := ""
+		if r.Regressed {
+			mark = "  << REGRESSION"
+		}
+		fmt.Printf("%-40s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
+			r.Name, r.OldNs, r.NewNs, r.Speedup, r.OldAllocs, r.NewAllocs, mark)
+	}
+	if regressions > 0 {
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past threshold %.2f (alloc slack %.0f)\n",
+			regressions, *threshold, *allocSlack)
+		os.Exit(1)
+	}
+}
