@@ -37,6 +37,7 @@ fuzz-regression:
 	$(GO) test ./internal/trace/ -run 'Fuzz'
 	$(GO) test ./internal/fault/ -run 'Fuzz'
 	$(GO) test ./internal/snap/ -run 'Fuzz'
+	$(GO) test ./internal/addr/ -run 'Fuzz'
 
 # Active fuzzing (not part of ci; run locally when touching the parsers).
 FUZZTIME ?= 30s
@@ -45,14 +46,15 @@ fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snap/ -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/addr/ -fuzz FuzzAddressMapping -fuzztime $(FUZZTIME)
 
 # Benchmarks: the raw text is benchstat input, the JSON is the archived
 # machine-readable form; both default to per-PR names so history is kept
 # side by side. Compare the TemporalObservabilityOff/On pair to bound the
 # tracing overhead and the CheckpointOff/On pair to bound the checkpoint
 # serialization overhead.
-BENCH_TXT ?= BENCH_pr5.txt
-BENCH_JSON ?= BENCH_pr5.json
+BENCH_TXT ?= BENCH_pr6.txt
+BENCH_JSON ?= BENCH_pr6.json
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
@@ -62,9 +64,9 @@ bench:
 # slower than OLD past the threshold (default 10%, with an absolute ns/op
 # jitter floor) or allocates more. -count'ed archives are folded to each
 # benchmark's best sample, so the gate compares code, not host load.
-#   make benchdiff OLD=BENCH_pr4.json NEW=BENCH_pr5.json
-OLD ?= BENCH_pr4.json
-NEW ?= BENCH_pr5.json
+#   make benchdiff OLD=BENCH_pr5.json NEW=BENCH_pr6.json
+OLD ?= BENCH_pr5.json
+NEW ?= BENCH_pr6.json
 benchdiff:
 	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 

@@ -307,6 +307,78 @@ func BenchmarkAccessPath(b *testing.B) {
 	}
 }
 
+// benchAccessPathSharded drives Hub.Access — channel routing plus the shard
+// controller's pipeline — the same way benchAccessPath drives a bare
+// controller, so the sharded ns/op and allocs/op are directly comparable.
+// The access path must stay allocation-free at every channel count (the
+// hard gate is memctrl's TestHubZeroAllocAccess; the benchmark archives the
+// numbers).
+func benchAccessPathSharded(b *testing.B, channels int) {
+	scfg := sim.Default()
+	scfg.Geometry.MacroPageSize = 64 * KiB
+	mcfg := memctrl.Config{
+		Geometry:  scfg.Geometry,
+		Latencies: scfg.Latencies,
+		OffTiming: scfg.OffTiming,
+		OnTiming:  scfg.OnTiming,
+		Sched:     scfg.Sched,
+		Migration: &core.Options{Design: core.DesignLive, SwapInterval: 1000},
+	}
+	hub, err := memctrl.NewHub(mcfg, memctrl.HubConfig{Channels: channels}, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	type rec struct {
+		addr  uint64
+		gap   int64
+		write bool
+	}
+	const n = 1 << 15
+	recs := make([]rec, n)
+	var prev uint64
+	for i := range recs {
+		r, err := gen.Next()
+		if err != nil {
+			b.Fatal(err)
+		}
+		recs[i] = rec{addr: r.Addr, gap: int64(r.Cycle - prev), write: r.Write}
+		prev = r.Cycle
+	}
+	var cycle int64
+	for _, r := range recs {
+		cycle += r.gap
+		if err := hub.Access(r.addr, r.write, cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r := recs[i&(n-1)]
+		cycle += r.gap
+		if err := hub.Access(r.addr, r.write, cycle); err != nil {
+			b.Fatal(err)
+		}
+	}
+	hub.Flush()
+	if err := hub.Err(); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "records/s")
+}
+
+func BenchmarkAccessPathSharded(b *testing.B) {
+	for _, channels := range []int{1, 2, 4} {
+		b.Run(map[int]string{1: "c1", 2: "c2", 4: "c4"}[channels], func(b *testing.B) {
+			benchAccessPathSharded(b, channels)
+		})
+	}
+}
+
 func BenchmarkTranslationTableLookup(b *testing.B) {
 	mig, err := core.NewMigrator(core.Options{
 		Design: core.DesignLive, Slots: 128, TotalPages: 1024,

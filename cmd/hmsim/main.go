@@ -43,6 +43,7 @@ func main() {
 		warmup    = flag.Uint64("warmup", 0, "warmup records excluded from statistics (0 = records/2)")
 		seed      = flag.Int64("seed", 1, "workload generator seed")
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
+		channels  = flag.Int("channels", 0, "shard the controller across this many channels (power of two; 0 or 1 = single controller); sharded runs execute deterministically in parallel")
 		timeout   = flag.Duration("timeout", 0, "experiment mode: wall-clock budget; exceeded runs abort between simulations")
 		listen    = flag.String("listen", "", "experiment mode: serve live sweep telemetry (/metrics, /progress, pprof) on this address, e.g. :8080 or :0")
 		manifest  = flag.String("manifest", "", "experiment mode: record completed runs in this JSONL file and skip cells it already holds (crash-resilient sweeps)")
@@ -133,6 +134,9 @@ func main() {
 	if *events < 0 {
 		usageErr("-events must be >= 0, got %d", *events)
 	}
+	if *channels < 0 {
+		usageErr("-channels must be >= 0, got %d", *channels)
+	}
 	if *records > 0 && *warmup >= *records {
 		usageErr("-warmup (%d) must be smaller than -records (%d)", *warmup, *records)
 	}
@@ -185,7 +189,8 @@ func main() {
 		}
 		runErr := singleRun(os.Stdout, singleRunConfig{
 			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
-			Records: *records, Warmup: *warmup, Seed: *seed,
+			Channels: *channels,
+			Records:  *records, Warmup: *warmup, Seed: *seed,
 			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
 			TraceOut: *traceOut, SeriesOut: *seriesOut,
 			CheckpointOut: *ckOut, CheckpointEvery: *ckEvery, ResumeFrom: *resume,
@@ -224,7 +229,7 @@ func main() {
 		usageErr("-exp or -workload required (use -list to see experiments)")
 	}
 
-	p := experiments.Params{Records: *records, Warmup: *warmup, Seed: *seed}
+	p := experiments.Params{Records: *records, Warmup: *warmup, Seed: *seed, Channels: *channels}
 	if *workloads != "" {
 		p.Workloads = strings.Split(*workloads, ",")
 	}
@@ -372,6 +377,7 @@ type singleRunConfig struct {
 	Design   designChoice
 	Interval uint64
 	Page     uint64
+	Channels int
 	Records  uint64
 	Warmup   uint64
 	Seed     int64
@@ -394,6 +400,7 @@ type singleRunOutput struct {
 	Design   string
 	Interval uint64
 	PageSize uint64 `json:",omitempty"`
+	Channels int    `json:",omitempty"`
 	Records  uint64
 	Seed     int64
 	Result   heteromem.Result
@@ -402,6 +409,7 @@ type singleRunOutput struct {
 func singleRun(w io.Writer, c singleRunConfig) error {
 	cfg := heteromem.Config{
 		MacroPageSize: c.Page,
+		Channels:      c.Channels,
 		Warmup:        c.Warmup,
 		Metrics:       c.Metrics,
 		EventTrace:    c.Events,
@@ -467,6 +475,7 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 		Design:   c.Design.name,
 		Interval: c.Interval,
 		PageSize: c.Page,
+		Channels: c.Channels,
 		Records:  res.Records,
 		Seed:     c.Seed,
 		Result:   res,

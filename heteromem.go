@@ -81,6 +81,24 @@ type Config struct {
 
 	Migration Migration
 
+	// Channels shards the memory system across this many per-channel
+	// controllers (a power of two; 0 and 1 both mean a single controller).
+	// The address space stripes across channels at InterleaveBytes
+	// granularity and the simulation executes deterministically in parallel,
+	// one goroutine per channel. Cross-channel swap copy legs pay a fixed
+	// interconnect hop (HopLatency).
+	Channels int
+
+	// InterleaveBytes is the channel-striping granularity (0 = the macro
+	// page size). Must be a power-of-two multiple of the macro page size so
+	// a macro page — the migration unit — lives wholly inside one channel.
+	InterleaveBytes uint64
+
+	// HopLatency is the cross-channel interconnect hop in cycles charged on
+	// sharded swap copy legs (0 selects the default; single-channel systems
+	// never charge a hop).
+	HopLatency int64
+
 	// OSAssisted charges the OS table-update overhead each epoch; when
 	// false the library follows the paper's feasibility rule automatically
 	// (pure hardware for pages >= 1 MB, OS-assisted below).
@@ -190,6 +208,9 @@ func New(c Config) (*System, error) {
 		}
 		scfg.OSAssisted = c.OSAssisted || scfg.Geometry.MacroPageSize < 1*MiB
 	}
+	scfg.Channels = c.Channels
+	scfg.InterleaveBytes = c.InterleaveBytes
+	scfg.HopLatency = c.HopLatency
 	scfg.MeterPower = c.MeterPower
 	scfg.Warmup = c.Warmup
 	scfg.Metrics = c.Metrics

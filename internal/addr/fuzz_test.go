@@ -1,0 +1,50 @@
+package addr
+
+import "testing"
+
+// FuzzAddressMapping drives NewMapping with arbitrary field layouts. Each
+// field arrives packed in a uint16 (low byte width, high byte offset).
+// Invalid layouts (overlap, out of range) must be rejected with an error —
+// never a panic — and every accepted layout must be a Decode/Encode
+// bijection for the fuzzed address.
+func FuzzAddressMapping(f *testing.F) {
+	pack := func(width, offset uint8) uint16 { return uint16(offset)<<8 | uint16(width) }
+	// The Table III-ish layout: column 11, bank 3, row 8, channel 2, rank 2.
+	f.Add(pack(2, 22), pack(2, 30), pack(3, 11), pack(8, 14), pack(11, 0), uint64(0x1234_5678_9abc))
+	// Empty mapping: everything flows through Rest.
+	f.Add(uint16(0), uint16(0), uint16(0), uint16(0), uint16(0), uint64(42))
+	// Overlapping channel/rank fields: must be rejected.
+	f.Add(pack(4, 10), pack(4, 12), uint16(0), uint16(0), uint16(0), ^uint64(0))
+	// Field spilling past bit 48: must be rejected.
+	f.Add(pack(8, 44), uint16(0), uint16(0), uint16(0), uint16(0), uint64(1))
+	// Full 48-bit single field.
+	f.Add(pack(48, 0), uint16(0), uint16(0), uint16(0), uint16(0), Mask)
+	f.Fuzz(func(t *testing.T, ch, rank, bank, row, col uint16, a uint64) {
+		unpack := func(v uint16) BitField {
+			return BitField{Width: uint(v & 0xff), Offset: uint(v >> 8)}
+		}
+		m, err := NewMapping(unpack(ch), unpack(rank), unpack(bank), unpack(row), unpack(col))
+		if err != nil {
+			return
+		}
+		c := m.Decode(a)
+		if got := m.Encode(c); got != a&Mask {
+			t.Fatalf("Encode(Decode(%#x)) = %#x (coord %+v)", a, got, c)
+		}
+		if c2 := m.Decode(m.Encode(c)); c2 != c {
+			t.Fatalf("Decode(Encode(%+v)) = %+v", c, c2)
+		}
+		// The coordinate widths must respect the field widths.
+		for _, fc := range []struct {
+			f BitField
+			v uint64
+		}{
+			{unpack(ch), c.Channel}, {unpack(rank), c.Rank}, {unpack(bank), c.Bank},
+			{unpack(row), c.Row}, {unpack(col), c.Column},
+		} {
+			if fc.f.Width < 64 && fc.v>>fc.f.Width != 0 {
+				t.Fatalf("coordinate %#x wider than its %d-bit field", fc.v, fc.f.Width)
+			}
+		}
+	})
+}

@@ -1,0 +1,193 @@
+package addr
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func mustMapping(t *testing.T, ch, rank, bank, row, col BitField) *Mapping {
+	t.Helper()
+	m, err := NewMapping(ch, rank, bank, row, col)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestMappingRejectsOverlap(t *testing.T) {
+	_, err := NewMapping(
+		BitField{Width: 2, Offset: 10},
+		BitField{Width: 2, Offset: 11}, // overlaps channel bit 11
+		BitField{}, BitField{}, BitField{},
+	)
+	if err == nil {
+		t.Fatal("overlapping fields accepted")
+	}
+}
+
+func TestMappingRejectsOutOfRange(t *testing.T) {
+	cases := []BitField{
+		{Width: 2, Offset: 47},  // spills past bit 48
+		{Width: 49, Offset: 0},  // wider than the space
+		{Width: 1, Offset: 48},  // entirely outside
+		{Width: 1, Offset: 200}, // far outside
+	}
+	for _, f := range cases {
+		if _, err := NewMapping(f, BitField{}, BitField{}, BitField{}, BitField{}); err == nil {
+			t.Fatalf("out-of-range field %+v accepted", f)
+		}
+	}
+}
+
+func TestMappingZeroWidthFieldsAllowed(t *testing.T) {
+	m := mustMapping(t, BitField{}, BitField{}, BitField{}, BitField{}, BitField{})
+	if m.RestWidth() != Bits {
+		t.Fatalf("empty mapping rest width = %d, want %d", m.RestWidth(), Bits)
+	}
+	const a = 0x1234_5678_9abc
+	if got := m.Encode(m.Decode(a)); got != a {
+		t.Fatalf("empty mapping round trip %#x -> %#x", a, got)
+	}
+}
+
+// TestMappingRoundTripRandomLayouts is the bijection property test: for
+// randomized non-overlapping layouts, Encode(Decode(a)) == a&Mask and
+// Decode(Encode(c)) == c.
+func TestMappingRoundTripRandomLayouts(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for layout := 0; layout < 200; layout++ {
+		m := randomMapping(rng)
+		for i := 0; i < 200; i++ {
+			a := rng.Uint64() & Mask
+			c := m.Decode(a)
+			if got := m.Encode(c); got != a {
+				t.Fatalf("layout %d: Encode(Decode(%#x)) = %#x (coord %+v)", layout, a, got, c)
+			}
+			if c2 := m.Decode(m.Encode(c)); c2 != c {
+				t.Fatalf("layout %d: Decode(Encode(%+v)) = %+v", layout, c, c2)
+			}
+		}
+		// The address space edges must round-trip too.
+		for _, a := range []uint64{0, 1, Mask, Mask - 1, ^uint64(0)} {
+			if got := m.Encode(m.Decode(a)); got != a&Mask {
+				t.Fatalf("layout %d: edge %#x -> %#x", layout, a, got)
+			}
+		}
+	}
+}
+
+// randomMapping builds a random valid layout by shuffling disjoint field
+// positions into the 48-bit space.
+func randomMapping(rng *rand.Rand) *Mapping {
+	var fields [5]BitField
+	pos := uint(0)
+	order := rng.Perm(5)
+	for _, idx := range order {
+		if pos >= Bits {
+			break
+		}
+		// Random gap, then a random-width field (width 0 sometimes).
+		pos += uint(rng.Intn(6))
+		if pos >= Bits {
+			break
+		}
+		w := uint(rng.Intn(9))
+		if pos+w > Bits {
+			w = Bits - pos
+		}
+		fields[idx] = BitField{Width: w, Offset: pos}
+		pos += w
+	}
+	m, err := NewMapping(fields[0], fields[1], fields[2], fields[3], fields[4])
+	if err != nil {
+		panic(err)
+	}
+	return m
+}
+
+func TestInterleaveValidation(t *testing.T) {
+	if _, err := NewInterleave(3, 4096); err == nil {
+		t.Fatal("non-power-of-two channel count accepted")
+	}
+	if _, err := NewInterleave(0, 4096); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := NewInterleave(4, 4095); err == nil {
+		t.Fatal("non-power-of-two granularity accepted")
+	}
+	if _, err := NewInterleave(4, 0); err == nil {
+		t.Fatal("zero granularity accepted")
+	}
+	if _, err := NewInterleave(4, uint64(1)<<47); err == nil {
+		t.Fatal("channel field past bit 48 accepted")
+	}
+}
+
+func TestInterleaveRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	for _, channels := range []int{1, 2, 4, 8, 16} {
+		for _, gran := range []uint64{4 * KiB, 64 * KiB, 4 * MiB} {
+			iv, err := NewInterleave(channels, gran)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if iv.Channels() != channels || iv.Granularity() != gran {
+				t.Fatalf("iv reports %d/%d, want %d/%d", iv.Channels(), iv.Granularity(), channels, gran)
+			}
+			for i := 0; i < 2000; i++ {
+				a := rng.Uint64() & Mask
+				ch := iv.ChannelOf(a)
+				if ch < 0 || ch >= channels {
+					t.Fatalf("channel %d out of range", ch)
+				}
+				// The channel is the striping unit index modulo the count.
+				if want := int((a / gran) % uint64(channels)); ch != want {
+					t.Fatalf("ChannelOf(%#x) = %d, want stripe %d", a, ch, want)
+				}
+				if got := iv.Global(ch, iv.Local(a)); got != a {
+					t.Fatalf("Global(ChannelOf, Local)(%#x) = %#x", a, got)
+				}
+			}
+		}
+	}
+}
+
+// TestInterleaveLocalIsContiguous pins the compaction shape: consecutive
+// granularity-units on one channel are consecutive in local space.
+func TestInterleaveLocalIsContiguous(t *testing.T) {
+	iv, err := NewInterleave(4, 4*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for unit := uint64(0); unit < 64; unit++ {
+		global := unit * 4 * KiB * 4 // unit i of channel 0 (stride = channels * gran)
+		if got, want := iv.Local(global), unit*4*KiB; got != want {
+			t.Fatalf("Local(unit %d) = %#x, want %#x", unit, got, want)
+		}
+		if iv.ChannelOf(global) != 0 {
+			t.Fatalf("unit %d not on channel 0", unit)
+		}
+	}
+}
+
+// TestInterleaveMatchesMapping cross-checks the fast path against the
+// general bit-field decode it specializes.
+func TestInterleaveMatchesMapping(t *testing.T) {
+	iv, err := NewInterleave(8, 64*KiB)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := iv.Mapping()
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 5000; i++ {
+		a := rng.Uint64() & Mask
+		if got, want := iv.ChannelOf(a), m.ChannelOf(a); got != want {
+			t.Fatalf("ChannelOf(%#x): interleave %d, mapping %d", a, got, want)
+		}
+		c := m.Decode(a)
+		// Local address = unit index (Row) over the intra-unit offset (Column).
+		if want := c.Row<<16 | c.Column; iv.Local(a) != want {
+			t.Fatalf("Local(%#x) = %#x, mapping says %#x", a, iv.Local(a), want)
+		}
+	}
+}

@@ -104,6 +104,34 @@ func (m MemoryGeometry) OnPackageSlots() uint64 { return m.OnPackageCapacity / m
 // TotalPages returns the number of macro pages covering the whole space.
 func (m MemoryGeometry) TotalPages() uint64 { return m.TotalCapacity / m.MacroPageSize }
 
+// Shard returns the geometry of one channel of an n-way channel-sharded
+// machine: both capacities divide by n while the per-region device
+// structure (channels, banks, rows) is unchanged — sharding scales the
+// machine out across n controller instances, each owning a full-width
+// slice of devices. n must be a positive power of two and both capacities
+// must split into whole macro pages.
+func (m MemoryGeometry) Shard(n int) (MemoryGeometry, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return MemoryGeometry{}, fmt.Errorf("config: shard count %d must be a positive power of two", n)
+	}
+	if n == 1 {
+		return m, nil
+	}
+	if m.TotalCapacity%(uint64(n)*m.MacroPageSize) != 0 {
+		return MemoryGeometry{}, fmt.Errorf("config: total capacity %d does not split into %d shards of whole macro pages", m.TotalCapacity, n)
+	}
+	if m.OnPackageCapacity%(uint64(n)*m.MacroPageSize) != 0 {
+		return MemoryGeometry{}, fmt.Errorf("config: on-package capacity %d does not split into %d shards of whole macro pages", m.OnPackageCapacity, n)
+	}
+	s := m
+	s.TotalCapacity /= uint64(n)
+	s.OnPackageCapacity /= uint64(n)
+	if err := s.Validate(); err != nil {
+		return MemoryGeometry{}, fmt.Errorf("config: %d-way shard geometry invalid: %w", n, err)
+	}
+	return s, nil
+}
+
 // Validate checks the geometry for internal consistency.
 func (m MemoryGeometry) Validate() error {
 	switch {

@@ -101,6 +101,22 @@ type Stats struct {
 	SlotsRetired    uint64 // on-package slots taken out of service
 }
 
+// Merge folds another migrator's statistics into s (every field is a
+// monotonic count, so the machine-wide view of per-channel migrators is
+// their field-wise sum).
+func (s *Stats) Merge(other Stats) {
+	s.Epochs += other.Epochs
+	s.SwapsStarted += other.SwapsStarted
+	s.SwapsCompleted += other.SwapsCompleted
+	s.TriggersBlocked += other.TriggersBlocked
+	s.TriggersCold += other.TriggersCold
+	s.PagesCopied += other.PagesCopied
+	s.BytesCopied += other.BytesCopied
+	s.LiveEarlyHits += other.LiveEarlyHits
+	s.SwapsRolledBack += other.SwapsRolledBack
+	s.SlotsRetired += other.SlotsRetired
+}
+
 // Migrator is the migration controller of Fig. 3: it owns the translation
 // table, the hotness trackers, and the in-flight swap state, and hands the
 // simulator the copy traffic to execute.

@@ -248,6 +248,9 @@ func (p Params) forEach(ctx context.Context, n, workers int, fn func(i int) erro
 // is recorded in the manifest before its result is returned. Without
 // either, it is exactly the plain runTrace.
 func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
+	if p.Channels > 1 {
+		cfg.Channels = p.Channels
+	}
 	t := p.Telemetry
 	if p.Manifest != nil {
 		if res, ok, err := p.Manifest.lookup(name, p.seed(), cfg); err != nil {

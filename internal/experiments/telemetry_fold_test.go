@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"math/rand"
+	"sort"
+	"strings"
+	"testing"
+
+	"heteromem/internal/obs"
+)
+
+// TestTelemetryFoldShuffledCompletion pins the sweep-telemetry contract for
+// sharded runs: per-channel metric snapshots folding in ANY completion
+// order — channels of a parallel run finish in nondeterministic order —
+// must render the exact same /metrics text, with every series in sorted
+// name order.
+func TestTelemetryFoldShuffledCompletion(t *testing.T) {
+	snapshots := make([]*obs.Snapshot, 6)
+	for i := range snapshots {
+		r := obs.NewRegistry()
+		r.Counter("mc.reads").Add(uint64(1000 + 17*i))
+		r.Counter("mig.swaps").Add(uint64(i))
+		if i%2 == 0 {
+			r.Counter("fault.injected").Inc()
+		}
+		r.Gauge("mig.slots_free").Set(int64(32 - i))
+		snapshots[i] = r.Snapshot()
+	}
+
+	render := func(order []int) string {
+		tel := NewTelemetry()
+		for _, i := range order {
+			tel.observeRun(500, snapshots[i])
+		}
+		var b strings.Builder
+		tel.WriteMetrics(&b)
+		return b.String()
+	}
+
+	want := render([]int{0, 1, 2, 3, 4, 5})
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 10; trial++ {
+		order := rng.Perm(len(snapshots))
+		if got := render(order); got != want {
+			t.Fatalf("completion order %v changed /metrics:\n got:\n%s\nwant:\n%s", order, got, want)
+		}
+	}
+
+	// The rendered series sort by their internal key: every counter row
+	// ("counter.<name>") precedes every gauge row ("gauge.<name>" → _sum
+	// suffix), and each block is itself in sorted name order.
+	var counters, gauges []string
+	for _, line := range strings.Split(want, "\n") {
+		if !strings.HasPrefix(line, "hmsim_sim_") {
+			continue
+		}
+		name := strings.Fields(line)[0]
+		if strings.HasSuffix(name, "_sum") {
+			gauges = append(gauges, name)
+		} else {
+			if len(gauges) > 0 {
+				t.Fatalf("counter row %s rendered after a gauge row", name)
+			}
+			counters = append(counters, name)
+		}
+	}
+	if len(counters) == 0 || len(gauges) == 0 {
+		t.Fatalf("missing series: counters=%v gauges=%v", counters, gauges)
+	}
+	if !sort.StringsAreSorted(counters) || !sort.StringsAreSorted(gauges) {
+		t.Fatalf("series out of sorted order: counters=%v gauges=%v", counters, gauges)
+	}
+}

@@ -359,6 +359,25 @@ func (r *Report) Account(p Point, d Disposition) {
 	}
 }
 
+// Merge folds another channel's ledger into r: counts sum, and the machine
+// is in degraded mode if any channel is.
+func (r *Report) Merge(other *Report) {
+	if other == nil {
+		return
+	}
+	r.Injected += other.Injected
+	r.DeviceFaults += other.DeviceFaults
+	r.CopyFaults += other.CopyFaults
+	r.BulkFaults += other.BulkFaults
+	r.Retried += other.Retried
+	r.RolledBack += other.RolledBack
+	r.Retired += other.Retired
+	r.Degraded += other.Degraded
+	r.SwapsRolledBack += other.SwapsRolledBack
+	r.SlotsRetired += other.SlotsRetired
+	r.DegradedMode = r.DegradedMode || other.DegradedMode
+}
+
 // Balanced reports whether the ledger is internally consistent and matches
 // the injector's fault count.
 func (r *Report) Balanced(injected uint64) bool {

@@ -80,6 +80,13 @@ type Config struct {
 	// surface as errors from Access and Err.
 	Audit bool
 
+	// CopyHop is a fixed interconnect latency added to the start of every
+	// swap copy read leg. A multi-channel hub sets it so the copy traffic of
+	// a sharded machine pays the hub-interconnect hop a cross-channel
+	// transfer would traverse; zero (the single-controller default) leaves
+	// the copy pipeline byte-identical to earlier builds.
+	CopyHop int64
+
 	// Fault configures deterministic fault injection (internal/fault):
 	// DRAM device bursts, migration copy legs, and step completions can be
 	// failed by rate or schedule, and the controller responds with bounded
@@ -642,7 +649,7 @@ func (c *Controller) enqueueReadLeg(sc core.SubCopy, earliest int64) {
 	job := c.newBulkJob()
 	job.Tag = uint64(sc.SubIndex)
 	job.Duration = c.subDuration(srcOn, sc.Bytes, sc.Exchange)
-	job.Earliest = earliest
+	job.Earliest = earliest + c.cfg.CopyHop
 	meta := c.newLeg()
 	*meta = legMeta{step: c.step, sub: sc, isRead: true, dstOn: dstOn}
 	job.Meta = meta
@@ -807,7 +814,7 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 			// each page copy on its page's channel.
 			rd := c.subDuration(srcOn, sc.Bytes, sc.Exchange)
 			wd := c.subDuration(dstOn, sc.Bytes, sc.Exchange)
-			legStart := start
+			legStart := start + c.cfg.CopyHop
 			attempts := 0
 			var readDone, writeDone int64
 		legLoop:

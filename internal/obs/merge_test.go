@@ -1,0 +1,81 @@
+package obs
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// shardSnapshot builds one per-channel registry snapshot with overlapping
+// and shard-unique instruments.
+func shardSnapshot(shard int) *Snapshot {
+	r := NewRegistry()
+	r.Counter("mc.reads").Add(uint64(100 * (shard + 1)))
+	r.Counter("mc.writes").Add(uint64(10 + shard))
+	if shard%2 == 0 {
+		r.Counter("mig.rollbacks").Inc()
+	}
+	r.Gauge("mig.slots_free").Set(int64(8 - shard))
+	h := r.Histogram("mc.latency", DefaultLatencyBuckets())
+	rng := rand.New(rand.NewSource(int64(shard + 1)))
+	for i := 0; i < 500; i++ {
+		h.Observe(int64(rng.Intn(4096)))
+	}
+	return r.Snapshot()
+}
+
+// TestMergeSnapshotsOrderIndependent pins the sharded-run metrics fold:
+// merging the per-channel snapshots in any completion order produces the
+// same aggregate — counters and gauges sum name-wise, histogram buckets
+// add, and the recomputed mean comes from integer totals, so no order can
+// perturb it.
+func TestMergeSnapshotsOrderIndependent(t *testing.T) {
+	parts := make([]*Snapshot, 4)
+	for i := range parts {
+		parts[i] = shardSnapshot(i)
+	}
+	want := MergeSnapshots(parts...)
+	if want == nil {
+		t.Fatal("merged snapshot is nil")
+	}
+
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		order := rng.Perm(len(parts))
+		shuffled := make([]*Snapshot, len(parts))
+		for i, j := range order {
+			shuffled[i] = parts[j]
+		}
+		got := MergeSnapshots(shuffled...)
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("merge order %v diverged:\n got %+v\nwant %+v", order, got, want)
+		}
+	}
+
+	if got, wantV := want.Get("mc.reads"), uint64(100+200+300+400); got != wantV {
+		t.Fatalf("mc.reads = %d, want %d", got, wantV)
+	}
+	if got := want.Get("mig.rollbacks"); got != 2 {
+		t.Fatalf("mig.rollbacks = %d, want 2", got)
+	}
+	h := want.Histograms["mc.latency"]
+	if h.Count != 4*500 {
+		t.Fatalf("histogram count = %d, want 2000", h.Count)
+	}
+	if h.Mean != float64(h.Sum)/float64(h.Count) {
+		t.Fatalf("histogram mean %v not recomputed from totals", h.Mean)
+	}
+}
+
+// TestMergeSnapshotsNilParts: nil shard snapshots (channels with no
+// registry) are skipped; all-nil input merges to nil.
+func TestMergeSnapshotsNilParts(t *testing.T) {
+	if MergeSnapshots(nil, nil) != nil {
+		t.Fatal("all-nil merge should be nil")
+	}
+	one := shardSnapshot(1)
+	got := MergeSnapshots(nil, one, nil)
+	if got == nil || got.Get("mc.reads") != one.Get("mc.reads") {
+		t.Fatal("nil parts must not perturb the merge")
+	}
+}

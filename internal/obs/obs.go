@@ -358,6 +358,59 @@ func (r *Registry) Snapshot() *Snapshot {
 	return s
 }
 
+// MergeSnapshots folds per-channel snapshots into one: counters and gauges
+// sum name by name, histogram buckets add (their bucket layouts derive from
+// the instrument name, so same-named histograms share bounds). Nil parts
+// are skipped; the result is nil only if every part is nil. Summation is
+// commutative and map keys are unordered, so the merged snapshot — and any
+// sorted rendering of it — is identical no matter which channel finished
+// first.
+func MergeSnapshots(parts ...*Snapshot) *Snapshot {
+	var out *Snapshot
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if out == nil {
+			out = &Snapshot{
+				Counters:   make(map[string]uint64),
+				Gauges:     make(map[string]int64),
+				Histograms: make(map[string]HistogramSnapshot),
+			}
+		}
+		for name, v := range p.Counters {
+			out.Counters[name] += v
+		}
+		for name, v := range p.Gauges {
+			out.Gauges[name] += v
+		}
+		for name, h := range p.Histograms {
+			cur, ok := out.Histograms[name]
+			if !ok {
+				cur = HistogramSnapshot{
+					Bounds: append([]int64(nil), h.Bounds...),
+					Counts: make([]uint64, len(h.Counts)),
+				}
+			}
+			for i := range h.Counts {
+				if i < len(cur.Counts) {
+					cur.Counts[i] += h.Counts[i]
+				}
+			}
+			cur.Count += h.Count
+			cur.Sum += h.Sum
+			if h.Max > cur.Max {
+				cur.Max = h.Max
+			}
+			if cur.Count > 0 {
+				cur.Mean = float64(cur.Sum) / float64(cur.Count)
+			}
+			out.Histograms[name] = cur
+		}
+	}
+	return out
+}
+
 // Get returns a counter value from the snapshot (0 if absent or nil).
 func (s *Snapshot) Get(name string) uint64 {
 	if s == nil {

@@ -75,6 +75,18 @@ func (m *Meter) Normalized() float64 {
 	return m.EnergyPJ() / base
 }
 
+// Merge folds another meter's traffic into m, so per-channel meters of a
+// sharded run can be combined into one machine-wide energy account.
+func (m *Meter) Merge(other *Meter) {
+	if other == nil {
+		return
+	}
+	m.accessBitsOn += other.accessBitsOn
+	m.accessBitsOff += other.accessBitsOff
+	m.copyBitsOn += other.copyBitsOn
+	m.copyBitsOff += other.copyBitsOff
+}
+
 // Reset clears all accumulated traffic.
 func (m *Meter) Reset() { m.accessBitsOn, m.accessBitsOff, m.copyBitsOn, m.copyBitsOff = 0, 0, 0, 0 }
 

@@ -379,6 +379,14 @@ func (s *Scheduler) Stats() (served, bulkServed uint64, meanQueue float64) {
 	return s.served, s.bulkServed, meanQueue
 }
 
+// QueueTotals returns the raw (requests served, summed queuing delay)
+// accumulators behind Stats. A multi-channel hub folds these across its
+// per-channel schedulers so the aggregate mean queue delay is exact rather
+// than a mean of per-channel means.
+func (s *Scheduler) QueueTotals() (served uint64, sumQueueing int64) {
+	return s.served, s.sumQueueing
+}
+
 // Device exposes the underlying DRAM model (for stats and power).
 func (s *Scheduler) Device() *dram.Device { return s.dev }
 

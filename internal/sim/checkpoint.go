@@ -45,7 +45,34 @@ func ConfigDigest(cfg Config) uint64 {
 		cfg.Geometry, cfg.Latencies, cfg.OffTiming, cfg.OnTiming,
 		cfg.Migration != nil, mig, cfg.OSAssisted, cfg.Sched, cfg.MeterPower,
 		cfg.Warmup, cfg.Fault)
+	// Channel sharding shapes the state stream; the digest uses the
+	// effective (defaulted) values so equivalent spellings — Channels 0 vs
+	// 1, explicit vs defaulted interleave/hop — resume interchangeably.
+	// BarrierWindow is deliberately excluded: results do not depend on it.
+	ch, il, hop := effectiveSharding(cfg)
+	fmt.Fprintf(h, "|%d|%d|%d", ch, il, hop)
 	return h.Sum64()
+}
+
+// effectiveSharding normalizes the sharding knobs: a single channel has no
+// interleave or hop, and a sharded run fills in the defaults the hub would.
+func effectiveSharding(cfg Config) (channels int, interleave uint64, hop int64) {
+	channels = cfg.Channels
+	if channels < 1 {
+		channels = 1
+	}
+	if channels == 1 {
+		return 1, 0, 0
+	}
+	interleave = cfg.InterleaveBytes
+	if interleave == 0 {
+		interleave = cfg.Geometry.MacroPageSize
+	}
+	hop = cfg.HopLatency
+	if hop == 0 {
+		hop = memctrl.DefaultHopLatency
+	}
+	return channels, interleave, hop
 }
 
 // checkpointIncompatible reports which observability feature blocks
@@ -68,8 +95,12 @@ func checkpointIncompatible(cfg Config) error {
 	return nil
 }
 
-// takeCheckpoint serializes the run state after n completed records.
-func takeCheckpoint(cfg Config, src trace.Source, ctrl *memctrl.Controller, n uint64) ([]byte, error) {
+// takeCheckpoint serializes the run state after n completed records. A
+// single-channel hub writes the same "ctrl" section as always (checkpoint
+// bytes are unchanged by the hub layer); a sharded hub writes one
+// "ctrl<i>" section per channel, in channel order, so InspectCheckpoint
+// shows the per-channel layout.
+func takeCheckpoint(cfg Config, src trace.Source, hub *memctrl.Hub, n uint64) ([]byte, error) {
 	e := snap.NewEncoder()
 	e.Section("meta")
 	e.U64(ConfigDigest(cfg))
@@ -86,16 +117,24 @@ func takeCheckpoint(cfg Config, src trace.Source, ctrl *memctrl.Controller, n ui
 	default:
 		return nil, fmt.Errorf("%w (%T)", ErrSourceNotCheckpointable, src)
 	}
-	e.Section("ctrl")
-	ctrl.SnapshotTo(e)
+	if hub.Channels() == 1 {
+		e.Section("ctrl")
+		hub.Shard(0).SnapshotTo(e)
+	} else {
+		for i := 0; i < hub.Channels(); i++ {
+			e.Section(fmt.Sprintf("ctrl%d", i))
+			hub.Shard(i).SnapshotTo(e)
+		}
+	}
 	return e.Finish()
 }
 
 // restoreCheckpoint rebuilds the run state from a checkpoint, returning the
-// number of records the checkpointed run had completed. The source and
-// controller must have been freshly constructed from the same configuration
-// the checkpoint was taken under.
-func restoreCheckpoint(cfg Config, src trace.Source, ctrl *memctrl.Controller, data []byte) (uint64, error) {
+// number of records the checkpointed run had completed. The source and hub
+// must have been freshly constructed from the same configuration the
+// checkpoint was taken under; the config digest guarantees the channel
+// layout (and hence section list) matches.
+func restoreCheckpoint(cfg Config, src trace.Source, hub *memctrl.Hub, data []byte) (uint64, error) {
 	d, err := snap.NewDecoder(data)
 	if err != nil {
 		return 0, err
@@ -137,11 +176,22 @@ func restoreCheckpoint(cfg Config, src trace.Source, ctrl *memctrl.Controller, d
 		d.Invalid("unknown source kind %d", kind)
 		return 0, d.Err()
 	}
-	if err := d.Section("ctrl"); err != nil {
-		return 0, err
-	}
-	if err := ctrl.RestoreFrom(d); err != nil {
-		return 0, err
+	if hub.Channels() == 1 {
+		if err := d.Section("ctrl"); err != nil {
+			return 0, err
+		}
+		if err := hub.Shard(0).RestoreFrom(d); err != nil {
+			return 0, err
+		}
+	} else {
+		for i := 0; i < hub.Channels(); i++ {
+			if err := d.Section(fmt.Sprintf("ctrl%d", i)); err != nil {
+				return 0, err
+			}
+			if err := hub.Shard(i).RestoreFrom(d); err != nil {
+				return 0, err
+			}
+		}
 	}
 	return n, d.Err()
 }

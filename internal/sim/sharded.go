@@ -1,0 +1,270 @@
+// The sharded run path: with Config.Channels > 1 the physical address space
+// stripes across per-channel controllers (memctrl.Hub) and the simulation
+// executes in parallel — one goroutine per channel — under an epoch-aligned
+// cycle barrier.
+//
+// Determinism argument. Shards share no mutable state: migration is
+// shard-local (the interleave granularity is a multiple of the macro page
+// size, so a page never straddles channels) and the cross-channel hop is a
+// fixed latency constant folded into each shard's own copy legs. Each
+// shard's final state is therefore a pure function of the subsequence of
+// trace records routed to it, in trace order — which the feeder preserves —
+// and is independent of goroutine scheduling, GOMAXPROCS, and the barrier
+// window size. The barrier exists to bound buffering and to give the feeder
+// globally consistent points (exact record counts) for warmup resets and
+// checkpoints; it never influences results.
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"sync"
+
+	"heteromem/internal/config"
+	"heteromem/internal/memctrl"
+	"heteromem/internal/obs"
+	"heteromem/internal/power"
+	"heteromem/internal/trace"
+)
+
+// defaultBarrierWindow is the lockstep epoch, in trace cycles, when
+// Config.BarrierWindow is zero. It only needs to be no smaller than the
+// minimum cross-channel latency (the hop) for the lockstep reading of the
+// barrier to hold; beyond that it purely trades barrier overhead against
+// batch size.
+const defaultBarrierWindow = 4096
+
+// shardAccess is one pre-routed trace record: the shard-local address plus
+// the original cycle and direction.
+type shardAccess struct {
+	local uint64
+	cycle int64
+	write bool
+}
+
+// runSharded executes cfg over src with one goroutine per channel under the
+// cycle barrier. See the package comment above for the determinism argument.
+func runSharded(src trace.Source, cfg Config) (Result, error) {
+	if cfg.WindowRecords > 0 {
+		return Result{}, fmt.Errorf("sim: WindowRecords is not supported with Channels > 1 (completion interleaving across channels has no global window order)")
+	}
+	if cfg.CheckpointEvery > 0 || cfg.Resume != nil {
+		if err := checkpointIncompatible(cfg); err != nil {
+			return Result{}, err
+		}
+	}
+	mcfg := memctrl.Config{
+		Geometry:   cfg.Geometry,
+		Latencies:  cfg.Latencies,
+		OffTiming:  cfg.OffTiming,
+		OnTiming:   cfg.OnTiming,
+		Migration:  cfg.Migration,
+		OSAssisted: cfg.OSAssisted,
+		Sched:      cfg.Sched,
+		Audit:      cfg.Audit,
+		Fault:      cfg.Fault,
+	}
+	n := cfg.Channels
+	hubCfg := memctrl.HubConfig{
+		Channels:   n,
+		Interleave: cfg.InterleaveBytes,
+		HopLatency: cfg.HopLatency,
+	}
+	var regs []*obs.Registry
+	if cfg.Metrics || cfg.EventTrace > 0 || cfg.SpanTrace > 0 || cfg.EpochSeries > 0 {
+		regs = make([]*obs.Registry, n)
+		for i := range regs {
+			reg := obs.NewRegistry()
+			if cfg.EventTrace > 0 {
+				reg.EnableEvents(cfg.EventTrace)
+			}
+			if cfg.SpanTrace > 0 {
+				reg.EnableSpans(cfg.SpanTrace)
+			}
+			if cfg.EpochSeries > 0 {
+				reg.EnableSeries(cfg.EpochSeries)
+			}
+			regs[i] = reg
+		}
+		hubCfg.ShardObs = regs
+	}
+	var meters []*power.Meter
+	if cfg.MeterPower {
+		meters = make([]*power.Meter, n)
+		for i := range meters {
+			meters[i] = power.NewMeter(config.PaperPower())
+		}
+		hubCfg.ShardPower = meters
+	}
+	hub, err := memctrl.NewHub(mcfg, hubCfg, nil)
+	if err != nil {
+		return Result{}, err
+	}
+
+	window := cfg.BarrierWindow
+	if window <= 0 {
+		window = defaultBarrierWindow
+		if h := hub.HopLatency(); h > window {
+			window = h
+		}
+	}
+
+	// One worker goroutine per shard; each owns its controller exclusively.
+	// Batches are handed over at barrier boundaries and the WaitGroup is
+	// both the barrier and the memory fence: wg.Wait() happens-after every
+	// worker's writes, so the feeder may reuse batch slices and read errs.
+	work := make([]chan []shardAccess, n)
+	errs := make([]error, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		in := make(chan []shardAccess, 1)
+		work[i] = in
+		go func(i int, ctrl *memctrl.Controller, in <-chan []shardAccess) {
+			for batch := range in {
+				if errs[i] == nil {
+					for _, a := range batch {
+						if err := ctrl.Access(a.local, a.write, a.cycle); err != nil {
+							errs[i] = err
+							break
+						}
+					}
+				}
+				wg.Done()
+			}
+		}(i, hub.Shard(i), in)
+	}
+	workersOpen := true
+	closeWorkers := func() {
+		if workersOpen {
+			workersOpen = false
+			for _, in := range work {
+				close(in)
+			}
+		}
+	}
+	defer closeWorkers()
+
+	batches := make([][]shardAccess, n)
+	pending := 0
+	dispatch := func() error {
+		if pending == 0 {
+			return nil
+		}
+		wg.Add(n)
+		for i := 0; i < n; i++ {
+			work[i] <- batches[i]
+		}
+		wg.Wait()
+		for i := 0; i < n; i++ {
+			if errs[i] != nil {
+				return fmt.Errorf("sim: channel %d: %w", i, errs[i])
+			}
+			batches[i] = batches[i][:0]
+		}
+		pending = 0
+		return nil
+	}
+
+	var done uint64
+	if cfg.Resume != nil {
+		if done, err = restoreCheckpoint(cfg, src, hub, cfg.Resume); err != nil {
+			return Result{}, err
+		}
+	}
+	var curEpoch int64
+	started := false
+	for cfg.MaxRecords == 0 || done < cfg.MaxRecords {
+		rec, err := src.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", done, err)
+		}
+		// Barrier epoch boundary: all shards drain the previous window
+		// before any shard sees the next one.
+		epoch := int64(rec.Cycle) / window
+		if started && epoch != curEpoch {
+			if err := dispatch(); err != nil {
+				return Result{}, err
+			}
+		}
+		curEpoch, started = epoch, true
+		ch, local := hub.Route(rec.Addr)
+		batches[ch] = append(batches[ch], shardAccess{local: local, cycle: int64(rec.Cycle), write: rec.Write})
+		pending++
+		done++
+		if cfg.Warmup > 0 && done == cfg.Warmup {
+			// Drain so the reset lands after exactly Warmup records on
+			// every shard, matching the single-channel path.
+			if err := dispatch(); err != nil {
+				return Result{}, err
+			}
+			hub.ResetStats()
+		}
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && done%cfg.CheckpointEvery == 0 {
+			if err := dispatch(); err != nil {
+				return Result{}, err
+			}
+			data, err := takeCheckpoint(cfg, src, hub, done)
+			if err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint at record %d: %w", done, err)
+			}
+			if err := cfg.CheckpointSink(data, done); err != nil {
+				return Result{}, fmt.Errorf("sim: checkpoint sink at record %d: %w", done, err)
+			}
+		}
+	}
+	if err := dispatch(); err != nil {
+		return Result{}, err
+	}
+	closeWorkers()
+	last := hub.Flush()
+	if err := hub.Err(); err != nil {
+		return Result{}, fmt.Errorf("sim: %w", err)
+	}
+
+	var res Result
+	if regs != nil {
+		hub.PublishObs()
+		// Shards fold in fixed channel order, so the merged snapshot and
+		// the concatenated rings are identical regardless of which shard's
+		// goroutine finished first.
+		snaps := make([]*obs.Snapshot, n)
+		for i, reg := range regs {
+			snaps[i] = reg.Snapshot()
+		}
+		res.Metrics = obs.MergeSnapshots(snaps...)
+		for _, reg := range regs {
+			if ring := reg.Events(); ring != nil {
+				res.Events = append(res.Events, ring.Events()...)
+				res.EventsTotal += ring.Total()
+				res.EventsDropped += ring.Dropped()
+			}
+			if tr := reg.Spans(); tr != nil {
+				res.Spans = append(res.Spans, tr.Spans()...)
+				res.SpansDropped += tr.Dropped()
+			}
+			if ser := reg.Series(); ser != nil {
+				res.Series = append(res.Series, ser.Samples()...)
+				res.SeriesDropped += ser.Dropped()
+			}
+		}
+	}
+	res.Report = hub.Report()
+	res.Faults = res.Report.Faults
+	res.Records = done
+	res.LastCycle = last
+	res.MeanLatency = res.Report.All.Mean()
+	res.MeanDRAMLatency = res.Report.DRAMAll.Mean()
+	if meters != nil {
+		total := power.NewMeter(config.PaperPower())
+		for _, m := range meters {
+			total.Merge(m)
+		}
+		res.EnergyPJ = total.EnergyPJ()
+		res.NormalizedPower = total.Normalized()
+	}
+	return res, nil
+}

@@ -1,0 +1,264 @@
+package sim
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"heteromem/internal/core"
+	"heteromem/internal/workload"
+)
+
+// shardedConfig is the equivalence-suite configuration of a sharded run:
+// the perf-golden setup (migration, warmup, audit, optional faults) striped
+// across the given channel count.
+func shardedConfig(channels int, design core.Design, faults bool) Config {
+	cfg := perfGoldenConfig(design, faults)
+	cfg.Channels = channels
+	return cfg
+}
+
+// TestShardedByteIdentical pins the sharded path the same way the perf
+// goldens pin the single-channel path: channels 2 and 4, every design ×
+// faults on/off, must reproduce the committed canonical-JSON goldens
+// byte-for-byte. Together with TestShardedDeterminism this makes the
+// parallel runs' bit-reproducibility a regression contract, not a property
+// of today's scheduler. Regenerate with -update only for a real behavior
+// change, with justification in the PR.
+func TestShardedByteIdentical(t *testing.T) {
+	for _, channels := range []int{2, 4} {
+		for _, design := range []core.Design{core.DesignN, core.DesignN1, core.DesignLive} {
+			for _, faults := range []bool{false, true} {
+				name := fmt.Sprintf("c%d/%v/faults=%v", channels, design, faults)
+				t.Run(name, func(t *testing.T) {
+					gen, err := workload.NewMemory("pgbench", 1)
+					if err != nil {
+						t.Fatal(err)
+					}
+					res, err := Run(gen, shardedConfig(channels, design, faults))
+					if err != nil {
+						t.Fatal(err)
+					}
+					got := canonical(t, res)
+
+					file := fmt.Sprintf("sharded_c%d_%s_faults%v.json", channels,
+						strings.ReplaceAll(design.String(), "-", ""), faults)
+					path := filepath.Join("testdata", "perf", file)
+					if *updatePerfGoldens {
+						if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+							t.Fatal(err)
+						}
+						if err := os.WriteFile(path, got, 0o644); err != nil {
+							t.Fatal(err)
+						}
+						return
+					}
+					want, err := os.ReadFile(path)
+					if err != nil {
+						t.Fatalf("missing golden (generate with -update): %v", err)
+					}
+					if !bytes.Equal(got, want) {
+						t.Fatalf("sharded result diverged from golden %s:\n got %s\nwant %s", path, got, want)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestResumeEquivalenceSharded extends the resume contract to the sharded
+// path: for channels 2 and 4, every design × faults on/off, a run resumed
+// from ANY checkpoint boundary produces a Result byte-identical (canonical
+// JSON) to the uninterrupted parallel run.
+func TestResumeEquivalenceSharded(t *testing.T) {
+	for _, channels := range []int{2, 4} {
+		for _, design := range []core.Design{core.DesignN, core.DesignN1, core.DesignLive} {
+			for _, faults := range []bool{false, true} {
+				t.Run(fmt.Sprintf("c%d/%v/faults=%v", channels, design, faults), func(t *testing.T) {
+					cfg := equivConfig(design, faults)
+					cfg.Channels = channels
+
+					base, err := Run(equivSource(t), cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					want := canonical(t, base)
+
+					cps := map[uint64][]byte{}
+					ckCfg := cfg
+					ckCfg.CheckpointEvery = 1_000
+					ckCfg.CheckpointSink = func(data []byte, n uint64) error {
+						cps[n] = append([]byte(nil), data...)
+						return nil
+					}
+					ckRes, err := Run(equivSource(t), ckCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if got := canonical(t, ckRes); !bytes.Equal(got, want) {
+						t.Fatalf("checkpointing changed the sharded result:\n got %s\nwant %s", got, want)
+					}
+					if len(cps) == 0 {
+						t.Fatal("no checkpoints captured")
+					}
+
+					for n, data := range cps {
+						resCfg := cfg
+						resCfg.Resume = data
+						res, err := Run(equivSource(t), resCfg)
+						if err != nil {
+							t.Fatalf("resume from %d: %v", n, err)
+						}
+						if got := canonical(t, res); !bytes.Equal(got, want) {
+							t.Fatalf("resume from record %d diverged:\n got %s\nwant %s", n, got, want)
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestShardedDeterminism is the bit-reproducibility contract of the
+// parallel execution: the same channels=4 configuration — with every
+// observability collector attached, so events, spans, and series are part
+// of the comparison — run five times under each of GOMAXPROCS 1, 2, and 8
+// must produce byte-identical canonical JSON every single time.
+func TestShardedDeterminism(t *testing.T) {
+	cfg := shardedConfig(4, core.DesignLive, true)
+	cfg.Metrics = true
+	cfg.EventTrace = 512
+	cfg.SpanTrace = 1024
+	cfg.EpochSeries = 64
+
+	run := func() []byte {
+		gen, err := workload.NewMemory("pgbench", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(gen, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canonical(t, res)
+	}
+
+	want := run()
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
+	for _, procs := range []int{1, 2, 8} {
+		runtime.GOMAXPROCS(procs)
+		for i := 0; i < 5; i++ {
+			if got := run(); !bytes.Equal(got, want) {
+				t.Fatalf("GOMAXPROCS=%d run %d diverged:\n got %s\nwant %s", procs, i, got, want)
+			}
+		}
+	}
+}
+
+// TestShardedBarrierWindowInvariance pins the design claim that the barrier
+// window only trades buffering against synchronization overhead: results
+// are byte-identical across radically different window sizes.
+func TestShardedBarrierWindowInvariance(t *testing.T) {
+	base := shardedConfig(2, core.DesignN1, true)
+	want := func() []byte {
+		gen, err := workload.NewMemory("pgbench", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(gen, base)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return canonical(t, res)
+	}()
+	for _, window := range []int64{1, 64, 100_000, 1 << 30} {
+		cfg := base
+		cfg.BarrierWindow = window
+		gen, err := workload.NewMemory("pgbench", 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Run(gen, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got := canonical(t, res); !bytes.Equal(got, want) {
+			t.Fatalf("BarrierWindow=%d diverged from the default window", window)
+		}
+	}
+}
+
+// TestShardedCheckpointSections verifies the sharded container layout (one
+// ctrl<i> section per channel) and that the config digest separates channel
+// layouts: a checkpoint taken at channels=2 must not resume at channels=4.
+func TestShardedCheckpointSections(t *testing.T) {
+	cfg := equivConfig(core.DesignN1, false)
+	cfg.Channels = 4
+	cp := captureOne(t, cfg)
+
+	info, err := InspectCheckpoint(cp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []string{"meta", "source", "ctrl0", "ctrl1", "ctrl2", "ctrl3"}
+	if fmt.Sprint(info.Sections) != fmt.Sprint(want) {
+		t.Fatalf("Sections = %v, want %v", info.Sections, want)
+	}
+	if info.ConfigDigest != ConfigDigest(cfg) {
+		t.Fatal("digest mismatch")
+	}
+
+	single := equivConfig(core.DesignN1, false)
+	if ConfigDigest(single) == ConfigDigest(cfg) {
+		t.Fatal("channels=1 and channels=4 must not share a config digest")
+	}
+	other := cfg
+	other.Channels = 2
+	other.Resume = cp
+	if _, err := Run(equivSource(t), other); !errors.Is(err, ErrConfigMismatch) {
+		t.Fatalf("resume under a different channel count: err = %v, want ErrConfigMismatch", err)
+	}
+}
+
+// TestShardedRejectsWindowRecords: the convergence window series has no
+// global completion order across channels, so a sharded run refuses it
+// rather than emitting schedule-dependent output.
+func TestShardedRejectsWindowRecords(t *testing.T) {
+	cfg := shardedConfig(2, core.DesignLive, false)
+	cfg.WindowRecords = 1_000
+	if _, err := Run(equivSource(t), cfg); err == nil {
+		t.Fatal("WindowRecords with Channels > 1 should be rejected")
+	}
+}
+
+// TestShardedRejectsBadLayouts covers the hub's validation: non-power-of-two
+// channel counts, interleaves that split a macro page, and capacities that
+// do not divide into whole stripes.
+func TestShardedRejectsBadLayouts(t *testing.T) {
+	t.Run("channels-not-power-of-two", func(t *testing.T) {
+		cfg := shardedConfig(3, core.DesignLive, false)
+		if _, err := Run(equivSource(t), cfg); err == nil {
+			t.Fatal("channels=3 should be rejected")
+		}
+	})
+	t.Run("interleave-below-page", func(t *testing.T) {
+		cfg := shardedConfig(2, core.DesignLive, false)
+		cfg.InterleaveBytes = cfg.Geometry.MacroPageSize / 2
+		if _, err := Run(equivSource(t), cfg); err == nil {
+			t.Fatal("interleave below the macro page size should be rejected")
+		}
+	})
+	t.Run("capacity-not-stripe-aligned", func(t *testing.T) {
+		cfg := shardedConfig(4, core.DesignLive, false)
+		cfg.InterleaveBytes = cfg.Geometry.OnPackageCapacity / 2
+		if _, err := Run(equivSource(t), cfg); err == nil {
+			t.Fatal("on-package capacity of half a stripe should be rejected")
+		}
+	})
+}

@@ -39,6 +39,29 @@ type Config struct {
 	// it for macro pages < 1 MB per the paper's feasibility split.
 	OSAssisted bool
 
+	// Channels shards the controller: the physical space stripes across
+	// this many per-channel controllers behind a hub (internal/memctrl),
+	// and the run executes deterministically in parallel — one goroutine
+	// per channel under a cycle-barrier (see runSharded). 0 and 1 both mean
+	// the classic single controller; values > 1 must be powers of two and
+	// divide both capacities into whole-stripe shards.
+	Channels int
+
+	// InterleaveBytes is the channel-striping granularity (0 = the macro
+	// page size). Must be a power-of-two multiple of the macro page size.
+	InterleaveBytes uint64
+
+	// HopLatency is the cross-channel interconnect hop in cycles charged
+	// on swap copy legs of a sharded run (0 = memctrl.DefaultHopLatency).
+	HopLatency int64
+
+	// BarrierWindow is the lockstep window of the sharded run, in trace
+	// cycles per barrier epoch (0 = a default sized no smaller than the
+	// minimum cross-channel latency). Results never depend on it — shards
+	// only interact at hop latency and migration is shard-local — so it
+	// trades barrier overhead against scheduling skew only.
+	BarrierWindow int64
+
 	// Sched tunes the per-region transaction schedulers (ablations).
 	Sched sched.Config
 
@@ -183,8 +206,14 @@ type Window struct {
 	SwapsSoFar  uint64  // cumulative completed swaps at window end
 }
 
-// Run simulates src through a controller built from cfg.
+// Run simulates src through a controller built from cfg. With
+// cfg.Channels > 1 the run shards across per-channel controllers and
+// executes deterministically in parallel; the single-channel path below
+// still goes through the (delegating) hub so the two share one entry point.
 func Run(src trace.Source, cfg Config) (Result, error) {
+	if cfg.Channels > 1 {
+		return runSharded(src, cfg)
+	}
 	if cfg.CheckpointEvery > 0 || cfg.Resume != nil {
 		if err := checkpointIncompatible(cfg); err != nil {
 			return Result{}, err
@@ -221,7 +250,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		mcfg.Power = meter
 	}
 	var res Result
-	var ctrl *memctrl.Controller
+	var ctrl *memctrl.Hub
 	var onDone func(memctrl.AccessResult)
 	if cfg.WindowRecords > 0 {
 		var win struct {
@@ -248,7 +277,7 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 			}
 		}
 	}
-	ctrl, err := memctrl.New(mcfg, onDone)
+	ctrl, err := memctrl.NewHub(mcfg, memctrl.HubConfig{Channels: 1}, onDone)
 	if err != nil {
 		return Result{}, err
 	}

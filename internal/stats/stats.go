@@ -152,6 +152,16 @@ func (h *Histogram) Percentile(p float64) int64 {
 	return math.MaxInt64
 }
 
+// Merge folds other's buckets into h. Percentiles over the merged histogram
+// equal percentiles over the concatenated sample streams, so per-channel
+// histograms can be combined without replaying samples.
+func (h *Histogram) Merge(other *Histogram) {
+	for i, c := range other.buckets {
+		h.buckets[i] += c
+	}
+	h.total += other.total
+}
+
 // Counter is a named monotonic counter set. It is a convenience API for
 // report-time accounting; code on a per-record hot path should use a
 // CounterSet, which replaces the string hashing with an array index.
@@ -183,6 +193,19 @@ func (c *Counter) Get(name string) uint64 {
 		c.values[name] = 0
 	}
 	return v
+}
+
+// Merge folds other's counters into c, summing values name by name. Names
+// only c has keep their values; names only other has are registered. Since
+// Names and Snapshot sort, the merged report is identical no matter the
+// order counters were folded in — shards can finish in any order.
+func (c *Counter) Merge(other *Counter) {
+	if other == nil {
+		return
+	}
+	for _, name := range other.names {
+		c.Inc(name, other.values[name])
+	}
 }
 
 // Names returns the registered counter names in sorted order, so report

@@ -46,10 +46,14 @@ func load(path string) (*Report, error) {
 // benchmark regresses when its ns/op grew past threshold AND by more than
 // noise nanoseconds — the absolute floor keeps timer jitter on
 // sub-microsecond benchmarks from tripping a purely relative gate — or
-// when its allocs/op grew by more than allocSlack (allocation counts are
-// exact, so no noise floor applies). Benchmarks present in only one report
-// are skipped: additions and removals are not regressions.
-func Diff(old, new_ *Report, threshold, allocSlack, noise float64) (rows []Row, regressions int) {
+// when its allocs/op grew by more than max(allocSlack, allocSlackPct% of
+// the old count). The relative term matters for the whole-run experiment
+// benchmarks, whose tens of thousands of allocs/op shift by a constant
+// handful whenever a setup path gains an object; a zero-alloc micro
+// benchmark has old = 0, so both terms vanish and it stays gated at
+// exactly zero. Benchmarks present in only one report are skipped:
+// additions and removals are not regressions.
+func Diff(old, new_ *Report, threshold, allocSlack, allocSlackPct, noise float64) (rows []Row, regressions int) {
 	byName := fold(old)
 	for _, nb := range fold(new_).ordered {
 		ob, ok := byName.m[nb.Name]
@@ -69,7 +73,11 @@ func Diff(old, new_ *Report, threshold, allocSlack, noise float64) (rows []Row, 
 		if r.OldNs > 0 && r.NewNs > r.OldNs*threshold && r.NewNs-r.OldNs > noise {
 			r.Regressed = true
 		}
-		if r.NewAllocs > r.OldAllocs+allocSlack {
+		slack := allocSlack
+		if rel := r.OldAllocs * allocSlackPct / 100; rel > slack {
+			slack = rel
+		}
+		if r.NewAllocs > r.OldAllocs+slack {
 			r.Regressed = true
 		}
 		if r.Regressed {

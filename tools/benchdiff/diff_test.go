@@ -11,7 +11,7 @@ func bench(name string, ns, allocs float64) Benchmark {
 func TestDiffSpeedupAndOrder(t *testing.T) {
 	old := rep(bench("Zeta", 100, 4), bench("Alpha", 200, 8))
 	new_ := rep(bench("Alpha", 100, 8), bench("Zeta", 100, 4))
-	rows, regressions := Diff(old, new_, 1.10, 0, 0)
+	rows, regressions := Diff(old, new_, 1.10, 0, 0, 0)
 	if regressions != 0 {
 		t.Fatalf("regressions = %d, want 0", regressions)
 	}
@@ -26,12 +26,12 @@ func TestDiffSpeedupAndOrder(t *testing.T) {
 func TestDiffNsRegression(t *testing.T) {
 	old := rep(bench("A", 100, 0))
 	// 15% slower with a 10% threshold: regression.
-	rows, regressions := Diff(old, rep(bench("A", 115, 0)), 1.10, 0, 0)
+	rows, regressions := Diff(old, rep(bench("A", 115, 0)), 1.10, 0, 0, 0)
 	if regressions != 1 || !rows[0].Regressed {
 		t.Fatalf("want ns/op regression, got %+v", rows)
 	}
 	// 5% slower is inside the threshold.
-	_, regressions = Diff(old, rep(bench("A", 105, 0)), 1.10, 0, 0)
+	_, regressions = Diff(old, rep(bench("A", 105, 0)), 1.10, 0, 0, 0)
 	if regressions != 0 {
 		t.Fatalf("5%% slowdown flagged at 10%% threshold")
 	}
@@ -39,13 +39,37 @@ func TestDiffNsRegression(t *testing.T) {
 
 func TestDiffAllocRegression(t *testing.T) {
 	old := rep(bench("A", 100, 2))
-	_, regressions := Diff(old, rep(bench("A", 100, 3)), 1.10, 0, 0)
+	_, regressions := Diff(old, rep(bench("A", 100, 3)), 1.10, 0, 0, 0)
 	if regressions != 1 {
 		t.Fatal("alloc growth not flagged with zero slack")
 	}
-	_, regressions = Diff(old, rep(bench("A", 100, 3)), 1.10, 1, 0)
+	_, regressions = Diff(old, rep(bench("A", 100, 3)), 1.10, 1, 0, 0)
 	if regressions != 0 {
 		t.Fatal("alloc growth inside slack flagged")
+	}
+}
+
+// The relative slack tolerates a constant handful of setup allocations on
+// whole-run benchmarks (tens of thousands of allocs/op) while keeping
+// zero-alloc benchmarks gated at exactly zero: any percentage of 0 is 0.
+func TestDiffAllocRelativeSlack(t *testing.T) {
+	old := rep(bench("Macro", 1e6, 90000), bench("Micro", 100, 0))
+	// +30 allocs on 90k is inside 0.5%; +1 alloc on a zero-alloc
+	// benchmark is always a regression.
+	_, regressions := Diff(old, rep(bench("Macro", 1e6, 90030), bench("Micro", 100, 1)), 1.10, 0, 0.5, 0)
+	if regressions != 1 {
+		t.Fatalf("regressions = %d, want 1 (only the zero-alloc benchmark)", regressions)
+	}
+	// +600 allocs on 90k exceeds 0.5% (450): regression.
+	_, regressions = Diff(old, rep(bench("Macro", 1e6, 90600), bench("Micro", 100, 0)), 1.10, 0, 0.5, 0)
+	if regressions != 1 {
+		t.Fatal("alloc growth past the relative slack not flagged")
+	}
+	// The larger of the absolute and relative terms wins.
+	small := rep(bench("Small", 100, 4))
+	_, regressions = Diff(small, rep(bench("Small", 100, 5)), 1.10, 1, 0.5, 0)
+	if regressions != 0 {
+		t.Fatal("growth inside the absolute slack flagged despite tiny relative term")
 	}
 }
 
@@ -53,11 +77,11 @@ func TestDiffAllocRegression(t *testing.T) {
 // regression; past the floor the ratio threshold governs again.
 func TestDiffNoiseFloor(t *testing.T) {
 	old := rep(bench("Micro", 80, 0))
-	_, regressions := Diff(old, rep(bench("Micro", 100, 0)), 1.10, 0, 50)
+	_, regressions := Diff(old, rep(bench("Micro", 100, 0)), 1.10, 0, 0, 50)
 	if regressions != 0 {
 		t.Fatal("20ns growth under a 50ns floor flagged")
 	}
-	_, regressions = Diff(old, rep(bench("Micro", 140, 0)), 1.10, 0, 50)
+	_, regressions = Diff(old, rep(bench("Micro", 140, 0)), 1.10, 0, 0, 50)
 	if regressions != 1 {
 		t.Fatal("60ns growth past the floor not flagged")
 	}
@@ -68,7 +92,7 @@ func TestDiffNoiseFloor(t *testing.T) {
 func TestDiffFoldsRepeatedEntries(t *testing.T) {
 	old := rep(bench("A", 100, 3), bench("A", 90, 2), bench("A", 120, 3))
 	new_ := rep(bench("A", 200, 2), bench("A", 95, 2))
-	rows, regressions := Diff(old, new_, 1.10, 0, 0)
+	rows, regressions := Diff(old, new_, 1.10, 0, 0, 0)
 	if len(rows) != 1 {
 		t.Fatalf("rows = %+v, want 1 folded row", rows)
 	}
@@ -83,7 +107,7 @@ func TestDiffFoldsRepeatedEntries(t *testing.T) {
 
 func TestDiffSkipsUnmatched(t *testing.T) {
 	old := rep(bench("OnlyOld", 100, 0), bench("Common", 100, 0))
-	rows, regressions := Diff(old, rep(bench("Common", 50, 0), bench("OnlyNew", 1, 0)), 1.10, 0, 0)
+	rows, regressions := Diff(old, rep(bench("Common", 50, 0), bench("OnlyNew", 1, 0)), 1.10, 0, 0, 0)
 	if len(rows) != 1 || rows[0].Name != "Common" || regressions != 0 {
 		t.Fatalf("unmatched benchmarks not skipped: %+v", rows)
 	}

@@ -10,11 +10,13 @@
 // faster) and the allocs/op delta. The exit status is
 // non-zero if any common benchmark got slower than -threshold allows (and
 // by more than the -noise jitter floor in absolute ns/op) or grew its
-// allocations beyond -alloc-slack.
+// allocations beyond max(-alloc-slack, -alloc-slack-pct percent of the old
+// count) — the relative term absorbs constant setup allocations on
+// whole-run benchmarks while zero-alloc benchmarks stay gated at zero.
 //
 // Usage:
 //
-//	benchdiff [-threshold 1.10] [-alloc-slack 0] [-noise 50] OLD.json NEW.json
+//	benchdiff [-threshold 1.10] [-alloc-slack 0] [-alloc-slack-pct 0.5] [-noise 50] OLD.json NEW.json
 package main
 
 import (
@@ -25,7 +27,8 @@ import (
 
 func main() {
 	threshold := flag.Float64("threshold", 1.10, "max allowed ns/op ratio new/old before failing (1.10 = 10% slower)")
-	allocSlack := flag.Float64("alloc-slack", 0, "allocs/op increase allowed before failing")
+	allocSlack := flag.Float64("alloc-slack", 0, "absolute allocs/op increase allowed before failing")
+	allocSlackPct := flag.Float64("alloc-slack-pct", 0.5, "relative allocs/op increase allowed, as a percent of the old count (zero-alloc benchmarks are unaffected: 0.5% of 0 is 0)")
 	noise := flag.Float64("noise", 50, "absolute ns/op growth a regression must also exceed (jitter floor for sub-microsecond benchmarks)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
@@ -48,7 +51,7 @@ func main() {
 		os.Exit(1)
 	}
 
-	rows, regressions := Diff(old, new_, *threshold, *allocSlack, *noise)
+	rows, regressions := Diff(old, new_, *threshold, *allocSlack, *allocSlackPct, *noise)
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
 		os.Exit(1)
@@ -64,8 +67,8 @@ func main() {
 			r.Name, r.OldNs, r.NewNs, r.Speedup, r.OldAllocs, r.NewAllocs, mark)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past threshold %.2f (alloc slack %.0f)\n",
-			regressions, *threshold, *allocSlack)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past threshold %.2f (alloc slack %.0f, %.2g%%)\n",
+			regressions, *threshold, *allocSlack, *allocSlackPct)
 		os.Exit(1)
 	}
 }
