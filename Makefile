@@ -1,10 +1,11 @@
 # Verification targets. `make ci` is the full gate: vet, build, the whole
-# test suite under the race detector, the randomized fault soak, the fuzz
-# seed corpora (in regression mode), and the golden-file checks.
+# test suite under the race detector, the randomized fault soak, the
+# distributed-sweep chaos campaign, the fuzz seed corpora (in regression
+# mode), and the golden-file checks.
 
 GO ?= go
 
-.PHONY: all build vet test race soak fuzz-regression fuzz bench benchdiff golden-update ci
+.PHONY: all build vet test race soak chaos fuzz-regression fuzz bench benchdiff golden-update ci
 
 all: ci
 
@@ -30,6 +31,14 @@ SOAK_SEED ?= $(shell date +%s)
 soak:
 	SOAK_SEED=$(SOAK_SEED) $(GO) test -run TestFaultSoak -count=1 -v .
 
+# Distributed-sweep chaos campaign: worker processes are SIGKILLed mid-cell
+# on a seeded schedule; the sweep must still finish with per-cell results
+# byte-identical to an uninterrupted run. A fresh PRNG seed each invocation
+# randomizes the kill timing; set CHAOS_SEED to reproduce a run.
+CHAOS_SEED ?= $(shell date +%s)
+chaos:
+	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -run TestChaosKillAndTakeover -count=1 -v ./internal/dsweep/
+
 # Run the committed fuzz seed corpora (testdata/fuzz/...) as regression
 # tests. This is what `go test` already does for fuzz targets without
 # -fuzz; the explicit target documents and isolates it.
@@ -53,8 +62,8 @@ fuzz:
 # side by side. Compare the TemporalObservabilityOff/On pair to bound the
 # tracing overhead and the CheckpointOff/On pair to bound the checkpoint
 # serialization overhead.
-BENCH_TXT ?= BENCH_pr6.txt
-BENCH_JSON ?= BENCH_pr6.json
+BENCH_TXT ?= BENCH_pr7.txt
+BENCH_JSON ?= BENCH_pr7.json
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
@@ -64,9 +73,9 @@ bench:
 # slower than OLD past the threshold (default 10%, with an absolute ns/op
 # jitter floor) or allocates more. -count'ed archives are folded to each
 # benchmark's best sample, so the gate compares code, not host load.
-#   make benchdiff OLD=BENCH_pr5.json NEW=BENCH_pr6.json
-OLD ?= BENCH_pr5.json
-NEW ?= BENCH_pr6.json
+#   make benchdiff OLD=BENCH_pr6.json NEW=BENCH_pr7.json
+OLD ?= BENCH_pr6.json
+NEW ?= BENCH_pr7.json
 benchdiff:
 	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 
@@ -75,4 +84,4 @@ golden-update:
 	$(GO) test ./cmd/hmreport/ -update
 	$(GO) test ./internal/workload/ -run TestGeneratorGolden -update
 
-ci: vet build race soak fuzz-regression
+ci: vet build race soak chaos fuzz-regression

@@ -15,6 +15,17 @@
 //	hmsim -workload tpcc -design n-1 -audit -events 256
 //	hmsim -workload pgbench -design live -audit \
 //	    -fault-device 1e-4 -fault-copy 1e-4 -fault-seed 7
+//
+// A sweep can also be distributed across processes and machines: one
+// coordinator owns the manifest and leases cells to any number of workers,
+// which may crash (or be SIGKILLed) and be replaced at any point without
+// changing the sweep's results:
+//
+//	hmsim -coordinate :9090 -manifest sweep.jsonl -designs live,n-1
+//	hmsim -worker host:9090        # run on as many machines as you like
+//
+// SIGINT/SIGTERM cancel any mode gracefully (the coordinator drains its
+// workers; runs stop at the next cancellation poll) and exit with code 130.
 package main
 
 import (
@@ -26,12 +37,15 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"os/signal"
 	"runtime"
 	"runtime/pprof"
 	"strings"
+	"syscall"
 	"time"
 
 	"heteromem"
+	"heteromem/internal/dsweep"
 	"heteromem/internal/experiments"
 )
 
@@ -45,8 +59,17 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all)")
 		channels  = flag.Int("channels", 0, "shard the controller across this many channels (power of two; 0 or 1 = single controller); sharded runs execute deterministically in parallel")
 		timeout   = flag.Duration("timeout", 0, "experiment mode: wall-clock budget; exceeded runs abort between simulations")
-		listen    = flag.String("listen", "", "experiment mode: serve live sweep telemetry (/metrics, /progress, pprof) on this address, e.g. :8080 or :0")
-		manifest  = flag.String("manifest", "", "experiment mode: record completed runs in this JSONL file and skip cells it already holds (crash-resilient sweeps)")
+		listen    = flag.String("listen", "", "experiment/coordinator mode: serve live sweep telemetry (/metrics, /progress, pprof) on this address, e.g. :8080 or :0")
+		manifest  = flag.String("manifest", "", "experiment/coordinator mode: record completed runs in this JSONL file and skip cells it already holds (crash-resilient sweeps)")
+
+		// Distributed sweep (coordinator/worker) mode.
+		coordinate  = flag.String("coordinate", "", "coordinator mode: lease sweep cells to workers on this address, e.g. :9090")
+		workerAddr  = flag.String("worker", "", "worker mode: execute cells leased by the coordinator at this address")
+		workerName  = flag.String("name", "", "worker mode: worker name in coordinator logs (default host-pid)")
+		designs     = flag.String("designs", "live", "coordinator mode: comma-separated migration designs for the workloads x designs sweep grid")
+		leaseTTL    = flag.Duration("lease-ttl", 0, "coordinator mode: lease expiry without a heartbeat (0 = default); must exceed the wall time between worker checkpoints")
+		spillDir    = flag.String("spill-dir", "", "coordinator mode: persist in-flight checkpoints here so a restarted coordinator resumes takeover cells mid-run")
+		maxAttempts = flag.Int("max-attempts", 0, "coordinator mode: lease attempts per cell before it fails permanently (0 = default)")
 
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
@@ -103,34 +126,63 @@ func main() {
 	}
 
 	// Validate the flag set up front so misuse fails immediately with a
-	// usage error instead of surfacing mid-run (or being ignored).
+	// usage error instead of surfacing mid-run (or being ignored). Exactly
+	// one mode flag selects the mode; every other flag belongs to one or
+	// more modes and is rejected outside them.
 	set := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { set[f.Name] = true })
-	singleOnly := []string{
-		"design", "interval", "page", "metrics", "events", "audit",
+	const (
+		modeSingle = "single"
+		modeExp    = "exp"
+		modeCoord  = "coordinate"
+		modeWorker = "worker"
+	)
+	mode := ""
+	for _, m := range []struct {
+		name string
+		on   bool
+	}{
+		{modeSingle, *workloadName != ""},
+		{modeExp, *exp != ""},
+		{modeCoord, *coordinate != ""},
+		{modeWorker, *workerAddr != ""},
+	} {
+		if !m.on {
+			continue
+		}
+		if mode != "" {
+			usageErr("-workload, -exp, -coordinate, and -worker are mutually exclusive")
+		}
+		mode = m.name
+	}
+	onlyIn := func(flags []string, allowed bool, what string) {
+		if allowed {
+			return
+		}
+		for _, name := range flags {
+			if set[name] {
+				usageErr("-%s applies only to %s", name, what)
+			}
+		}
+	}
+	onlyIn([]string{
+		"design", "metrics", "events", "audit",
 		"trace-out", "series-out", "cpuprofile", "memprofile",
-		"checkpoint-out", "checkpoint-every", "resume",
+		"checkpoint-out", "resume",
 		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
 		"fault-schedule", "fault-retries", "fault-backoff",
 		"fault-retire-after", "fault-degrade-budget",
-	}
-	expOnly := []string{"workloads", "timeout", "listen", "manifest"}
-	if *workloadName != "" {
-		if *exp != "" {
-			usageErr("-workload and -exp are mutually exclusive")
-		}
-		for _, name := range expOnly {
-			if set[name] {
-				usageErr("-%s applies only to experiment mode (-exp)", name)
-			}
-		}
-	} else {
-		for _, name := range singleOnly {
-			if set[name] {
-				usageErr("-%s applies only to single-run mode (-workload)", name)
-			}
-		}
-	}
+	}, mode == modeSingle, "single-run mode (-workload)")
+	onlyIn([]string{"interval", "page", "checkpoint-every"},
+		mode == modeSingle || mode == modeCoord, "single-run or coordinator mode")
+	onlyIn([]string{"timeout"}, mode == modeExp, "experiment mode (-exp)")
+	onlyIn([]string{"workloads", "listen", "manifest"},
+		mode == modeExp || mode == modeCoord, "experiment or coordinator mode")
+	onlyIn([]string{"designs", "lease-ttl", "spill-dir", "max-attempts"},
+		mode == modeCoord, "coordinator mode (-coordinate)")
+	onlyIn([]string{"name"}, mode == modeWorker, "worker mode (-worker)")
+	onlyIn([]string{"records", "warmup", "seed", "channels"},
+		mode != modeWorker, "a mode that simulates locally (workers take cell parameters from their leases)")
 	if *events < 0 {
 		usageErr("-events must be >= 0, got %d", *events)
 	}
@@ -143,11 +195,40 @@ func main() {
 	if *timeout < 0 {
 		usageErr("-timeout must be >= 0, got %v", *timeout)
 	}
-	if *ckEvery > 0 && *ckOut == "" {
-		usageErr("-checkpoint-every requires -checkpoint-out")
+	if *leaseTTL < 0 {
+		usageErr("-lease-ttl must be >= 0, got %v", *leaseTTL)
 	}
-	if *ckOut != "" && *ckEvery == 0 {
-		usageErr("-checkpoint-out requires -checkpoint-every")
+	if *maxAttempts < 0 {
+		usageErr("-max-attempts must be >= 0, got %d", *maxAttempts)
+	}
+	if mode == modeSingle {
+		if *ckEvery > 0 && *ckOut == "" {
+			usageErr("-checkpoint-every requires -checkpoint-out")
+		}
+		if *ckOut != "" && *ckEvery == 0 {
+			usageErr("-checkpoint-out requires -checkpoint-every")
+		}
+	}
+
+	// Every mode runs under one signal-aware context: the first SIGINT or
+	// SIGTERM cancels it (single runs stop at the next cancellation poll,
+	// sweeps between cells, the coordinator drains its workers) and the
+	// process exits with the conventional 130. A second signal kills the
+	// process immediately via the restored default handler.
+	ctx, stopSignals := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stopSignals()
+	go func() {
+		// After the first signal cancels ctx, unregister the handler so a
+		// second signal gets the default disposition and kills a stuck drain.
+		<-ctx.Done()
+		stopSignals()
+	}()
+	fail := func(err error) {
+		fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
+		if ctx.Err() != nil {
+			os.Exit(130)
+		}
+		os.Exit(1)
 	}
 
 	if *workloadName != "" {
@@ -187,7 +268,7 @@ func main() {
 			}
 			cpuFile = f
 		}
-		runErr := singleRun(os.Stdout, singleRunConfig{
+		runErr := singleRun(ctx, os.Stdout, singleRunConfig{
 			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
 			Channels: *channels,
 			Records:  *records, Warmup: *warmup, Seed: *seed,
@@ -219,14 +300,74 @@ func main() {
 			}
 		}
 		if runErr != nil {
-			fmt.Fprintf(os.Stderr, "hmsim: %v\n", runErr)
-			os.Exit(1)
+			fail(runErr)
+		}
+		return
+	}
+
+	if *workerAddr != "" {
+		name := *workerName
+		if name == "" {
+			host, _ := os.Hostname()
+			name = fmt.Sprintf("%s-%d", host, os.Getpid())
+		}
+		err := dsweep.RunWorker(ctx, *workerAddr, dsweep.WorkerConfig{
+			Name: name,
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hmsim: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
+		}
+		return
+	}
+
+	if *coordinate != "" {
+		if *manifest == "" {
+			usageErr("-coordinate requires -manifest (the durable sweep ledger)")
+		}
+		recs := *records
+		if recs == 0 {
+			recs = 1_000_000
+		}
+		wu := *warmup
+		if wu == 0 {
+			wu = recs / 2
+		}
+		var wls []string
+		if *workloads != "" {
+			wls = strings.Split(*workloads, ",")
+		}
+		cells, err := buildCells(wls, strings.Split(*designs, ","), dsweep.CellSpec{
+			Seed: *seed, PageSize: *page, Interval: *interval,
+			Records: recs, Warmup: wu, Channels: *channels,
+		})
+		if err != nil {
+			usageErr("%v", err)
+		}
+		_, err = runCoordinator(ctx, os.Stdout, coordRunConfig{
+			Addr: *coordinate, Cells: cells, Manifest: *manifest, Listen: *listen,
+			LeaseTTL: *leaseTTL, CheckpointEvery: *ckEvery,
+			SpillDir: *spillDir, MaxAttempts: *maxAttempts,
+			OnListen: func(workerAddr, telemetryAddr string) {
+				fmt.Fprintf(os.Stderr, "hmsim: coordinator leasing %d cells on %s\n", len(cells), workerAddr)
+				if telemetryAddr != "" {
+					fmt.Fprintf(os.Stderr, "hmsim: telemetry listening on http://%s\n", telemetryAddr)
+				}
+			},
+			Logf: func(format string, args ...any) {
+				fmt.Fprintf(os.Stderr, "hmsim: "+format+"\n", args...)
+			},
+		})
+		if err != nil {
+			fail(err)
 		}
 		return
 	}
 
 	if *exp == "" {
-		usageErr("-exp or -workload required (use -list to see experiments)")
+		usageErr("-exp, -workload, -coordinate, or -worker required (use -list to see experiments)")
 	}
 
 	p := experiments.Params{Records: *records, Warmup: *warmup, Seed: *seed, Channels: *channels}
@@ -245,21 +386,20 @@ func main() {
 		}
 	}
 
-	ctx := context.Background()
+	runCtx := ctx
 	if *timeout > 0 {
 		var cancel context.CancelFunc
-		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		runCtx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	err := runExperiments(ctx, os.Stdout, expRunConfig{
+	err := runExperiments(runCtx, os.Stdout, expRunConfig{
 		Names: names, Params: p, Listen: *listen, Manifest: *manifest,
 		OnListen: func(addr string) {
 			fmt.Fprintf(os.Stderr, "hmsim: telemetry listening on http://%s\n", addr)
 		},
 	})
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "hmsim: %v\n", err)
-		os.Exit(1)
+		fail(err)
 	}
 }
 
@@ -311,6 +451,104 @@ func runExperiments(ctx context.Context, w io.Writer, c expRunConfig) error {
 		fmt.Fprintln(w)
 	}
 	return nil
+}
+
+// buildCells expands a workloads x designs grid into validated sweep cells.
+// base supplies the shared cell parameters (seed, page size, interval,
+// record budget, warmup, channels); an empty workload list means every
+// built-in workload.
+func buildCells(workloads, designs []string, base dsweep.CellSpec) ([]dsweep.CellSpec, error) {
+	if len(workloads) == 0 {
+		workloads = heteromem.Workloads()
+	}
+	cells := make([]dsweep.CellSpec, 0, len(workloads)*len(designs))
+	for _, wl := range workloads {
+		for _, d := range designs {
+			spec := base
+			spec.Workload = strings.TrimSpace(wl)
+			spec.Design = strings.TrimSpace(d)
+			if err := spec.Validate(); err != nil {
+				return nil, err
+			}
+			cells = append(cells, spec)
+		}
+	}
+	return cells, nil
+}
+
+// coordRunConfig collects the coordinator-mode inputs.
+type coordRunConfig struct {
+	Addr            string // worker listen address
+	Cells           []dsweep.CellSpec
+	Manifest        string        // durable sweep ledger JSONL path (required)
+	Listen          string        // telemetry listen address ("" disables)
+	LeaseTTL        time.Duration // 0 = dsweep default
+	CheckpointEvery uint64        // 0 = dsweep default
+	SpillDir        string
+	MaxAttempts     int // 0 = dsweep default
+
+	OnListen func(workerAddr, telemetryAddr string) // called once both servers are bound
+	Logf     func(format string, args ...any)
+}
+
+// runCoordinator serves one distributed sweep: it opens the manifest,
+// optionally serves telemetry, leases cells to workers until every cell is
+// complete (or the context is cancelled, which drains workers gracefully),
+// and emits the final stats as JSON.
+func runCoordinator(ctx context.Context, w io.Writer, c coordRunConfig) (dsweep.Stats, error) {
+	man, err := experiments.OpenManifest(c.Manifest)
+	if err != nil {
+		return dsweep.Stats{}, fmt.Errorf("manifest: %w", err)
+	}
+	defer func() {
+		if err := man.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: closing manifest: %v\n", err)
+		}
+	}()
+
+	var tel *experiments.Telemetry
+	telAddr := ""
+	if c.Listen != "" {
+		tel = experiments.NewTelemetry()
+		srv, err := serveTelemetry(c.Listen, tel)
+		if err != nil {
+			return dsweep.Stats{}, fmt.Errorf("telemetry: %w", err)
+		}
+		defer srv.Close()
+		telAddr = srv.Addr()
+	}
+
+	coord, err := dsweep.NewCoordinator(dsweep.CoordinatorConfig{
+		Cells:           c.Cells,
+		Manifest:        man,
+		Telemetry:       tel,
+		LeaseTTL:        c.LeaseTTL,
+		CheckpointEvery: c.CheckpointEvery,
+		SpillDir:        c.SpillDir,
+		MaxAttempts:     c.MaxAttempts,
+		Logf:            c.Logf,
+	})
+	if err != nil {
+		return dsweep.Stats{}, err
+	}
+	ln, err := net.Listen("tcp", c.Addr)
+	if err != nil {
+		return dsweep.Stats{}, err
+	}
+	if c.OnListen != nil {
+		c.OnListen(ln.Addr().String(), telAddr)
+	}
+	serveErr := coord.Serve(ctx, ln)
+	stats := coord.Stats()
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(struct {
+		Manifest string
+		dsweep.Stats
+	}{Manifest: c.Manifest, Stats: stats}); err != nil && serveErr == nil {
+		serveErr = err
+	}
+	return stats, serveErr
 }
 
 // telemetryServer is the live sweep-telemetry HTTP server.
@@ -406,7 +644,7 @@ type singleRunOutput struct {
 	Result   heteromem.Result
 }
 
-func singleRun(w io.Writer, c singleRunConfig) error {
+func singleRun(ctx context.Context, w io.Writer, c singleRunConfig) error {
 	cfg := heteromem.Config{
 		MacroPageSize: c.Page,
 		Channels:      c.Channels,
@@ -450,9 +688,9 @@ func singleRun(w io.Writer, c singleRunConfig) error {
 	var res heteromem.Result
 	var err2 error
 	if ck.Every > 0 || ck.Resume != nil {
-		res, err2 = sys.RunWorkloadCheckpointed(c.Workload, c.Seed, records, ck)
+		res, err2 = sys.RunWorkloadCheckpointedContext(ctx, c.Workload, c.Seed, records, ck)
 	} else {
-		res, err2 = sys.RunWorkload(c.Workload, c.Seed, records)
+		res, err2 = sys.RunWorkloadContext(ctx, c.Workload, c.Seed, records)
 	}
 	if err2 != nil {
 		return err2

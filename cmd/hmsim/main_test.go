@@ -5,15 +5,19 @@ import (
 	"context"
 	"encoding/json"
 	"errors"
+	"fmt"
 	"io"
 	"net/http"
 	"os"
+	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
 	"heteromem"
+	"heteromem/internal/dsweep"
 	"heteromem/internal/experiments"
 )
 
@@ -27,7 +31,7 @@ func TestSingleRunMetricsJSON(t *testing.T) {
 	if !ok {
 		t.Fatal("parseDesign rejected \"live\"")
 	}
-	err := singleRun(&buf, singleRunConfig{
+	err := singleRun(context.Background(), &buf, singleRunConfig{
 		Workload: "pgbench", Design: live, Interval: 1000,
 		Records: 200_000, Seed: 1,
 		Metrics: true, Events: 64, Audit: true,
@@ -97,7 +101,7 @@ func TestSingleRunTraceAndSeriesOut(t *testing.T) {
 	seriesPath := filepath.Join(dir, "series.jsonl")
 	live, _ := parseDesign("live")
 	var buf bytes.Buffer
-	err := singleRun(&buf, singleRunConfig{
+	err := singleRun(context.Background(), &buf, singleRunConfig{
 		Workload: "pgbench", Design: live, Interval: 1000,
 		Records: 200_000, Seed: 1,
 		TraceOut: tracePath, SeriesOut: seriesPath,
@@ -267,7 +271,7 @@ func TestParseDesign(t *testing.T) {
 func TestSingleRunFaultInjection(t *testing.T) {
 	live, _ := parseDesign("live")
 	var buf bytes.Buffer
-	err := singleRun(&buf, singleRunConfig{
+	err := singleRun(context.Background(), &buf, singleRunConfig{
 		Workload: "pgbench", Design: live, Interval: 1000,
 		Records: 100_000, Seed: 1, Audit: true,
 		Fault: heteromem.FaultConfig{Seed: 7, DeviceRate: 1e-4, CopyRate: 1e-4, BulkRate: 1e-4},
@@ -292,5 +296,185 @@ func TestSingleRunFaultInjection(t *testing.T) {
 	}
 	if !f.Balanced(f.Injected) {
 		t.Fatalf("fault ledger unbalanced: %+v", f)
+	}
+}
+
+// TestBuildCells pins the coordinator-mode grid construction: workloads x
+// designs expansion, the all-workloads default, and early rejection of
+// cells that could never simulate.
+func TestBuildCells(t *testing.T) {
+	base := dsweep.CellSpec{Seed: 1, Interval: 1000, Records: 1000}
+	cells, err := buildCells([]string{"pgbench", "indexer"}, []string{"live", "none"}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("2x2 grid produced %d cells", len(cells))
+	}
+	labels := map[string]bool{}
+	for _, c := range cells {
+		labels[c.Label()] = true
+	}
+	for _, want := range []string{"pgbench/live", "pgbench/none", "indexer/live", "indexer/none"} {
+		if !labels[want] {
+			t.Errorf("grid missing cell %s", want)
+		}
+	}
+
+	all, err := buildCells(nil, []string{"live"}, base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(all) != len(heteromem.Workloads()) {
+		t.Fatalf("empty workload list expanded to %d cells, want one per built-in workload (%d)",
+			len(all), len(heteromem.Workloads()))
+	}
+
+	if _, err := buildCells([]string{"pgbench"}, []string{"bogus"}, base); err == nil {
+		t.Error("unknown design accepted")
+	}
+	if _, err := buildCells([]string{"nosuch"}, []string{"live"}, base); err == nil {
+		t.Error("unknown workload accepted")
+	}
+	noInterval := base
+	noInterval.Interval = 0
+	if _, err := buildCells([]string{"pgbench"}, []string{"live"}, noInterval); err == nil {
+		t.Error("migrating design without a swap interval accepted")
+	}
+	if _, err := buildCells([]string{"pgbench"}, []string{"none"}, noInterval); err != nil {
+		t.Errorf("non-migrating design should not need an interval: %v", err)
+	}
+}
+
+// TestCoordinateModeEndToEnd drives runCoordinator exactly as coordinator
+// mode does, with two in-process workers racing the grid, and checks the
+// stats summary and the durable manifest.
+func TestCoordinateModeEndToEnd(t *testing.T) {
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	cells, err := buildCells([]string{"pgbench", "indexer"}, []string{"live", "none"},
+		dsweep.CellSpec{Seed: 1, Interval: 1000, Records: 60_000, Warmup: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	var buf bytes.Buffer
+	var wg sync.WaitGroup
+	workerErrs := make(chan error, 2)
+	stats, err := runCoordinator(ctx, &buf, coordRunConfig{
+		Addr: "127.0.0.1:0", Cells: cells, Manifest: manifestPath,
+		SpillDir: dir,
+		OnListen: func(addr, telemetryAddr string) {
+			if telemetryAddr != "" {
+				t.Errorf("telemetry server started without -listen: %s", telemetryAddr)
+			}
+			for i := 0; i < 2; i++ {
+				wg.Add(1)
+				name := fmt.Sprintf("w%d", i)
+				go func() {
+					defer wg.Done()
+					workerErrs <- dsweep.RunWorker(ctx, addr, dsweep.WorkerConfig{Name: name})
+				}()
+			}
+		},
+	})
+	if err != nil {
+		t.Fatalf("runCoordinator: %v", err)
+	}
+	wg.Wait()
+	close(workerErrs)
+	for werr := range workerErrs {
+		if werr != nil {
+			t.Errorf("worker: %v", werr)
+		}
+	}
+	if stats.Completed != len(cells) || stats.Failed != 0 {
+		t.Fatalf("stats %+v, want %d completed and 0 failed", stats, len(cells))
+	}
+
+	var out struct {
+		Manifest  string
+		Completed int
+	}
+	if err := json.Unmarshal(buf.Bytes(), &out); err != nil {
+		t.Fatalf("stats output is not valid JSON: %v", err)
+	}
+	if out.Manifest != manifestPath || out.Completed != len(cells) {
+		t.Fatalf("stats JSON wrong: %+v", out)
+	}
+
+	man, err := experiments.OpenManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man.Close()
+	if man.Len() != len(cells) {
+		t.Fatalf("manifest holds %d cells, want %d", man.Len(), len(cells))
+	}
+
+	// A second coordinator over the same manifest has nothing left to lease
+	// and resolves without any worker connecting.
+	stats2, err := runCoordinator(ctx, io.Discard, coordRunConfig{
+		Addr: "127.0.0.1:0", Cells: cells, Manifest: manifestPath,
+	})
+	if err != nil {
+		t.Fatalf("restarted coordinator: %v", err)
+	}
+	if stats2.Skipped != len(cells) || stats2.Planned != 0 {
+		t.Fatalf("restarted coordinator stats %+v, want all %d cells skipped", stats2, len(cells))
+	}
+}
+
+// TestSingleRunCancelled pins the signal path below main: a cancelled
+// context aborts a single run with an error wrapping context.Canceled.
+func TestSingleRunCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	live, _ := parseDesign("live")
+	err := singleRun(ctx, io.Discard, singleRunConfig{
+		Workload: "pgbench", Design: live, Interval: 1000,
+		Records: 200_000, Seed: 1,
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+}
+
+// TestMainSignalExit sends a real SIGINT to hmsim's main() mid-run (via the
+// re-executed test binary) and checks the conventional exit code 130.
+func TestMainSignalExit(t *testing.T) {
+	if os.Getenv("HMSIM_MAIN_HELPER") == "1" {
+		os.Args = []string{"hmsim", "-workload", "pgbench", "-design", "live", "-records", "100000000"}
+		main()
+		return
+	}
+	if testing.Short() {
+		t.Skip("spawns a child process; skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(bin, "-test.run", "^TestMainSignalExit$")
+	cmd.Env = append(os.Environ(), "HMSIM_MAIN_HELPER=1")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(300 * time.Millisecond) // let the run get past flag parsing and start simulating
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err = cmd.Wait()
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("child did not exit with an error after SIGINT (err %v, stderr %q)", err, stderr.String())
+	}
+	if code := exitErr.ExitCode(); code != 130 {
+		t.Fatalf("exit code %d after SIGINT, want 130 (stderr %q)", code, stderr.String())
+	}
+	if !strings.Contains(stderr.String(), "cancelled") {
+		t.Errorf("stderr does not mention cancellation: %q", stderr.String())
 	}
 }

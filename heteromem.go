@@ -32,6 +32,7 @@
 package heteromem
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -227,9 +228,18 @@ func New(c Config) (*System, error) {
 
 // Run simulates up to maxRecords accesses from src (0 = the whole trace).
 func (s *System) Run(src Source, maxRecords uint64) (Result, error) {
+	return s.RunContext(context.Background(), src, maxRecords)
+}
+
+// RunContext is Run with cooperative cancellation: the context is polled
+// every few thousand records (never in the per-record hot path), and a
+// cancelled run returns an error wrapping ctx.Err(). Cancellation never
+// alters simulated results — an uncancelled RunContext is byte-identical
+// to Run.
+func (s *System) RunContext(ctx context.Context, src Source, maxRecords uint64) (Result, error) {
 	cfg := s.cfg
 	cfg.MaxRecords = maxRecords
-	return sim.Run(src, cfg)
+	return sim.RunContext(ctx, src, cfg)
 }
 
 // Checkpointing configures periodic run-state snapshots and crash-resilient
@@ -249,23 +259,35 @@ type Checkpointing struct {
 
 // RunCheckpointed is Run with periodic checkpoints and/or resume.
 func (s *System) RunCheckpointed(src Source, maxRecords uint64, ck Checkpointing) (Result, error) {
+	return s.RunCheckpointedContext(context.Background(), src, maxRecords, ck)
+}
+
+// RunCheckpointedContext is RunCheckpointed with cooperative cancellation
+// (see RunContext).
+func (s *System) RunCheckpointedContext(ctx context.Context, src Source, maxRecords uint64, ck Checkpointing) (Result, error) {
 	cfg := s.cfg
 	cfg.MaxRecords = maxRecords
 	cfg.CheckpointEvery = ck.Every
 	cfg.CheckpointSink = ck.Sink
 	cfg.Resume = ck.Resume
-	return sim.Run(src, cfg)
+	return sim.RunContext(ctx, src, cfg)
 }
 
 // RunWorkloadCheckpointed is RunWorkload with periodic checkpoints and/or
 // resume. The built-in workload generators serialize their full PRNG state
 // into the checkpoint, so resume is exact at any boundary.
 func (s *System) RunWorkloadCheckpointed(name string, seed int64, maxRecords uint64, ck Checkpointing) (Result, error) {
+	return s.RunWorkloadCheckpointedContext(context.Background(), name, seed, maxRecords, ck)
+}
+
+// RunWorkloadCheckpointedContext is RunWorkloadCheckpointed with
+// cooperative cancellation (see RunContext).
+func (s *System) RunWorkloadCheckpointedContext(ctx context.Context, name string, seed int64, maxRecords uint64, ck Checkpointing) (Result, error) {
 	gen, err := workload.NewMemory(name, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.RunCheckpointed(gen, maxRecords, ck)
+	return s.RunCheckpointedContext(ctx, gen, maxRecords, ck)
 }
 
 // CheckpointInfo summarizes a checkpoint file without restoring it.
@@ -293,11 +315,17 @@ func (s *System) RunWindows(src Source, maxRecords, window uint64) (Result, erro
 // RunWorkload simulates one of the built-in Section IV workloads
 // (see Workloads) with the given seed.
 func (s *System) RunWorkload(name string, seed int64, maxRecords uint64) (Result, error) {
+	return s.RunWorkloadContext(context.Background(), name, seed, maxRecords)
+}
+
+// RunWorkloadContext is RunWorkload with cooperative cancellation (see
+// RunContext).
+func (s *System) RunWorkloadContext(ctx context.Context, name string, seed int64, maxRecords uint64) (Result, error) {
 	gen, err := workload.NewMemory(name, seed)
 	if err != nil {
 		return Result{}, err
 	}
-	return s.Run(gen, maxRecords)
+	return s.RunContext(ctx, gen, maxRecords)
 }
 
 // Workloads lists the built-in Section IV trace workloads.

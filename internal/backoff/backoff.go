@@ -1,0 +1,104 @@
+// Package backoff is the repo's single retry-delay implementation, shared
+// by the cycle-domain fault-escalation ladder in internal/memctrl and the
+// wall-clock RPC retry loops of the distributed sweep service.
+//
+// Two shapes are provided. Exponential is the deterministic attempt-indexed
+// policy the fault ladder has always used (base << (attempt-1), capped
+// doublings): it is pure arithmetic, so simulated retry timing stays
+// bit-reproducible and the pre-extraction perf goldens pin it byte-identical.
+// Jitter is the wall-clock decorrelated-jitter policy ("full jitter" per
+// attempt bounded by three times the previous sleep) recommended for
+// contended RPC retries; it draws from a seeded internal/rng stream, so a
+// retry schedule is deterministic under a fixed seed — chaos campaigns and
+// unit tests replay exactly.
+package backoff
+
+import (
+	"context"
+	"time"
+
+	"heteromem/internal/rng"
+)
+
+// Exponential is the deterministic cycle-domain policy: attempt k (1-based)
+// is delayed Base << (k-1), capped at MaxShift doublings. The zero value is
+// usable but degenerate (zero delay); construct via fault.Config or fill
+// both fields.
+type Exponential struct {
+	Base     int64 // delay of the first retry
+	MaxShift int   // cap on doublings (attempt MaxShift+1 and later plateau)
+}
+
+// Delay returns the backoff before retry `attempt` (1-based). Attempts
+// below 1 are treated as 1, matching the fault injector's historical
+// clamping.
+func (e Exponential) Delay(attempt int) int64 {
+	shift := attempt - 1
+	if shift < 0 {
+		shift = 0
+	}
+	if shift > e.MaxShift {
+		shift = e.MaxShift
+	}
+	return e.Base << uint(shift)
+}
+
+// Jitter produces decorrelated-jitter wall-clock delays: the first Next
+// returns Base exactly (so a lone transient costs the minimum), and each
+// subsequent delay is uniform in [Base, 3*prev), capped at Cap. Draws come
+// from a seeded splitmix64 stream, making the schedule reproducible; Jitter
+// is not goroutine-safe — give each retry loop its own.
+type Jitter struct {
+	base time.Duration
+	cap  time.Duration
+	r    *rng.Rand
+	prev time.Duration
+}
+
+// NewJitter returns a decorrelated-jitter source. base must be positive;
+// cap below base is raised to base.
+func NewJitter(base, cap time.Duration, seed uint64) *Jitter {
+	if base <= 0 {
+		base = time.Millisecond
+	}
+	if cap < base {
+		cap = base
+	}
+	return &Jitter{base: base, cap: cap, r: rng.New(seed)}
+}
+
+// Next returns the delay before the next retry attempt.
+func (j *Jitter) Next() time.Duration {
+	if j.prev == 0 {
+		j.prev = j.base
+		return j.base
+	}
+	span := 3 * j.prev
+	if span > j.cap {
+		span = j.cap
+	}
+	d := j.base
+	if span > j.base {
+		d = j.base + time.Duration(j.r.Int63n(int64(span-j.base)))
+	}
+	j.prev = d
+	return d
+}
+
+// Reset forgets the escalation history: the next delay is Base again. Call
+// it after a success so an unrelated later failure starts cheap.
+func (j *Jitter) Reset() { j.prev = 0 }
+
+// Sleep waits for the next jittered delay or until ctx is cancelled,
+// returning ctx.Err() in the latter case. It is the standard body of a
+// dial/RPC retry loop.
+func (j *Jitter) Sleep(ctx context.Context) error {
+	t := time.NewTimer(j.Next())
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}

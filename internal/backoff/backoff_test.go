@@ -1,0 +1,100 @@
+package backoff
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// TestExponentialMatchesFaultLadder pins the policy to the exact formula
+// the fault injector has always used (base << (attempt-1), capped
+// doublings) — the 12 perf goldens depend on these delays bit-for-bit.
+func TestExponentialMatchesFaultLadder(t *testing.T) {
+	e := Exponential{Base: 100, MaxShift: 8}
+	cases := []struct {
+		attempt int
+		want    int64
+	}{
+		{-3, 100}, {0, 100}, {1, 100}, {2, 200}, {3, 400},
+		{8, 100 << 7}, {9, 100 << 8}, {10, 100 << 8}, {1000, 100 << 8},
+	}
+	for _, c := range cases {
+		if got := e.Delay(c.attempt); got != c.want {
+			t.Errorf("Delay(%d) = %d, want %d", c.attempt, got, c.want)
+		}
+	}
+}
+
+// TestJitterDeterministic verifies the schedule is a pure function of the
+// seed, starts at exactly Base, stays within [Base, Cap], and never exceeds
+// three times the previous delay.
+func TestJitterDeterministic(t *testing.T) {
+	const base, cap = 10 * time.Millisecond, 200 * time.Millisecond
+	a := NewJitter(base, cap, 42)
+	b := NewJitter(base, cap, 42)
+	prev := time.Duration(0)
+	for i := 0; i < 64; i++ {
+		da, db := a.Next(), b.Next()
+		if da != db {
+			t.Fatalf("draw %d: same seed diverged: %v vs %v", i, da, db)
+		}
+		if da < base || da > cap {
+			t.Fatalf("draw %d: %v outside [%v, %v]", i, da, base, cap)
+		}
+		if i == 0 && da != base {
+			t.Fatalf("first delay %v, want exactly base %v", da, base)
+		}
+		if prev > 0 && da >= 3*prev && da > base {
+			t.Fatalf("draw %d: %v not decorrelated against prev %v", i, da, prev)
+		}
+		prev = da
+	}
+	other := NewJitter(base, cap, 43)
+	other.Next() // first draw is always base...
+	if a.Next() == other.Next() && a.Next() == other.Next() {
+		t.Fatal("different seeds produced the same schedule")
+	}
+}
+
+// TestJitterReset pins that Reset forgets the escalation: the next delay is
+// Base again, and the post-reset stream replays the from-scratch stream.
+func TestJitterReset(t *testing.T) {
+	j := NewJitter(5*time.Millisecond, time.Second, 7)
+	for i := 0; i < 10; i++ {
+		j.Next()
+	}
+	j.Reset()
+	if got := j.Next(); got != 5*time.Millisecond {
+		t.Fatalf("post-reset delay %v, want base", got)
+	}
+}
+
+// TestJitterDegenerateConfig verifies the constructor heals non-positive
+// base and cap < base instead of producing zero or negative sleeps.
+func TestJitterDegenerateConfig(t *testing.T) {
+	j := NewJitter(0, 0, 1)
+	for i := 0; i < 8; i++ {
+		if d := j.Next(); d <= 0 {
+			t.Fatalf("draw %d: non-positive delay %v", i, d)
+		}
+	}
+	j = NewJitter(time.Second, time.Millisecond, 1)
+	if d := j.Next(); d != time.Second {
+		t.Fatalf("cap below base: first delay %v, want base", d)
+	}
+}
+
+// TestSleepHonorsCancel verifies Sleep returns promptly with ctx.Err() when
+// the context is already cancelled.
+func TestSleepHonorsCancel(t *testing.T) {
+	j := NewJitter(time.Hour, time.Hour, 1)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	start := time.Now()
+	if err := j.Sleep(ctx); err != context.Canceled {
+		t.Fatalf("Sleep = %v, want context.Canceled", err)
+	}
+	if time.Since(start) > time.Second {
+		t.Fatal("Sleep blocked despite cancelled context")
+	}
+}

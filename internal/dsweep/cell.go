@@ -1,0 +1,106 @@
+package dsweep
+
+import (
+	"fmt"
+	"strings"
+
+	"heteromem/internal/core"
+	"heteromem/internal/experiments"
+	"heteromem/internal/sim"
+	"heteromem/internal/workload"
+)
+
+// CellSpec names one sweep cell in wire-friendly form. sim.Config itself is
+// not serializable (it carries the checkpoint sink), so the protocol ships
+// the compact construction parameters instead; Config() rebuilds the full
+// configuration deterministically, which is what makes the coordinator's and
+// the worker's config digests agree — and with them the checkpoint
+// resume-compatibility guard.
+type CellSpec struct {
+	Workload string `json:"workload"`
+	Seed     int64  `json:"seed"`
+	Design   string `json:"design"`              // n, n-1, live, or none
+	PageSize uint64 `json:"page_size,omitempty"` // macro page bytes (0 = Table III default)
+	Interval uint64 `json:"interval,omitempty"`  // swap interval (accesses per epoch)
+	Records  uint64 `json:"records"`             // record budget (must be > 0)
+	Warmup   uint64 `json:"warmup,omitempty"`    // records excluded from statistics
+	Channels int    `json:"channels,omitempty"`  // controller shards (0 or 1 = single)
+}
+
+// parseDesign maps a CellSpec.Design value to a migration design.
+func parseDesign(s string) (d core.Design, migrate, ok bool) {
+	switch strings.ToLower(s) {
+	case "n":
+		return core.DesignN, true, true
+	case "n-1", "n1":
+		return core.DesignN1, true, true
+	case "live":
+		return core.DesignLive, true, true
+	case "none", "static", "":
+		return 0, false, true
+	default:
+		return 0, false, false
+	}
+}
+
+// Validate rejects specs that could never simulate, so a bad cell fails at
+// coordinator construction instead of burning through its lease attempts.
+func (c CellSpec) Validate() error {
+	if _, err := workload.NewMemory(c.Workload, c.Seed); err != nil {
+		return err
+	}
+	if c.Records == 0 {
+		return fmt.Errorf("dsweep: cell %s: zero record budget", c.Workload)
+	}
+	if c.Warmup >= c.Records {
+		return fmt.Errorf("dsweep: cell %s: warmup %d >= records %d", c.Workload, c.Warmup, c.Records)
+	}
+	_, err := c.Config()
+	return err
+}
+
+// Config deterministically reconstructs the cell's simulation configuration,
+// mirroring the experiment drivers' construction (paper defaults, the
+// OS-assisted feasibility split below 1 MB pages).
+func (c CellSpec) Config() (sim.Config, error) {
+	d, migrate, ok := parseDesign(c.Design)
+	if !ok {
+		return sim.Config{}, fmt.Errorf("dsweep: cell %s: unknown design %q", c.Workload, c.Design)
+	}
+	cfg := sim.Default()
+	if c.PageSize > 0 {
+		cfg.Geometry.MacroPageSize = c.PageSize
+	}
+	if migrate {
+		if c.Interval == 0 {
+			return sim.Config{}, fmt.Errorf("dsweep: cell %s: design %q needs a swap interval", c.Workload, c.Design)
+		}
+		cfg.Migration = &core.Options{Design: d, SwapInterval: c.Interval}
+	}
+	cfg.OSAssisted = migrate && cfg.Geometry.MacroPageSize < experiments.PureHardwareMinPage
+	cfg.MaxRecords = c.Records
+	cfg.Warmup = c.Warmup
+	cfg.Channels = c.Channels
+	if err := cfg.Geometry.Validate(); err != nil {
+		return sim.Config{}, fmt.Errorf("dsweep: cell %s: %w", c.Workload, err)
+	}
+	return cfg, nil
+}
+
+// Key returns the cell's manifest ledger key.
+func (c CellSpec) Key() (string, error) {
+	cfg, err := c.Config()
+	if err != nil {
+		return "", err
+	}
+	return experiments.CellKey(c.Workload, c.Seed, cfg), nil
+}
+
+// Label is the human-readable cell name used in telemetry and logs.
+func (c CellSpec) Label() string {
+	design := c.Design
+	if design == "" {
+		design = "none"
+	}
+	return c.Workload + "/" + design
+}

@@ -1,0 +1,161 @@
+package dsweep
+
+import (
+	"context"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strconv"
+	"testing"
+	"time"
+
+	"heteromem/internal/rng"
+)
+
+// Chaos campaign: workers are real OS processes that get SIGKILLed mid-cell
+// on a seeded schedule. The contract under test is the PR's acceptance
+// criterion — after at least three hard kills with takeover, the sweep's
+// per-cell results are byte-identical to an uninterrupted single-process
+// sweep, and the manifest holds every cell exactly once.
+//
+// Seed via CHAOS_SEED (make chaos); unset defaults to a fixed seed so the
+// plain test run is reproducible.
+
+const (
+	chaosHelperEnv = "DSWEEP_CHAOS_HELPER"
+	chaosAddrEnv   = "DSWEEP_COORD_ADDR"
+	chaosNameEnv   = "DSWEEP_WORKER_NAME"
+)
+
+// TestChaosWorkerHelper is not a test: it is the worker-process body,
+// re-executed from the test binary by TestChaosKillAndTakeover. It only
+// runs when the helper env var is set.
+func TestChaosWorkerHelper(t *testing.T) {
+	if os.Getenv(chaosHelperEnv) != "1" {
+		t.Skip("worker-process helper, driven by TestChaosKillAndTakeover")
+	}
+	err := RunWorker(context.Background(), os.Getenv(chaosAddrEnv), WorkerConfig{
+		Name:         os.Getenv(chaosNameEnv),
+		DialAttempts: 5,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "chaos worker: %v\n", err)
+		os.Exit(3)
+	}
+}
+
+func TestChaosKillAndTakeover(t *testing.T) {
+	if testing.Short() {
+		t.Skip("chaos campaign spawns and kills worker processes; skipped in -short")
+	}
+	bin, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	seed := uint64(1)
+	if s := os.Getenv("CHAOS_SEED"); s != "" {
+		v, err := strconv.ParseUint(s, 10, 64)
+		if err != nil {
+			t.Fatalf("CHAOS_SEED %q: %v", s, err)
+		}
+		seed = v
+	}
+	t.Logf("chaos seed %d", seed)
+	r := rng.New(seed | 1)
+
+	// Cells sized so one takes noticeably longer than a kill interval:
+	// every SIGKILL lands mid-cell with high probability, and progress
+	// accrues across takeovers only through checkpoint resume.
+	// Note the designs: basic design N is avoided here because its
+	// stall-the-world swaps make some workloads orders of magnitude slower
+	// in wall time, starving the checkpoint-paced heartbeats past any
+	// reasonable lease TTL.
+	cells := []CellSpec{
+		{Workload: "pgbench", Seed: 11, Design: "live", Interval: 1000, Records: 4_000_000, Warmup: 500_000},
+		{Workload: "indexer", Seed: 12, Design: "n-1", Interval: 1000, Records: 4_000_000, Warmup: 500_000},
+		{Workload: "FT", Seed: 13, Design: "live", Interval: 1000, Records: 4_000_000},
+	}
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	ctx := context.Background()
+	var logf func(string, ...any)
+	if os.Getenv("CHAOS_VERBOSE") != "" {
+		logf = func(f string, a ...any) { fmt.Fprintf(os.Stderr, "[coord] "+f+"\n", a...) }
+	}
+	coord, addr, wait := startCoordinator(t, ctx, CoordinatorConfig{
+		Cells:    cells,
+		Manifest: openManifest(t, manifestPath),
+		SpillDir: dir,
+		// Every kill burns an attempt on the victim's cell; the campaign
+		// must never exhaust a cell into permanent failure.
+		MaxAttempts: 1000,
+		LeaseTTL:    10 * time.Second,
+		Logf:        logf,
+	})
+
+	spawn := func(name string) *exec.Cmd {
+		cmd := exec.Command(bin, "-test.run", "^TestChaosWorkerHelper$", "-test.v")
+		cmd.Env = append(os.Environ(),
+			chaosHelperEnv+"=1",
+			chaosAddrEnv+"="+addr,
+			chaosNameEnv+"="+name,
+		)
+		if os.Getenv("CHAOS_VERBOSE") != "" {
+			cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
+		}
+		if err := cmd.Start(); err != nil {
+			t.Fatalf("spawning worker process: %v", err)
+		}
+		return cmd
+	}
+
+	// Kill loop: spawn a worker, let it run 150-500ms, SIGKILL it. Repeat
+	// until at least 3 kills landed while the worker held a lease (a real
+	// mid-cell takeover) or the spawn budget runs out.
+	const wantTakeovers = 3
+	kills := 0
+	for spawns := 0; spawns < 40; spawns++ {
+		s := coord.Stats()
+		if s.Takeovers >= wantTakeovers {
+			break
+		}
+		if s.Completed+s.Skipped == len(cells) {
+			break // sweep finished under fire before enough takeovers
+		}
+		cmd := spawn(fmt.Sprintf("victim-%d", spawns))
+		delay := 150*time.Millisecond + time.Duration(r.Intn(350))*time.Millisecond
+		time.Sleep(delay)
+		if err := cmd.Process.Kill(); err != nil {
+			t.Fatalf("SIGKILL worker: %v", err)
+		}
+		_ = cmd.Wait() // reap; exit status is necessarily non-zero
+		kills++
+	}
+	if got := coord.Stats().Takeovers; got < wantTakeovers {
+		t.Fatalf("only %d takeovers after %d SIGKILLs; the campaign never got its %d mid-cell kills",
+			got, kills, wantTakeovers)
+	}
+	t.Logf("%d SIGKILLs, %d takeovers; letting survivors finish", kills, coord.Stats().Takeovers)
+
+	// Survivors: two clean worker processes run the sweep to completion.
+	finishers := []*exec.Cmd{spawn("survivor-0"), spawn("survivor-1")}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for _, cmd := range finishers {
+		if err := cmd.Wait(); err != nil {
+			t.Errorf("surviving worker exited with: %v", err)
+		}
+	}
+
+	s := coord.Stats()
+	t.Logf("final stats: %+v", s)
+	if s.Failed != 0 {
+		t.Fatalf("%d cells failed permanently", s.Failed)
+	}
+
+	// The chaos contract: byte-identical to the uninterrupted run, every
+	// cell exactly once.
+	assertSweepMatchesDirect(t, manifestPath, cells)
+}

@@ -1,0 +1,602 @@
+package dsweep
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"heteromem/internal/experiments"
+	"heteromem/internal/sim"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// testCells is a small mixed grid: two migrating designs and a static
+// baseline, sized to finish in well under a second each.
+func testCells() []CellSpec {
+	return []CellSpec{
+		{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Records: 60_000, Warmup: 10_000},
+		{Workload: "indexer", Seed: 1, Design: "n-1", Interval: 1000, Records: 60_000, Warmup: 10_000},
+		{Workload: "FT", Seed: 2, Design: "none", Records: 60_000},
+	}
+}
+
+// directResult simulates spec uninterrupted in-process — no checkpointing,
+// no distribution — and returns the marshaled Result: the byte-identity
+// reference for everything the distributed path produces.
+func directResult(t *testing.T, spec CellSpec) json.RawMessage {
+	t.Helper()
+	cfg, err := spec.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := workload.NewMemory(spec.Workload, spec.Seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := sim.Run(trace.NewLimit(gen, cfg.MaxRecords), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return raw
+}
+
+func openManifest(t *testing.T, path string) *experiments.Manifest {
+	t.Helper()
+	m, err := experiments.OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { m.Close() })
+	return m
+}
+
+// startCoordinator builds a coordinator over a fresh loopback listener and
+// serves it in the background. The returned wait func joins Serve.
+func startCoordinator(t *testing.T, ctx context.Context, cfg CoordinatorConfig) (coord *Coordinator, addr string, wait func() error) {
+	t.Helper()
+	c, err := NewCoordinator(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	errCh := make(chan error, 1)
+	go func() { errCh <- c.Serve(ctx, ln) }()
+	return c, ln.Addr().String(), func() error {
+		select {
+		case err := <-errCh:
+			return err
+		case <-time.After(60 * time.Second):
+			t.Fatal("coordinator did not finish")
+			return nil
+		}
+	}
+}
+
+// assertSweepMatchesDirect checks the chaos contract's core: every cell's
+// ledger entry is byte-identical to an uninterrupted in-process run, and
+// the (reopened) manifest holds each cell exactly once.
+func assertSweepMatchesDirect(t *testing.T, manifestPath string, cells []CellSpec) {
+	t.Helper()
+	m := openManifest(t, manifestPath)
+	if m.Compacted() {
+		t.Error("manifest needed compaction on reopen: duplicate or torn cell lines were written")
+	}
+	if m.Len() != len(cells) {
+		t.Fatalf("manifest holds %d cells, want %d", m.Len(), len(cells))
+	}
+	for _, spec := range cells {
+		key, err := spec.Key()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, ok := m.LookupRaw(key)
+		if !ok {
+			t.Fatalf("cell %s missing from manifest", spec.Label())
+		}
+		want := directResult(t, spec)
+		if !bytes.Equal(got, want) {
+			t.Errorf("cell %s: distributed result differs from uninterrupted run\n got: %.200s\nwant: %.200s",
+				spec.Label(), got, want)
+		}
+	}
+}
+
+func TestFrameRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	in := envelope{Type: msgLease, LeaseID: 7, Key: "k", CheckpointEvery: 9,
+		Cell: &CellSpec{Workload: "pgbench", Seed: 3, Design: "live", Interval: 1000, Records: 10},
+		Resume: []byte{1, 2, 3}}
+	if err := writeFrame(&buf, &in); err != nil {
+		t.Fatal(err)
+	}
+	var out envelope
+	if err := readFrame(&buf, &out); err != nil {
+		t.Fatal(err)
+	}
+	if out.Type != msgLease || out.LeaseID != 7 || out.Cell == nil || out.Cell.Workload != "pgbench" ||
+		!bytes.Equal(out.Resume, []byte{1, 2, 3}) || out.CheckpointEvery != 9 {
+		t.Fatalf("round trip mangled the envelope: %+v", out)
+	}
+
+	// A frame length beyond the cap must be rejected before allocation.
+	bad := []byte{0xFF, 0xFF, 0xFF, 0xFF}
+	if err := readFrame(bytes.NewReader(bad), &out); err == nil {
+		t.Fatal("oversized frame length accepted")
+	}
+	// Torn body: header promises more than the stream holds.
+	torn := []byte{0, 0, 0, 10, '{', '}'}
+	if err := readFrame(bytes.NewReader(torn), &out); err == nil {
+		t.Fatal("torn frame accepted")
+	}
+}
+
+func TestCellSpecDeterministicKey(t *testing.T) {
+	spec := CellSpec{Workload: "pgbench", Seed: 5, Design: "live", Interval: 1000, Records: 1000, Warmup: 100}
+	k1, err := spec.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	k2, _ := spec.Key()
+	if k1 != k2 {
+		t.Fatalf("key not deterministic: %s vs %s", k1, k2)
+	}
+	cfg, _ := spec.Config()
+	if want := experiments.CellKey(spec.Workload, spec.Seed, cfg); k1 != want {
+		t.Fatalf("key %s does not match the manifest key %s", k1, want)
+	}
+	// Design aliases must agree (n-1 vs n1), matching the CLI parser.
+	a := CellSpec{Workload: "FT", Seed: 1, Design: "n-1", Interval: 500, Records: 10}
+	b := a
+	b.Design = "n1"
+	ka, _ := a.Key()
+	kb, _ := b.Key()
+	if ka != kb {
+		t.Fatal("design aliases n-1 and n1 produced different keys")
+	}
+}
+
+func TestCellSpecValidate(t *testing.T) {
+	bad := []CellSpec{
+		{Workload: "no-such-workload", Seed: 1, Design: "none", Records: 10},
+		{Workload: "pgbench", Seed: 1, Design: "warp", Records: 10},
+		{Workload: "pgbench", Seed: 1, Design: "live", Records: 10}, // no interval
+		{Workload: "pgbench", Seed: 1, Design: "none", Records: 0},
+		{Workload: "pgbench", Seed: 1, Design: "none", Records: 10, Warmup: 10},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad spec %d validated: %+v", i, spec)
+		}
+	}
+	good := CellSpec{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Records: 10}
+	if err := good.Validate(); err != nil {
+		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+func TestDistributedSweepMatchesDirect(t *testing.T) {
+	cells := testCells()
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	tel := experiments.NewTelemetry()
+	_, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:     cells,
+		Manifest:  openManifest(t, manifestPath),
+		Telemetry: tel,
+		SpillDir:  dir,
+	})
+
+	// Three workers race for three cells; all run in-process.
+	workers := make(chan error, 3)
+	for i := 0; i < 3; i++ {
+		go func(i int) {
+			workers <- RunWorker(context.Background(), addr, WorkerConfig{Name: fmt.Sprintf("w%d", i)})
+		}(i)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := <-workers; err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+	}
+	assertSweepMatchesDirect(t, manifestPath, cells)
+
+	// Telemetry saw the whole sweep: all cells planned, started, completed,
+	// and every record accounted via heartbeats + completions.
+	p := tel.Progress()
+	if p.Planned != int64(len(cells)) || p.Completed != int64(len(cells)) || p.Failed != 0 {
+		t.Errorf("telemetry progress planned=%d completed=%d failed=%d, want %d/%d/0",
+			p.Planned, p.Completed, p.Failed, len(cells), len(cells))
+	}
+}
+
+// stubWorker is a hand-driven protocol client for failure-injection tests.
+type stubWorker struct {
+	t    *testing.T
+	conn net.Conn
+}
+
+func dialStub(t *testing.T, addr, name string) *stubWorker {
+	t.Helper()
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := &stubWorker{t: t, conn: conn}
+	reply := s.exchange(envelope{Type: msgHello, Version: ProtocolVersion, Worker: name})
+	if reply.Type != msgHello {
+		t.Fatalf("handshake reply %q", reply.Type)
+	}
+	return s
+}
+
+func (s *stubWorker) exchange(env envelope) envelope {
+	s.t.Helper()
+	if err := writeFrame(s.conn, &env); err != nil {
+		s.t.Fatal(err)
+	}
+	var reply envelope
+	if err := readFrame(s.conn, &reply); err != nil {
+		s.t.Fatal(err)
+	}
+	return reply
+}
+
+func TestConnDropReassignsWithCheckpointResume(t *testing.T) {
+	cell := CellSpec{Workload: "pgbench", Seed: 3, Design: "live", Interval: 1000, Records: 40_000}
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	ctx := context.Background()
+	coord, addr, wait := startCoordinator(t, ctx, CoordinatorConfig{
+		Cells:    []CellSpec{cell},
+		Manifest: openManifest(t, manifestPath),
+		SpillDir: dir,
+	})
+
+	// Produce a genuine mid-run checkpoint for the cell, exactly as a
+	// worker would have.
+	cfg, err := cell.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt []byte
+	cfg.CheckpointEvery = 10_000
+	cfg.CheckpointSink = func(data []byte, records uint64) error {
+		ckpt = append([]byte(nil), data...)
+		return errors.New("stop after first checkpoint")
+	}
+	gen, _ := workload.NewMemory(cell.Workload, cell.Seed)
+	if _, err := sim.Run(trace.NewLimit(gen, cfg.MaxRecords), cfg); err == nil {
+		t.Fatal("sink error did not abort the checkpoint-producing run")
+	}
+	if ckpt == nil {
+		t.Fatal("no checkpoint produced")
+	}
+
+	// A doomed worker takes the lease, heartbeats real progress, then its
+	// process "dies": the connection drops without a farewell.
+	stub := dialStub(t, addr, "doomed")
+	lease := stub.exchange(envelope{Type: msgAcquire})
+	if lease.Type != msgLease {
+		t.Fatalf("acquire reply %q", lease.Type)
+	}
+	if ok := stub.exchange(envelope{Type: msgHeartbeat, LeaseID: lease.LeaseID, Records: 10_000, Checkpoint: ckpt}); ok.Type != msgOK {
+		t.Fatalf("heartbeat reply %q", ok.Type)
+	}
+	stub.conn.Close()
+
+	// The next worker to acquire must receive the dead peer's checkpoint as
+	// its resume point.
+	deadline := time.Now().Add(5 * time.Second)
+	var release envelope
+	for {
+		stub2 := dialStub(t, addr, "observer")
+		release = stub2.exchange(envelope{Type: msgAcquire})
+		if release.Type == msgLease {
+			// Hand the lease back by dropping the conn; a real worker takes
+			// over below.
+			stub2.conn.Close()
+			break
+		}
+		stub2.conn.Close()
+		if time.Now().After(deadline) {
+			t.Fatalf("cell never re-leased after conn drop (last reply %q)", release.Type)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	if !bytes.Equal(release.Resume, ckpt) {
+		t.Fatalf("re-leased cell did not carry the dead peer's checkpoint (%d bytes vs %d)",
+			len(release.Resume), len(ckpt))
+	}
+
+	// A real worker finishes the sweep; the result must match the
+	// uninterrupted run byte for byte despite the takeover chain.
+	if err := RunWorker(ctx, addr, WorkerConfig{Name: "finisher"}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if s := coord.Stats(); s.Takeovers < 2 {
+		t.Errorf("stats takeovers = %d, want >= 2 (two dropped connections held leases)", s.Takeovers)
+	}
+	assertSweepMatchesDirect(t, manifestPath, []CellSpec{cell})
+}
+
+func TestLeaseExpiryReassignsSilentWorker(t *testing.T) {
+	cell := CellSpec{Workload: "FT", Seed: 1, Design: "n", Interval: 1000, Records: 30_000}
+	manifestPath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	coord, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:    []CellSpec{cell},
+		Manifest: openManifest(t, manifestPath),
+		LeaseTTL: 150 * time.Millisecond,
+	})
+
+	// The silent worker takes the lease and never heartbeats — a hung
+	// process rather than a dead one (the connection stays open).
+	stub := dialStub(t, addr, "hung")
+	lease := stub.exchange(envelope{Type: msgAcquire})
+	if lease.Type != msgLease {
+		t.Fatalf("acquire reply %q", lease.Type)
+	}
+	defer stub.conn.Close()
+
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "rescuer"}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if s := coord.Stats(); s.Takeovers < 1 {
+		t.Errorf("stats takeovers = %d, want >= 1 (lease must expire)", s.Takeovers)
+	}
+	assertSweepMatchesDirect(t, manifestPath, []CellSpec{cell})
+}
+
+func TestBadResumeCheckpointRecovers(t *testing.T) {
+	cell := CellSpec{Workload: "MG", Seed: 4, Design: "live", Interval: 1000, Records: 30_000}
+	manifestPath := filepath.Join(t.TempDir(), "sweep.jsonl")
+	coord, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:    []CellSpec{cell},
+		Manifest: openManifest(t, manifestPath),
+	})
+
+	// Poison the cell's takeover state with garbage bytes, as if a dying
+	// worker had streamed a corrupt checkpoint, then drop the connection.
+	stub := dialStub(t, addr, "poisoner")
+	lease := stub.exchange(envelope{Type: msgAcquire})
+	if lease.Type != msgLease {
+		t.Fatalf("acquire reply %q", lease.Type)
+	}
+	if ok := stub.exchange(envelope{Type: msgHeartbeat, LeaseID: lease.LeaseID, Records: 5, Checkpoint: []byte("not a checkpoint")}); ok.Type != msgOK {
+		t.Fatalf("heartbeat reply %q", ok.Type)
+	}
+	stub.conn.Close()
+
+	// The real worker must detect the unusable resume point, report it, and
+	// complete the cell fresh on the retry — not fail permanently.
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "healer"}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if s := coord.Stats(); s.Failures < 1 {
+		t.Errorf("stats failures = %d, want >= 1 (the bad-resume report)", s.Failures)
+	}
+	assertSweepMatchesDirect(t, manifestPath, []CellSpec{cell})
+}
+
+func TestCoordinatorRestartReleasesOnlyIncomplete(t *testing.T) {
+	cells := []CellSpec{
+		{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Records: 30_000},
+		{Workload: "indexer", Seed: 1, Design: "none", Records: 30_000},
+	}
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+
+	// First life: sweep only the first cell to completion.
+	{
+		_, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+			Cells:    cells[:1],
+			Manifest: openManifest(t, manifestPath),
+		})
+		if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "w0"}); err != nil {
+			t.Fatalf("worker: %v", err)
+		}
+		if err := wait(); err != nil {
+			t.Fatalf("coordinator: %v", err)
+		}
+	}
+
+	// Second life: the restarted coordinator replays the manifest and must
+	// lease only the incomplete cell.
+	coord, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:    cells,
+		Manifest: openManifest(t, manifestPath),
+	})
+	if s := coord.Stats(); s.Skipped != 1 || s.Planned != 1 {
+		t.Fatalf("restart stats skipped=%d planned=%d, want 1/1", s.Skipped, s.Planned)
+	}
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "w1"}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	if s := coord.Stats(); s.Completed != 1 {
+		t.Fatalf("restart completed %d cells, want exactly 1", s.Completed)
+	}
+	assertSweepMatchesDirect(t, manifestPath, cells)
+}
+
+func TestCoordinatorRestartResumesFromSpilledCheckpoint(t *testing.T) {
+	cell := CellSpec{Workload: "pgbench", Seed: 9, Design: "live", Interval: 1000, Records: 40_000}
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+
+	// First life: a worker heartbeats one real checkpoint (spilled to dir),
+	// then the whole deployment dies.
+	cfg, err := cell.Config()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ckpt []byte
+	var ckptRecords uint64
+	cfg.CheckpointEvery = 10_000
+	cfg.CheckpointSink = func(data []byte, records uint64) error {
+		ckpt, ckptRecords = append([]byte(nil), data...), records
+		return errors.New("stop")
+	}
+	gen, _ := workload.NewMemory(cell.Workload, cell.Seed)
+	_, _ = sim.Run(trace.NewLimit(gen, cfg.MaxRecords), cfg)
+	if ckpt == nil {
+		t.Fatal("no checkpoint produced")
+	}
+	{
+		ctx, cancel := context.WithCancel(context.Background())
+		_, addr, wait := startCoordinator(t, ctx, CoordinatorConfig{
+			Cells:    []CellSpec{cell},
+			Manifest: openManifest(t, manifestPath),
+			SpillDir: dir,
+		})
+		stub := dialStub(t, addr, "firstlife")
+		lease := stub.exchange(envelope{Type: msgAcquire})
+		if lease.Type != msgLease {
+			t.Fatalf("acquire reply %q", lease.Type)
+		}
+		if ok := stub.exchange(envelope{Type: msgHeartbeat, LeaseID: lease.LeaseID, Records: ckptRecords, Checkpoint: ckpt}); ok.Type != msgOK {
+			t.Fatalf("heartbeat reply %q", ok.Type)
+		}
+		stub.conn.Close() // worker dies...
+		cancel()          // ...and the coordinator is terminated
+		if err := wait(); !errors.Is(err, context.Canceled) {
+			t.Fatalf("cancelled coordinator returned %v", err)
+		}
+	}
+
+	// Second life: the spilled checkpoint must come back as the resume
+	// point, and the sweep must still finish byte-identical.
+	coord, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:    []CellSpec{cell},
+		Manifest: openManifest(t, manifestPath),
+		SpillDir: dir,
+	})
+	stub := dialStub(t, addr, "inspector")
+	lease := stub.exchange(envelope{Type: msgAcquire})
+	if lease.Type != msgLease {
+		t.Fatalf("acquire reply %q", lease.Type)
+	}
+	if !bytes.Equal(lease.Resume, ckpt) {
+		t.Fatalf("restarted coordinator lost the spilled checkpoint (%d bytes vs %d)", len(lease.Resume), len(ckpt))
+	}
+	stub.conn.Close()
+
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "secondlife"}); err != nil {
+		t.Fatalf("worker: %v", err)
+	}
+	if err := wait(); err != nil {
+		t.Fatalf("coordinator: %v", err)
+	}
+	_ = coord
+	assertSweepMatchesDirect(t, manifestPath, []CellSpec{cell})
+}
+
+func TestCoordinatorDrainsOnCancel(t *testing.T) {
+	cell := CellSpec{Workload: "pgbench", Seed: 1, Design: "none", Records: 30_000}
+	ctx, cancel := context.WithCancel(context.Background())
+	_, addr, wait := startCoordinator(t, ctx, CoordinatorConfig{
+		Cells:    []CellSpec{cell},
+		Manifest: openManifest(t, filepath.Join(t.TempDir(), "m.jsonl")),
+	})
+	cancel()
+	if err := wait(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("drained coordinator returned %v, want context.Canceled", err)
+	}
+	// Workers arriving after the drain are told the sweep is over.
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "late", DialAttempts: 2}); err == nil {
+		t.Log("late worker exited cleanly (listener already closed)") // both outcomes acceptable
+	}
+}
+
+func TestWorkerRejectsVersionMismatch(t *testing.T) {
+	_, addr, wait := startCoordinator(t, context.Background(), CoordinatorConfig{
+		Cells:    []CellSpec{{Workload: "pgbench", Seed: 1, Design: "none", Records: 10}},
+		Manifest: openManifest(t, filepath.Join(t.TempDir(), "m.jsonl")),
+	})
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	if err := writeFrame(conn, &envelope{Type: msgHello, Version: ProtocolVersion + 1, Worker: "future"}); err != nil {
+		t.Fatal(err)
+	}
+	var reply envelope
+	if err := readFrame(conn, &reply); err != nil {
+		t.Fatal(err)
+	}
+	if reply.Type != msgError || !strings.Contains(reply.Error, "version") {
+		t.Fatalf("version mismatch answered with %+v", reply)
+	}
+	// Finish the sweep so the coordinator goroutine exits.
+	if err := RunWorker(context.Background(), addr, WorkerConfig{Name: "ok"}); err != nil {
+		t.Fatal(err)
+	}
+	if err := wait(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWorkerGivesUpOnUnreachableCoordinator(t *testing.T) {
+	// A port nothing listens on: bind, note the address, close.
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	addr := ln.Addr().String()
+	ln.Close()
+	start := time.Now()
+	err = RunWorker(context.Background(), addr, WorkerConfig{Name: "lost", DialAttempts: 3})
+	if err == nil {
+		t.Fatal("worker connected to a closed port")
+	}
+	if time.Since(start) > 10*time.Second {
+		t.Fatalf("dial budget took %v, backoff cap not honored", time.Since(start))
+	}
+}
+
+func TestNewCoordinatorRejectsBadGrids(t *testing.T) {
+	m := openManifest(t, filepath.Join(t.TempDir(), "m.jsonl"))
+	cases := []CoordinatorConfig{
+		{Manifest: m}, // empty grid
+		{Manifest: m, Cells: []CellSpec{{Workload: "pgbench", Seed: 1, Design: "bogus", Records: 10}}},
+		{Manifest: m, Cells: []CellSpec{ // duplicate cell
+			{Workload: "pgbench", Seed: 1, Design: "none", Records: 10},
+			{Workload: "pgbench", Seed: 1, Design: "none", Records: 10},
+		}},
+		{Cells: []CellSpec{{Workload: "pgbench", Seed: 1, Design: "none", Records: 10}}}, // no manifest
+	}
+	for i, cfg := range cases {
+		if _, err := NewCoordinator(cfg); err == nil {
+			t.Errorf("case %d: bad coordinator config accepted", i)
+		}
+	}
+}

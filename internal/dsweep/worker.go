@@ -1,0 +1,329 @@
+package dsweep
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"net"
+	"time"
+
+	"heteromem/internal/backoff"
+	"heteromem/internal/sim"
+	"heteromem/internal/trace"
+	"heteromem/internal/workload"
+)
+
+// Worker defaults.
+const (
+	// DefaultDialAttempts bounds consecutive failed dials before the worker
+	// gives up — covering both a coordinator that never started and one
+	// that finished the sweep and exited while this worker was mid-cell.
+	DefaultDialAttempts = 10
+
+	dialBackoffBase = 50 * time.Millisecond
+	dialBackoffCap  = 2 * time.Second
+	waitBackoffBase = 50 * time.Millisecond
+	waitBackoffCap  = time.Second
+)
+
+// WorkerConfig configures a sweep worker.
+type WorkerConfig struct {
+	// Name identifies the worker in coordinator logs and telemetry
+	// ("" = the connection's remote address).
+	Name string
+
+	// Seed seeds the worker's retry jitter (0 = derived from Name), so a
+	// herd of workers retrying the same coordinator decorrelates
+	// deterministically.
+	Seed uint64
+
+	// DialAttempts bounds consecutive failed dials (0 = DefaultDialAttempts).
+	DialAttempts int
+
+	// Logf, when non-nil, receives worker lifecycle logs.
+	Logf func(format string, args ...any)
+}
+
+// errRevoked aborts a cell run from inside its checkpoint sink when the
+// coordinator answers a heartbeat with msgRevoked.
+var errRevoked = errors.New("dsweep: lease revoked")
+
+// errConn wraps transport failures so the worker can tell "reconnect and
+// carry on" apart from "the cell itself failed".
+type errConn struct{ err error }
+
+func (e errConn) Error() string { return e.err.Error() }
+func (e errConn) Unwrap() error { return e.err }
+
+// RunWorker connects to the coordinator at addr and executes leased cells
+// until the coordinator reports the sweep done (nil), ctx is cancelled
+// (ctx.Err()), or the coordinator stays unreachable past the dial budget.
+// Transient connection failures — including the coordinator restarting —
+// are retried with decorrelated-jitter backoff; a cell interrupted by a
+// connection drop is simply abandoned (the coordinator re-leases it, and
+// this or another worker resumes it from its last checkpoint).
+func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
+	seed := cfg.Seed
+	if seed == 0 {
+		h := fnv.New64a()
+		h.Write([]byte(cfg.Name))
+		seed = h.Sum64() | 1
+	}
+	dialAttempts := cfg.DialAttempts
+	if dialAttempts <= 0 {
+		dialAttempts = DefaultDialAttempts
+	}
+	w := &worker{
+		cfg:  cfg,
+		wait: backoff.NewJitter(waitBackoffBase, waitBackoffCap, seed+1),
+	}
+	dial := backoff.NewJitter(dialBackoffBase, dialBackoffCap, seed)
+	fails := 0
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		conn, err := w.connect(ctx, addr)
+		if err != nil {
+			fails++
+			if fails >= dialAttempts {
+				return fmt.Errorf("dsweep: worker %s: coordinator unreachable after %d attempts: %w", cfg.Name, fails, err)
+			}
+			if err := dial.Sleep(ctx); err != nil {
+				return err
+			}
+			continue
+		}
+		fails = 0
+		dial.Reset()
+		err = w.serve(ctx, conn)
+		conn.Close()
+		if err == nil {
+			return nil // sweep done
+		}
+		if cerr := ctx.Err(); cerr != nil {
+			return cerr
+		}
+		var ce errConn
+		if !errors.As(err, &ce) {
+			return err // protocol-fatal, not worth retrying
+		}
+		w.logf("dsweep: worker %s: connection lost (%v), reconnecting", cfg.Name, err)
+		if err := dial.Sleep(ctx); err != nil {
+			return err
+		}
+	}
+}
+
+type worker struct {
+	cfg  WorkerConfig
+	wait *backoff.Jitter
+}
+
+func (w *worker) logf(format string, args ...any) {
+	if w.cfg.Logf != nil {
+		w.cfg.Logf(format, args...)
+	}
+}
+
+// connect dials the coordinator and completes the versioned handshake.
+func (w *worker) connect(ctx context.Context, addr string) (net.Conn, error) {
+	var d net.Dialer
+	conn, err := d.DialContext(ctx, "tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	if err := writeFrame(conn, &envelope{Type: msgHello, Version: ProtocolVersion, Worker: w.cfg.Name}); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	var resp envelope
+	if err := readFrame(conn, &resp); err != nil {
+		conn.Close()
+		return nil, err
+	}
+	if resp.Type != msgHello || resp.Version != ProtocolVersion {
+		conn.Close()
+		if resp.Type == msgError {
+			return nil, fmt.Errorf("dsweep: handshake rejected: %s", resp.Error)
+		}
+		return nil, fmt.Errorf("dsweep: unexpected handshake reply %q", resp.Type)
+	}
+	return conn, nil
+}
+
+// exchange performs one strict request/response round trip.
+func (w *worker) exchange(conn net.Conn, req *envelope) (envelope, error) {
+	if err := writeFrame(conn, req); err != nil {
+		return envelope{}, errConn{err}
+	}
+	var resp envelope
+	if err := readFrame(conn, &resp); err != nil {
+		return envelope{}, errConn{err}
+	}
+	return resp, nil
+}
+
+// serve runs the acquire/run loop on one connection. Returns nil when the
+// coordinator says the sweep is done, errConn on transport failure (the
+// caller reconnects), or a plain error on fatal protocol trouble.
+func (w *worker) serve(ctx context.Context, conn net.Conn) error {
+	for {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		resp, err := w.exchange(conn, &envelope{Type: msgAcquire})
+		if err != nil {
+			return err
+		}
+		switch resp.Type {
+		case msgDone:
+			w.logf("dsweep: worker %s: sweep done", w.cfg.Name)
+			return nil
+		case msgWait:
+			if err := w.wait.Sleep(ctx); err != nil {
+				return err
+			}
+		case msgLease:
+			w.wait.Reset()
+			if resp.Cell == nil {
+				return fmt.Errorf("dsweep: lease %d carries no cell", resp.LeaseID)
+			}
+			if err := w.runCell(ctx, conn, &resp); err != nil {
+				return err
+			}
+		case msgError:
+			return fmt.Errorf("dsweep: coordinator: %s", resp.Error)
+		default:
+			return fmt.Errorf("dsweep: unexpected %q reply to acquire", resp.Type)
+		}
+	}
+}
+
+// runCell simulates one leased cell, streaming each checkpoint back as a
+// lease-renewing heartbeat, and reports the outcome. A nil return means the
+// connection is still usable (the cell completed, failed cleanly, or was
+// revoked); errConn means the transport died mid-cell and the run was
+// abandoned for the coordinator to reassign.
+func (w *worker) runCell(ctx context.Context, conn net.Conn, lease *envelope) error {
+	spec := *lease.Cell
+	w.logf("dsweep: worker %s: running %s (lease %d)", w.cfg.Name, spec.Label(), lease.LeaseID)
+	cfg, err := spec.Config()
+	if err != nil {
+		return w.reportFailure(conn, lease.LeaseID, err, false)
+	}
+	gen, err := workload.NewMemory(spec.Workload, spec.Seed)
+	if err != nil {
+		return w.reportFailure(conn, lease.LeaseID, err, false)
+	}
+	src := trace.NewLimit(gen, cfg.MaxRecords)
+	cfg.CheckpointEvery = lease.CheckpointEvery
+	cfg.Resume = lease.Resume
+	if len(cfg.Resume) > 0 {
+		// Vet the shipped resume point before simulating: a corrupt or
+		// mismatched checkpoint is reported as BadResume so the coordinator
+		// clears it and the retry starts fresh, instead of every attempt
+		// tripping over the same snapshot until the cell fails permanently.
+		info, ierr := sim.InspectCheckpoint(cfg.Resume)
+		if ierr != nil {
+			return w.reportFailure(conn, lease.LeaseID, fmt.Errorf("unusable resume checkpoint: %w", ierr), true)
+		}
+		if want := sim.ConfigDigest(cfg); info.ConfigDigest != want {
+			return w.reportFailure(conn, lease.LeaseID,
+				fmt.Errorf("resume checkpoint digest %016x does not match cell config %016x: %w",
+					info.ConfigDigest, want, sim.ErrConfigMismatch), true)
+		}
+	}
+
+	var connErr error
+	revoked := false
+	cfg.CheckpointSink = func(data []byte, records uint64) error {
+		resp, err := w.exchange(conn, &envelope{
+			Type:       msgHeartbeat,
+			LeaseID:    lease.LeaseID,
+			Records:    records,
+			Checkpoint: data,
+		})
+		if err != nil {
+			connErr = err
+			return err
+		}
+		switch resp.Type {
+		case msgOK:
+			return nil
+		case msgRevoked:
+			revoked = true
+			return errRevoked
+		default:
+			connErr = fmt.Errorf("dsweep: unexpected %q reply to heartbeat", resp.Type)
+			return connErr
+		}
+	}
+
+	res, runErr := sim.RunContext(ctx, src, cfg)
+	switch {
+	case connErr != nil:
+		var ce errConn
+		if errors.As(connErr, &ce) {
+			return connErr
+		}
+		return errConn{connErr}
+	case revoked:
+		w.logf("dsweep: worker %s: lease %d revoked, abandoning %s", w.cfg.Name, lease.LeaseID, spec.Label())
+		return nil
+	case runErr != nil:
+		if err := ctx.Err(); err != nil {
+			// Cancelled mid-cell: report the abort if the conn still works,
+			// so the coordinator re-leases immediately instead of waiting
+			// for expiry, then surface the cancellation.
+			_ = w.reportFailure(conn, lease.LeaseID, runErr, false)
+			return err
+		}
+		badResume := errors.Is(runErr, sim.ErrConfigMismatch)
+		return w.reportFailure(conn, lease.LeaseID, runErr, badResume)
+	}
+
+	raw, err := json.Marshal(res)
+	if err != nil {
+		return w.reportFailure(conn, lease.LeaseID, err, false)
+	}
+	resp, err := w.exchange(conn, &envelope{Type: msgComplete, LeaseID: lease.LeaseID, Result: raw})
+	if err != nil {
+		return err
+	}
+	switch resp.Type {
+	case msgOK:
+		return nil
+	case msgRevoked:
+		// Takeover race: someone else owns (or finished) the cell now; the
+		// deterministic result we computed is identical anyway.
+		w.logf("dsweep: worker %s: completion of %s superseded by takeover", w.cfg.Name, spec.Label())
+		return nil
+	case msgError:
+		return fmt.Errorf("dsweep: coordinator: %s", resp.Error)
+	default:
+		return fmt.Errorf("dsweep: unexpected %q reply to complete", resp.Type)
+	}
+}
+
+// reportFailure tells the coordinator the cell attempt failed.
+func (w *worker) reportFailure(conn net.Conn, leaseID uint64, cause error, badResume bool) error {
+	w.logf("dsweep: worker %s: lease %d failed: %v", w.cfg.Name, leaseID, cause)
+	resp, err := w.exchange(conn, &envelope{
+		Type:      msgFailed,
+		LeaseID:   leaseID,
+		Error:     cause.Error(),
+		BadResume: badResume,
+	})
+	if err != nil {
+		return err
+	}
+	switch resp.Type {
+	case msgOK, msgRevoked:
+		return nil
+	default:
+		return fmt.Errorf("dsweep: unexpected %q reply to failure report", resp.Type)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"os"
+	"path/filepath"
 	"sync"
 	"sync/atomic"
 
@@ -18,11 +19,22 @@ import (
 // and flushed per record, so a killed sweep loses at most the runs that
 // were still in flight. A torn final line (the append the crash
 // interrupted) is ignored on reopen.
+//
+// The manifest is also the durable ledger of the distributed sweep service
+// (internal/dsweep): the coordinator owns the file, serves leased cells
+// from it, and records every remotely completed cell through StoreRaw. On
+// reopen the file is compacted — superseded and duplicate cell lines (from
+// takeover races or pre-compaction builds) are dropped via an atomic
+// tmp+rename rewrite — so a long-lived coordinator's ledger stays
+// proportional to the number of distinct cells, not the number of appends.
 type Manifest struct {
 	mu   sync.Mutex
+	path string
 	file *os.File
 	w    *bufio.Writer
 	done map[string]json.RawMessage
+
+	compacted bool // reopen-time compaction rewrote the file
 
 	ran  atomic.Uint64 // cells simulated by this process
 	hits atomic.Uint64 // cells satisfied from the manifest
@@ -46,27 +58,60 @@ func manifestKey(name string, seed int64, cfg sim.Config) string {
 	return fmt.Sprintf("%s|%d|%d|%016x", name, seed, cfg.MaxRecords, sim.ConfigDigest(cfg))
 }
 
+// CellKey exposes the manifest's cell identity to the distributed sweep
+// coordinator: workload name, generator seed, record budget, and the
+// semantic config digest.
+func CellKey(name string, seed int64, cfg sim.Config) string {
+	return manifestKey(name, seed, cfg)
+}
+
 // OpenManifest opens (creating if needed) a sweep manifest file and loads
 // its completed-run records. Unparseable lines — a torn append from a
-// killed worker — are skipped, not fatal.
+// killed worker — are skipped, not fatal. If the file holds superseded or
+// duplicate lines for the same cell (or torn garbage), it is compacted in
+// place: rewritten with exactly one well-formed line per cell via an atomic
+// tmp+rename, so the crash-safety contract (a reader never sees a partial
+// ledger) holds across the rewrite too.
 func OpenManifest(path string) (*Manifest, error) {
 	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
 	if err != nil {
 		return nil, err
 	}
-	m := &Manifest{file: f, done: make(map[string]json.RawMessage)}
+	m := &Manifest{path: path, file: f, done: make(map[string]json.RawMessage)}
+	var (
+		order    []string              // first-completed order, for the rewrite
+		lines    = map[string][]byte{} // latest well-formed line per key
+		rawLines int                   // every line scanned, well-formed or not
+	)
 	sc := bufio.NewScanner(f)
 	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
 	for sc.Scan() {
+		rawLines++
 		var rec manifestRecord
 		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
 			continue
 		}
+		if _, seen := m.done[rec.Key]; !seen {
+			order = append(order, rec.Key)
+		}
 		m.done[rec.Key] = append(json.RawMessage(nil), rec.Result...)
+		lines[rec.Key] = append([]byte(nil), sc.Bytes()...)
 	}
 	if err := sc.Err(); err != nil {
 		f.Close()
 		return nil, fmt.Errorf("experiments: reading manifest %s: %w", path, err)
+	}
+	if rawLines > len(m.done) {
+		// Superseded/duplicate/torn lines present: compact. The scanner
+		// treats a torn trailing fragment as a line, so a freshly crashed
+		// append triggers a (cheap, single-line-dropping) rewrite too.
+		if err := m.compact(order, lines); err != nil {
+			f.Close()
+			return nil, fmt.Errorf("experiments: compacting manifest %s: %w", path, err)
+		}
+		m.compacted = true
+		m.w = bufio.NewWriter(m.file)
+		return m, nil
 	}
 	// Appends go after whatever is there. A torn final line (no trailing
 	// newline) must not merge with the next record, so terminate it first;
@@ -94,12 +139,60 @@ func OpenManifest(path string) (*Manifest, error) {
 	return m, nil
 }
 
+// compact rewrites the ledger with one line per cell, in first-completed
+// order, via tmp file + fsync + atomic rename, then swaps the open handle
+// to the new file (positioned at its end for appends).
+func (m *Manifest) compact(order []string, lines map[string][]byte) error {
+	dir := filepath.Dir(m.path)
+	tmp, err := os.CreateTemp(dir, filepath.Base(m.path)+".compact-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name()) // no-op once renamed
+	bw := bufio.NewWriter(tmp)
+	for _, key := range order {
+		if _, err := bw.Write(append(lines[key], '\n')); err != nil {
+			tmp.Close()
+			return err
+		}
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp.Name(), m.path); err != nil {
+		return err
+	}
+	f, err := os.OpenFile(m.path, os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, 2); err != nil {
+		f.Close()
+		return err
+	}
+	m.file.Close()
+	m.file = f
+	return nil
+}
+
 // Len reports how many completed cells the manifest holds.
 func (m *Manifest) Len() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return len(m.done)
 }
+
+// Compacted reports whether opening this manifest rewrote the file to drop
+// superseded, duplicate, or torn lines.
+func (m *Manifest) Compacted() bool { return m.compacted }
 
 // Ran reports how many cells this process simulated (manifest misses).
 func (m *Manifest) Ran() uint64 { return m.ran.Load() }
@@ -124,16 +217,51 @@ func (m *Manifest) lookup(name string, seed int64, cfg sim.Config) (sim.Result, 
 	return res, true, nil
 }
 
+// LookupRaw returns the stored raw Result JSON for a cell key, if present.
+// It is the coordinator's lease filter: a cell whose key is already in the
+// ledger is complete and must not be leased again.
+func (m *Manifest) LookupRaw(key string) (json.RawMessage, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	raw, ok := m.done[key]
+	if !ok {
+		return nil, false
+	}
+	return append(json.RawMessage(nil), raw...), true
+}
+
 // store appends a completed cell and flushes it to the file, so the record
 // survives even if the process is killed immediately after.
 func (m *Manifest) store(name string, seed int64, cfg sim.Config, res sim.Result) error {
-	m.ran.Add(1)
 	raw, err := json.Marshal(res)
 	if err != nil {
 		return err
 	}
+	m.ran.Add(1)
+	return m.storeRaw(manifestKey(name, seed, cfg), name, seed, cfg, raw)
+}
+
+// StoreRaw records a remotely completed cell: the coordinator passes the
+// worker's result bytes through unmodified, so the ledger holds exactly
+// what the worker computed (byte-identical to a local run of the same
+// cell). Idempotent: a duplicate completion — a takeover race where the
+// presumed-dead worker finished after all — is dropped, keeping exactly one
+// line per cell. The first write wins.
+func (m *Manifest) StoreRaw(name string, seed int64, cfg sim.Config, result json.RawMessage) (stored bool, err error) {
+	key := manifestKey(name, seed, cfg)
+	m.mu.Lock()
+	_, dup := m.done[key]
+	m.mu.Unlock()
+	if dup {
+		return false, nil
+	}
+	m.ran.Add(1)
+	return true, m.storeRaw(key, name, seed, cfg, result)
+}
+
+func (m *Manifest) storeRaw(key, name string, seed int64, cfg sim.Config, raw json.RawMessage) error {
 	rec := manifestRecord{
-		Key:      manifestKey(name, seed, cfg),
+		Key:      key,
 		Workload: name,
 		Seed:     seed,
 		Records:  cfg.MaxRecords,
@@ -146,7 +274,7 @@ func (m *Manifest) store(name string, seed int64, cfg sim.Config, res sim.Result
 	}
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	m.done[rec.Key] = raw
+	m.done[rec.Key] = append(json.RawMessage(nil), raw...)
 	if _, err := m.w.Write(append(line, '\n')); err != nil {
 		return err
 	}

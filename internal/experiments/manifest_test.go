@@ -151,6 +151,139 @@ func TestManifestTornLine(t *testing.T) {
 	}
 }
 
+// TestManifestCompaction: reopening a ledger that holds duplicate cell
+// lines (takeover races), garbage, and a torn trailing fragment rewrites it
+// atomically down to one well-formed line per cell — and a clean ledger is
+// left untouched, so compaction does not churn healthy files.
+func TestManifestCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := sim.Default()
+	cfgA.MaxRecords = 111
+	cfgB := sim.Default()
+	cfgB.MaxRecords = 222
+	if err := man.store("pgbench", 1, cfgA, sim.Result{Records: 111}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.store("tpcc", 1, cfgB, sim.Result{Records: 222}); err != nil {
+		t.Fatal(err)
+	}
+	// A duplicate line for the first cell (as a pre-dedup build or a
+	// takeover race would append), superseding the original with a newer
+	// Result, plus garbage and a torn fragment.
+	if err := man.store("pgbench", 1, cfgA, sim.Result{Records: 111, LastCycle: 99}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+	f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.WriteString("not json at all\n{\"key\":\"torn|1|2|3\",\"result\":{\"Rec"); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	man2, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !man2.Compacted() {
+		t.Fatal("reopen did not compact a ledger with duplicate and torn lines")
+	}
+	if man2.Len() != 2 {
+		t.Fatalf("compacted manifest holds %d cells, want 2", man2.Len())
+	}
+	// The superseding (latest) line must win for the duplicated cell.
+	res, ok, err := man2.lookup("pgbench", 1, cfgA)
+	if err != nil || !ok {
+		t.Fatalf("lookup after compaction: ok=%v err=%v", ok, err)
+	}
+	if res.LastCycle != 99 {
+		t.Fatalf("compaction kept LastCycle=%d, want the superseding line's 99", res.LastCycle)
+	}
+	// Appends after compaction still land on their own lines.
+	cfgC := sim.Default()
+	cfgC.MaxRecords = 333
+	if err := man2.store("ycsb", 1, cfgC, sim.Result{Records: 333}); err != nil {
+		t.Fatal(err)
+	}
+	if err := man2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := bytes.Split(bytes.TrimRight(data, "\n"), []byte{'\n'})
+	if len(lines) != 3 {
+		t.Fatalf("compacted file has %d lines, want 3:\n%s", len(lines), data)
+	}
+	for i, line := range lines {
+		var rec manifestRecord
+		if err := json.Unmarshal(line, &rec); err != nil || rec.Key == "" {
+			t.Fatalf("line %d is not a well-formed record: %v\n%s", i, err, line)
+		}
+	}
+
+	// A clean ledger must reopen without a rewrite.
+	man3, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer man3.Close()
+	if man3.Compacted() {
+		t.Fatal("reopen compacted an already-clean ledger")
+	}
+	if man3.Len() != 3 {
+		t.Fatalf("clean reopen holds %d cells, want 3", man3.Len())
+	}
+}
+
+// TestManifestStoreRawIdempotent: the coordinator's duplicate-completion
+// path — the first result for a cell wins, later ones are dropped without
+// touching the file.
+func TestManifestStoreRawIdempotent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.MaxRecords = 10
+	first, _ := json.Marshal(sim.Result{Records: 10})
+	second, _ := json.Marshal(sim.Result{Records: 10, LastCycle: 7})
+	if stored, err := man.StoreRaw("pgbench", 1, cfg, first); err != nil || !stored {
+		t.Fatalf("first StoreRaw: stored=%v err=%v", stored, err)
+	}
+	if stored, err := man.StoreRaw("pgbench", 1, cfg, second); err != nil || stored {
+		t.Fatalf("duplicate StoreRaw: stored=%v err=%v, want dropped", stored, err)
+	}
+	raw, ok := man.LookupRaw(CellKey("pgbench", 1, cfg))
+	if !ok {
+		t.Fatal("LookupRaw missed a stored cell")
+	}
+	if !bytes.Equal(raw, first) {
+		t.Fatalf("LookupRaw = %s, want the first write %s", raw, first)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n := bytes.Count(data, []byte{'\n'}); n != 1 {
+		t.Fatalf("file has %d lines after a duplicate store, want 1", n)
+	}
+}
+
 // TestManifestKeySeparatesCells: cells differing only in record budget or
 // configuration must not collide.
 func TestManifestKeySeparatesCells(t *testing.T) {

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestForEachIndexCoversAllIndices(t *testing.T) {
@@ -81,6 +82,59 @@ func TestForEachIndexFirstErrorWins(t *testing.T) {
 	})
 	if !errors.Is(err, errA) && !errors.Is(err, errB) {
 		t.Fatalf("got %v, want errA or errB", err)
+	}
+}
+
+func TestForEachIndexFirstErrorWinsOrdered(t *testing.T) {
+	// Sequenced multi-error behavior: errA is recorded strictly before errB
+	// is even returned, so forEachIndex must surface errA and drop errB —
+	// the first error wins and later ones are discarded, not merged or
+	// raced. Under -race this also pins that the firstErr slot is written
+	// without a data race.
+	errA := errors.New("first failure")
+	errB := errors.New("later failure")
+	aReturned := make(chan struct{})
+	err := forEachIndex(context.Background(), 3, 2, func(i int) error {
+		switch i {
+		case 0:
+			close(aReturned)
+			return errA
+		case 1:
+			<-aReturned
+			// errA's worker only has to finish one mutex-guarded store
+			// before errB arrives; give it overwhelming margin.
+			time.Sleep(300 * time.Millisecond)
+			return errB
+		default:
+			t.Errorf("index %d claimed after two failures", i)
+			return nil
+		}
+	})
+	if !errors.Is(err, errA) {
+		t.Fatalf("got %v, want the first error %v", err, errA)
+	}
+	if errors.Is(err, errB) {
+		t.Fatalf("later error leaked into the result: %v", err)
+	}
+}
+
+func TestForEachIndexCancelMidClaim(t *testing.T) {
+	// Workers whose current job finishes cleanly after the context is
+	// cancelled must stop at their next claim and surface ctx.Err() —
+	// not nil, and not any error a pending job might have produced later.
+	ctx, cancel := context.WithCancel(context.Background())
+	var ran atomic.Int64
+	err := forEachIndex(ctx, 10, 2, func(i int) error {
+		ran.Add(1)
+		cancel()
+		<-ctx.Done() // both in-flight jobs finish (successfully) post-cancel
+		return nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("got %v, want ctx.Err() (context.Canceled)", err)
+	}
+	if n := ran.Load(); n > 2 {
+		t.Fatalf("%d jobs ran after a mid-sweep cancel with 2 workers", n)
 	}
 }
 

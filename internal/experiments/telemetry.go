@@ -113,6 +113,36 @@ func (t *Telemetry) observeRun(records uint64, snap *obs.Snapshot) {
 	}
 }
 
+// AddPlanned announces n upcoming runs to /progress. Exported for the
+// distributed sweep coordinator (internal/dsweep), which plans cells
+// outside the Params.forEach wrappers. Nil-safe.
+func (t *Telemetry) AddPlanned(n int) { t.addPlanned(n) }
+
+// RunStarted marks one remote run (a leased cell) in flight under the
+// given label and returns its start time for RunFinished. Nil-safe.
+func (t *Telemetry) RunStarted(label string) time.Time {
+	t.runStarted()
+	t.setActive(label, +1)
+	return time.Now()
+}
+
+// RunFinished accounts a remote run's outcome and wall time; a lease
+// revoked by worker death or missed heartbeats is reported with a non-nil
+// err, so /progress counts takeovers under failed. Nil-safe.
+func (t *Telemetry) RunFinished(label string, began time.Time, err error) {
+	t.setActive(label, -1)
+	t.runFinished(began, err)
+}
+
+// AddRecords folds remotely simulated records into the sweep totals as
+// heartbeats stream in, so /progress advances while a cell is still
+// executing on a worker. Nil-safe.
+func (t *Telemetry) AddRecords(n uint64) {
+	if t != nil {
+		t.records.Add(n)
+	}
+}
+
 // Progress is the /progress JSON payload.
 type Progress struct {
 	Planned        int64    `json:"planned"`

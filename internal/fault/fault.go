@@ -15,6 +15,7 @@ package fault
 import (
 	"fmt"
 
+	"heteromem/internal/backoff"
 	"heteromem/internal/rng"
 )
 
@@ -261,18 +262,18 @@ func (i *Injector) DegradeBudget() int {
 // (1-based): base << (attempt-1), with the doubling capped so a long retry
 // chain cannot overflow the cycle domain.
 func (i *Injector) Backoff(attempt int) int64 {
+	return i.BackoffPolicy().Delay(attempt)
+}
+
+// BackoffPolicy returns the injector's retry-delay policy as the shared
+// backoff.Exponential. Nil-safe: a nil injector yields the defaults, so the
+// memory controller can hold the policy unconditionally.
+func (i *Injector) BackoffPolicy() backoff.Exponential {
 	base := int64(DefaultRetryBackoff)
 	if i != nil {
 		base = i.cfg.retryBackoff()
 	}
-	shift := attempt - 1
-	if shift < 0 {
-		shift = 0
-	}
-	if shift > MaxBackoffShift {
-		shift = MaxBackoffShift
-	}
-	return base << uint(shift)
+	return backoff.Exponential{Base: base, MaxShift: MaxBackoffShift}
 }
 
 // next01 draws the next deterministic uniform in [0, 1) from the shared

@@ -195,7 +195,7 @@ func (c *Controller) deviceFault(r *sched.Request, region Region) (retry bool, b
 	}
 	if r.Attempts < c.inj.RetryBudget() {
 		c.account(fault.PointDevice, fault.Retried)
-		backoff = c.inj.Backoff(r.Attempts + 1)
+		backoff = c.retry.Delay(r.Attempts + 1)
 		c.inst.ring.Emit(c.now, obs.EvFaultRetry, uint64(fault.PointDevice), uint64(r.Attempts+1), uint64(backoff))
 		c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, c.now, c.now+backoff, uint64(fault.PointDevice), uint64(r.Attempts+1), 0)
 		return true, backoff
@@ -249,7 +249,7 @@ func (c *Controller) retryLeg(meta *legMeta, j *sched.BulkJob) {
 	retry := c.newBulkJob()
 	retry.Tag = j.Tag
 	retry.Duration = j.Duration
-	retry.Earliest = j.Done + c.inj.Backoff(meta.attempts)
+	retry.Earliest = j.Done + c.retry.Delay(meta.attempts)
 	retry.Meta = meta
 	c.inst.ring.Emit(j.Done, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(meta.attempts), uint64(retry.Earliest-j.Done))
 	c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, j.Done, retry.Earliest, uint64(fault.PointCopy), uint64(meta.attempts), 0)
@@ -425,7 +425,7 @@ undoLoop:
 				break
 			case verdictRetry:
 				attempts++
-				legStart = at + c.inj.Backoff(attempts)
+				legStart = at + c.retry.Delay(attempts)
 				c.inst.ring.Emit(at, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(attempts), uint64(legStart-at))
 				c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, at, legStart, uint64(fault.PointCopy), uint64(attempts), 0)
 				continue

@@ -9,6 +9,7 @@ package memctrl
 import (
 	"fmt"
 
+	"heteromem/internal/backoff"
 	"heteromem/internal/check"
 	"heteromem/internal/config"
 	"heteromem/internal/core"
@@ -163,14 +164,15 @@ type Controller struct {
 	// Fault-injection state (inj == nil means injection is off and none of
 	// the fields below are ever touched).
 	inj            *fault.Injector
-	faultRep       fault.Report   // disposition ledger (Account per fault)
-	frameFaults    []int          // per on-package frame: cumulative faults
-	retireQueue    []int          // slots awaiting quiescent retirement
-	retireQueued   []bool         // per slot: queued or already retired
-	undoQueue      []core.SubCopy // remaining rollback copies, run one at a time
-	stepAttempts   int            // restarts consumed by the current step
-	degradePending bool           // degrade once the in-flight swap quiesces
-	degradedMode   bool           // migration permanently frozen
+	retry          backoff.Exponential // shared retry-delay policy (internal/backoff)
+	faultRep       fault.Report        // disposition ledger (Account per fault)
+	frameFaults    []int               // per on-package frame: cumulative faults
+	retireQueue    []int               // slots awaiting quiescent retirement
+	retireQueued   []bool              // per slot: queued or already retired
+	undoQueue      []core.SubCopy      // remaining rollback copies, run one at a time
+	stepAttempts   int                 // restarts consumed by the current step
+	degradePending bool                // degrade once the in-flight swap quiesces
+	degradedMode   bool                // migration permanently frozen
 }
 
 // instruments holds the controller's observability hooks. Every field is
@@ -268,6 +270,7 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 	if err != nil {
 		return nil, fmt.Errorf("memctrl: %w", err)
 	}
+	c.retry = c.inj.BackoffPolicy()
 	if c.inj != nil {
 		c.frameFaults = make([]int, g.OnPackageSlots())
 		c.retireQueued = make([]bool, g.OnPackageSlots())
@@ -834,7 +837,7 @@ func (c *Controller) runStalledSwap(subs []core.SubCopy, now int64) error {
 					break legLoop
 				case verdictRetry:
 					attempts++
-					legStart = writeDone + c.inj.Backoff(attempts)
+					legStart = writeDone + c.retry.Delay(attempts)
 					c.inst.ring.Emit(writeDone, obs.EvFaultRetry, uint64(fault.PointCopy), uint64(attempts), uint64(legStart-writeDone))
 					c.inst.spans.Span(obs.LaneFault, obs.SpanBackoff, writeDone, legStart, uint64(fault.PointCopy), uint64(attempts), 0)
 				}

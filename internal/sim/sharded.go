@@ -16,6 +16,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -45,7 +46,9 @@ type shardAccess struct {
 
 // runSharded executes cfg over src with one goroutine per channel under the
 // cycle barrier. See the package comment above for the determinism argument.
-func runSharded(src trace.Source, cfg Config) (Result, error) {
+// ctx is polled in the feeder loop every cancelStride records, mirroring the
+// single-channel path.
+func runSharded(ctx context.Context, src trace.Source, cfg Config) (Result, error) {
 	if cfg.WindowRecords > 0 {
 		return Result{}, fmt.Errorf("sim: WindowRecords is not supported with Channels > 1 (completion interleaving across channels has no global window order)")
 	}
@@ -175,6 +178,11 @@ func runSharded(src trace.Source, cfg Config) (Result, error) {
 	var curEpoch int64
 	started := false
 	for cfg.MaxRecords == 0 || done < cfg.MaxRecords {
+		if done%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", done, err)
+			}
+		}
 		rec, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break

@@ -10,6 +10,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -206,13 +207,31 @@ type Window struct {
 	SwapsSoFar  uint64  // cumulative completed swaps at window end
 }
 
+// cancelStride is how many records pass between cooperative cancellation
+// checks in RunContext: frequent enough that a signal aborts a run within
+// microseconds of wall time, sparse enough that the per-record hot path
+// never touches the context.
+const cancelStride = 4096
+
 // Run simulates src through a controller built from cfg. With
 // cfg.Channels > 1 the run shards across per-channel controllers and
 // executes deterministically in parallel; the single-channel path below
 // still goes through the (delegating) hub so the two share one entry point.
 func Run(src trace.Source, cfg Config) (Result, error) {
+	return RunContext(context.Background(), src, cfg)
+}
+
+// RunContext is Run with cooperative cancellation: ctx is polled every
+// cancelStride records (and at every checkpoint boundary), and a cancelled
+// run returns ctx.Err() without flushing. Simulated results are unaffected
+// by when — or whether — the context machinery observes the run, so Run
+// and RunContext with an inert context are byte-identical.
+func RunContext(ctx context.Context, src trace.Source, cfg Config) (Result, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if cfg.Channels > 1 {
-		return runSharded(src, cfg)
+		return runSharded(ctx, src, cfg)
 	}
 	if cfg.CheckpointEvery > 0 || cfg.Resume != nil {
 		if err := checkpointIncompatible(cfg); err != nil {
@@ -289,6 +308,11 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 		}
 	}
 	for cfg.MaxRecords == 0 || n < cfg.MaxRecords {
+		if n%cancelStride == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", n, err)
+			}
+		}
 		rec, err := src.Next()
 		if errors.Is(err, io.EOF) {
 			break
@@ -304,6 +328,9 @@ func Run(src trace.Source, cfg Config) (Result, error) {
 			ctrl.ResetStats()
 		}
 		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && n%cfg.CheckpointEvery == 0 {
+			if err := ctx.Err(); err != nil {
+				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", n, err)
+			}
 			data, err := takeCheckpoint(cfg, src, ctrl, n)
 			if err != nil {
 				return Result{}, fmt.Errorf("sim: checkpoint at record %d: %w", n, err)
