@@ -1,11 +1,11 @@
-# Verification targets. `make ci` is the full gate: vet, build, the whole
-# test suite under the race detector, the randomized fault soak, the
-# distributed-sweep chaos campaign, the fuzz seed corpora (in regression
-# mode), and the golden-file checks.
+# Verification targets. `make ci` is the full gate: lint (vet + strict
+# gofmt), build, the whole test suite under the race detector, the
+# randomized fault soak, the distributed-sweep chaos campaign, the fuzz
+# seed corpora (in regression mode), and the golden-file checks.
 
 GO ?= go
 
-.PHONY: all build vet test race soak chaos fuzz-regression fuzz bench benchdiff golden-update ci
+.PHONY: all build vet lint test race soak chaos fuzz-regression fuzz bench benchdiff golden-update ci
 
 all: ci
 
@@ -14,6 +14,12 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Lint is vet plus strict formatting: any file gofmt would rewrite fails
+# the gate, so formatting drift never reaches review.
+lint: vet
+	@out=$$(gofmt -l .); if [ -n "$$out" ]; then \
+		echo "gofmt -l flagged:"; echo "$$out"; exit 1; fi
 
 test:
 	$(GO) test ./...
@@ -33,11 +39,15 @@ soak:
 
 # Distributed-sweep chaos campaign: worker processes are SIGKILLed mid-cell
 # on a seeded schedule; the sweep must still finish with per-cell results
-# byte-identical to an uninterrupted run. A fresh PRNG seed each invocation
+# byte-identical to an uninterrupted run, and the structured journal (kept
+# at CHAOS_JOURNAL for post-mortem: hmreport -fleet $(CHAOS_JOURNAL)) must
+# tell the true story of every kill. A fresh PRNG seed each invocation
 # randomizes the kill timing; set CHAOS_SEED to reproduce a run.
 CHAOS_SEED ?= $(shell date +%s)
+# go test runs with the package dir as cwd, so anchor the journal path.
+CHAOS_JOURNAL ?= $(CURDIR)/chaos.journal
 chaos:
-	CHAOS_SEED=$(CHAOS_SEED) $(GO) test -run TestChaosKillAndTakeover -count=1 -v ./internal/dsweep/
+	CHAOS_SEED=$(CHAOS_SEED) CHAOS_JOURNAL=$(CHAOS_JOURNAL) $(GO) test -run TestChaosKillAndTakeover -count=1 -v ./internal/dsweep/
 
 # Run the committed fuzz seed corpora (testdata/fuzz/...) as regression
 # tests. This is what `go test` already does for fuzz targets without
@@ -62,8 +72,8 @@ fuzz:
 # side by side. Compare the TemporalObservabilityOff/On pair to bound the
 # tracing overhead and the CheckpointOff/On pair to bound the checkpoint
 # serialization overhead.
-BENCH_TXT ?= BENCH_pr7.txt
-BENCH_JSON ?= BENCH_pr7.json
+BENCH_TXT ?= BENCH_pr8.txt
+BENCH_JSON ?= BENCH_pr8.json
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
@@ -73,9 +83,9 @@ bench:
 # slower than OLD past the threshold (default 10%, with an absolute ns/op
 # jitter floor) or allocates more. -count'ed archives are folded to each
 # benchmark's best sample, so the gate compares code, not host load.
-#   make benchdiff OLD=BENCH_pr6.json NEW=BENCH_pr7.json
-OLD ?= BENCH_pr6.json
-NEW ?= BENCH_pr7.json
+#   make benchdiff OLD=BENCH_pr7.json NEW=BENCH_pr8.json
+OLD ?= BENCH_pr7.json
+NEW ?= BENCH_pr8.json
 benchdiff:
 	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 
@@ -84,4 +94,4 @@ golden-update:
 	$(GO) test ./cmd/hmreport/ -update
 	$(GO) test ./internal/workload/ -run TestGeneratorGolden -update
 
-ci: vet build race soak chaos fuzz-regression
+ci: lint build race soak chaos fuzz-regression

@@ -5,6 +5,14 @@
 // Usage:
 //
 //	hmreport -out results/ [-records N] [-seed N] [-series WORKLOAD]
+//
+// It also post-processes distributed sweeps: -fleet reads the structured
+// journal a coordinator wrote (hmsim -coordinate -journal-out) and prints
+// the sweep post-mortem — takeover chains, slowest cells, per-worker
+// throughput — optionally emitting a wall-clock Chrome-trace timeline with
+// one lane per worker:
+//
+//	hmreport -fleet sweep.journal -fleet-trace-out fleet.json
 package main
 
 import (
@@ -16,22 +24,82 @@ import (
 	"os"
 	"path/filepath"
 	"strconv"
+	"strings"
 
 	"heteromem/internal/experiments"
+	"heteromem/internal/flog"
 )
 
 func main() {
 	var (
-		out     = flag.String("out", "results", "directory for CSV output")
-		records = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
-		seed    = flag.Int64("seed", 1, "workload seed")
-		series  = flag.String("series", "pgbench", "workload for the per-epoch effectiveness trajectory (empty disables)")
+		out      = flag.String("out", "results", "directory for CSV output")
+		records  = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
+		seed     = flag.Int64("seed", 1, "workload seed")
+		series   = flag.String("series", "pgbench", "workload for the per-epoch effectiveness trajectory (empty disables)")
+		fleet    = flag.String("fleet", "", "print a sweep post-mortem from these comma-separated journal files (hmsim -journal-out) instead of running experiments")
+		fleetOut = flag.String("fleet-trace-out", "", "with -fleet: also write the wall-clock fleet timeline as Chrome trace-event JSON to this file")
 	)
 	flag.Parse()
+	if *fleetOut != "" && *fleet == "" {
+		fmt.Fprintln(os.Stderr, "hmreport: -fleet-trace-out requires -fleet")
+		os.Exit(2)
+	}
+	if *fleet != "" {
+		if err := runFleet(os.Stdout, strings.Split(*fleet, ","), *fleetOut); err != nil {
+			fmt.Fprintln(os.Stderr, "hmreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if err := run(context.Background(), os.Stdout, *out, experiments.Params{Records: *records, Seed: *seed}, *series); err != nil {
 		fmt.Fprintln(os.Stderr, "hmreport:", err)
 		os.Exit(1)
 	}
+}
+
+// runFleet reconstructs a distributed sweep from its structured journals
+// and prints the post-mortem; traceOut optionally receives the Chrome
+// trace-event timeline. Multiple journal files (a coordinator's plus any
+// workers') concatenate cleanly — the coordinator records drive the
+// reconstruction and worker records are tolerated.
+func runFleet(w io.Writer, paths []string, traceOut string) error {
+	var records []flog.Record
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		recs, err := flog.Read(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		records = append(records, recs...)
+	}
+	if len(records) == 0 {
+		return fmt.Errorf("no journal records in %s", strings.Join(paths, ","))
+	}
+	fleet := flog.BuildFleet(records)
+	fleet.WriteSummary(w)
+	if traceOut != "" {
+		f, err := os.Create(traceOut)
+		if err != nil {
+			return err
+		}
+		if err := fleet.WriteTrace(f); err != nil {
+			f.Close()
+			return fmt.Errorf("fleet-trace-out: %w", err)
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "fleet timeline: %s (load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
 }
 
 // run executes the full report: CSV files into dir, the human-readable

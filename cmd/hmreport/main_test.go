@@ -3,13 +3,17 @@ package main
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"flag"
+	"io"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 
 	"heteromem/internal/experiments"
+	"heteromem/internal/flog"
 )
 
 var update = flag.Bool("update", false, "rewrite golden files with current output")
@@ -81,5 +85,106 @@ func TestExperimentSummariesGolden(t *testing.T) {
 			t.Fatalf("%s: %v", name, err)
 		}
 		checkGolden(t, name+".golden", buf.Bytes())
+	}
+}
+
+// writeFleetJournal synthesizes a deterministic coordinator journal with
+// one takeover chain (cell pgbench/live: expired on w0, bad resume on w1,
+// completed on w1's retry) and one clean cell, plus interleaved worker
+// records that the reconstruction must skip.
+func writeFleetJournal(t *testing.T, path string) {
+	t.Helper()
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	t0 := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	n := 0
+	clock := func() time.Time {
+		ts := t0.Add(time.Duration(n) * 500 * time.Millisecond)
+		n++
+		return ts
+	}
+	coord := flog.New(f, "coordinator", "coord-1", flog.WithClock(clock))
+	wj := flog.New(f, "worker", "w0", flog.WithClock(clock))
+
+	wj.Emit(flog.Record{Event: flog.EvDial})
+	coord.Emit(flog.Record{Event: flog.EvPlanned, Cell: "pgbench/live", Key: "ka"})
+	coord.Emit(flog.Record{Event: flog.EvPlanned, Cell: "indexer/none", Key: "kb"})
+	coord.Emit(flog.Record{Event: flog.EvLeased, Cell: "pgbench/live", Key: "ka", Worker: "w0", Lease: 1, Attempt: 1})
+	coord.Emit(flog.Record{Event: flog.EvLeased, Cell: "indexer/none", Key: "kb", Worker: "w1", Lease: 2, Attempt: 1})
+	coord.Emit(flog.Record{Event: flog.EvHeartbeat, Level: flog.LevelDebug, Worker: "w0", Lease: 1, Records: 2000, Bytes: 96, RTTMicros: 120})
+	coord.Emit(flog.Record{Event: flog.EvCompleted, Worker: "w1", Lease: 2, Records: 8000})
+	coord.Emit(flog.Record{Event: flog.EvExpired, Level: flog.LevelWarn, Worker: "w0", Lease: 1, Attempt: 1, Err: "missed heartbeats"})
+	coord.Emit(flog.Record{Event: flog.EvLeased, Cell: "pgbench/live", Key: "ka", Worker: "w1", Lease: 3, Attempt: 2, Records: 2000})
+	coord.Emit(flog.Record{Event: flog.EvBadResume, Level: flog.LevelWarn, Worker: "w1", Lease: 3, Err: "digest mismatch"})
+	coord.Emit(flog.Record{Event: flog.EvCellFail, Level: flog.LevelWarn, Worker: "w1", Lease: 3, Err: "unusable resume checkpoint"})
+	coord.Emit(flog.Record{Event: flog.EvLeased, Cell: "pgbench/live", Key: "ka", Worker: "w1", Lease: 4, Attempt: 3})
+	coord.Emit(flog.Record{Event: flog.EvHeartbeat, Level: flog.LevelDebug, Worker: "w1", Lease: 4, Records: 5000, Bytes: 96, RTTMicros: 90})
+	coord.Emit(flog.Record{Event: flog.EvCompleted, Worker: "w1", Lease: 4, Records: 8000})
+	coord.Emit(flog.Record{Event: flog.EvSweepDone, Records: 2})
+	if err := coord.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if err := wj.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestFleetGolden locks down hmreport -fleet: the post-mortem summary
+// goldens byte-for-byte and the emitted timeline is loadable Chrome trace
+// JSON with one lane per worker plus the coordinator lane.
+func TestFleetGolden(t *testing.T) {
+	dir := t.TempDir()
+	journal := filepath.Join(dir, "sweep.journal")
+	traceOut := filepath.Join(dir, "fleet.json")
+	writeFleetJournal(t, journal)
+
+	var buf bytes.Buffer
+	if err := runFleet(&buf, []string{journal}, traceOut); err != nil {
+		t.Fatal(err)
+	}
+	summary := strings.ReplaceAll(buf.String(), dir, "<out>")
+	checkGolden(t, "fleet_summary.golden", []byte(summary))
+
+	raw, err := os.ReadFile(traceOut)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string `json:"name"`
+			Ph   string `json:"ph"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(raw, &trace); err != nil {
+		t.Fatalf("fleet trace is not valid JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", trace.DisplayTimeUnit)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Fatal("fleet trace is empty")
+	}
+	metaEvents := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" {
+			metaEvents++
+		}
+	}
+	// process_name + per-lane thread_name/thread_sort_index for the
+	// coordinator lane and both worker lanes.
+	if metaEvents < 7 {
+		t.Errorf("%d metadata events, want >= 7 (3 lanes)", metaEvents)
+	}
+
+	// A missing journal and an empty journal list both fail cleanly.
+	if err := runFleet(io.Discard, []string{filepath.Join(dir, "nope.journal")}, ""); err == nil {
+		t.Error("missing journal file accepted")
+	}
+	if err := runFleet(io.Discard, []string{""}, ""); err == nil {
+		t.Error("empty journal list accepted")
 	}
 }

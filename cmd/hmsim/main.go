@@ -47,6 +47,7 @@ import (
 	"heteromem"
 	"heteromem/internal/dsweep"
 	"heteromem/internal/experiments"
+	"heteromem/internal/flog"
 )
 
 func main() {
@@ -70,6 +71,7 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 0, "coordinator mode: lease expiry without a heartbeat (0 = default); must exceed the wall time between worker checkpoints")
 		spillDir    = flag.String("spill-dir", "", "coordinator mode: persist in-flight checkpoints here so a restarted coordinator resumes takeover cells mid-run")
 		maxAttempts = flag.Int("max-attempts", 0, "coordinator mode: lease attempts per cell before it fails permanently (0 = default)")
+		journalOut  = flag.String("journal-out", "", "coordinator/worker mode: append the structured JSONL lifecycle journal to this file (hmreport -fleet reconstructs the sweep from it)")
 
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
@@ -180,6 +182,8 @@ func main() {
 		mode == modeExp || mode == modeCoord, "experiment or coordinator mode")
 	onlyIn([]string{"designs", "lease-ttl", "spill-dir", "max-attempts"},
 		mode == modeCoord, "coordinator mode (-coordinate)")
+	onlyIn([]string{"journal-out"},
+		mode == modeCoord || mode == modeWorker, "coordinator or worker mode")
 	onlyIn([]string{"name"}, mode == modeWorker, "worker mode (-worker)")
 	onlyIn([]string{"records", "warmup", "seed", "channels"},
 		mode != modeWorker, "a mode that simulates locally (workers take cell parameters from their leases)")
@@ -311,12 +315,18 @@ func main() {
 			host, _ := os.Hostname()
 			name = fmt.Sprintf("%s-%d", host, os.Getpid())
 		}
-		err := dsweep.RunWorker(ctx, *workerAddr, dsweep.WorkerConfig{
-			Name: name,
+		journal, closeJournal, err := openJournal(*journalOut, "worker", name)
+		if err != nil {
+			fail(err)
+		}
+		err = dsweep.RunWorker(ctx, *workerAddr, dsweep.WorkerConfig{
+			Name:    name,
+			Journal: journal,
 			Logf: func(format string, args ...any) {
 				fmt.Fprintf(os.Stderr, "hmsim: "+format+"\n", args...)
 			},
 		})
+		closeJournal()
 		if err != nil {
 			fail(err)
 		}
@@ -346,10 +356,16 @@ func main() {
 		if err != nil {
 			usageErr("%v", err)
 		}
+		host, _ := os.Hostname()
+		journal, closeJournal, err := openJournal(*journalOut, "coordinator", fmt.Sprintf("%s-%d", host, os.Getpid()))
+		if err != nil {
+			fail(err)
+		}
 		_, err = runCoordinator(ctx, os.Stdout, coordRunConfig{
 			Addr: *coordinate, Cells: cells, Manifest: *manifest, Listen: *listen,
 			LeaseTTL: *leaseTTL, CheckpointEvery: *ckEvery,
 			SpillDir: *spillDir, MaxAttempts: *maxAttempts,
+			Journal: journal,
 			OnListen: func(workerAddr, telemetryAddr string) {
 				fmt.Fprintf(os.Stderr, "hmsim: coordinator leasing %d cells on %s\n", len(cells), workerAddr)
 				if telemetryAddr != "" {
@@ -360,6 +376,7 @@ func main() {
 				fmt.Fprintf(os.Stderr, "hmsim: "+format+"\n", args...)
 			},
 		})
+		closeJournal()
 		if err != nil {
 			fail(err)
 		}
@@ -485,10 +502,35 @@ type coordRunConfig struct {
 	LeaseTTL        time.Duration // 0 = dsweep default
 	CheckpointEvery uint64        // 0 = dsweep default
 	SpillDir        string
-	MaxAttempts     int // 0 = dsweep default
+	MaxAttempts     int           // 0 = dsweep default
+	Journal         *flog.Journal // structured lifecycle journal (nil disables)
 
 	OnListen func(workerAddr, telemetryAddr string) // called once both servers are bound
 	Logf     func(format string, args ...any)
+}
+
+// openJournal opens (appending) the structured JSONL journal at path. An
+// empty path yields a nil journal — every emit is then a no-op. The
+// returned closer flushes the file and reports a latched write error to
+// stderr; the journal is an observability artifact, so journal trouble
+// never fails the sweep itself.
+func openJournal(path, role, node string) (*flog.Journal, func(), error) {
+	if path == "" {
+		return nil, func() {}, nil
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("journal-out: %w", err)
+	}
+	j := flog.New(f, role, node)
+	return j, func() {
+		if err := j.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: journal %s: %v\n", path, err)
+		}
+		if err := f.Close(); err != nil {
+			fmt.Fprintf(os.Stderr, "hmsim: closing journal %s: %v\n", path, err)
+		}
+	}, nil
 }
 
 // runCoordinator serves one distributed sweep: it opens the manifest,
@@ -527,6 +569,7 @@ func runCoordinator(ctx context.Context, w io.Writer, c coordRunConfig) (dsweep.
 		SpillDir:        c.SpillDir,
 		MaxAttempts:     c.MaxAttempts,
 		Logf:            c.Logf,
+		Journal:         c.Journal,
 	})
 	if err != nil {
 		return dsweep.Stats{}, err

@@ -19,6 +19,7 @@ import (
 	"heteromem"
 	"heteromem/internal/dsweep"
 	"heteromem/internal/experiments"
+	"heteromem/internal/flog"
 )
 
 // TestSingleRunMetricsJSON pins the acceptance contract of `hmsim
@@ -352,8 +353,13 @@ func TestBuildCells(t *testing.T) {
 func TestCoordinateModeEndToEnd(t *testing.T) {
 	dir := t.TempDir()
 	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	journalPath := filepath.Join(dir, "sweep.journal")
 	cells, err := buildCells([]string{"pgbench", "indexer"}, []string{"live", "none"},
 		dsweep.CellSpec{Seed: 1, Interval: 1000, Records: 60_000, Warmup: 10_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	journal, closeJournal, err := openJournal(journalPath, "coordinator", "test-coord")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -363,7 +369,7 @@ func TestCoordinateModeEndToEnd(t *testing.T) {
 	workerErrs := make(chan error, 2)
 	stats, err := runCoordinator(ctx, &buf, coordRunConfig{
 		Addr: "127.0.0.1:0", Cells: cells, Manifest: manifestPath,
-		SpillDir: dir,
+		SpillDir: dir, Journal: journal,
 		OnListen: func(addr, telemetryAddr string) {
 			if telemetryAddr != "" {
 				t.Errorf("telemetry server started without -listen: %s", telemetryAddr)
@@ -401,6 +407,50 @@ func TestCoordinateModeEndToEnd(t *testing.T) {
 	}
 	if out.Manifest != manifestPath || out.Completed != len(cells) {
 		t.Fatalf("stats JSON wrong: %+v", out)
+	}
+
+	// The fleet-health counters are part of the stats JSON contract even
+	// when zero: an operator greps for them after every sweep.
+	var raw map[string]json.RawMessage
+	if err := json.Unmarshal(buf.Bytes(), &raw); err != nil {
+		t.Fatal(err)
+	}
+	for _, key := range []string{"Takeovers", "Expiries", "Duplicates", "BadResumes", "Failures"} {
+		if _, ok := raw[key]; !ok {
+			t.Errorf("stats JSON missing fleet-health counter %q", key)
+		}
+	}
+
+	// The journal must reconstruct the sweep: every cell planned and
+	// completed exactly once, and the summary sweep-done record present.
+	closeJournal()
+	jf, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := flog.Read(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	fleet := flog.BuildFleet(recs)
+	if len(fleet.Cells) != len(cells) {
+		t.Fatalf("journal reconstructs %d cells, want %d", len(fleet.Cells), len(cells))
+	}
+	for _, c := range fleet.Cells {
+		if !c.Completed || len(c.Attempts) != 1 {
+			t.Errorf("cell %s: completed=%v attempts=%d, want clean single-attempt completion",
+				c.Cell, c.Completed, len(c.Attempts))
+		}
+	}
+	sawDone := false
+	for _, r := range recs {
+		if r.Event == flog.EvSweepDone {
+			sawDone = true
+		}
+	}
+	if !sawDone {
+		t.Error("journal has no sweep-done record")
 	}
 
 	man, err := experiments.OpenManifest(manifestPath)

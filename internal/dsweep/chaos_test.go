@@ -1,7 +1,9 @@
 package dsweep
 
 import (
+	"bytes"
 	"context"
+	"encoding/json"
 	"fmt"
 	"os"
 	"os/exec"
@@ -10,6 +12,7 @@ import (
 	"testing"
 	"time"
 
+	"heteromem/internal/flog"
 	"heteromem/internal/rng"
 )
 
@@ -23,10 +26,24 @@ import (
 // plain test run is reproducible.
 
 const (
-	chaosHelperEnv = "DSWEEP_CHAOS_HELPER"
-	chaosAddrEnv   = "DSWEEP_COORD_ADDR"
-	chaosNameEnv   = "DSWEEP_WORKER_NAME"
+	chaosHelperEnv  = "DSWEEP_CHAOS_HELPER"
+	chaosAddrEnv    = "DSWEEP_COORD_ADDR"
+	chaosNameEnv    = "DSWEEP_WORKER_NAME"
+	chaosJournalEnv = "DSWEEP_CHAOS_JOURNAL"
 )
+
+// chaosJournal opens the shared campaign journal for appending. Every
+// process — coordinator and each worker — appends whole lines with single
+// write(2) calls on an O_APPEND fd, so records interleave without tearing
+// even when the writer is SIGKILLed between lines.
+func chaosJournal(t *testing.T, path, role, node string) (*flog.Journal, *os.File) {
+	t.Helper()
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatalf("chaos journal: %v", err)
+	}
+	return flog.New(f, role, node), f
+}
 
 // TestChaosWorkerHelper is not a test: it is the worker-process body,
 // re-executed from the test binary by TestChaosKillAndTakeover. It only
@@ -35,9 +52,16 @@ func TestChaosWorkerHelper(t *testing.T) {
 	if os.Getenv(chaosHelperEnv) != "1" {
 		t.Skip("worker-process helper, driven by TestChaosKillAndTakeover")
 	}
+	var journal *flog.Journal
+	if path := os.Getenv(chaosJournalEnv); path != "" {
+		j, f := chaosJournal(t, path, "worker", os.Getenv(chaosNameEnv))
+		journal = j
+		defer f.Close()
+	}
 	err := RunWorker(context.Background(), os.Getenv(chaosAddrEnv), WorkerConfig{
 		Name:         os.Getenv(chaosNameEnv),
 		DialAttempts: 5,
+		Journal:      journal,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "chaos worker: %v\n", err)
@@ -78,6 +102,17 @@ func TestChaosKillAndTakeover(t *testing.T) {
 	}
 	dir := t.TempDir()
 	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	// The campaign journal: CHAOS_JOURNAL pins it to a stable path (CI
+	// uploads it as an artifact on failure); unset, it lives in the temp
+	// dir. Coordinator and every worker process append to the same file.
+	journalPath := os.Getenv("CHAOS_JOURNAL")
+	if journalPath == "" {
+		journalPath = filepath.Join(dir, "chaos.journal")
+	} else if err := os.Remove(journalPath); err != nil && !os.IsNotExist(err) {
+		t.Fatalf("clearing stale chaos journal: %v", err)
+	}
+	journal, journalFile := chaosJournal(t, journalPath, "coordinator", "chaos-coord")
+	defer journalFile.Close()
 	ctx := context.Background()
 	var logf func(string, ...any)
 	if os.Getenv("CHAOS_VERBOSE") != "" {
@@ -92,6 +127,7 @@ func TestChaosKillAndTakeover(t *testing.T) {
 		MaxAttempts: 1000,
 		LeaseTTL:    10 * time.Second,
 		Logf:        logf,
+		Journal:     journal,
 	})
 
 	spawn := func(name string) *exec.Cmd {
@@ -100,6 +136,7 @@ func TestChaosKillAndTakeover(t *testing.T) {
 			chaosHelperEnv+"=1",
 			chaosAddrEnv+"="+addr,
 			chaosNameEnv+"="+name,
+			chaosJournalEnv+"="+journalPath,
 		)
 		if os.Getenv("CHAOS_VERBOSE") != "" {
 			cmd.Stdout, cmd.Stderr = os.Stderr, os.Stderr
@@ -158,4 +195,101 @@ func TestChaosKillAndTakeover(t *testing.T) {
 	// The chaos contract: byte-identical to the uninterrupted run, every
 	// cell exactly once.
 	assertSweepMatchesDirect(t, manifestPath, cells)
+
+	// The journal contract: the journal alone must tell the true story of
+	// the campaign — every SIGKILL visible as an expiry/revocation followed
+	// by a takeover chain that ends in completion, exactly-once completion
+	// per cell, and counters that agree with the coordinator's own stats.
+	assertJournalTellsTheStory(t, journalPath, cells, s)
+}
+
+// assertJournalTellsTheStory re-derives the campaign's history from the
+// shared journal file with no help from in-process state, and checks it
+// against the coordinator's stats and the exactly-once contract.
+func assertJournalTellsTheStory(t *testing.T, journalPath string, cells []CellSpec, s Stats) {
+	t.Helper()
+	jf, err := os.Open(journalPath)
+	if err != nil {
+		t.Fatalf("opening chaos journal: %v", err)
+	}
+	recs, err := flog.Read(jf)
+	jf.Close()
+	if err != nil {
+		t.Fatalf("chaos journal unreadable: %v", err)
+	}
+
+	// Exactly-once from the journal alone: one cell-completed record per
+	// cell key, no more, no fewer. Duplicate deliveries must appear as
+	// cell-duplicate records, never as a second completion.
+	cellDone := map[string]bool{} // cell label -> completed
+	leaseCell := map[uint64]string{}
+	for _, r := range recs {
+		if r.Role != "coordinator" {
+			continue
+		}
+		switch r.Event {
+		case flog.EvLeased:
+			leaseCell[r.Lease] = r.Cell
+		case flog.EvCompleted:
+			cell := leaseCell[r.Lease]
+			if cellDone[cell] {
+				t.Errorf("journal shows cell %s completed twice", cell)
+			}
+			cellDone[cell] = true
+		}
+	}
+	for _, c := range cells {
+		if !cellDone[c.Label()] {
+			t.Errorf("journal has no completion for cell %s", c.Label())
+		}
+	}
+
+	// The reconstruction the operator actually uses (hmreport -fleet) must
+	// agree with the coordinator's stats: every takeover in the journal,
+	// every chain ending in completion, nothing abandoned.
+	fleet := flog.BuildFleet(recs)
+	if len(fleet.Cells) != len(cells) {
+		t.Errorf("journal reconstructs %d cells, want %d", len(fleet.Cells), len(cells))
+	}
+	for _, c := range fleet.Cells {
+		if !c.Completed || c.Abandoned {
+			t.Errorf("cell %s: journal chain does not end in completion (completed=%v abandoned=%v, %d attempts)",
+				c.Cell, c.Completed, c.Abandoned, len(c.Attempts))
+		}
+	}
+	if got := fleet.Expiries + fleet.Revocations; got != s.Takeovers {
+		t.Errorf("journal shows %d takeovers (%d expiries + %d revocations), coordinator counted %d",
+			got, fleet.Expiries, fleet.Revocations, s.Takeovers)
+	}
+	if fleet.Expiries != s.Expiries {
+		t.Errorf("journal shows %d expiries, coordinator counted %d", fleet.Expiries, s.Expiries)
+	}
+	if fleet.BadResumes != s.BadResumes {
+		t.Errorf("journal shows %d bad resumes, coordinator counted %d", fleet.BadResumes, s.BadResumes)
+	}
+	// The journal also records duplicates detected on stale-lease
+	// completions, which the manifest ledger never sees — so >=, not ==.
+	if fleet.Duplicates < s.Duplicates {
+		t.Errorf("journal shows %d duplicates, coordinator counted %d", fleet.Duplicates, s.Duplicates)
+	}
+
+	// And the timeline those records assemble into must be loadable Chrome
+	// trace JSON with a lane per worker.
+	var buf bytes.Buffer
+	if err := fleet.WriteTrace(&buf); err != nil {
+		t.Fatalf("fleet timeline: %v", err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Ph string `json:"ph"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("fleet timeline is not valid JSON: %v", err)
+	}
+	if len(trace.TraceEvents) == 0 {
+		t.Error("fleet timeline is empty")
+	}
+	t.Logf("journal: %d records, %d expiries, %d revocations, %d bad-resumes, %d duplicates",
+		len(recs), fleet.Expiries, fleet.Revocations, fleet.BadResumes, fleet.Duplicates)
 }

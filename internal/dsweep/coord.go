@@ -18,10 +18,14 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
+	"strings"
 	"sync"
 	"time"
 
 	"heteromem/internal/experiments"
+	"heteromem/internal/flog"
+	"heteromem/internal/obs"
 	"heteromem/internal/sim"
 )
 
@@ -78,6 +82,13 @@ type CoordinatorConfig struct {
 
 	// Logf, when non-nil, receives coordinator lifecycle logs.
 	Logf func(format string, args ...any)
+
+	// Journal, when non-nil, receives one structured record per lease
+	// lifecycle event (planned, leased, heartbeat, completed, expired,
+	// revoked, bad resume, duplicate, ...). The journal alone suffices to
+	// reconstruct the sweep's cross-host history — hmreport -fleet builds
+	// its timeline and post-mortem from it. Nil-safe: no journal, no cost.
+	Journal *flog.Journal
 }
 
 // Stats summarizes a sweep's execution.
@@ -87,7 +98,9 @@ type Stats struct {
 	Completed  int // cells completed during this run
 	Failed     int // cells abandoned after MaxAttempts
 	Takeovers  int // leases revoked by expiry or connection drop
+	Expiries   int // the subset of Takeovers caused by TTL expiry (missed heartbeats)
 	Failures   int // worker-reported cell failures
+	BadResumes int // failures where the shipped resume checkpoint was unusable
 	Duplicates int // completions dropped by the manifest's first-write-wins
 }
 
@@ -122,6 +135,20 @@ type cellState struct {
 	// reassigned lease ships checkpoint back out as its resume point.
 	records    uint64
 	checkpoint []byte
+
+	// lastBeat is when the current lease last heartbeated (zero until the
+	// first one); feeds the heartbeat-interval histogram.
+	lastBeat time.Time
+}
+
+// workerState is the coordinator's per-worker health ledger, keyed by the
+// worker's self-reported name. It backs the /progress fleet table and the
+// per-worker active-cell gauges on /metrics.
+type workerState struct {
+	cells    int       // leases currently held
+	lastBeat time.Time // newest heartbeat (zero until the first)
+	records  uint64    // records attributed to this worker (heartbeat deltas + completions)
+	first    time.Time // first time the coordinator saw this worker
 }
 
 // Coordinator distributes a sweep's cells to workers under leases and owns
@@ -139,6 +166,13 @@ type Coordinator struct {
 	draining  bool
 	resolved  chan struct{} // closed once every cell is done or failed
 	isDone    bool
+
+	// Fleet observability, all guarded by mu (the obs instruments are
+	// single-threaded by design; the coordinator's lock serializes them).
+	workers    map[string]*workerState
+	hbInterval *obs.Histogram // ms between consecutive heartbeats on one lease
+	hbRTT      *obs.Histogram // µs, worker-measured heartbeat round trip
+	ckptBytes  *obs.Histogram // bytes per shipped checkpoint
 }
 
 // NewCoordinator validates the grid against the manifest and builds a
@@ -162,6 +196,13 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		ttl:      cfg.LeaseTTL,
 		byLease:  map[uint64]*cellState{},
 		resolved: make(chan struct{}),
+		workers:  map[string]*workerState{},
+		// Heartbeat intervals span one checkpoint (~ms) to a full TTL (~s);
+		// RTTs span loopback (~µs) to congested WAN (~s); checkpoints run
+		// from a few hundred bytes to the 64 MiB frame cap.
+		hbInterval: obs.NewHistogram(obs.ExpBuckets(1, 18)),   // 1ms .. ~131s
+		hbRTT:      obs.NewHistogram(obs.ExpBuckets(16, 18)),  // 16µs .. ~2.1s
+		ckptBytes:  obs.NewHistogram(obs.ExpBuckets(256, 18)), // 256B .. 32MiB
 	}
 	seen := map[string]bool{}
 	for _, spec := range cfg.Cells {
@@ -181,13 +222,20 @@ func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
 		if _, done := cfg.Manifest.LookupRaw(key); done {
 			st.phase = cellDone
 			c.stats.Skipped++
+			cfg.Journal.Emit(flog.Record{Event: flog.EvSkipped, Cell: st.label, Key: key})
 		} else {
 			c.stats.Planned++
 			c.loadSpill(st)
+			cfg.Journal.Emit(flog.Record{Event: flog.EvPlanned, Cell: st.label, Key: key, Records: st.records})
 		}
 		c.order = append(c.order, st)
 	}
 	cfg.Telemetry.AddPlanned(c.stats.Planned)
+	// The coordinator's lease/heartbeat metrics and the per-worker health
+	// table ride the same telemetry endpoint as the sweep totals, so one
+	// -listen address observes the whole fleet.
+	cfg.Telemetry.AddCollector(c.WriteMetrics)
+	cfg.Telemetry.SetWorkerHealth(c.WorkerHealth)
 	if c.stats.Planned == 0 {
 		c.isDone = true
 		close(c.resolved)
@@ -200,6 +248,81 @@ func (c *Coordinator) Stats() Stats {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.stats
+}
+
+// touchWorker returns w's health row, creating it on first sight. Callers
+// hold c.mu.
+func (c *Coordinator) touchWorker(name string) *workerState {
+	ws, ok := c.workers[name]
+	if !ok {
+		ws = &workerState{first: time.Now()}
+		c.workers[name] = ws
+	}
+	return ws
+}
+
+// WriteMetrics renders the coordinator's fleet metrics in Prometheus text
+// exposition format: lease gauges and lifecycle counters, per-worker
+// active-cell gauges, and the heartbeat-interval / heartbeat-RTT /
+// checkpoint-size histograms. Registered with the sweep Telemetry as a
+// /metrics collector, so hmsim -coordinate -listen serves it.
+func (c *Coordinator) WriteMetrics(b *strings.Builder) {
+	c.mu.Lock()
+	stats := c.stats
+	outstanding := len(c.byLease)
+	type workerRow struct {
+		name  string
+		cells int
+	}
+	rows := make([]workerRow, 0, len(c.workers))
+	for name, ws := range c.workers {
+		rows = append(rows, workerRow{name, ws.cells})
+	}
+	hbi, rtt, ckpt := c.hbInterval.Snapshot(), c.hbRTT.Snapshot(), c.ckptBytes.Snapshot()
+	c.mu.Unlock()
+
+	fmt.Fprintf(b, "# TYPE dsweep_leases_outstanding gauge\ndsweep_leases_outstanding %d\n", outstanding)
+	fmt.Fprintf(b, "# TYPE dsweep_cells_completed_total counter\ndsweep_cells_completed_total %d\n", stats.Completed)
+	fmt.Fprintf(b, "# TYPE dsweep_cells_failed_total counter\ndsweep_cells_failed_total %d\n", stats.Failed)
+	fmt.Fprintf(b, "# TYPE dsweep_lease_expiries_total counter\ndsweep_lease_expiries_total %d\n", stats.Expiries)
+	fmt.Fprintf(b, "# TYPE dsweep_takeovers_total counter\ndsweep_takeovers_total %d\n", stats.Takeovers)
+	fmt.Fprintf(b, "# TYPE dsweep_duplicates_total counter\ndsweep_duplicates_total %d\n", stats.Duplicates)
+	fmt.Fprintf(b, "# TYPE dsweep_bad_resumes_total counter\ndsweep_bad_resumes_total %d\n", stats.BadResumes)
+	fmt.Fprintf(b, "# TYPE dsweep_worker_failures_total counter\ndsweep_worker_failures_total %d\n", stats.Failures)
+	sort.Slice(rows, func(i, j int) bool { return rows[i].name < rows[j].name })
+	b.WriteString("# TYPE dsweep_worker_active_cells gauge\n")
+	for _, r := range rows {
+		fmt.Fprintf(b, "dsweep_worker_active_cells{worker=\"%s\"} %d\n", experiments.PromLabel(r.name), r.cells)
+	}
+	experiments.WritePromHistogram(b, "dsweep_heartbeat_interval_ms", hbi)
+	experiments.WritePromHistogram(b, "dsweep_heartbeat_rtt_us", rtt)
+	experiments.WritePromHistogram(b, "dsweep_checkpoint_bytes", ckpt)
+}
+
+// WorkerHealth assembles the /progress fleet health table: one row per
+// worker the coordinator has seen, with its held-lease count, heartbeat
+// staleness, and lifetime throughput.
+func (c *Coordinator) WorkerHealth() []experiments.WorkerHealth {
+	now := time.Now()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]experiments.WorkerHealth, 0, len(c.workers))
+	for name, ws := range c.workers {
+		h := experiments.WorkerHealth{
+			Name:                 name,
+			Cells:                ws.cells,
+			LastHeartbeatSeconds: -1,
+			Records:              ws.records,
+		}
+		if !ws.lastBeat.IsZero() {
+			h.LastHeartbeatSeconds = now.Sub(ws.lastBeat).Seconds()
+		}
+		if alive := now.Sub(ws.first).Seconds(); alive > 0 {
+			h.RecordsPerSec = float64(ws.records) / alive
+		}
+		out = append(out, h)
+	}
+	return out
 }
 
 func (c *Coordinator) logf(format string, args ...any) {
@@ -379,6 +502,7 @@ func (c *Coordinator) Serve(ctx context.Context, ln net.Listener) error {
 		c.mu.Lock()
 		c.draining = true
 		c.mu.Unlock()
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvDrain})
 		c.logf("dsweep: draining: no new leases, waiting for in-flight cells")
 		// Poll until the outstanding leases clear (completion, failure, or
 		// expiry) or everything resolves.
@@ -426,33 +550,59 @@ func (c *Coordinator) expireLeases(now time.Time) {
 	defer c.mu.Unlock()
 	for id, st := range c.byLease {
 		if now.After(st.deadline) {
-			c.revokeLocked(id, fmt.Errorf("dsweep: lease on %s expired (worker %s missed heartbeats)", st.label, st.worker), true)
+			c.revokeLocked(id, fmt.Errorf("dsweep: lease on %s expired (worker %s missed heartbeats)", st.label, st.worker), revokeExpired)
 		}
 	}
 }
 
+// revokeKind classifies why a lease is being torn down; it decides the
+// stats bucket and the journal event.
+type revokeKind int
+
+const (
+	revokeExpired    revokeKind = iota // TTL passed without a heartbeat: worker presumed dead
+	revokeConnDrop                     // connection dropped mid-lease
+	revokeWorkerFail                   // worker reported the attempt failed
+)
+
 // revokeLocked tears down one lease: the cell returns to the pending pool
 // (resuming from its last checkpoint on the next grant) or, once its
-// attempts are spent, fails permanently. takeover marks crash-driven
-// revocations (expiry, dropped connection) in the stats.
-func (c *Coordinator) revokeLocked(id uint64, cause error, takeover bool) {
+// attempts are spent, fails permanently. Expiry and connection drops are
+// crash-driven takeovers; worker-reported failures count separately.
+func (c *Coordinator) revokeLocked(id uint64, cause error, kind revokeKind) {
 	st, ok := c.byLease[id]
 	if !ok {
 		return
 	}
 	delete(c.byLease, id)
 	st.leaseID = 0
+	st.lastBeat = time.Time{}
 	c.cfg.Telemetry.RunFinished(st.label, st.began, cause)
-	if takeover {
-		c.stats.Takeovers++
-	} else {
-		c.stats.Failures++
+	if ws, ok := c.workers[st.worker]; ok && ws.cells > 0 {
+		ws.cells--
 	}
+	ev := flog.Record{Level: flog.LevelWarn, Cell: st.label, Key: st.key,
+		Worker: st.worker, Lease: id, Attempt: st.attempts + 1, Err: cause.Error()}
+	switch kind {
+	case revokeExpired:
+		c.stats.Takeovers++
+		c.stats.Expiries++
+		ev.Event = flog.EvExpired
+	case revokeConnDrop:
+		c.stats.Takeovers++
+		ev.Event = flog.EvRevoked
+	case revokeWorkerFail:
+		c.stats.Failures++
+		ev.Event = flog.EvCellFail
+	}
+	c.cfg.Journal.Emit(ev)
 	st.attempts++
 	if st.attempts >= c.cfg.MaxAttempts {
 		st.phase = cellFailed
 		st.lastErr = cause
 		c.stats.Failed++
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvGiveUp, Level: flog.LevelError,
+			Cell: st.label, Key: st.key, Attempt: st.attempts, Err: cause.Error()})
 		c.logf("dsweep: giving up on %s after %d attempts: %v", st.label, st.attempts, cause)
 		c.checkResolvedLocked()
 		return
@@ -473,6 +623,7 @@ func (c *Coordinator) checkResolvedLocked() {
 		}
 	}
 	c.isDone = true
+	c.cfg.Journal.Emit(flog.Record{Event: flog.EvSweepDone, Records: uint64(c.stats.Completed)})
 	close(c.resolved)
 }
 
@@ -496,6 +647,9 @@ func (c *Coordinator) acquire(worker string) envelope {
 		st.deadline = time.Now().Add(c.ttl)
 		st.began = c.cfg.Telemetry.RunStarted(st.label)
 		c.byLease[id] = st
+		c.touchWorker(worker).cells++
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvLeased, Cell: st.label, Key: st.key,
+			Worker: worker, Lease: id, Attempt: st.attempts + 1, Records: st.records})
 		spec := st.spec
 		env := envelope{
 			Type:            msgLease,
@@ -525,24 +679,46 @@ func (c *Coordinator) acquire(worker string) envelope {
 }
 
 // heartbeat renews a lease and absorbs the worker's progress: the record
-// delta feeds telemetry and the checkpoint becomes the cell's takeover
-// resume point (spilled durably when a spill dir is configured).
-func (c *Coordinator) heartbeat(id uint64, records uint64, checkpoint []byte) envelope {
+// delta feeds telemetry, the checkpoint becomes the cell's takeover
+// resume point (spilled durably when a spill dir is configured), and the
+// exchange feeds the interval/RTT/size histograms plus the journal.
+// rttMicros is the worker-measured round trip of its previous heartbeat
+// (0 = first one, nothing measured).
+func (c *Coordinator) heartbeat(id uint64, records uint64, checkpoint []byte, rttMicros int64) envelope {
+	now := time.Now()
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.byLease[id]
 	if !ok {
 		return envelope{Type: msgRevoked}
 	}
-	st.deadline = time.Now().Add(c.ttl)
+	st.deadline = now.Add(c.ttl)
+	since := st.began
+	if !st.lastBeat.IsZero() {
+		since = st.lastBeat
+	}
+	c.hbInterval.Observe(now.Sub(since).Milliseconds())
+	st.lastBeat = now
+	if rttMicros > 0 {
+		c.hbRTT.Observe(rttMicros)
+	}
+	if len(checkpoint) > 0 {
+		c.ckptBytes.Observe(int64(len(checkpoint)))
+	}
+	ws := c.touchWorker(st.worker)
+	ws.lastBeat = now
 	if records > st.records {
 		c.cfg.Telemetry.AddRecords(records - st.records)
+		ws.records += records - st.records
 		st.records = records
 	}
 	if len(checkpoint) > 0 {
 		st.checkpoint = checkpoint
 		c.writeSpill(st)
 	}
+	c.cfg.Journal.Emit(flog.Record{Event: flog.EvHeartbeat, Level: flog.LevelDebug,
+		Cell: st.label, Key: st.key, Worker: st.worker, Lease: id,
+		Records: st.records, Bytes: len(checkpoint), RTTMicros: rttMicros})
 	return envelope{Type: msgOK}
 }
 
@@ -552,7 +728,7 @@ func (c *Coordinator) heartbeat(id uint64, records uint64, checkpoint []byte) en
 // all — is answered with msgRevoked and its result dropped; the ledger
 // keeps exactly one line per cell either way, and results are
 // deterministic, so nothing is lost.
-func (c *Coordinator) complete(id uint64, result []byte) envelope {
+func (c *Coordinator) complete(id uint64, records uint64, result []byte) envelope {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	st, ok := c.byLease[id]
@@ -572,8 +748,21 @@ func (c *Coordinator) complete(id uint64, result []byte) envelope {
 	st.checkpoint = nil
 	c.cfg.Telemetry.RunFinished(st.label, st.began, nil)
 	c.stats.Completed++
+	ws := c.touchWorker(st.worker)
+	if ws.cells > 0 {
+		ws.cells--
+	}
+	if records > st.records {
+		ws.records += records - st.records
+		st.records = records
+	}
 	if !stored {
 		c.stats.Duplicates++
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvDuplicate, Level: flog.LevelWarn,
+			Cell: st.label, Key: st.key, Worker: st.worker, Lease: id, Records: st.records})
+	} else {
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvCompleted,
+			Cell: st.label, Key: st.key, Worker: st.worker, Lease: id, Records: st.records})
 	}
 	c.removeSpill(st.key)
 	c.logf("dsweep: %s complete (worker %s)", st.label, st.worker)
@@ -595,8 +784,11 @@ func (c *Coordinator) fail(id uint64, cause string, badResume bool) envelope {
 		st.checkpoint = nil
 		st.records = 0
 		c.removeSpill(st.key)
+		c.stats.BadResumes++
+		c.cfg.Journal.Emit(flog.Record{Event: flog.EvBadResume, Level: flog.LevelWarn,
+			Cell: st.label, Key: st.key, Worker: st.worker, Lease: id, Err: cause})
 	}
-	c.revokeLocked(id, fmt.Errorf("dsweep: worker %s: %s", st.worker, cause), false)
+	c.revokeLocked(id, fmt.Errorf("dsweep: worker %s: %s", st.worker, cause), revokeWorkerFail)
 	return envelope{Type: msgOK}
 }
 
@@ -630,7 +822,7 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 	defer func() {
 		if held != 0 {
 			c.mu.Lock()
-			c.revokeLocked(held, fmt.Errorf("dsweep: connection to worker %s dropped", worker), true)
+			c.revokeLocked(held, fmt.Errorf("dsweep: connection to worker %s dropped", worker), revokeConnDrop)
 			c.mu.Unlock()
 		}
 	}()
@@ -648,12 +840,18 @@ func (c *Coordinator) handleConn(conn net.Conn) {
 				held = resp.LeaseID
 			}
 		case msgHeartbeat:
-			resp = c.heartbeat(req.LeaseID, req.Records, req.Checkpoint)
+			resp = c.heartbeat(req.LeaseID, req.Records, req.Checkpoint, req.RTTMicros)
 			if resp.Type == msgRevoked && req.LeaseID == held {
 				held = 0
 			}
 		case msgComplete:
-			resp = c.complete(req.LeaseID, req.Result)
+			resp = c.complete(req.LeaseID, req.Records, req.Result)
+			if resp.Type == msgRevoked {
+				// A takeover race's late completion: the lease was superseded
+				// and the (byte-identical, deterministic) result dropped.
+				c.cfg.Journal.Emit(flog.Record{Event: flog.EvDuplicate, Level: flog.LevelWarn,
+					Worker: worker, Lease: req.LeaseID, Records: req.Records})
+			}
 			if req.LeaseID == held && resp.Type != msgError {
 				held = 0
 			}

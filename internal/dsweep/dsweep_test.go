@@ -119,7 +119,7 @@ func assertSweepMatchesDirect(t *testing.T, manifestPath string, cells []CellSpe
 func TestFrameRoundTrip(t *testing.T) {
 	var buf bytes.Buffer
 	in := envelope{Type: msgLease, LeaseID: 7, Key: "k", CheckpointEvery: 9,
-		Cell: &CellSpec{Workload: "pgbench", Seed: 3, Design: "live", Interval: 1000, Records: 10},
+		Cell:   &CellSpec{Workload: "pgbench", Seed: 3, Design: "live", Interval: 1000, Records: 10},
 		Resume: []byte{1, 2, 3}}
 	if err := writeFrame(&buf, &in); err != nil {
 		t.Fatal(err)

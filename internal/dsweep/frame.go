@@ -58,8 +58,15 @@ type envelope struct {
 	CheckpointEvery uint64 `json:"checkpoint_every,omitempty"`
 	Resume          []byte `json:"resume,omitempty"`
 
-	Records    uint64 `json:"records,omitempty"`    // heartbeat: records completed so far
+	Records    uint64 `json:"records,omitempty"`    // heartbeat, complete: records completed so far
 	Checkpoint []byte `json:"checkpoint,omitempty"` // heartbeat: the checkpoint at Records
+
+	// RTTMicros is the worker-measured round trip of its previous heartbeat
+	// exchange on this lease, in microseconds (0 = first heartbeat, nothing
+	// measured yet). The coordinator folds it into its RTT histogram and
+	// journals it, giving the fleet timeline a network-health signal without
+	// any clock synchronization between hosts.
+	RTTMicros int64 `json:"rtt_us,omitempty"` // heartbeat
 
 	Result json.RawMessage `json:"result,omitempty"` // complete: the cell's sim.Result JSON
 

@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"heteromem/internal/backoff"
+	"heteromem/internal/flog"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -44,6 +45,11 @@ type WorkerConfig struct {
 
 	// Logf, when non-nil, receives worker lifecycle logs.
 	Logf func(format string, args ...any)
+
+	// Journal, when non-nil, receives this worker's structured lifecycle
+	// records: dials and retries, lease acquisitions, checkpoint ships
+	// (with the measured heartbeat round trip), and exit. Nil-safe.
+	Journal *flog.Journal
 }
 
 // errRevoked aborts a cell run from inside its checkpoint sink when the
@@ -85,9 +91,11 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 		if err := ctx.Err(); err != nil {
 			return err
 		}
+		cfg.Journal.Emit(flog.Record{Event: flog.EvDial, Attempt: fails})
 		conn, err := w.connect(ctx, addr)
 		if err != nil {
 			fails++
+			cfg.Journal.Emit(flog.Record{Event: flog.EvDialFail, Level: flog.LevelWarn, Attempt: fails, Err: err.Error()})
 			if fails >= dialAttempts {
 				return fmt.Errorf("dsweep: worker %s: coordinator unreachable after %d attempts: %w", cfg.Name, fails, err)
 			}
@@ -101,6 +109,7 @@ func RunWorker(ctx context.Context, addr string, cfg WorkerConfig) error {
 		err = w.serve(ctx, conn)
 		conn.Close()
 		if err == nil {
+			cfg.Journal.Emit(flog.Record{Event: flog.EvWorkDone})
 			return nil // sweep done
 		}
 		if cerr := ctx.Err(); cerr != nil {
@@ -210,6 +219,7 @@ func (w *worker) serve(ctx context.Context, conn net.Conn) error {
 func (w *worker) runCell(ctx context.Context, conn net.Conn, lease *envelope) error {
 	spec := *lease.Cell
 	w.logf("dsweep: worker %s: running %s (lease %d)", w.cfg.Name, spec.Label(), lease.LeaseID)
+	w.cfg.Journal.Emit(flog.Record{Event: flog.EvAcquire, Cell: spec.Label(), Lease: lease.LeaseID})
 	cfg, err := spec.Config()
 	if err != nil {
 		return w.reportFailure(conn, lease.LeaseID, err, false)
@@ -239,17 +249,28 @@ func (w *worker) runCell(ctx context.Context, conn net.Conn, lease *envelope) er
 
 	var connErr error
 	revoked := false
+	// Each heartbeat exchange is timed and the measured round trip rides
+	// the NEXT heartbeat's frame (it cannot ride its own: the frame is
+	// written before the reply arrives). The coordinator folds it into the
+	// fleet RTT histogram without any cross-host clock agreement.
+	var lastRTT int64
 	cfg.CheckpointSink = func(data []byte, records uint64) error {
+		sent := time.Now()
 		resp, err := w.exchange(conn, &envelope{
 			Type:       msgHeartbeat,
 			LeaseID:    lease.LeaseID,
 			Records:    records,
 			Checkpoint: data,
+			RTTMicros:  lastRTT,
 		})
 		if err != nil {
 			connErr = err
 			return err
 		}
+		lastRTT = time.Since(sent).Microseconds()
+		w.cfg.Journal.Emit(flog.Record{Event: flog.EvShip, Level: flog.LevelDebug,
+			Cell: spec.Label(), Lease: lease.LeaseID, Records: records,
+			Bytes: len(data), RTTMicros: lastRTT})
 		switch resp.Type {
 		case msgOK:
 			return nil
@@ -289,7 +310,7 @@ func (w *worker) runCell(ctx context.Context, conn net.Conn, lease *envelope) er
 	if err != nil {
 		return w.reportFailure(conn, lease.LeaseID, err, false)
 	}
-	resp, err := w.exchange(conn, &envelope{Type: msgComplete, LeaseID: lease.LeaseID, Result: raw})
+	resp, err := w.exchange(conn, &envelope{Type: msgComplete, LeaseID: lease.LeaseID, Records: res.Records, Result: raw})
 	if err != nil {
 		return err
 	}
@@ -311,6 +332,8 @@ func (w *worker) runCell(ctx context.Context, conn net.Conn, lease *envelope) er
 // reportFailure tells the coordinator the cell attempt failed.
 func (w *worker) reportFailure(conn net.Conn, leaseID uint64, cause error, badResume bool) error {
 	w.logf("dsweep: worker %s: lease %d failed: %v", w.cfg.Name, leaseID, cause)
+	w.cfg.Journal.Emit(flog.Record{Event: flog.EvWorkFail, Level: flog.LevelWarn,
+		Lease: leaseID, Err: cause.Error()})
 	resp, err := w.exchange(conn, &envelope{
 		Type:      msgFailed,
 		LeaseID:   leaseID,

@@ -39,6 +39,13 @@ type Telemetry struct {
 	// Sweep totals of the per-run metrics snapshots: counters and gauges
 	// are summed across runs. Values are *atomic.Int64 keyed by name.
 	sums sync.Map
+
+	// collectors are extra /metrics sections appended after the sweep
+	// totals (the distributed-sweep coordinator folds its lease and
+	// heartbeat metrics in here); workers feeds the /progress per-worker
+	// health table. Both are guarded by mu.
+	collectors []func(*strings.Builder)
+	workers    func() []WorkerHealth
 }
 
 // NewTelemetry returns an empty aggregator; the ETA clock starts now.
@@ -143,6 +150,62 @@ func (t *Telemetry) AddRecords(n uint64) {
 	}
 }
 
+// AddCollector appends a metrics section to /metrics: fn runs on every
+// scrape, after the built-in sweep totals, and must write complete
+// Prometheus text exposition lines. The distributed sweep coordinator
+// registers its lease/heartbeat metrics this way so one -listen endpoint
+// serves the whole fleet. Nil-safe.
+func (t *Telemetry) AddCollector(fn func(*strings.Builder)) {
+	if t == nil || fn == nil {
+		return
+	}
+	t.mu.Lock()
+	t.collectors = append(t.collectors, fn)
+	t.mu.Unlock()
+}
+
+// SetWorkerHealth installs the provider for the /progress per-worker
+// health table. The provider runs on every /progress request; it should
+// return quickly. Nil-safe.
+func (t *Telemetry) SetWorkerHealth(fn func() []WorkerHealth) {
+	if t == nil {
+		return
+	}
+	t.mu.Lock()
+	t.workers = fn
+	t.mu.Unlock()
+}
+
+// ObserveRingDrops folds one run's observability-ring drop counts (event,
+// span, and series rings, see internal/obs) into the sweep totals, so a
+// sweep that silently overwrote trace data is visible on /metrics as
+// hmsim_sim_obs_*_ring_dropped. Nil-safe.
+func (t *Telemetry) ObserveRingDrops(events, spans, series uint64) {
+	if t == nil || events|spans|series == 0 {
+		return
+	}
+	if events > 0 {
+		t.sum("counter.obs.events_ring_dropped").Add(int64(events))
+	}
+	if spans > 0 {
+		t.sum("counter.obs.spans_ring_dropped").Add(int64(spans))
+	}
+	if series > 0 {
+		t.sum("counter.obs.series_ring_dropped").Add(int64(series))
+	}
+}
+
+// WorkerHealth is one row of the /progress fleet health table: a live
+// worker's name, how many cells it holds, how stale its last heartbeat
+// is, and its observed throughput.
+type WorkerHealth struct {
+	Name                 string  `json:"name"`
+	Cells                int     `json:"cells"`                  // leases currently held
+	LastHeartbeatSeconds float64 `json:"last_heartbeat_seconds"` // age of newest heartbeat; -1 = none yet
+	Records              uint64  `json:"records"`                // records completed by this worker
+	RecordsPerSec        float64 `json:"records_per_sec"`        // lifetime throughput
+}
+
 // Progress is the /progress JSON payload.
 type Progress struct {
 	Planned        int64    `json:"planned"`
@@ -153,6 +216,10 @@ type Progress struct {
 	Active         []string `json:"active"`          // workloads currently executing
 	ElapsedSeconds float64  `json:"elapsed_seconds"` // since NewTelemetry
 	ETASeconds     float64  `json:"eta_seconds"`     // -1 until a run completes
+
+	// Workers is the fleet health table, present only when a distributed
+	// sweep coordinator installed a provider via SetWorkerHealth.
+	Workers []WorkerHealth `json:"workers,omitempty"`
 }
 
 // Progress assembles the current sweep state.
@@ -172,8 +239,13 @@ func (t *Telemetry) Progress() Progress {
 			p.Active = append(p.Active, label)
 		}
 	}
+	workers := t.workers
 	t.mu.Unlock()
 	sort.Strings(p.Active)
+	if workers != nil {
+		p.Workers = workers()
+		sort.Slice(p.Workers, func(i, j int) bool { return p.Workers[i].Name < p.Workers[j].Name })
+	}
 	// The completion rate observed so far already bakes in the worker
 	// parallelism, so remaining/rate is the natural ETA.
 	if done := p.Completed + p.Failed; done > 0 && p.ElapsedSeconds > 0 {
@@ -186,9 +258,57 @@ func (t *Telemetry) Progress() Progress {
 	return p
 }
 
-// promName sanitizes a dotted instrument name into a Prometheus metric name.
+// promName sanitizes a dotted instrument name into a valid Prometheus
+// metric name: [a-zA-Z_:][a-zA-Z0-9_:]*. Every illegal rune collapses to
+// an underscore (dots, dashes, slashes, spaces, anything non-ASCII), and
+// a leading digit gains an underscore prefix, so arbitrary instrument
+// names never produce an unscrapable exposition.
 func promName(name string) string {
-	return strings.NewReplacer(".", "_", "-", "_").Replace(name)
+	if name == "" {
+		return "_"
+	}
+	var b strings.Builder
+	b.Grow(len(name) + 1)
+	for i, r := range name {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r == '_', r == ':':
+			b.WriteRune(r)
+		case r >= '0' && r <= '9':
+			if i == 0 {
+				b.WriteByte('_')
+			}
+			b.WriteRune(r)
+		default:
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromLabel escapes a label value for Prometheus text exposition
+// (backslash, double quote, and newline are the only escapes). Exported
+// for collectors registered via AddCollector that emit labeled series —
+// worker names come off the wire and cannot be trusted to be tame.
+func PromLabel(v string) string {
+	return strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`).Replace(v)
+}
+
+// WritePromHistogram renders one obs.HistogramSnapshot as a Prometheus
+// histogram: cumulative le-labeled buckets, the +Inf bucket, _sum, and
+// _count. name is sanitized with the same rules as every other metric.
+// Coordinator-side collectors use this for heartbeat interval, RTT, and
+// checkpoint-size distributions.
+func WritePromHistogram(w *strings.Builder, name string, s obs.HistogramSnapshot) {
+	name = promName(name)
+	fmt.Fprintf(w, "# TYPE %s histogram\n", name)
+	var cum uint64
+	for i, bound := range s.Bounds {
+		cum += s.Counts[i]
+		fmt.Fprintf(w, "%s_bucket{le=\"%d\"} %d\n", name, bound, cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, s.Count)
+	fmt.Fprintf(w, "%s_sum %d\n", name, s.Sum)
+	fmt.Fprintf(w, "%s_count %d\n", name, s.Count)
 }
 
 // WriteMetrics renders the sweep totals in Prometheus text exposition
@@ -227,6 +347,13 @@ func (t *Telemetry) WriteMetrics(w *strings.Builder) {
 			name = "hmsim_sim_" + promName(name)
 		}
 		fmt.Fprintf(w, "# TYPE %s %s\n%s %d\n", name, kind, name, r.v)
+	}
+
+	t.mu.Lock()
+	collectors := append([]func(*strings.Builder){}, t.collectors...)
+	t.mu.Unlock()
+	for _, fn := range collectors {
+		fn(w)
 	}
 }
 
@@ -287,6 +414,7 @@ func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
 			return sim.Result{}, err
 		} else if ok {
 			t.observeRun(res.Records, res.Metrics)
+			t.ObserveRingDrops(res.EventsDropped, res.SpansDropped, res.SeriesDropped)
 			return res, nil
 		}
 	}
@@ -299,6 +427,7 @@ func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
 	if err == nil {
 		if t != nil {
 			t.observeRun(res.Records, res.Metrics)
+			t.ObserveRingDrops(res.EventsDropped, res.SpansDropped, res.SeriesDropped)
 		}
 		if p.Manifest != nil {
 			if serr := p.Manifest.store(name, p.seed(), cfg, res); serr != nil {

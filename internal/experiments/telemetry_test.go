@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"heteromem/internal/addr"
+	"heteromem/internal/obs"
 )
 
 // TestTelemetryNilSafe checks that a nil aggregator is inert: every
@@ -177,5 +178,127 @@ func TestTelemetryCountsFailures(t *testing.T) {
 	}
 	if prog.Planned != 3 {
 		t.Fatalf("planned should be 3, got %+v", prog)
+	}
+}
+
+// TestPromName pins the sanitizer: whatever an instrument (or a worker on
+// the wire) calls itself, the rendered metric name must satisfy the
+// Prometheus grammar [a-zA-Z_:][a-zA-Z0-9_:]*.
+func TestPromName(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"mig.swaps.completed", "mig_swaps_completed"},
+		{"memctrl-access-on", "memctrl_access_on"},
+		{"already_fine:total", "already_fine:total"},
+		{"spaces and/slashes", "spaces_and_slashes"},
+		{"9starts_with_digit", "_9starts_with_digit"},
+		{"unicode-wörker", "unicode_w_rker"}, // one underscore per rune, not per byte
+		{"quotes\"and\nnewlines", "quotes_and_newlines"},
+		{"", "_"},
+		{"___", "___"},
+	}
+	for _, c := range cases {
+		if got := promName(c.in); got != c.want {
+			t.Errorf("promName(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestPromLabel pins the label-value escaper against the three characters
+// the exposition format treats specially.
+func TestPromLabel(t *testing.T) {
+	if got := PromLabel("plain"); got != "plain" {
+		t.Errorf("PromLabel(plain) = %q", got)
+	}
+	if got := PromLabel("a\"b\\c\nd"); got != `a\"b\\c\nd` {
+		t.Errorf("hostile label escaped to %q", got)
+	}
+}
+
+// TestWritePromHistogram checks the cumulative-bucket rendering against a
+// hand-filled snapshot: le buckets accumulate, +Inf equals the total
+// count, and _sum/_count close the series.
+func TestWritePromHistogram(t *testing.T) {
+	h := obs.NewHistogram([]int64{10, 100, 1000})
+	for _, v := range []int64{3, 7, 40, 90, 900, 5000} {
+		h.Observe(v)
+	}
+	var b strings.Builder
+	WritePromHistogram(&b, "dsweep.heartbeat-rtt.us", h.Snapshot())
+	got := b.String()
+	want := "# TYPE dsweep_heartbeat_rtt_us histogram\n" +
+		"dsweep_heartbeat_rtt_us_bucket{le=\"10\"} 2\n" +
+		"dsweep_heartbeat_rtt_us_bucket{le=\"100\"} 4\n" +
+		"dsweep_heartbeat_rtt_us_bucket{le=\"1000\"} 5\n" +
+		"dsweep_heartbeat_rtt_us_bucket{le=\"+Inf\"} 6\n" +
+		"dsweep_heartbeat_rtt_us_sum 6040\n" +
+		"dsweep_heartbeat_rtt_us_count 6\n"
+	if got != want {
+		t.Errorf("histogram rendering:\n got: %q\nwant: %q", got, want)
+	}
+}
+
+// TestTelemetryCollectorsAndWorkerHealth checks the two fleet hooks: an
+// AddCollector section appears on /metrics after the built-ins, and a
+// SetWorkerHealth provider populates the sorted /progress worker table.
+func TestTelemetryCollectorsAndWorkerHealth(t *testing.T) {
+	tel := NewTelemetry()
+	tel.AddCollector(func(b *strings.Builder) {
+		b.WriteString("# TYPE dsweep_leases_outstanding gauge\ndsweep_leases_outstanding 2\n")
+	})
+	tel.AddCollector(nil) // must be ignored, not panic
+	tel.SetWorkerHealth(func() []WorkerHealth {
+		return []WorkerHealth{
+			{Name: "w1", Cells: 1, LastHeartbeatSeconds: 0.5, Records: 100, RecordsPerSec: 10},
+			{Name: "w0", Cells: 2, LastHeartbeatSeconds: 1.5, Records: 300, RecordsPerSec: 30},
+		}
+	})
+
+	var b strings.Builder
+	tel.WriteMetrics(&b)
+	text := b.String()
+	if !strings.Contains(text, "dsweep_leases_outstanding 2") {
+		t.Errorf("collector section missing from metrics:\n%s", text)
+	}
+	if strings.Index(text, "hmsim_runs_planned") > strings.Index(text, "dsweep_leases_outstanding") {
+		t.Error("collector section rendered before the built-in totals")
+	}
+
+	prog := tel.Progress()
+	if len(prog.Workers) != 2 || prog.Workers[0].Name != "w0" || prog.Workers[1].Name != "w1" {
+		t.Fatalf("worker health table wrong: %+v", prog.Workers)
+	}
+
+	// Nil telemetry swallows both hooks.
+	var none *Telemetry
+	none.AddCollector(func(*strings.Builder) {})
+	none.SetWorkerHealth(func() []WorkerHealth { return nil })
+	none.ObserveRingDrops(1, 2, 3)
+}
+
+// TestTelemetryObserveRingDrops checks that per-run observability-ring
+// drops surface as hmsim_sim_obs_* counters, and that zero drops emit
+// nothing (the common case must stay invisible).
+func TestTelemetryObserveRingDrops(t *testing.T) {
+	tel := NewTelemetry()
+	tel.ObserveRingDrops(0, 0, 0)
+	var b strings.Builder
+	tel.WriteMetrics(&b)
+	if strings.Contains(b.String(), "ring_dropped") {
+		t.Errorf("zero drops should not emit ring metrics:\n%s", b.String())
+	}
+
+	tel.ObserveRingDrops(5, 0, 2)
+	tel.ObserveRingDrops(1, 3, 0)
+	b.Reset()
+	tel.WriteMetrics(&b)
+	text := b.String()
+	for _, want := range []string{
+		"hmsim_sim_obs_events_ring_dropped 6",
+		"hmsim_sim_obs_spans_ring_dropped 3",
+		"hmsim_sim_obs_series_ring_dropped 2",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %q:\n%s", want, text)
+		}
 	}
 }

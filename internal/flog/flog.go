@@ -1,0 +1,242 @@
+// Package flog is the fleet observability journal: a leveled, schema'd
+// JSONL event log for the distributed sweep service (internal/dsweep).
+// The coordinator and every worker write one Record per lifecycle event —
+// cell planned, leased, heartbeat, completed, expired, revoked, bad
+// resume, duplicate; worker dial, retry, acquire, checkpoint ship, done —
+// so a sweep's full cross-host history can be reconstructed from the
+// journal alone: takeover chains, exactly-once completion, per-worker
+// throughput, and a wall-clock Chrome-trace timeline (see timeline.go).
+//
+// The journal is an operational artifact, not a hot-path instrument: one
+// mutex-guarded write per record, one JSON line per record, flushed to the
+// sink immediately so a SIGKILLed process loses at most the line it was
+// writing. Every method is nil-safe, matching the internal/obs idiom — a
+// component wired without a journal pays a single pointer test.
+package flog
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level classifies a record's severity. The zero value is LevelInfo, so
+// hand-built Records journal sensibly without setting it.
+type Level int8
+
+// Journal levels, ordered. Debug carries the high-volume per-heartbeat
+// records; Info the lease lifecycle; Warn recoverable trouble (expiries,
+// revocations, bad resume checkpoints); Error permanent failures.
+const (
+	LevelDebug Level = iota - 1
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level as it appears in the JSONL records.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "debug"
+	case LevelInfo:
+		return "info"
+	case LevelWarn:
+		return "warn"
+	case LevelError:
+		return "error"
+	default:
+		return fmt.Sprintf("Level(%d)", int8(l))
+	}
+}
+
+// MarshalJSON renders the level as its string name.
+func (l Level) MarshalJSON() ([]byte, error) { return json.Marshal(l.String()) }
+
+// UnmarshalJSON parses the string names written by MarshalJSON. Unknown
+// names land on LevelInfo rather than erroring, so a journal from a newer
+// build still parses.
+func (l *Level) UnmarshalJSON(data []byte) error {
+	var s string
+	if err := json.Unmarshal(data, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "debug":
+		*l = LevelDebug
+	case "warn":
+		*l = LevelWarn
+	case "error":
+		*l = LevelError
+	default:
+		*l = LevelInfo
+	}
+	return nil
+}
+
+// Journal event names. The coordinator events narrate each cell's lease
+// lifecycle; the worker events narrate one process's view of the sweep.
+// hmreport -fleet and the chaos campaign's assertions key off these, so
+// they are part of the journal schema (DESIGN.md section 13).
+const (
+	// Coordinator-side events.
+	EvPlanned   = "cell-planned"   // cell entered the sweep grid incomplete; Cell, Key, Records=resume point
+	EvSkipped   = "cell-skipped"   // cell already complete in the manifest; Cell, Key
+	EvLeased    = "cell-leased"    // lease granted; Worker, Lease, Attempt, Records=resume point
+	EvHeartbeat = "heartbeat"      // lease renewed; Worker, Lease, Records, Bytes=checkpoint size, RTTMicros
+	EvCompleted = "cell-completed" // result recorded in the manifest ledger; Worker, Lease, Records
+	EvDuplicate = "cell-duplicate" // completion dropped by first-write-wins; Worker, Lease
+	EvExpired   = "lease-expired"  // TTL passed without a heartbeat; Worker, Lease, Attempt=attempts burned
+	EvRevoked   = "lease-revoked"  // connection dropped mid-lease; Worker, Lease, Attempt=attempts burned
+	EvBadResume = "bad-resume"     // shipped resume checkpoint unusable, cleared for a fresh retry; Worker, Lease
+	EvCellFail  = "cell-failed"    // worker-reported attempt failure; Worker, Lease, Err
+	EvGiveUp    = "cell-abandoned" // attempts exhausted, cell failed permanently; Cell, Attempt, Err
+	EvDrain     = "drain"          // coordinator draining: no new leases
+	EvSweepDone = "sweep-done"     // every cell resolved; Records=completed cells
+
+	// Worker-side events.
+	EvDial     = "dial"            // dialing the coordinator; Attempt=consecutive failures so far
+	EvDialFail = "dial-failed"     // one dial attempt failed; Attempt, Err
+	EvAcquire  = "acquire"         // lease received; Cell, Lease, Attempt unused, Records=resume point
+	EvShip     = "checkpoint-ship" // checkpoint heartbeated to the coordinator; Lease, Records, Bytes, RTTMicros
+	EvWorkDone = "worker-done"     // coordinator reported the sweep over; this worker exits
+	EvWorkFail = "worker-failed"   // this worker reported a cell failure; Lease, Err
+)
+
+// Record is one journal line. The field set is the union of what every
+// event carries; unused fields stay at their zero value and json omitempty
+// keeps lines compact. A fixed schema (rather than free-form maps) is what
+// lets hmreport -fleet and the chaos assertions consume journals from any
+// build without reflection.
+type Record struct {
+	TS    time.Time `json:"ts"`             // wall clock, RFC 3339 with nanoseconds
+	Level Level     `json:"level"`          // debug | info | warn | error
+	Role  string    `json:"role"`           // "coordinator" or "worker"
+	Node  string    `json:"node,omitempty"` // journal owner: coordinator name or worker name
+	Event string    `json:"event"`          // one of the Ev* constants
+
+	Cell    string `json:"cell,omitempty"`    // cell label (workload/design)
+	Key     string `json:"key,omitempty"`     // manifest ledger key
+	Worker  string `json:"worker,omitempty"`  // worker the event concerns (coordinator records)
+	Lease   uint64 `json:"lease,omitempty"`   // lease id
+	Attempt int    `json:"attempt,omitempty"` // cell attempt count at the event
+	Records uint64 `json:"records,omitempty"` // records completed / resume point
+	Bytes   int    `json:"bytes,omitempty"`   // checkpoint payload size
+
+	// RTTMicros is the worker-measured round trip of its previous
+	// heartbeat exchange in microseconds (0 = not measured yet).
+	RTTMicros int64 `json:"rtt_us,omitempty"`
+
+	Err string `json:"err,omitempty"` // failure cause, verbatim
+}
+
+// Journal writes Records as JSONL onto one sink. Goroutine-safe (the
+// coordinator journals from per-connection handlers) and nil-safe: every
+// method on a nil *Journal is a no-op, so the dsweep hooks cost a pointer
+// test when journaling is off.
+type Journal struct {
+	mu   sync.Mutex
+	w    io.Writer
+	min  Level
+	err  error            // first write error, latched
+	now  func() time.Time // test seam; time.Now outside tests
+	role string
+	node string
+}
+
+// Option configures a Journal at construction.
+type Option func(*Journal)
+
+// WithMinLevel drops records below min. The default keeps everything
+// including debug-level heartbeats — the fleet timeline needs them.
+func WithMinLevel(min Level) Option { return func(j *Journal) { j.min = min } }
+
+// WithClock substitutes the wall clock (tests pin timestamps with it).
+func WithClock(now func() time.Time) Option { return func(j *Journal) { j.now = now } }
+
+// New returns a journal writing to w, stamping every record with the given
+// role ("coordinator" or "worker") and node name.
+func New(w io.Writer, role, node string, opts ...Option) *Journal {
+	j := &Journal{w: w, min: LevelDebug, now: time.Now, role: role, node: node}
+	for _, opt := range opts {
+		opt(j)
+	}
+	return j
+}
+
+// Emit stamps rec with the journal's clock, role, and node, then writes it
+// as one JSON line. Records below the minimum level are dropped. Safe on a
+// nil receiver (no-op). Write errors latch: the first failure is kept and
+// later emits are dropped silently (a dying disk must not take the sweep
+// down with it); Err surfaces it.
+func (j *Journal) Emit(rec Record) {
+	if j == nil || rec.Level < j.min {
+		return
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.err != nil {
+		return
+	}
+	rec.TS = j.now()
+	rec.Role = j.role
+	rec.Node = j.node
+	line, err := json.Marshal(rec)
+	if err != nil {
+		j.err = err
+		return
+	}
+	line = append(line, '\n')
+	if _, err := j.w.Write(line); err != nil {
+		j.err = err
+	}
+}
+
+// Err returns the journal's latched write error, if any.
+func (j *Journal) Err() error {
+	if j == nil {
+		return nil
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.err
+}
+
+// Read parses a JSONL journal. A torn final line — the fingerprint of a
+// SIGKILLed writer — is tolerated and dropped; a malformed line anywhere
+// else is an error, because it means the file is not a journal at all.
+func Read(r io.Reader) ([]Record, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 16<<20)
+	var out []Record
+	var pendingErr error
+	line := 0
+	for sc.Scan() {
+		line++
+		raw := sc.Bytes()
+		if len(raw) == 0 {
+			continue
+		}
+		if pendingErr != nil {
+			// The malformed line was not the last one: corrupt journal.
+			return nil, pendingErr
+		}
+		var rec Record
+		if err := json.Unmarshal(raw, &rec); err != nil {
+			pendingErr = fmt.Errorf("flog: line %d: %w", line, err)
+			continue
+		}
+		if rec.Event == "" {
+			pendingErr = fmt.Errorf("flog: line %d: record missing event", line)
+			continue
+		}
+		out = append(out, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("flog: reading journal: %w", err)
+	}
+	return out, nil
+}

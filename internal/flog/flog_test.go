@@ -1,0 +1,146 @@
+package flog
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// testClock returns a deterministic clock ticking one second per call.
+func testClock() func() time.Time {
+	t0 := time.Date(2026, 8, 9, 12, 0, 0, 0, time.UTC)
+	n := 0
+	return func() time.Time {
+		t := t0.Add(time.Duration(n) * time.Second)
+		n++
+		return t
+	}
+}
+
+func TestJournalRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf, "coordinator", "coord-1", WithClock(testClock()))
+	j.Emit(Record{Event: EvPlanned, Cell: "pgbench/live", Key: "k1"})
+	j.Emit(Record{Event: EvLeased, Level: LevelInfo, Cell: "pgbench/live", Worker: "w0", Lease: 1, Attempt: 1})
+	j.Emit(Record{Event: EvHeartbeat, Level: LevelDebug, Worker: "w0", Lease: 1, Records: 500, Bytes: 2048, RTTMicros: 120})
+	j.Emit(Record{Event: EvExpired, Level: LevelWarn, Worker: "w0", Lease: 1, Attempt: 1})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 {
+		t.Fatalf("read %d records, want 4", len(recs))
+	}
+	for i, rec := range recs {
+		if rec.Role != "coordinator" || rec.Node != "coord-1" {
+			t.Errorf("record %d missing role/node stamp: %+v", i, rec)
+		}
+		if rec.TS.IsZero() {
+			t.Errorf("record %d missing timestamp", i)
+		}
+	}
+	if recs[2].RTTMicros != 120 || recs[2].Bytes != 2048 || recs[2].Level != LevelDebug {
+		t.Errorf("heartbeat record mangled: %+v", recs[2])
+	}
+	if recs[1].TS.After(recs[2].TS) {
+		t.Error("clock not monotonic across emits")
+	}
+}
+
+func TestJournalNilSafe(t *testing.T) {
+	var j *Journal
+	j.Emit(Record{Event: EvLeased})
+	if err := j.Err(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestJournalMinLevel(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf, "worker", "w0", WithMinLevel(LevelInfo), WithClock(testClock()))
+	j.Emit(Record{Event: EvShip, Level: LevelDebug})
+	j.Emit(Record{Event: EvAcquire, Level: LevelInfo})
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || recs[0].Event != EvAcquire {
+		t.Fatalf("min-level filter kept %v", recs)
+	}
+}
+
+type failWriter struct{ after int }
+
+func (f *failWriter) Write(p []byte) (int, error) {
+	if f.after <= 0 {
+		return 0, errors.New("disk gone")
+	}
+	f.after--
+	return len(p), nil
+}
+
+func TestJournalLatchesWriteError(t *testing.T) {
+	j := New(&failWriter{after: 1}, "coordinator", "c", WithClock(testClock()))
+	j.Emit(Record{Event: EvPlanned})
+	if err := j.Err(); err != nil {
+		t.Fatalf("first write failed: %v", err)
+	}
+	j.Emit(Record{Event: EvLeased})
+	if err := j.Err(); err == nil {
+		t.Fatal("write error not latched")
+	}
+	j.Emit(Record{Event: EvCompleted}) // must not panic or clear the error
+	if err := j.Err(); err == nil {
+		t.Fatal("latched error cleared by a later emit")
+	}
+}
+
+func TestReadToleratesTornFinalLine(t *testing.T) {
+	var buf bytes.Buffer
+	j := New(&buf, "coordinator", "c", WithClock(testClock()))
+	j.Emit(Record{Event: EvPlanned, Cell: "a/live"})
+	j.Emit(Record{Event: EvLeased, Cell: "a/live", Lease: 1})
+	full := buf.String()
+	torn := full[:len(full)-10] // SIGKILL mid-line
+
+	recs, err := Read(strings.NewReader(torn))
+	if err != nil {
+		t.Fatalf("torn final line not tolerated: %v", err)
+	}
+	if len(recs) != 1 || recs[0].Event != EvPlanned {
+		t.Fatalf("torn read kept %v", recs)
+	}
+
+	// A malformed line in the middle is corruption, not a torn tail.
+	corrupt := "{\"event\":\"x\"}\nnot json\n{\"event\":\"y\"}\n"
+	if _, err := Read(strings.NewReader(corrupt)); err == nil {
+		t.Fatal("mid-journal corruption accepted")
+	}
+}
+
+func TestLevelJSONRoundTrip(t *testing.T) {
+	for _, l := range []Level{LevelDebug, LevelInfo, LevelWarn, LevelError} {
+		raw, err := json.Marshal(l)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var back Level
+		if err := json.Unmarshal(raw, &back); err != nil {
+			t.Fatal(err)
+		}
+		if back != l {
+			t.Errorf("level %v round-tripped to %v", l, back)
+		}
+	}
+	var unknown Level
+	if err := json.Unmarshal([]byte(`"fancy-new-level"`), &unknown); err != nil || unknown != LevelInfo {
+		t.Errorf("unknown level name should parse as info, got %v err %v", unknown, err)
+	}
+}

@@ -1,0 +1,392 @@
+package flog
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"heteromem/internal/obs"
+)
+
+// Fleet is a sweep's cross-host history, reconstructed from a journal: per
+// cell, the full takeover chain of lease attempts; per worker, attributed
+// throughput; and the wall-clock envelope. BuildFleet assembles it from
+// coordinator records — the coordinator journal alone tells the whole
+// story, because every worker action that matters (heartbeat, completion,
+// failure) passes through a coordinator handler.
+type Fleet struct {
+	Start time.Time // earliest journal record
+	End   time.Time // latest journal record
+
+	Cells   []CellHistory
+	Workers []WorkerSummary
+
+	Completions int // cells recorded in the ledger
+	Duplicates  int // completions dropped by first-write-wins
+	Expiries    int // leases lost to missed heartbeats
+	Revocations int // leases lost to dropped connections
+	BadResumes  int // resume checkpoints cleared as unusable
+	Failures    int // worker-reported attempt failures
+	Abandoned   int // cells that exhausted their attempts
+}
+
+// Takeovers counts crash-driven lease reassignments (expiries plus
+// connection-drop revocations) — the number the chaos campaign gates on.
+func (f *Fleet) Takeovers() int { return f.Expiries + f.Revocations }
+
+// CellHistory is one cell's lifecycle: every lease attempt in order. More
+// than one attempt means the cell survived at least one takeover.
+type CellHistory struct {
+	Cell string // label (workload/design)
+	Key  string // manifest ledger key
+
+	Attempts  []Attempt
+	Completed bool
+	Abandoned bool // attempts exhausted, failed permanently
+
+	// Wall is planned→completed (or →last attempt end): the cell's total
+	// wall-clock cost including every takeover and re-lease gap.
+	Wall time.Duration
+}
+
+// Attempt is one lease on one cell.
+type Attempt struct {
+	Worker string
+	Lease  uint64
+	Number int // 1-based attempt ordinal as the coordinator counted it
+
+	Start, End time.Time
+	Outcome    string // "completed", "expired", "revoked", "failed", "running"
+
+	StartRecords uint64 // resume point the lease shipped out
+	EndRecords   uint64 // last record count seen (heartbeat or completion)
+	Heartbeats   int
+	BadResume    bool // this attempt reported an unusable resume checkpoint
+}
+
+// WorkerSummary aggregates one worker's contribution to the sweep.
+type WorkerSummary struct {
+	Name       string
+	Attempts   int
+	Completed  int
+	Records    uint64        // records attributed: per-attempt progress deltas
+	Busy       time.Duration // summed attempt durations
+	RecordsSec float64       // Records / Busy (0 when Busy is 0)
+}
+
+// cellBuilder is CellHistory under assembly: attempts held by pointer so
+// heartbeats and closures mutate in place.
+type cellBuilder struct {
+	cell      string
+	key       string
+	attempts  []*Attempt
+	completed bool
+	abandoned bool
+	wall      time.Duration
+}
+
+// BuildFleet reconstructs the sweep history from journal records. Records
+// from worker journals (Role != "coordinator") are tolerated and skipped,
+// so a concatenation of every node's journal still assembles cleanly.
+func BuildFleet(records []Record) *Fleet {
+	f := &Fleet{}
+	cells := map[string]*cellBuilder{} // by label
+	order := []string{}
+	open := map[uint64]*Attempt{} // lease id -> open attempt
+	owner := map[uint64]*cellBuilder{}
+	workers := map[string]*WorkerSummary{}
+	workerOrder := []string{}
+
+	cell := func(label, key string) *cellBuilder {
+		c, ok := cells[label]
+		if !ok {
+			c = &cellBuilder{cell: label, key: key}
+			cells[label] = c
+			order = append(order, label)
+		}
+		if c.key == "" {
+			c.key = key
+		}
+		return c
+	}
+	workerOf := func(name string) *WorkerSummary {
+		w, ok := workers[name]
+		if !ok {
+			w = &WorkerSummary{Name: name}
+			workers[name] = w
+			workerOrder = append(workerOrder, name)
+		}
+		return w
+	}
+	closeAttempt := func(rec Record, outcome string) *Attempt {
+		a, ok := open[rec.Lease]
+		if !ok {
+			return nil
+		}
+		delete(open, rec.Lease)
+		a.End = rec.TS
+		a.Outcome = outcome
+		if rec.Records > a.EndRecords {
+			a.EndRecords = rec.Records
+		}
+		w := workerOf(a.Worker)
+		w.Busy += a.End.Sub(a.Start)
+		if a.EndRecords > a.StartRecords {
+			w.Records += a.EndRecords - a.StartRecords
+		}
+		return a
+	}
+
+	for _, rec := range records {
+		if rec.Role != "coordinator" {
+			continue
+		}
+		if f.Start.IsZero() || rec.TS.Before(f.Start) {
+			f.Start = rec.TS
+		}
+		if rec.TS.After(f.End) {
+			f.End = rec.TS
+		}
+		switch rec.Event {
+		case EvPlanned, EvSkipped:
+			cell(rec.Cell, rec.Key)
+		case EvLeased:
+			c := cell(rec.Cell, rec.Key)
+			a := &Attempt{
+				Worker:       rec.Worker,
+				Lease:        rec.Lease,
+				Number:       rec.Attempt,
+				Start:        rec.TS,
+				Outcome:      "running",
+				StartRecords: rec.Records,
+				EndRecords:   rec.Records,
+			}
+			c.attempts = append(c.attempts, a)
+			open[rec.Lease] = a
+			owner[rec.Lease] = c
+			workerOf(rec.Worker).Attempts++
+		case EvHeartbeat:
+			if a, ok := open[rec.Lease]; ok {
+				a.Heartbeats++
+				if rec.Records > a.EndRecords {
+					a.EndRecords = rec.Records
+				}
+			}
+		case EvCompleted:
+			f.Completions++
+			if a := closeAttempt(rec, "completed"); a != nil {
+				workerOf(a.Worker).Completed++
+			}
+			if c := owner[rec.Lease]; c != nil {
+				c.completed = true
+				c.wall = rec.TS.Sub(c.attempts[0].Start)
+			}
+		case EvDuplicate:
+			f.Duplicates++
+			// A duplicate on a known lease still resolved its cell: the
+			// ledger already held the result, the lease retired. Unknown
+			// leases (a takeover race's late completion) just count.
+			if a := closeAttempt(rec, "duplicate"); a != nil {
+				if c := owner[rec.Lease]; c != nil {
+					c.completed = true
+					c.wall = rec.TS.Sub(c.attempts[0].Start)
+				}
+			}
+		case EvExpired:
+			f.Expiries++
+			closeAttempt(rec, "expired")
+		case EvRevoked:
+			f.Revocations++
+			closeAttempt(rec, "revoked")
+		case EvBadResume:
+			f.BadResumes++
+			if a, ok := open[rec.Lease]; ok {
+				a.BadResume = true
+			}
+		case EvCellFail:
+			f.Failures++
+			closeAttempt(rec, "failed")
+		case EvGiveUp:
+			f.Abandoned++
+			if c, ok := cells[rec.Cell]; ok {
+				c.abandoned = true
+			}
+		}
+	}
+	// Attempts still open at journal end: the sweep (or the journal) was
+	// cut short. Close them at the last observed instant.
+	for _, a := range open {
+		a.End = f.End
+		w := workerOf(a.Worker)
+		w.Busy += a.End.Sub(a.Start)
+		if a.EndRecords > a.StartRecords {
+			w.Records += a.EndRecords - a.StartRecords
+		}
+	}
+	for _, c := range cells {
+		if !c.completed && len(c.attempts) > 0 {
+			c.wall = c.attempts[len(c.attempts)-1].End.Sub(c.attempts[0].Start)
+		}
+	}
+
+	for _, label := range order {
+		f.Cells = append(f.Cells, cells[label].history())
+	}
+	for _, name := range workerOrder {
+		w := workers[name]
+		if secs := w.Busy.Seconds(); secs > 0 {
+			w.RecordsSec = float64(w.Records) / secs
+		}
+		f.Workers = append(f.Workers, *w)
+	}
+	return f
+}
+
+// history flattens the builder's pointer-linked attempts into the value
+// form the public struct carries.
+func (c *cellBuilder) history() CellHistory {
+	out := CellHistory{
+		Cell:      c.cell,
+		Key:       c.key,
+		Completed: c.completed,
+		Abandoned: c.abandoned,
+		Wall:      c.wall,
+	}
+	for _, a := range c.attempts {
+		out.Attempts = append(out.Attempts, *a)
+	}
+	return out
+}
+
+// micros converts a journal timestamp to trace microseconds past origin.
+func micros(origin, t time.Time) int64 { return t.Sub(origin).Microseconds() }
+
+// Timeline renders the fleet history as named-lane wall-clock spans for
+// obs.WriteChromeTimeline: a coordinator lane of lifecycle instants, one
+// lane per worker carrying its lease attempts as spans and heartbeats as
+// instant marks. Lanes are ordered coordinator first, then workers by
+// first appearance.
+func (f *Fleet) Timeline() (lanes []string, spans []obs.NamedSpan) {
+	const coordLane = "coordinator"
+	lanes = []string{coordLane}
+	for _, w := range f.Workers {
+		lanes = append(lanes, w.Name)
+	}
+	for _, c := range f.Cells {
+		for _, a := range c.Attempts {
+			spans = append(spans, obs.NamedSpan{
+				Lane:  a.Worker,
+				Name:  fmt.Sprintf("%s #%d %s", c.Cell, a.Number, a.Outcome),
+				Cat:   "attempt",
+				Begin: micros(f.Start, a.Start),
+				End:   micros(f.Start, a.End),
+				Args: map[string]uint64{
+					"lease":      a.Lease,
+					"resume_at":  a.StartRecords,
+					"records":    a.EndRecords,
+					"heartbeats": uint64(a.Heartbeats),
+				},
+			})
+			// Lease lifecycle instants on the coordinator lane: the lane
+			// where takeover chains read as a single narrative.
+			spans = append(spans, obs.NamedSpan{
+				Lane: coordLane, Name: "lease " + c.Cell, Cat: "lease",
+				Begin: micros(f.Start, a.Start), End: micros(f.Start, a.Start),
+				Args: map[string]uint64{"lease": a.Lease, "attempt": uint64(a.Number)},
+			})
+			if a.Outcome != "running" {
+				spans = append(spans, obs.NamedSpan{
+					Lane: coordLane, Name: a.Outcome + " " + c.Cell, Cat: "lease",
+					Begin: micros(f.Start, a.End), End: micros(f.Start, a.End),
+					Args: map[string]uint64{"lease": a.Lease, "records": a.EndRecords},
+				})
+			}
+		}
+	}
+	return lanes, spans
+}
+
+// WriteTrace emits the fleet timeline as Chrome trace-event JSON.
+func (f *Fleet) WriteTrace(w io.Writer) error {
+	lanes, spans := f.Timeline()
+	return obs.WriteChromeTimeline(w, lanes, spans)
+}
+
+// WriteSummary prints the sweep post-mortem: the headline counts, every
+// takeover chain, the slowest cells, and per-worker throughput. Output is
+// deterministic for a given journal (ordering ties break on labels), so it
+// goldens cleanly.
+func (f *Fleet) WriteSummary(w io.Writer) {
+	fmt.Fprintf(w, "fleet post-mortem: %d cells, %d completed, %d takeovers (%d expired, %d conn-dropped), %d duplicates, %d bad-resumes, %d failures, %d abandoned\n",
+		len(f.Cells), f.Completions, f.Takeovers(), f.Expiries, f.Revocations,
+		f.Duplicates, f.BadResumes, f.Failures, f.Abandoned)
+	if !f.Start.IsZero() {
+		fmt.Fprintf(w, "wall clock: %s (%s -> %s)\n",
+			fmtDur(f.End.Sub(f.Start)), f.Start.UTC().Format(time.RFC3339), f.End.UTC().Format(time.RFC3339))
+	}
+
+	chains := 0
+	for _, c := range f.Cells {
+		if len(c.Attempts) > 1 || c.Abandoned {
+			chains++
+		}
+	}
+	if chains > 0 {
+		fmt.Fprintf(w, "takeover chains:\n")
+		for _, c := range f.Cells {
+			if len(c.Attempts) <= 1 && !c.Abandoned {
+				continue
+			}
+			state := "completed"
+			if c.Abandoned {
+				state = "ABANDONED"
+			} else if !c.Completed {
+				state = "incomplete"
+			}
+			fmt.Fprintf(w, "  %s: %d attempts, %s, %s wall\n", c.Cell, len(c.Attempts), state, fmtDur(c.Wall))
+			for _, a := range c.Attempts {
+				extra := ""
+				if a.BadResume {
+					extra = " [bad resume cleared]"
+				}
+				fmt.Fprintf(w, "    #%d %-14s lease %-4d %8s  %-9s at %d records%s\n",
+					a.Number, a.Worker, a.Lease, fmtDur(a.End.Sub(a.Start)), a.Outcome, a.EndRecords, extra)
+			}
+		}
+	}
+
+	if len(f.Cells) > 0 {
+		slowest := append([]CellHistory(nil), f.Cells...)
+		sort.SliceStable(slowest, func(i, j int) bool {
+			if slowest[i].Wall != slowest[j].Wall {
+				return slowest[i].Wall > slowest[j].Wall
+			}
+			return slowest[i].Cell < slowest[j].Cell
+		})
+		n := len(slowest)
+		if n > 5 {
+			n = 5
+		}
+		fmt.Fprintf(w, "slowest cells:\n")
+		for _, c := range slowest[:n] {
+			fmt.Fprintf(w, "  %-24s %8s  %d attempt(s)\n", c.Cell, fmtDur(c.Wall), len(c.Attempts))
+		}
+	}
+
+	if len(f.Workers) > 0 {
+		fmt.Fprintf(w, "per-worker throughput:\n")
+		sorted := append([]WorkerSummary(nil), f.Workers...)
+		sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Name < sorted[j].Name })
+		for _, ws := range sorted {
+			fmt.Fprintf(w, "  %-14s %d attempt(s), %d completed, %d records, %8s busy, %.0f records/s\n",
+				ws.Name, ws.Attempts, ws.Completed, ws.Records, fmtDur(ws.Busy), ws.RecordsSec)
+		}
+	}
+}
+
+// fmtDur renders a duration with fixed millisecond precision so summaries
+// golden deterministically regardless of sub-millisecond jitter in inputs.
+func fmtDur(d time.Duration) string {
+	return d.Round(time.Millisecond).String()
+}

@@ -1,0 +1,200 @@
+package flog
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// chaosJournal synthesizes the journal of a small sweep with one takeover
+// chain: cell a/live is leased to w0, expires, is re-leased to w1 (which
+// reports a bad resume), fails, and finally completes on w1's retry; cell
+// b/n-1 completes first try on w0; a duplicate completion is dropped.
+func chaosJournal(t *testing.T) []Record {
+	t.Helper()
+	var buf bytes.Buffer
+	j := New(&buf, "coordinator", "coord", WithClock(testClock()))
+	emit := func(rec Record) { j.Emit(rec) }
+
+	emit(Record{Event: EvPlanned, Cell: "a/live", Key: "ka"})
+	emit(Record{Event: EvPlanned, Cell: "b/n-1", Key: "kb"})
+	emit(Record{Event: EvLeased, Cell: "a/live", Key: "ka", Worker: "w0", Lease: 1, Attempt: 1})
+	emit(Record{Event: EvLeased, Cell: "b/n-1", Key: "kb", Worker: "w0", Lease: 2, Attempt: 1})
+	emit(Record{Event: EvHeartbeat, Level: LevelDebug, Worker: "w0", Lease: 1, Records: 1000, Bytes: 64, RTTMicros: 90})
+	emit(Record{Event: EvHeartbeat, Level: LevelDebug, Worker: "w0", Lease: 2, Records: 2000, Bytes: 64, RTTMicros: 80})
+	emit(Record{Event: EvExpired, Level: LevelWarn, Worker: "w0", Lease: 1, Attempt: 1})
+	emit(Record{Event: EvCompleted, Worker: "w0", Lease: 2, Records: 8000})
+	emit(Record{Event: EvLeased, Cell: "a/live", Key: "ka", Worker: "w1", Lease: 3, Attempt: 2, Records: 1000})
+	emit(Record{Event: EvBadResume, Level: LevelWarn, Worker: "w1", Lease: 3})
+	emit(Record{Event: EvCellFail, Level: LevelWarn, Worker: "w1", Lease: 3, Err: "unusable resume checkpoint"})
+	emit(Record{Event: EvLeased, Cell: "a/live", Key: "ka", Worker: "w1", Lease: 4, Attempt: 3})
+	emit(Record{Event: EvHeartbeat, Level: LevelDebug, Worker: "w1", Lease: 4, Records: 4000, Bytes: 64, RTTMicros: 110})
+	emit(Record{Event: EvCompleted, Worker: "w1", Lease: 4, Records: 8000})
+	emit(Record{Event: EvDuplicate, Level: LevelWarn, Worker: "w0", Lease: 9})
+	emit(Record{Event: EvSweepDone, Records: 2})
+
+	recs, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return recs
+}
+
+func TestBuildFleetReconstructsTakeoverChain(t *testing.T) {
+	f := BuildFleet(chaosJournal(t))
+
+	if got, want := len(f.Cells), 2; got != want {
+		t.Fatalf("%d cells, want %d", got, want)
+	}
+	if f.Completions != 2 || f.Duplicates != 1 || f.Expiries != 1 || f.BadResumes != 1 || f.Failures != 1 {
+		t.Fatalf("counts wrong: %+v", f)
+	}
+	if f.Takeovers() != 1 {
+		t.Fatalf("takeovers = %d, want 1", f.Takeovers())
+	}
+
+	a := f.Cells[0]
+	if a.Cell != "a/live" || !a.Completed || a.Abandoned {
+		t.Fatalf("cell a state wrong: %+v", a)
+	}
+	if len(a.Attempts) != 3 {
+		t.Fatalf("cell a has %d attempts, want the full takeover chain of 3", len(a.Attempts))
+	}
+	outcomes := []string{a.Attempts[0].Outcome, a.Attempts[1].Outcome, a.Attempts[2].Outcome}
+	if outcomes[0] != "expired" || outcomes[1] != "failed" || outcomes[2] != "completed" {
+		t.Fatalf("chain outcomes %v", outcomes)
+	}
+	if a.Attempts[0].Worker != "w0" || a.Attempts[1].Worker != "w1" || a.Attempts[2].Worker != "w1" {
+		t.Fatalf("chain workers wrong: %+v", a.Attempts)
+	}
+	if !a.Attempts[1].BadResume {
+		t.Error("bad-resume flag lost on attempt 2")
+	}
+	if a.Attempts[1].StartRecords != 1000 {
+		t.Errorf("attempt 2 resume point = %d, want 1000", a.Attempts[1].StartRecords)
+	}
+	if a.Attempts[2].EndRecords != 8000 {
+		t.Errorf("final attempt records = %d, want 8000", a.Attempts[2].EndRecords)
+	}
+	if a.Wall <= 0 {
+		t.Error("cell wall time not measured")
+	}
+
+	// Worker attribution: w0 ran 2 attempts (1 completed), w1 ran 2 (1
+	// completed); records flow from heartbeat/completion deltas.
+	if len(f.Workers) != 2 {
+		t.Fatalf("%d workers, want 2", len(f.Workers))
+	}
+	byName := map[string]WorkerSummary{}
+	for _, w := range f.Workers {
+		byName[w.Name] = w
+	}
+	if w0 := byName["w0"]; w0.Attempts != 2 || w0.Completed != 1 || w0.Records != 1000+8000 {
+		t.Errorf("w0 summary wrong: %+v", w0)
+	}
+	if w1 := byName["w1"]; w1.Attempts != 2 || w1.Completed != 1 || w1.Records != 8000 {
+		t.Errorf("w1 summary wrong: %+v", w1)
+	}
+	if byName["w1"].RecordsSec <= 0 {
+		t.Error("w1 throughput not computed")
+	}
+}
+
+func TestFleetTimelineIsLoadableChromeTrace(t *testing.T) {
+	f := BuildFleet(chaosJournal(t))
+	var buf bytes.Buffer
+	if err := f.WriteTrace(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var trace struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TID  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("trace is not valid Chrome trace JSON: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms (wall-clock domain)", trace.DisplayTimeUnit)
+	}
+	lanes := map[string]bool{}
+	attempts, instants := 0, 0
+	for _, ev := range trace.TraceEvents {
+		switch ev.Ph {
+		case "M":
+			if ev.Name == "thread_name" {
+				var meta struct {
+					Name string `json:"name"`
+				}
+				if err := json.Unmarshal(ev.Args, &meta); err != nil {
+					t.Fatal(err)
+				}
+				lanes[meta.Name] = true
+			}
+		case "X":
+			attempts++
+		case "i":
+			instants++
+		}
+	}
+	for _, want := range []string{"coordinator", "w0", "w1"} {
+		if !lanes[want] {
+			t.Errorf("lane %q missing from trace (have %v)", want, lanes)
+		}
+	}
+	if attempts == 0 || instants == 0 {
+		t.Errorf("trace has %d spans and %d instants, want both > 0", attempts, instants)
+	}
+}
+
+func TestFleetSummaryPostMortem(t *testing.T) {
+	f := BuildFleet(chaosJournal(t))
+	var buf bytes.Buffer
+	f.WriteSummary(&buf)
+	out := buf.String()
+	for _, want := range []string{
+		"2 cells, 2 completed",
+		"1 takeovers (1 expired, 0 conn-dropped)",
+		"1 duplicates, 1 bad-resumes, 1 failures, 0 abandoned",
+		"takeover chains:",
+		"a/live: 3 attempts, completed",
+		"[bad resume cleared]",
+		"slowest cells:",
+		"per-worker throughput:",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("summary missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestBuildFleetSkipsWorkerRecordsAndOpenAttempts(t *testing.T) {
+	clock := testClock()
+	ts := func() time.Time { return clock() }
+	recs := []Record{
+		{TS: ts(), Role: "worker", Node: "w0", Event: EvDial},
+		{TS: ts(), Role: "coordinator", Event: EvPlanned, Cell: "a/live", Key: "k"},
+		{TS: ts(), Role: "coordinator", Event: EvLeased, Cell: "a/live", Key: "k", Worker: "w0", Lease: 1, Attempt: 1},
+		{TS: ts(), Role: "coordinator", Event: EvHeartbeat, Worker: "w0", Lease: 1, Records: 700},
+	}
+	f := BuildFleet(recs)
+	if len(f.Cells) != 1 || len(f.Cells[0].Attempts) != 1 {
+		t.Fatalf("fleet shape wrong: %+v", f)
+	}
+	a := f.Cells[0].Attempts[0]
+	if a.Outcome != "running" {
+		t.Errorf("journal cut mid-attempt should leave outcome running, got %q", a.Outcome)
+	}
+	if a.EndRecords != 700 {
+		t.Errorf("open attempt records = %d, want 700", a.EndRecords)
+	}
+	if f.Cells[0].Completed {
+		t.Error("incomplete cell marked completed")
+	}
+}

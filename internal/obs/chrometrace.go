@@ -109,3 +109,81 @@ func WriteChromeTrace(w io.Writer, spans []Span) error {
 	enc := json.NewEncoder(w)
 	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ns"})
 }
+
+// NamedSpan is one interval (or instant, when Begin == End) on a named
+// lane, for traces whose lane set is dynamic — the fleet timeline renders
+// one lane per sweep worker plus a coordinator lane, and worker names are
+// only known at runtime. Timestamps are wall-clock microseconds relative
+// to the trace origin, so the viewer's axis reads directly in real time.
+type NamedSpan struct {
+	Lane  string            // lane (thread) name
+	Name  string            // event name shown on the span
+	Cat   string            // category ("" omits it)
+	Begin int64             // microseconds since the trace origin
+	End   int64             // microseconds; == Begin for an instant mark
+	Args  map[string]uint64 // optional payload shown in the viewer
+}
+
+// WriteChromeTimeline serializes named-lane spans as Chrome trace-event
+// JSON onto w. Lanes appear in the order given; spans referencing a lane
+// not listed get lanes appended in first-reference order, so a caller that
+// doesn't care about ordering can pass nil. Spans are sorted by begin time
+// (stable), zero-duration spans become thread-scoped instant events —
+// the same conventions as WriteChromeTrace, in the wall-clock domain.
+func WriteChromeTimeline(w io.Writer, lanes []string, spans []NamedSpan) error {
+	tids := make(map[string]int, len(lanes))
+	order := append([]string(nil), lanes...)
+	for _, lane := range lanes {
+		if _, ok := tids[lane]; !ok {
+			tids[lane] = len(tids)
+		}
+	}
+	for _, s := range spans {
+		if _, ok := tids[s.Lane]; !ok {
+			tids[s.Lane] = len(tids)
+			order = append(order, s.Lane)
+		}
+	}
+
+	sorted := append([]NamedSpan(nil), spans...)
+	sort.SliceStable(sorted, func(i, j int) bool { return sorted[i].Begin < sorted[j].Begin })
+
+	events := make([]chromeEvent, 0, len(sorted)+2*len(order)+1)
+	events = append(events, chromeEvent{
+		Name: "process_name", Phase: "M", PID: tracePID, TID: 0,
+		MetaArgs: map[string]interface{}{"name": "hmsim fleet"},
+	})
+	for i, lane := range order {
+		events = append(events,
+			chromeEvent{
+				Name: "thread_name", Phase: "M", PID: tracePID, TID: i,
+				MetaArgs: map[string]interface{}{"name": lane},
+			},
+			chromeEvent{
+				Name: "thread_sort_index", Phase: "M", PID: tracePID, TID: i,
+				MetaArgs: map[string]interface{}{"sort_index": i},
+			})
+	}
+	for _, s := range sorted {
+		ev := chromeEvent{
+			Name: s.Name,
+			Cat:  s.Cat,
+			TS:   s.Begin,
+			PID:  tracePID,
+			TID:  tids[s.Lane],
+			Args: s.Args,
+		}
+		if d := s.End - s.Begin; d > 0 {
+			dur := d
+			ev.Phase = "X"
+			ev.Dur = &dur
+		} else {
+			ev.Phase = "i"
+			ev.Scope = "t"
+		}
+		events = append(events, ev)
+	}
+	enc := json.NewEncoder(w)
+	// Wall-clock microseconds: "ms" keeps the viewer's axis in real time.
+	return enc.Encode(chromeTrace{TraceEvents: events, DisplayTimeUnit: "ms"})
+}

@@ -1,0 +1,133 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// golden compares got against testdata/<name>, rewriting it under -update.
+func golden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("%v (run with -update to create)", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden:\n got: %s\nwant: %s", name, got, want)
+	}
+}
+
+// TestWriteChromeTraceGolden pins the exporter's exact output for a span
+// set covering every rendering path: one span per lane, a zero-duration
+// mark (instant event), out-of-order begin cycles (the exporter sorts),
+// and the lane/process metadata preamble.
+func TestWriteChromeTraceGolden(t *testing.T) {
+	spans := []Span{
+		{Lane: LaneMigrator, Kind: SpanSwap, Begin: 100, End: 900, A: 7, B: 3, C: 4},
+		{Lane: LaneSchedOn, Kind: SpanCopyRead, Begin: 150, End: 180, A: 12, B: 0, C: 256},
+		{Lane: LaneSchedOff, Kind: SpanCopyWrite, Begin: 60, End: 90, A: 44, B: 1, C: 256},
+		{Lane: LaneMigrator, Kind: MarkEpoch, Begin: 50, End: 50, A: 1},
+		{Lane: LaneFault, Kind: SpanBackoff, Begin: 400, End: 464, A: 2, B: 1},
+		{Lane: LaneFault, Kind: MarkFault, Begin: 400, End: 400, A: 2, B: 9000},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTrace(&buf, spans); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "chrometrace.golden", buf.Bytes())
+
+	// Sanity beyond the byte pin: the output must stay loadable JSON with
+	// the instant mark rendered as a thread-scoped "i" event.
+	var trace struct {
+		TraceEvents []struct {
+			Ph    string `json:"ph"`
+			Scope string `json:"s"`
+			Dur   *int64 `json:"dur"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("golden output is not valid JSON: %v", err)
+	}
+	instants := 0
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "i" {
+			instants++
+			if ev.Scope != "t" {
+				t.Errorf("instant event scope %q, want thread-scoped t", ev.Scope)
+			}
+			if ev.Dur != nil {
+				t.Error("instant event carries a duration")
+			}
+		}
+	}
+	if instants != 2 {
+		t.Errorf("%d instant events, want 2 (the zero-duration marks)", instants)
+	}
+}
+
+// TestWriteChromeTimelineGolden pins the named-lane wall-clock exporter:
+// explicit lane ordering plus appended unlisted lanes, instant marks, and
+// JSON escaping of hostile lane/span names (quotes, backslashes, control
+// characters, non-ASCII worker names).
+func TestWriteChromeTimelineGolden(t *testing.T) {
+	lanes := []string{"coordinator", `worker "w0"\host`, "wörker-1"}
+	spans := []NamedSpan{
+		{Lane: `worker "w0"\host`, Name: `cell "pg/live" #1`, Cat: "attempt", Begin: 10, End: 500,
+			Args: map[string]uint64{"lease": 1}},
+		{Lane: "coordinator", Name: "lease pg/live", Cat: "lease", Begin: 10, End: 10},
+		{Lane: "wörker-1", Name: "newline\nname\ttab", Begin: 20, End: 80},
+		{Lane: "straggler", Name: "unlisted lane appends", Begin: 5, End: 5},
+	}
+	var buf bytes.Buffer
+	if err := WriteChromeTimeline(&buf, lanes, spans); err != nil {
+		t.Fatal(err)
+	}
+	golden(t, "chrometimeline.golden", buf.Bytes())
+
+	var trace struct {
+		TraceEvents []struct {
+			Name string          `json:"name"`
+			Ph   string          `json:"ph"`
+			TID  int             `json:"tid"`
+			Args json.RawMessage `json:"args"`
+		} `json:"traceEvents"`
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+	}
+	if err := json.Unmarshal(buf.Bytes(), &trace); err != nil {
+		t.Fatalf("timeline output is not valid JSON despite hostile names: %v", err)
+	}
+	if trace.DisplayTimeUnit != "ms" {
+		t.Errorf("displayTimeUnit %q, want ms", trace.DisplayTimeUnit)
+	}
+	// Listed lanes keep their positions; the unlisted lane appends after.
+	laneTID := map[string]int{}
+	for _, ev := range trace.TraceEvents {
+		if ev.Ph == "M" && ev.Name == "thread_name" {
+			var meta struct {
+				Name string `json:"name"`
+			}
+			if err := json.Unmarshal(ev.Args, &meta); err != nil {
+				t.Fatal(err)
+			}
+			laneTID[meta.Name] = ev.TID
+		}
+	}
+	if laneTID["coordinator"] != 0 || laneTID[`worker "w0"\host`] != 1 || laneTID["wörker-1"] != 2 || laneTID["straggler"] != 3 {
+		t.Errorf("lane ordering wrong: %v", laneTID)
+	}
+}

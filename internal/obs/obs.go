@@ -182,6 +182,33 @@ func ExpBuckets(first int64, n int) []int64 {
 // everything from an L4-speed on-package hit to a pathological queue stall.
 func DefaultLatencyBuckets() []int64 { return ExpBuckets(16, 13) }
 
+// Snapshot copies the histogram's current state — the standalone
+// counterpart of Registry.Snapshot for histograms owned outside a registry
+// (the sweep coordinator's heartbeat/RTT/checkpoint-size histograms).
+// Returns the zero snapshot on a nil receiver.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	if h == nil {
+		return HistogramSnapshot{}
+	}
+	return HistogramSnapshot{
+		Bounds: append([]int64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.counts...),
+		Count:  h.n,
+		Sum:    h.sum,
+		Mean:   h.Mean(),
+		Max:    h.max,
+	}
+}
+
+// NewHistogram returns a standalone histogram with the given bucket bounds
+// (sorted ascending), for callers that need an instrument outside any
+// Registry. A nil return never happens; the zero-bounds case still counts.
+func NewHistogram(bounds []int64) *Histogram {
+	b := append([]int64(nil), bounds...)
+	sort.Slice(b, func(i, j int) bool { return b[i] < b[j] })
+	return &Histogram{bounds: b, counts: make([]uint64, len(b)+1)}
+}
+
 // Registry holds a simulation run's named instruments. The zero of
 // *Registry (nil) is a valid "disabled" registry: every constructor
 // returns a nil instrument whose methods no-op.
