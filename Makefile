@@ -57,6 +57,7 @@ fuzz-regression:
 	$(GO) test ./internal/fault/ -run 'Fuzz'
 	$(GO) test ./internal/snap/ -run 'Fuzz'
 	$(GO) test ./internal/addr/ -run 'Fuzz'
+	$(GO) test ./internal/scheme/ -run 'Fuzz'
 
 # Active fuzzing (not part of ci; run locally when touching the parsers).
 FUZZTIME ?= 30s
@@ -66,14 +67,17 @@ fuzz:
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snap/ -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/addr/ -fuzz FuzzAddressMapping -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/scheme/ -fuzz FuzzSetCodec -fuzztime $(FUZZTIME)
 
 # Benchmarks: the raw text is benchstat input, the JSON is the archived
 # machine-readable form; both default to per-PR names so history is kept
 # side by side. Compare the TemporalObservabilityOff/On pair to bound the
-# tracing overhead and the CheckpointOff/On pair to bound the checkpoint
-# serialization overhead.
-BENCH_TXT ?= BENCH_pr8.txt
-BENCH_JSON ?= BENCH_pr8.json
+# tracing overhead, the CheckpointOff/On pair to bound the checkpoint
+# serialization overhead, and the AccessPathScheme variants against the
+# AccessPath designs to bound what each capacity scheme's bookkeeping
+# costs per record.
+BENCH_TXT ?= BENCH_pr9.txt
+BENCH_JSON ?= BENCH_pr9.json
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
@@ -83,9 +87,9 @@ bench:
 # slower than OLD past the threshold (default 10%, with an absolute ns/op
 # jitter floor) or allocates more. -count'ed archives are folded to each
 # benchmark's best sample, so the gate compares code, not host load.
-#   make benchdiff OLD=BENCH_pr7.json NEW=BENCH_pr8.json
-OLD ?= BENCH_pr7.json
-NEW ?= BENCH_pr8.json
+#   make benchdiff OLD=BENCH_pr8.json NEW=BENCH_pr9.json
+OLD ?= BENCH_pr8.json
+NEW ?= BENCH_pr9.json
 benchdiff:
 	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 

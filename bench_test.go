@@ -16,6 +16,7 @@ import (
 	"heteromem/internal/experiments"
 	"heteromem/internal/memctrl"
 	"heteromem/internal/sched"
+	"heteromem/internal/scheme"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -235,6 +236,14 @@ func BenchmarkAblationSchedulers(b *testing.B) {
 // paths taken at steady state (translation, policy touch, scheduling,
 // completion accounting, object recycling) must be allocation-free.
 func benchAccessPath(b *testing.B, design core.Design) {
+	benchAccessPathConfig(b, &core.Options{Design: design, SwapInterval: 1000}, scheme.Spec{})
+}
+
+// benchAccessPathConfig is benchAccessPath generalized over the capacity
+// scheme: pure cache schemes run with no migration engine, memcache runs
+// its memory part under the given migration options. All of them share the
+// same zero-allocation bar as the migration designs.
+func benchAccessPathConfig(b *testing.B, mig *core.Options, sp scheme.Spec) {
 	scfg := sim.Default()
 	scfg.Geometry.MacroPageSize = 64 * KiB
 	mcfg := memctrl.Config{
@@ -243,7 +252,8 @@ func benchAccessPath(b *testing.B, design core.Design) {
 		OffTiming: scfg.OffTiming,
 		OnTiming:  scfg.OnTiming,
 		Sched:     scfg.Sched,
-		Migration: &core.Options{Design: design, SwapInterval: 1000},
+		Migration: mig,
+		Scheme:    sp,
 	}
 	ctrl, err := memctrl.New(mcfg, nil)
 	if err != nil {
@@ -304,6 +314,37 @@ func BenchmarkAccessPath(b *testing.B) {
 		{"Live", core.DesignLive},
 	} {
 		b.Run(d.name, func(b *testing.B) { benchAccessPath(b, d.design) })
+	}
+}
+
+// BenchmarkAccessPathScheme covers the full scheme grid on the same
+// per-record access path: the three migration designs under the default
+// scheme, the two pure cache schemes, and the memcache hybrid. Every
+// variant must hold 0 allocs/op at steady state.
+func BenchmarkAccessPathScheme(b *testing.B) {
+	live := &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	for _, v := range []struct {
+		name   string
+		mig    *core.Options
+		scheme string
+	}{
+		{"N", &core.Options{Design: core.DesignN, SwapInterval: 1000}, ""},
+		{"N-1", &core.Options{Design: core.DesignN1, SwapInterval: 1000}, ""},
+		{"Live", live, ""},
+		{"Alloy", nil, "alloy"},
+		{"CacheMode", nil, "cachemode"},
+		{"MemCache", live, "memcache"},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			var sp scheme.Spec
+			if v.scheme != "" {
+				var err error
+				if sp, err = scheme.Parse(v.scheme); err != nil {
+					b.Fatal(err)
+				}
+			}
+			benchAccessPathConfig(b, v.mig, sp)
+		})
 	}
 }
 

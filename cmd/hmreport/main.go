@@ -13,6 +13,13 @@
 // one lane per worker:
 //
 //	hmreport -fleet sweep.journal -fleet-trace-out fleet.json
+//
+// And it compares on-package capacity schemes from a sweep manifest
+// (written by hmsim -manifest or a -coordinate sweep over a scheme grid):
+// per (workload, scheme) DRAM latency, cache hit rate, the paper's η
+// effectiveness against the manifest's static cells, and an estimated IPC:
+//
+//	hmreport -schemes sweep.jsonl -schemes-csv schemes.csv
 package main
 
 import (
@@ -23,29 +30,50 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 
+	"heteromem/internal/cpu"
 	"heteromem/internal/experiments"
 	"heteromem/internal/flog"
+	"heteromem/internal/sim"
+	"heteromem/internal/stats"
 )
 
 func main() {
 	var (
-		out      = flag.String("out", "results", "directory for CSV output")
-		records  = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
-		seed     = flag.Int64("seed", 1, "workload seed")
-		series   = flag.String("series", "pgbench", "workload for the per-epoch effectiveness trajectory (empty disables)")
-		fleet    = flag.String("fleet", "", "print a sweep post-mortem from these comma-separated journal files (hmsim -journal-out) instead of running experiments")
-		fleetOut = flag.String("fleet-trace-out", "", "with -fleet: also write the wall-clock fleet timeline as Chrome trace-event JSON to this file")
+		out        = flag.String("out", "results", "directory for CSV output")
+		records    = flag.Uint64("records", 0, "records per simulation (0 = experiment defaults)")
+		seed       = flag.Int64("seed", 1, "workload seed")
+		series     = flag.String("series", "pgbench", "workload for the per-epoch effectiveness trajectory (empty disables)")
+		fleet      = flag.String("fleet", "", "print a sweep post-mortem from these comma-separated journal files (hmsim -journal-out) instead of running experiments")
+		fleetOut   = flag.String("fleet-trace-out", "", "with -fleet: also write the wall-clock fleet timeline as Chrome trace-event JSON to this file")
+		schemes    = flag.String("schemes", "", "print a cross-scheme comparison (η vs the static cells, estimated IPC) from these comma-separated sweep manifests (hmsim -manifest / -coordinate) instead of running experiments")
+		schemesCSV = flag.String("schemes-csv", "", "with -schemes: also write the comparison as CSV to this file")
 	)
 	flag.Parse()
 	if *fleetOut != "" && *fleet == "" {
 		fmt.Fprintln(os.Stderr, "hmreport: -fleet-trace-out requires -fleet")
 		os.Exit(2)
 	}
+	if *schemesCSV != "" && *schemes == "" {
+		fmt.Fprintln(os.Stderr, "hmreport: -schemes-csv requires -schemes")
+		os.Exit(2)
+	}
+	if *fleet != "" && *schemes != "" {
+		fmt.Fprintln(os.Stderr, "hmreport: -fleet and -schemes are mutually exclusive")
+		os.Exit(2)
+	}
 	if *fleet != "" {
 		if err := runFleet(os.Stdout, strings.Split(*fleet, ","), *fleetOut); err != nil {
+			fmt.Fprintln(os.Stderr, "hmreport:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *schemes != "" {
+		if err := runSchemes(os.Stdout, strings.Split(*schemes, ","), *schemesCSV); err != nil {
 			fmt.Fprintln(os.Stderr, "hmreport:", err)
 			os.Exit(1)
 		}
@@ -98,6 +126,117 @@ func runFleet(w io.Writer, paths []string, traceOut string) error {
 			return err
 		}
 		fmt.Fprintf(w, "fleet timeline: %s (load in chrome://tracing or ui.perfetto.dev)\n", traceOut)
+	}
+	return nil
+}
+
+// schemeGroupKey identifies the η baseline scope: effectiveness is only
+// meaningful against a static cell of the same workload, seed, and record
+// budget.
+type schemeGroupKey struct {
+	Workload string
+	Seed     int64
+	Records  uint64
+}
+
+// runSchemes reads sweep manifests and prints the cross-scheme comparison:
+// one row per cell with its DRAM latency, cache hit rate, η effectiveness
+// against the manifest's static cell for the same (workload, seed,
+// records), and the quad-core model's estimated IPC. Cells written before
+// the manifest carried design/scheme fields render with both blank and get
+// no η (their design is unrecoverable from the ledger alone).
+func runSchemes(w io.Writer, paths []string, csvOut string) error {
+	var entries []experiments.ManifestEntry
+	for _, path := range paths {
+		path = strings.TrimSpace(path)
+		if path == "" {
+			continue
+		}
+		f, err := os.Open(path)
+		if err != nil {
+			return err
+		}
+		recs, err := experiments.ReadManifest(f)
+		f.Close()
+		if err != nil {
+			return fmt.Errorf("%s: %w", path, err)
+		}
+		entries = append(entries, recs...)
+	}
+	if len(entries) == 0 {
+		return fmt.Errorf("no manifest cells in %s", strings.Join(paths, ","))
+	}
+
+	// η baselines: the static cells (no migration design, default scheme).
+	static := map[schemeGroupKey]float64{}
+	for _, e := range entries {
+		if e.Design == "" && e.Scheme == "" {
+			static[schemeGroupKey{e.Workload, e.Seed, e.Records}] = e.Result.MeanDRAMLatency
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool {
+		a, b := entries[i], entries[j]
+		if a.Workload != b.Workload {
+			return a.Workload < b.Workload
+		}
+		if a.Seed != b.Seed {
+			return a.Seed < b.Seed
+		}
+		if a.Records != b.Records {
+			return a.Records < b.Records
+		}
+		if a.Scheme != b.Scheme {
+			return a.Scheme < b.Scheme
+		}
+		return a.Design < b.Design
+	})
+
+	model := cpu.DefaultModel()
+	t := stats.NewTable("Workload", "Design", "Scheme", "DRAM lat", "On-pkg share", "Hit rate", "Effectiveness", "Est. IPC")
+	rows := [][]string{{"workload", "seed", "records", "design", "scheme", "mean_lat", "dram_lat", "on_share", "hit_rate", "effectiveness_pct", "est_ipc"}}
+	for _, e := range entries {
+		res := e.Result
+		isStatic := e.Design == "" && e.Scheme == ""
+		eta, hit := "", ""
+		etaCSV, hitCSV := "", ""
+		if base, ok := static[schemeGroupKey{e.Workload, e.Seed, e.Records}]; ok && !isStatic {
+			v := sim.Effectiveness(base, res.MeanDRAMLatency, res.Report.MeanCoreLat)
+			eta = fmt.Sprintf("%.1f%%", v)
+			etaCSV = fmt.Sprintf("%.2f", v)
+		}
+		if res.Report.Scheme != nil {
+			hit = fmt.Sprintf("%.3f", res.Report.Scheme.HitRate)
+			hitCSV = fmt.Sprintf("%.4f", res.Report.Scheme.HitRate)
+		}
+		design, schemeName := e.Design, e.Scheme
+		if isStatic {
+			design, schemeName = "none", "static"
+		} else if schemeName == "" && e.Design != "" {
+			schemeName = "migrate"
+		}
+		ipc := model.EstimateIPC(res.MeanLatency)
+		t.AddRow(e.Workload, design, schemeName,
+			fmt.Sprintf("%.1f", res.MeanDRAMLatency),
+			fmt.Sprintf("%.3f", res.Report.OnShare),
+			hit, eta, fmt.Sprintf("%.3f", ipc))
+		rows = append(rows, []string{
+			e.Workload, strconv.FormatInt(e.Seed, 10), strconv.FormatUint(e.Records, 10),
+			e.Design, e.Scheme,
+			fmt.Sprintf("%.3f", res.MeanLatency),
+			fmt.Sprintf("%.3f", res.MeanDRAMLatency),
+			fmt.Sprintf("%.4f", res.Report.OnShare),
+			hitCSV, etaCSV, fmt.Sprintf("%.4f", ipc),
+		})
+	}
+	fmt.Fprintf(w, "Cross-scheme comparison from %s (%d cells)\n", strings.Join(paths, ","), len(entries))
+	if _, err := io.WriteString(w, t.String()); err != nil {
+		return err
+	}
+	if csvOut != "" {
+		if err := writeCSV(csvOut, rows); err != nil {
+			return err
+		}
+		fmt.Fprintf(w, "schemes CSV: %s\n", csvOut)
 	}
 	return nil
 }

@@ -88,6 +88,53 @@ func TestExperimentSummariesGolden(t *testing.T) {
 	}
 }
 
+// TestSchemesGolden locks down hmreport -schemes end to end: a tiny
+// deterministic scheme sweep populates a real manifest (through the same
+// runTrace/store path a production sweep uses), and the rendered comparison
+// table and CSV must match their goldens byte-for-byte.
+func TestSchemesGolden(t *testing.T) {
+	dir := t.TempDir()
+	manifestPath := filepath.Join(dir, "sweep.jsonl")
+	man, err := experiments.OpenManifest(manifestPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := goldenParams()
+	p.Manifest = man
+	p.Parallelism = 1 // deterministic manifest line order
+	if err := experiments.Schemes(context.Background(), io.Discard, p); err != nil {
+		t.Fatal(err)
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	csvPath := filepath.Join(dir, "schemes.csv")
+	var buf bytes.Buffer
+	if err := runSchemes(&buf, []string{manifestPath}, csvPath); err != nil {
+		t.Fatal(err)
+	}
+	summary := strings.ReplaceAll(buf.String(), dir, "<out>")
+	checkGolden(t, "schemes_summary.golden", []byte(summary))
+	got, err := os.ReadFile(csvPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkGolden(t, "schemes.csv.golden", got)
+
+	// A missing manifest and an empty one both fail cleanly.
+	if err := runSchemes(io.Discard, []string{filepath.Join(dir, "nope.jsonl")}, ""); err == nil {
+		t.Error("missing manifest accepted")
+	}
+	empty := filepath.Join(dir, "empty.jsonl")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := runSchemes(io.Discard, []string{empty}, ""); err == nil {
+		t.Error("empty manifest accepted")
+	}
+}
+
 // writeFleetJournal synthesizes a deterministic coordinator journal with
 // one takeover chain (cell pgbench/live: expired on w0, bad resume on w1,
 // completed on w1's retry) and one clean cell, plus interleaved worker

@@ -13,6 +13,8 @@
 //
 //	hmsim -workload pgbench -design live -records 1000000 -metrics
 //	hmsim -workload tpcc -design n-1 -audit -events 256
+//	hmsim -workload pgbench -scheme alloy-pred    # DRAM-cache scheme, no migration
+//	hmsim -workload pgbench -scheme memcache:25 -design live
 //	hmsim -workload pgbench -design live -audit \
 //	    -fault-device 1e-4 -fault-copy 1e-4 -fault-seed 7
 //
@@ -21,7 +23,8 @@
 // which may crash (or be SIGKILLed) and be replaced at any point without
 // changing the sweep's results:
 //
-//	hmsim -coordinate :9090 -manifest sweep.jsonl -designs live,n-1
+//	hmsim -coordinate :9090 -manifest sweep.jsonl -designs live,n-1 \
+//	    -schemes migrate,alloy,cachemode,memcache
 //	hmsim -worker host:9090        # run on as many machines as you like
 //
 // SIGINT/SIGTERM cancel any mode gracefully (the coordinator drains its
@@ -48,6 +51,7 @@ import (
 	"heteromem/internal/dsweep"
 	"heteromem/internal/experiments"
 	"heteromem/internal/flog"
+	"heteromem/internal/scheme"
 )
 
 func main() {
@@ -68,6 +72,7 @@ func main() {
 		workerAddr  = flag.String("worker", "", "worker mode: execute cells leased by the coordinator at this address")
 		workerName  = flag.String("name", "", "worker mode: worker name in coordinator logs (default host-pid)")
 		designs     = flag.String("designs", "live", "coordinator mode: comma-separated migration designs for the workloads x designs sweep grid")
+		schemes     = flag.String("schemes", "", "coordinator mode: comma-separated on-package schemes for the sweep grid (migrate, alloy[-pred], cachemode, memcache[-pred][:PCT]); cache schemes sweep once per workload as design 'none'")
 		leaseTTL    = flag.Duration("lease-ttl", 0, "coordinator mode: lease expiry without a heartbeat (0 = default); must exceed the wall time between worker checkpoints")
 		spillDir    = flag.String("spill-dir", "", "coordinator mode: persist in-flight checkpoints here so a restarted coordinator resumes takeover cells mid-run")
 		maxAttempts = flag.Int("max-attempts", 0, "coordinator mode: lease attempts per cell before it fails permanently (0 = default)")
@@ -76,6 +81,7 @@ func main() {
 		// Single-run mode.
 		workloadName = flag.String("workload", "", "single-run mode: workload name (see heteromem.Workloads)")
 		design       = flag.String("design", "live", "single-run migration design: n, n-1, live, or none")
+		schemeName   = flag.String("scheme", "", "single-run on-package capacity scheme: migrate (default), alloy, alloy-pred, cachemode, memcache[:PCT], memcache-pred[:PCT]; pure cache schemes take no -design/-interval/-audit")
 		interval     = flag.Uint64("interval", 1000, "single-run swap interval (accesses per epoch)")
 		page         = flag.Uint64("page", 0, "single-run macro page size in bytes (0 = Table III default)")
 		metrics      = flag.Bool("metrics", false, "single-run: collect and emit the metrics snapshot")
@@ -168,7 +174,7 @@ func main() {
 		}
 	}
 	onlyIn([]string{
-		"design", "metrics", "events", "audit",
+		"design", "scheme", "metrics", "events", "audit",
 		"trace-out", "series-out", "cpuprofile", "memprofile",
 		"checkpoint-out", "resume",
 		"fault-seed", "fault-device", "fault-copy", "fault-bulk",
@@ -180,7 +186,7 @@ func main() {
 	onlyIn([]string{"timeout"}, mode == modeExp, "experiment mode (-exp)")
 	onlyIn([]string{"workloads", "listen", "manifest"},
 		mode == modeExp || mode == modeCoord, "experiment or coordinator mode")
-	onlyIn([]string{"designs", "lease-ttl", "spill-dir", "max-attempts"},
+	onlyIn([]string{"designs", "schemes", "lease-ttl", "spill-dir", "max-attempts"},
 		mode == modeCoord, "coordinator mode (-coordinate)")
 	onlyIn([]string{"journal-out"},
 		mode == modeCoord || mode == modeWorker, "coordinator or worker mode")
@@ -240,7 +246,26 @@ func main() {
 		if !ok {
 			usageErr("unknown design %q (want n, n-1, live, or none)", *design)
 		}
-		if d.migrate && *interval == 0 {
+		sp, err := scheme.Parse(*schemeName)
+		if err != nil {
+			usageErr("%v", err)
+		}
+		iv := *interval
+		if sp.IsCache() {
+			// A pure cache scheme runs no migration engine, so the
+			// migration-only flags would be silently meaningless; reject
+			// them outright (memcache keeps its memory part migrating and
+			// so keeps these flags).
+			for _, name := range []string{"design", "interval", "audit"} {
+				if set[name] {
+					usageErr("-%s does not apply to scheme %s (no migration engine)", name, sp)
+				}
+			}
+			d, iv = designChoice{name: "none"}, 0
+		} else if sp.Kind == scheme.KindMemCache && !d.migrate {
+			usageErr("scheme %s needs a migrating -design (its memory part runs the paper's migration)", sp)
+		}
+		if d.migrate && iv == 0 {
 			usageErr("-interval must be > 0 when migration is enabled")
 		}
 		fcfg := heteromem.FaultConfig{
@@ -273,7 +298,7 @@ func main() {
 			cpuFile = f
 		}
 		runErr := singleRun(ctx, os.Stdout, singleRunConfig{
-			Workload: *workloadName, Design: d, Interval: *interval, Page: *page,
+			Workload: *workloadName, Design: d, Scheme: *schemeName, Interval: iv, Page: *page,
 			Channels: *channels,
 			Records:  *records, Warmup: *warmup, Seed: *seed,
 			Metrics: *metrics, Events: *events, Audit: *audit, Fault: fcfg,
@@ -349,7 +374,11 @@ func main() {
 		if *workloads != "" {
 			wls = strings.Split(*workloads, ",")
 		}
-		cells, err := buildCells(wls, strings.Split(*designs, ","), dsweep.CellSpec{
+		var schs []string
+		if *schemes != "" {
+			schs = strings.Split(*schemes, ",")
+		}
+		cells, err := buildCells(wls, strings.Split(*designs, ","), schs, dsweep.CellSpec{
 			Seed: *seed, PageSize: *page, Interval: *interval,
 			Records: recs, Warmup: wu, Channels: *channels,
 		})
@@ -470,24 +499,51 @@ func runExperiments(ctx context.Context, w io.Writer, c expRunConfig) error {
 	return nil
 }
 
-// buildCells expands a workloads x designs grid into validated sweep cells.
-// base supplies the shared cell parameters (seed, page size, interval,
-// record budget, warmup, channels); an empty workload list means every
-// built-in workload.
-func buildCells(workloads, designs []string, base dsweep.CellSpec) ([]dsweep.CellSpec, error) {
+// buildCells expands a workloads x designs x schemes grid into validated
+// sweep cells. base supplies the shared cell parameters (seed, page size,
+// interval, record budget, warmup, channels); an empty workload list means
+// every built-in workload, an empty scheme list means the default migration
+// scheme. Pure cache schemes have no design dimension: they produce one
+// cell per workload with design "none", regardless of the -designs grid.
+func buildCells(workloads, designs, schemes []string, base dsweep.CellSpec) ([]dsweep.CellSpec, error) {
 	if len(workloads) == 0 {
 		workloads = heteromem.Workloads()
 	}
-	cells := make([]dsweep.CellSpec, 0, len(workloads)*len(designs))
+	if len(schemes) == 0 {
+		schemes = []string{"migrate"}
+	}
+	cells := make([]dsweep.CellSpec, 0, len(workloads)*len(designs)*len(schemes))
 	for _, wl := range workloads {
-		for _, d := range designs {
-			spec := base
-			spec.Workload = strings.TrimSpace(wl)
-			spec.Design = strings.TrimSpace(d)
-			if err := spec.Validate(); err != nil {
+		for _, sch := range schemes {
+			sch = strings.TrimSpace(sch)
+			sp, err := scheme.Parse(sch)
+			if err != nil {
 				return nil, err
 			}
-			cells = append(cells, spec)
+			if sp.IsCache() {
+				spec := base
+				spec.Workload = strings.TrimSpace(wl)
+				spec.Design = "none"
+				spec.Interval = 0
+				spec.Scheme = sch
+				if err := spec.Validate(); err != nil {
+					return nil, err
+				}
+				cells = append(cells, spec)
+				continue
+			}
+			for _, d := range designs {
+				spec := base
+				spec.Workload = strings.TrimSpace(wl)
+				spec.Design = strings.TrimSpace(d)
+				if sch != "" && sch != "migrate" {
+					spec.Scheme = sch
+				}
+				if err := spec.Validate(); err != nil {
+					return nil, err
+				}
+				cells = append(cells, spec)
+			}
 		}
 	}
 	return cells, nil
@@ -656,6 +712,7 @@ func parseDesign(s string) (designChoice, bool) {
 type singleRunConfig struct {
 	Workload string
 	Design   designChoice
+	Scheme   string // on-package scheme name ("" = migrate)
 	Interval uint64
 	Page     uint64
 	Channels int
@@ -679,6 +736,7 @@ type singleRunConfig struct {
 type singleRunOutput struct {
 	Workload string
 	Design   string
+	Scheme   string `json:",omitempty"`
 	Interval uint64
 	PageSize uint64 `json:",omitempty"`
 	Channels int    `json:",omitempty"`
@@ -690,6 +748,7 @@ type singleRunOutput struct {
 func singleRun(ctx context.Context, w io.Writer, c singleRunConfig) error {
 	cfg := heteromem.Config{
 		MacroPageSize: c.Page,
+		Scheme:        c.Scheme,
 		Channels:      c.Channels,
 		Warmup:        c.Warmup,
 		Metrics:       c.Metrics,
@@ -754,6 +813,7 @@ func singleRun(ctx context.Context, w io.Writer, c singleRunConfig) error {
 	out := singleRunOutput{
 		Workload: c.Workload,
 		Design:   c.Design.name,
+		Scheme:   c.Scheme,
 		Interval: c.Interval,
 		PageSize: c.Page,
 		Channels: c.Channels,

@@ -41,6 +41,7 @@ import (
 	"heteromem/internal/core"
 	"heteromem/internal/fault"
 	"heteromem/internal/obs"
+	"heteromem/internal/scheme"
 	"heteromem/internal/sim"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -81,6 +82,14 @@ type Config struct {
 	SubBlockSize      uint64
 
 	Migration Migration
+
+	// Scheme selects the on-package capacity policy by name: "" or
+	// "migrate" (the paper's designs, the default), "alloy", "alloy-pred",
+	// "cachemode", or "memcache[:PCT]". The cache schemes ("alloy",
+	// "cachemode") manage the whole on-package capacity as a cache and
+	// reject Migration.Enabled; "memcache" requires it and migrates only
+	// its memory share.
+	Scheme string
 
 	// Channels shards the memory system across this many per-channel
 	// controllers (a power of two; 0 and 1 both mean a single controller).
@@ -209,6 +218,17 @@ func New(c Config) (*System, error) {
 		}
 		scfg.OSAssisted = c.OSAssisted || scfg.Geometry.MacroPageSize < 1*MiB
 	}
+	sp, err := scheme.Parse(c.Scheme)
+	if err != nil {
+		return nil, fmt.Errorf("heteromem: %w", err)
+	}
+	if sp.IsCache() && c.Migration.Enabled {
+		return nil, fmt.Errorf("heteromem: scheme %s manages the on-package capacity as a cache; disable Migration", sp)
+	}
+	if sp.Kind == scheme.KindMemCache && !c.Migration.Enabled {
+		return nil, fmt.Errorf("heteromem: scheme %s migrates its memory share; enable Migration", sp)
+	}
+	scfg.Scheme = sp
 	scfg.Channels = c.Channels
 	scfg.InterleaveBytes = c.InterleaveBytes
 	scfg.HopLatency = c.HopLatency

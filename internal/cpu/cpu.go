@@ -104,6 +104,22 @@ func DefaultModel() Model {
 	return Model{BaseCPI: 1.0, AccessPerInstr: 0.3, Cores: 4, MLPOverlap: 0.8}
 }
 
+// EstimateIPC converts a mean memory-access latency (in cycles) into the
+// model's aggregate IPC under the approximation that every trace record
+// misses the SRAM hierarchy — the regime of the post-L3 memory traces the
+// sim package consumes. Dividing the RunWarm accounting by the access
+// count collapses it to
+//
+//	IPC = Cores / (BaseCPI + AccessPerInstr · MLPOverlap · meanLat)
+//
+// It prices recorded sim results (e.g. sweep manifest cells) into IPC
+// without re-simulating: absolute values sit below Fig. 5's (no SRAM hits
+// dilute the stalls), but the relative ordering across memory
+// configurations is preserved.
+func (m Model) EstimateIPC(meanLat float64) float64 {
+	return float64(m.Cores) / (m.BaseCPI + m.AccessPerInstr*m.MLPOverlap*meanLat)
+}
+
 // Result is one configuration's outcome.
 type Result struct {
 	Config      string

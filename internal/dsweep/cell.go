@@ -6,6 +6,7 @@ import (
 
 	"heteromem/internal/core"
 	"heteromem/internal/experiments"
+	"heteromem/internal/scheme"
 	"heteromem/internal/sim"
 	"heteromem/internal/workload"
 )
@@ -25,6 +26,12 @@ type CellSpec struct {
 	Records  uint64 `json:"records"`             // record budget (must be > 0)
 	Warmup   uint64 `json:"warmup,omitempty"`    // records excluded from statistics
 	Channels int    `json:"channels,omitempty"`  // controller shards (0 or 1 = single)
+
+	// Scheme is the on-package capacity policy by name (internal/scheme):
+	// absent or empty means the paper's migration scheme, so every pre-v2
+	// cell file keeps its meaning. The field is why ProtocolVersion is 2: a
+	// v1 worker would drop it on decode and silently compute the wrong cell.
+	Scheme string `json:"scheme,omitempty"`
 }
 
 // parseDesign maps a CellSpec.Design value to a migration design.
@@ -67,7 +74,18 @@ func (c CellSpec) Config() (sim.Config, error) {
 	if !ok {
 		return sim.Config{}, fmt.Errorf("dsweep: cell %s: unknown design %q", c.Workload, c.Design)
 	}
+	sp, err := scheme.Parse(c.Scheme)
+	if err != nil {
+		return sim.Config{}, fmt.Errorf("dsweep: cell %s: %w", c.Workload, err)
+	}
+	if sp.IsCache() && migrate {
+		return sim.Config{}, fmt.Errorf("dsweep: cell %s: scheme %s takes no migration design (got %q)", c.Workload, sp, c.Design)
+	}
+	if sp.Kind == scheme.KindMemCache && !migrate {
+		return sim.Config{}, fmt.Errorf("dsweep: cell %s: scheme %s needs a migration design", c.Workload, sp)
+	}
 	cfg := sim.Default()
+	cfg.Scheme = sp
 	if c.PageSize > 0 {
 		cfg.Geometry.MacroPageSize = c.PageSize
 	}
@@ -102,5 +120,9 @@ func (c CellSpec) Label() string {
 	if design == "" {
 		design = "none"
 	}
-	return c.Workload + "/" + design
+	l := c.Workload + "/" + design
+	if c.Scheme != "" && c.Scheme != "migrate" {
+		l += "/" + c.Scheme
+	}
+	return l
 }

@@ -95,10 +95,14 @@ func TestChaosKillAndTakeover(t *testing.T) {
 	// stall-the-world swaps make some workloads orders of magnitude slower
 	// in wall time, starving the checkpoint-paced heartbeats past any
 	// reasonable lease TTL.
+	// The alloy cell exercises a non-default scheme under fire: its cache
+	// state (set array, predictor counters) and in-flight scheme jobs must
+	// survive checkpoint takeover byte-identically like the migration state.
 	cells := []CellSpec{
 		{Workload: "pgbench", Seed: 11, Design: "live", Interval: 1000, Records: 4_000_000, Warmup: 500_000},
 		{Workload: "indexer", Seed: 12, Design: "n-1", Interval: 1000, Records: 4_000_000, Warmup: 500_000},
 		{Workload: "FT", Seed: 13, Design: "live", Interval: 1000, Records: 4_000_000},
+		{Workload: "SPECjbb", Seed: 14, Design: "none", Scheme: "alloy-pred", Records: 4_000_000, Warmup: 500_000},
 	}
 	dir := t.TempDir()
 	manifestPath := filepath.Join(dir, "sweep.jsonl")

@@ -18,13 +18,16 @@ import (
 	"heteromem/internal/workload"
 )
 
-// testCells is a small mixed grid: two migrating designs and a static
-// baseline, sized to finish in well under a second each.
+// testCells is a small mixed grid: two migrating designs, a static
+// baseline, and two cache-scheme cells, sized to finish in well under a
+// second each.
 func testCells() []CellSpec {
 	return []CellSpec{
 		{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Records: 60_000, Warmup: 10_000},
 		{Workload: "indexer", Seed: 1, Design: "n-1", Interval: 1000, Records: 60_000, Warmup: 10_000},
 		{Workload: "FT", Seed: 2, Design: "none", Records: 60_000},
+		{Workload: "FT", Seed: 2, Design: "none", Scheme: "alloy", Records: 60_000},
+		{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Scheme: "memcache:25", Records: 60_000},
 	}
 }
 
@@ -186,6 +189,70 @@ func TestCellSpecValidate(t *testing.T) {
 	good := CellSpec{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Records: 10}
 	if err := good.Validate(); err != nil {
 		t.Errorf("good spec rejected: %v", err)
+	}
+}
+
+// TestCellSpecSchemeCompat pins the v1→v2 wire compatibility: a cell line
+// written before the scheme field existed decodes to the default migration
+// scheme and keys identically to an explicit "migrate", while scheme cells
+// key differently and reject design combinations that cannot simulate.
+func TestCellSpecSchemeCompat(t *testing.T) {
+	var legacy CellSpec
+	if err := json.Unmarshal(
+		[]byte(`{"workload":"pgbench","seed":1,"design":"live","interval":1000,"records":10}`),
+		&legacy); err != nil {
+		t.Fatal(err)
+	}
+	if legacy.Scheme != "" {
+		t.Fatalf("legacy cell decoded scheme %q", legacy.Scheme)
+	}
+	if err := legacy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	explicit := legacy
+	explicit.Scheme = "migrate"
+	lk, err := legacy.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ek, err := explicit.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lk != ek {
+		t.Fatalf("absent scheme keys %s, explicit migrate keys %s", lk, ek)
+	}
+
+	static := CellSpec{Workload: "pgbench", Seed: 1, Design: "none", Records: 10}
+	alloy := static
+	alloy.Scheme = "alloy"
+	if err := alloy.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	sk, err := static.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ak, err := alloy.Key()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sk == ak {
+		t.Fatal("alloy cell keys identically to the static cell")
+	}
+	if alloy.Label() != "pgbench/none/alloy" {
+		t.Fatalf("alloy label %q", alloy.Label())
+	}
+
+	bad := []CellSpec{
+		{Workload: "pgbench", Seed: 1, Design: "live", Interval: 1000, Scheme: "alloy", Records: 10},
+		{Workload: "pgbench", Seed: 1, Design: "none", Scheme: "memcache", Records: 10},
+		{Workload: "pgbench", Seed: 1, Design: "none", Scheme: "bogus", Records: 10},
+	}
+	for i, spec := range bad {
+		if err := spec.Validate(); err == nil {
+			t.Errorf("bad scheme spec %d validated: %+v", i, spec)
+		}
 	}
 }
 

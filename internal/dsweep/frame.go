@@ -16,12 +16,22 @@ import (
 // ProtocolVersion is the handshake version. A coordinator refuses workers
 // speaking a different version, so a mixed-build fleet fails fast instead
 // of corrupting the sweep.
-const ProtocolVersion = 1
+//
+// Version history:
+//
+//	1 — initial lease protocol.
+//	2 — CellSpec.Scheme. The bump is load-bearing: a v1 worker would drop
+//	    the unknown JSON field, simulate the default scheme, and report the
+//	    wrong result under the new cell's key — silent corruption, not an
+//	    error.
+const ProtocolVersion = 2
 
-// maxFrame bounds a single frame. Checkpoints dominate frame size; 64 MiB
-// leaves an order of magnitude of headroom over the largest observed
-// snapshot while still rejecting a corrupt length prefix immediately.
-const maxFrame = 64 << 20
+// maxFrame bounds a single frame. Checkpoints dominate frame size: a cache
+// scheme snapshots one packed tag word per on-package block, which reaches
+// ~50 MiB raw — ~70 MiB after the envelope's base64 expansion — so the
+// bound sits well above that while still rejecting a corrupt length prefix
+// immediately.
+const maxFrame = 256 << 20
 
 // Message types. The envelope is a single struct with a type tag rather
 // than per-type payloads: the field set is small, and one shape keeps the

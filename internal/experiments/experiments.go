@@ -120,21 +120,22 @@ type Runner func(ctx context.Context, w io.Writer, p Params) error
 // Registry maps experiment IDs to their drivers.
 func Registry() map[string]Runner {
 	return map[string]Runner{
-		"table1": Table1,
-		"table2": Table2,
-		"table3": Table3,
-		"table4": Table4,
-		"fig4":   Fig4,
-		"fig5":   Fig5,
-		"fig10":  Fig10,
-		"fig11a": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 1000) },
-		"fig11b": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 10000) },
-		"fig11c": func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 100000) },
-		"fig12":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 1000) },
-		"fig13":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 10000) },
-		"fig14":  func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 100000) },
-		"fig15":  Fig15,
-		"fig16":  Fig16,
+		"table1":  Table1,
+		"table2":  Table2,
+		"table3":  Table3,
+		"table4":  Table4,
+		"fig4":    Fig4,
+		"fig5":    Fig5,
+		"fig10":   Fig10,
+		"fig11a":  func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 1000) },
+		"fig11b":  func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 10000) },
+		"fig11c":  func(ctx context.Context, w io.Writer, p Params) error { return Fig11(ctx, w, p, 100000) },
+		"fig12":   func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 1000) },
+		"fig13":   func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 10000) },
+		"fig14":   func(ctx context.Context, w io.Writer, p Params) error { return Fig1214(ctx, w, p, 100000) },
+		"fig15":   Fig15,
+		"fig16":   Fig16,
+		"schemes": Schemes,
 	}
 }
 

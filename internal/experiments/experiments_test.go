@@ -21,6 +21,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig4", "fig5", "fig10",
 		"fig11a", "fig11b", "fig11c",
 		"fig12", "fig13", "fig14", "fig15", "fig16",
+		"schemes",
 	}
 	reg := Registry()
 	for _, name := range want {

@@ -4,11 +4,13 @@ import (
 	"bufio"
 	"encoding/json"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sync"
 	"sync/atomic"
 
+	"heteromem/internal/scheme"
 	"heteromem/internal/sim"
 )
 
@@ -41,12 +43,17 @@ type Manifest struct {
 }
 
 // manifestRecord is one JSONL line: the cell key plus the fields it was
-// derived from (for human inspection) and the completed run's Result.
+// derived from (for human inspection and cross-scheme reporting) and the
+// completed run's Result. Design and Scheme are derived from the config at
+// store time; both stay absent for pre-scheme cells, so old ledgers and new
+// ones interleave cleanly.
 type manifestRecord struct {
 	Key      string          `json:"key"`
 	Workload string          `json:"workload"`
 	Seed     int64           `json:"seed"`
 	Records  uint64          `json:"records"`
+	Design   string          `json:"design,omitempty"`
+	Scheme   string          `json:"scheme,omitempty"`
 	Digest   string          `json:"digest"`
 	Result   json.RawMessage `json:"result"`
 }
@@ -268,6 +275,12 @@ func (m *Manifest) storeRaw(key, name string, seed int64, cfg sim.Config, raw js
 		Digest:   fmt.Sprintf("%016x", sim.ConfigDigest(cfg)),
 		Result:   raw,
 	}
+	if cfg.Migration != nil {
+		rec.Design = cfg.Migration.Design.String()
+	}
+	if cfg.Scheme != (scheme.Spec{}) {
+		rec.Scheme = cfg.Scheme.String()
+	}
 	line, err := json.Marshal(rec)
 	if err != nil {
 		return err
@@ -282,6 +295,60 @@ func (m *Manifest) storeRaw(key, name string, seed int64, cfg sim.Config, raw js
 		return err
 	}
 	return m.file.Sync()
+}
+
+// ManifestEntry is the read-only view of one completed sweep cell, as
+// recorded in the manifest ledger. Design and Scheme are empty for cells
+// written before those fields existed (such cells ran the default migration
+// scheme, but the design is unrecoverable without the original sweep grid).
+type ManifestEntry struct {
+	Key      string
+	Workload string
+	Seed     int64
+	Records  uint64
+	Design   string
+	Scheme   string
+	Result   sim.Result
+}
+
+// ReadManifest decodes every well-formed line of a sweep manifest, last
+// line winning per cell key (mirroring OpenManifest's superseding rule),
+// in first-seen key order. Torn or foreign lines are skipped, matching the
+// ledger's crash-tolerance contract.
+func ReadManifest(r io.Reader) ([]ManifestEntry, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 64<<20)
+	var order []string
+	byKey := map[string]ManifestEntry{}
+	for sc.Scan() {
+		var rec manifestRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil || rec.Key == "" {
+			continue
+		}
+		e := ManifestEntry{
+			Key:      rec.Key,
+			Workload: rec.Workload,
+			Seed:     rec.Seed,
+			Records:  rec.Records,
+			Design:   rec.Design,
+			Scheme:   rec.Scheme,
+		}
+		if err := json.Unmarshal(rec.Result, &e.Result); err != nil {
+			continue
+		}
+		if _, seen := byKey[rec.Key]; !seen {
+			order = append(order, rec.Key)
+		}
+		byKey[rec.Key] = e
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("experiments: reading manifest: %w", err)
+	}
+	out := make([]ManifestEntry, 0, len(order))
+	for _, key := range order {
+		out = append(out, byKey[key])
+	}
+	return out, nil
 }
 
 // Close flushes and closes the manifest file.

@@ -11,6 +11,8 @@ import (
 	"testing"
 	"time"
 
+	"heteromem/internal/core"
+	"heteromem/internal/scheme"
 	"heteromem/internal/sim"
 )
 
@@ -346,5 +348,55 @@ func TestManifestWithTelemetry(t *testing.T) {
 	}
 	if err := man.Close(); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestManifestSchemeFields pins the design/scheme ledger columns: stored
+// cells carry the names derived from their config, pre-scheme cells stay
+// field-free, and ReadManifest surfaces both for cross-scheme reporting.
+func TestManifestSchemeFields(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	man, err := OpenManifest(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	static := sim.Default()
+	static.MaxRecords = 10
+	mig := sim.Default()
+	mig.MaxRecords = 10
+	mig.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cache := sim.Default()
+	cache.MaxRecords = 10
+	cache.Scheme, _ = scheme.Parse("alloy-pred")
+	for _, c := range []sim.Config{static, mig, cache} {
+		if err := man.store("pgbench", 1, c, sim.Result{Records: 10}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := man.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := os.Open(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	entries, err := ReadManifest(f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 3 {
+		t.Fatalf("ReadManifest returned %d entries, want 3", len(entries))
+	}
+	want := []struct{ design, scheme string }{{"", ""}, {"Live", ""}, {"", "alloy-pred"}}
+	for i, w := range want {
+		if entries[i].Design != w.design || entries[i].Scheme != w.scheme {
+			t.Errorf("entry %d: design=%q scheme=%q, want %q/%q",
+				i, entries[i].Design, entries[i].Scheme, w.design, w.scheme)
+		}
+		if entries[i].Workload != "pgbench" || entries[i].Result.Records != 10 {
+			t.Errorf("entry %d payload wrong: %+v", i, entries[i])
+		}
 	}
 }

@@ -293,6 +293,15 @@ func (h *Hub) Report() Report {
 		if c.mig != nil {
 			r.Migration.Merge(c.mig.Stats())
 		}
+		if c.cache != nil {
+			if r.Scheme == nil {
+				r.Scheme = &SchemeReport{Name: c.policy.String()}
+			}
+			r.Scheme.Stats.Add(c.policy.Stats())
+		}
+	}
+	if r.Scheme != nil {
+		r.Scheme.HitRate = r.Scheme.Stats.HitRate()
 	}
 	r.P95 = hist.Percentile(95)
 	if nDone > 0 {

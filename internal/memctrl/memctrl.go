@@ -18,6 +18,7 @@ import (
 	"heteromem/internal/obs"
 	"heteromem/internal/power"
 	"heteromem/internal/sched"
+	"heteromem/internal/scheme"
 	"heteromem/internal/stats"
 )
 
@@ -63,6 +64,13 @@ type Config struct {
 	// (lowest addresses on-package).
 	Migration *core.Options
 
+	// Scheme selects the on-package capacity policy (internal/scheme).
+	// The zero value is the paper's migration scheme and leaves every code
+	// path byte-identical to pre-scheme builds. The cache kinds (alloy,
+	// cachemode) require Migration == nil and Audit off; memcache requires
+	// Migration and runs it over the memory share of the capacity.
+	Scheme scheme.Spec
+
 	// OSAssisted charges the OS epoch overhead (user/kernel switch) on
 	// every epoch boundary instead of assuming hardware table updates.
 	OSAssisted bool
@@ -107,6 +115,21 @@ type Controller struct {
 	offSch *sched.Scheduler
 
 	mig *core.Migrator
+
+	// The capacity policy (internal/scheme). policy is non-nil for every
+	// scheme; cache is the block-grain engine and stays nil under the
+	// default migration scheme, which keeps the pre-scheme code paths (and
+	// their goldens) untouched. onCap is the machine-space boundary of the
+	// on-package region: the full on-package capacity normally, the
+	// memory-part size under memcache. migSlots is how many on-package
+	// frames the migrator manages (all of them except under memcache).
+	policy   scheme.Scheme
+	cache    scheme.Cache
+	onCap    uint64
+	migSlots uint64
+
+	// Sentinel metadata for scheme background traffic (see schemeJob).
+	sjFill, sjWB, sjVictimRd, sjProbe, sjWasted *schemeJob
 
 	// Freelists for the per-access and per-copy-leg objects. Access metadata
 	// lives in the Request itself and leg metadata hangs off BulkJob.Meta
@@ -214,6 +237,33 @@ type stepState struct {
 	completed []int // sub indices whose write leg landed (rollback needs them)
 }
 
+// schemeJob is the BulkJob.Meta sentinel distinguishing cache-scheme
+// background traffic (fills, writebacks, victim reads, parallel probes,
+// wasted predictor fetches) from migration copy legs. The five instances
+// live on the controller; pointer identity selects the completion
+// accounting and kind tags them in checkpoints.
+type schemeJob struct {
+	on   bool  // region whose bus the job occupies
+	kind uint8 // checkpoint tag (sjKind*)
+}
+
+// Bulk-job kind tags in checkpoints: 0 is a migration copy leg.
+const (
+	sjKindFill uint8 = iota + 1
+	sjKindWB
+	sjKindVictimRd
+	sjKindProbe
+	sjKindWasted
+)
+
+// Request.Stage values for the cache schemes' multi-leg accesses. Stage 0
+// is a plain data access (every request of the default scheme).
+const (
+	stageTagHit   uint8 = iota + 1 // serial tag read; data follows on-package
+	stageTagMiss                   // serial tag/TAD read; data follows off-package
+	stageMissData                  // off-package miss data; owes the fill at completion
+)
+
 // New builds the controller. onResult may be nil.
 func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 	if err := cfg.Geometry.Validate(); err != nil {
@@ -252,9 +302,54 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 	if err != nil {
 		return nil, err
 	}
+	if err := cfg.Scheme.Validate(); err != nil {
+		return nil, fmt.Errorf("memctrl: %w", err)
+	}
+	c.onCap = g.OnPackageCapacity
+	c.migSlots = uint64(g.OnPackageSlots())
+	switch cfg.Scheme.Kind {
+	case scheme.KindAlloy, scheme.KindCacheMode:
+		if cfg.Migration != nil {
+			return nil, fmt.Errorf("memctrl: scheme %s manages the on-package capacity as a cache; migration does not apply", cfg.Scheme)
+		}
+		if cfg.Audit {
+			return nil, fmt.Errorf("memctrl: scheme %s has no translation table to audit", cfg.Scheme)
+		}
+		if cfg.Scheme.Kind == scheme.KindAlloy {
+			a, aerr := scheme.NewAlloy(cfg.Scheme, g.OnPackageCapacity, 0, g.BurstBytes)
+			if aerr != nil {
+				return nil, fmt.Errorf("memctrl: %w", aerr)
+			}
+			c.policy, c.cache = a, a
+		} else {
+			tc, terr := scheme.NewTagCache(cfg.Scheme, g.OnPackageCapacity, g.BurstBytes)
+			if terr != nil {
+				return nil, fmt.Errorf("memctrl: %w", terr)
+			}
+			c.policy, c.cache = tc, tc
+		}
+	case scheme.KindMemCache:
+		if cfg.Migration == nil {
+			return nil, fmt.Errorf("memctrl: scheme %s runs its memory part under migration; Migration options are required", cfg.Scheme)
+		}
+		mc, merr := scheme.NewMemCache(cfg.Scheme, g.OnPackageCapacity, g.MacroPageSize, g.BurstBytes)
+		if merr != nil {
+			return nil, fmt.Errorf("memctrl: %w", merr)
+		}
+		c.policy, c.cache = mc, mc
+		c.onCap = mc.MemBytes()
+		c.migSlots = mc.MemBytes() / g.MacroPageSize
+	}
+	if c.cache != nil {
+		c.sjFill = &schemeJob{on: true, kind: sjKindFill}
+		c.sjWB = &schemeJob{on: false, kind: sjKindWB}
+		c.sjVictimRd = &schemeJob{on: true, kind: sjKindVictimRd}
+		c.sjProbe = &schemeJob{on: true, kind: sjKindProbe}
+		c.sjWasted = &schemeJob{on: false, kind: sjKindWasted}
+	}
 	if cfg.Migration != nil {
 		opt := *cfg.Migration
-		opt.Slots = g.OnPackageSlots()
+		opt.Slots = c.migSlots
 		opt.TotalPages = g.TotalPages()
 		opt.PageSize = g.MacroPageSize
 		opt.SubBlockSize = g.SubBlockSize
@@ -265,6 +360,9 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		if cfg.Audit {
 			c.aud = check.New(c.mig.Table(), c.mig.Design())
 		}
+	}
+	if c.policy == nil {
+		c.policy = &scheme.Migrate{Mig: c.mig}
 	}
 	c.inj, err = fault.New(cfg.Fault)
 	if err != nil {
@@ -447,6 +545,14 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 	c.onSch.Advance(c.now)
 	c.offSch.Advance(c.now)
 
+	if c.cache != nil && c.mig == nil {
+		// Pure cache scheme (alloy, cachemode): no migration engine, no
+		// stalls, no OS penalties — the capacity policy is the cache
+		// engine plus the request chain cacheRoute submits.
+		c.cacheRoute(phys, phys, write, now)
+		return nil
+	}
+
 	issue := now
 	if c.stallUntil > issue {
 		issue = c.stallUntil // N design halts execution during a swap
@@ -466,7 +572,9 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 	if onPkg {
 		region = OnPackage
 		c.inst.accOn.Inc()
-	} else {
+	} else if c.cache == nil {
+		// Under memcache the cache part still gets a say; cacheRoute
+		// counts the access once the hit side is known.
 		c.inst.accOff.Inc()
 	}
 
@@ -508,6 +616,13 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 		}
 	}
 
+	if c.cache != nil && !onPkg {
+		// memcache: the page lives outside the memory part, so the cache
+		// part gets a shot at it before the access pays the off-package trip.
+		c.cacheRoute(phys, machine, write, issue)
+		return nil
+	}
+
 	lookup := int64(0)
 	if c.mig != nil {
 		lookup = c.cfg.Latencies.TranslationLookup
@@ -528,10 +643,145 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 		req.Addr = machine
 		c.onSch.Submit(req, arrive)
 	} else {
-		req.Addr = machine - c.cfg.Geometry.OnPackageCapacity
+		req.Addr = machine - c.onCap
 		c.offSch.Submit(req, arrive)
 	}
 	return nil
+}
+
+// schemeOffAddr maps a machine address to the off-package device space under
+// a cache scheme. The pure caches back the whole physical space off-package;
+// memcache stacks the off region above its memory part like the default
+// scheme stacks it above the full capacity.
+func (c *Controller) schemeOffAddr(machine uint64) uint64 {
+	if c.mig != nil {
+		return machine - c.onCap
+	}
+	return machine
+}
+
+// cacheRoute runs one access through the cache engine and submits the
+// request chain it calls for. machine is the access's off-package home
+// (equal to phys for the pure cache schemes); issue already includes any
+// stall or OS penalty the caller charged.
+func (c *Controller) cacheRoute(phys, machine uint64, write bool, issue int64) {
+	res := c.cache.Lookup(phys, write)
+	if res.Hit {
+		c.inst.accOn.Inc()
+	} else {
+		c.inst.accOff.Inc()
+	}
+
+	// Background traffic the lookup owes. Each job occupies its region's bus
+	// like a migration copy leg: scheduled into idle gaps, aged if starved.
+	blk := c.cache.BlockBytes()
+	if res.WB {
+		if res.VictimRead {
+			// The tag probe returned no data (cachemode), so the dirty
+			// victim must be read before its off-package write.
+			c.submitSchemeJob(c.sjVictimRd, res.Slot, blk, issue)
+		}
+		c.submitSchemeJob(c.sjWB, res.WBAddr, blk, issue)
+	}
+	if res.WastedOff {
+		// Mispredicted hit: the off-package fetch was launched anyway and
+		// burns off-package bandwidth.
+		c.submitSchemeJob(c.sjWasted, machine, blk, issue)
+	}
+	if res.Probe && res.Parallel {
+		// Predicted miss: the probe burst overlaps the off-package fetch
+		// instead of gating it, so it rides the background queue too.
+		c.submitSchemeJob(c.sjProbe, res.Slot, blk, issue)
+	}
+
+	lookup := int64(0)
+	if c.mig != nil {
+		lookup = c.cfg.Latencies.TranslationLookup
+	}
+
+	c.reqID++
+	r := c.newRequest()
+	r.ID = c.reqID
+	r.Write = write
+	r.Phys = phys
+	r.Issue = issue
+	switch {
+	case res.Hit && !res.Probe:
+		// One on-package burst (alloy TAD hit, or cachemode with a warm
+		// SRAM tag buffer).
+		r.OnPkg = true
+		r.Machine = res.Slot
+		r.Addr = res.Slot
+		inb, _ := c.pathDelays(OnPackage)
+		r.Arrive = issue + lookup + inb
+		c.onSch.Submit(r, r.Arrive)
+	case res.Hit:
+		// Serial in-DRAM tag read, then the data burst: ~2x one on-package
+		// access, the L4 hit cost of the paper's Section II strawman.
+		r.OnPkg = true
+		r.Machine = res.Slot
+		r.Addr = res.Slot
+		r.Stage = stageTagHit
+		r.Aux = res.Slot
+		inb, _ := c.pathDelays(OnPackage)
+		r.Arrive = issue + lookup + inb
+		c.onSch.Submit(r, r.Arrive)
+	case res.Probe && !res.Parallel:
+		// Serial miss probe: the on-package tag/TAD read must answer before
+		// the off-package fetch can launch.
+		r.OnPkg = true
+		r.Machine = machine
+		r.Addr = res.Slot
+		r.Stage = stageTagMiss
+		r.Aux = res.Slot
+		inb, _ := c.pathDelays(OnPackage)
+		r.Arrive = issue + lookup + inb
+		c.onSch.Submit(r, r.Arrive)
+	default:
+		// Straight off-package fetch (probe skipped or overlapped); the
+		// fill into the cache slot is owed when the data lands.
+		r.OnPkg = false
+		r.Machine = machine
+		r.Addr = c.schemeOffAddr(machine)
+		r.Stage = stageMissData
+		r.Aux = res.Slot
+		inb, _ := c.pathDelays(OffPackage)
+		r.Arrive = issue + lookup + inb
+		c.offSch.Submit(r, r.Arrive)
+	}
+}
+
+// submitSchemeJob queues one block of scheme background traffic on the
+// region's bus. The address only picks the channel; the sentinel metadata
+// selects the completion accounting.
+func (c *Controller) submitSchemeJob(sj *schemeJob, addr, bytes uint64, earliest int64) {
+	j := c.newBulkJob()
+	j.Tag = addr
+	j.Duration = c.subDuration(sj.on, bytes, false)
+	j.Earliest = earliest
+	j.Meta = sj
+	c.submitBulk(sj.on, addr, j)
+}
+
+// schemeJobDone retires one scheme background job: meter its energy and
+// recycle it. Fills and writebacks are block copies between the regions;
+// probe and wasted-fetch bursts are plain accesses on their region.
+func (c *Controller) schemeJobDone(sj *schemeJob, j *sched.BulkJob) {
+	if c.cfg.Power != nil {
+		blk := c.cache.BlockBytes()
+		switch sj.kind {
+		case sjKindFill:
+			c.cfg.Power.Copy(false, true, blk, false)
+		case sjKindWB:
+			c.cfg.Power.Copy(true, false, blk, false)
+		case sjKindVictimRd:
+			// Bus-occupancy only: the paired writeback's Copy meters the
+			// on-package read and off-package write energy.
+		case sjKindProbe, sjKindWasted:
+			c.cfg.Power.Access(sj.on, blk)
+		}
+	}
+	c.freeBulkJob(j)
 }
 
 // translate maps a physical address to (machine address, onPackage), using
@@ -559,8 +809,47 @@ func (c *Controller) pathDelays(r Region) (inbound, outbound int64) {
 }
 
 // requestDone finalizes a program access. The scheduler has already dequeued
-// the request, so it is recycled into the pool on the way out.
+// the request, so it is recycled into the pool on the way out. Cache-scheme
+// requests with a non-zero Stage are intermediate legs: they chain the next
+// leg (re-submitting mid-drain is safe — sched re-reads its queues at every
+// drain iteration) and only the final leg reaches the latency accounting.
 func (c *Controller) requestDone(r *sched.Request) {
+	switch r.Stage {
+	case stageTagHit:
+		// Serial tag read answered on-package; the data burst follows in
+		// the same region, back-to-back (the inbound path is already paid).
+		if c.cfg.Power != nil {
+			c.cfg.Power.Access(true, c.cfg.Geometry.BurstBytes)
+		}
+		r.Stage = 0
+		r.Attempts = 0
+		r.Addr = r.Aux
+		r.Machine = r.Aux
+		r.Arrive = r.Done
+		r.Start, r.Done, r.CoreLat = 0, 0, 0
+		c.onSch.Submit(r, c.now)
+		return
+	case stageTagMiss:
+		// Serial probe confirmed the miss; fetch from off-package.
+		if c.cfg.Power != nil {
+			c.cfg.Power.Access(true, c.cfg.Geometry.BurstBytes)
+		}
+		inb, _ := c.pathDelays(OffPackage)
+		r.Stage = stageMissData
+		r.Attempts = 0
+		r.OnPkg = false
+		r.Addr = c.schemeOffAddr(r.Machine)
+		r.Arrive = r.Done + inb
+		r.Start, r.Done, r.CoreLat = 0, 0, 0
+		c.offSch.Submit(r, c.now)
+		return
+	case stageMissData:
+		// Miss data landed; the fill into the cache slot rides the
+		// background queue. Fall through to the normal accounting: this is
+		// the leg that returned data to the core.
+		c.submitSchemeJob(c.sjFill, r.Aux, c.cache.BlockBytes(), r.Done)
+		r.Stage = 0
+	}
 	region := OffPackage
 	if r.OnPkg {
 		region = OnPackage
@@ -619,9 +908,11 @@ func (c *Controller) subDuration(on bool, bytes uint64, exchange bool) int64 {
 	return d
 }
 
-// regionOfMachine reports whether a machine byte address is on-package.
+// regionOfMachine reports whether a machine byte address is on-package from
+// the migrator's point of view: below the full capacity normally, below the
+// memory-part boundary under memcache.
 func (c *Controller) regionOfMachine(machine uint64) bool {
-	return machine < c.cfg.Geometry.OnPackageCapacity
+	return machine < c.onCap
 }
 
 // beginSwap starts executing a swap plan. The N design runs it to
@@ -677,6 +968,10 @@ func (c *Controller) submitBulk(on bool, machine uint64, job *sched.BulkJob) {
 // completion is probed; a faulted leg is retried, accepted, or escalates
 // into a rollback per copyFaultVerdict.
 func (c *Controller) bulkDone(j *sched.BulkJob) {
+	if sj, ok := j.Meta.(*schemeJob); ok {
+		c.schemeJobDone(sj, j)
+		return
+	}
 	meta, _ := j.Meta.(*legMeta)
 	if meta == nil {
 		return
@@ -1030,6 +1325,17 @@ type Report struct {
 	// Faults is the fault-handling ledger; nil when injection is off, so
 	// fault-free reports stay byte-identical (omitted from JSON).
 	Faults *fault.Report `json:",omitempty"`
+
+	// Scheme summarizes the cache-scheme engine; nil under the default
+	// migration scheme so pre-scheme reports stay byte-identical.
+	Scheme *SchemeReport `json:",omitempty"`
+}
+
+// SchemeReport is the cache-scheme section of a Report.
+type SchemeReport struct {
+	Name string
+	scheme.Stats
+	HitRate float64
 }
 
 // Report returns the accumulated statistics.
@@ -1049,6 +1355,10 @@ func (c *Controller) Report() Report {
 		r.Migration = c.mig.Stats()
 	}
 	r.Faults = c.FaultReport()
+	if c.cache != nil {
+		st := c.policy.Stats()
+		r.Scheme = &SchemeReport{Name: c.policy.String(), Stats: st, HitRate: st.HitRate()}
+	}
 	return r
 }
 

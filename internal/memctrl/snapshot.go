@@ -66,6 +66,12 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 		e.I64(r.Issue)
 		e.Bool(r.OnPkg)
 		e.Bool(r.Write)
+		if c.cache != nil {
+			// Cache-scheme leg state; the extra fields are gated on the
+			// scheme so default-scheme checkpoints stay byte-identical.
+			e.U8(r.Stage)
+			e.U64(r.Aux)
+		}
 	}
 	e.U32(uint32(c.onSch.QueueLen() + c.offSch.QueueLen()))
 	c.onSch.ForEachPending(snapMeta)
@@ -89,12 +95,22 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 	}
 	stepRef(c.step)
 	var legs []*legMeta
+	var jobKinds []uint8 // per queued bulk job, walk order; 0 = migration leg
 	collectLeg := func(ch int, j *sched.BulkJob) {
+		if sj, ok := j.Meta.(*schemeJob); ok {
+			if c.cache == nil {
+				e.Fail(fmt.Errorf("memctrl: scheme job %d queued without a cache scheme", j.Tag))
+				return
+			}
+			jobKinds = append(jobKinds, sj.kind)
+			return
+		}
 		meta, _ := j.Meta.(*legMeta)
 		if meta == nil {
 			e.Fail(fmt.Errorf("memctrl: bulk job %d queued without leg metadata", j.Tag))
 			return
 		}
+		jobKinds = append(jobKinds, 0)
 		stepRef(meta.step)
 		legs = append(legs, meta)
 	}
@@ -119,6 +135,14 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 		e.I64(meta.earliest)
 		e.U32(uint32(meta.attempts))
 		e.I64(int64(stepIdx[meta.step]))
+	}
+	if c.cache != nil {
+		// Which queued bulk job carries which metadata: 0 picks the next
+		// migration leg above in order, non-zero a scheme-job sentinel.
+		e.U32(uint32(len(jobKinds)))
+		for _, k := range jobKinds {
+			e.U8(k)
+		}
 	}
 
 	e.U32(uint32(len(c.undoQueue)))
@@ -170,6 +194,13 @@ func (c *Controller) SnapshotTo(e *snap.Encoder) {
 	e.Bool(c.cfg.Power != nil)
 	if c.cfg.Power != nil {
 		c.cfg.Power.SnapshotTo(e)
+	}
+
+	if c.cache != nil {
+		// Scheme state (set array, tag buffer, predictor, stats). Under
+		// memcache this is the cache part only: the migrator already rode
+		// the mig slot above.
+		c.policy.SnapshotTo(e)
 	}
 }
 
@@ -248,6 +279,10 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 			d.Invalid("request %d write flag disagrees with its metadata", r.ID)
 			return d.Err()
 		}
+		if c.cache != nil {
+			r.Stage = d.U8()
+			r.Aux = d.U64()
+		}
 	}
 
 	nSteps := int(d.U32())
@@ -295,25 +330,76 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 	var jobs []*sched.BulkJob
 	c.onSch.ForEachBulk(func(ch int, j *sched.BulkJob) { jobs = append(jobs, j) })
 	c.offSch.ForEachBulk(func(ch int, j *sched.BulkJob) { jobs = append(jobs, j) })
-	if nLegs != len(jobs) {
-		d.Invalid("snapshot has %d leg metadata entries for %d queued bulk jobs", nLegs, len(jobs))
-		return d.Err()
-	}
-	for _, j := range jobs {
+	readLeg := func() (*legMeta, bool) {
 		meta := &legMeta{sub: restoreSubCopy(d)}
 		meta.isRead = d.Bool()
 		meta.dstOn = d.Bool()
 		meta.earliest = d.I64()
 		meta.attempts = int(d.U32())
 		st, ok := stepAt(int(d.I64()))
-		if !ok {
-			return d.Err()
+		if !ok || d.Err() != nil {
+			return nil, false
 		}
 		meta.step = st
+		return meta, true
+	}
+	if c.cache == nil {
+		if nLegs != len(jobs) {
+			d.Invalid("snapshot has %d leg metadata entries for %d queued bulk jobs", nLegs, len(jobs))
+			return d.Err()
+		}
+		for _, j := range jobs {
+			meta, ok := readLeg()
+			if !ok {
+				return d.Err()
+			}
+			j.Meta = meta
+		}
+	} else {
+		// Scheme jobs interleave with migration legs; the kinds array maps
+		// each queued job (walk order) back to its metadata.
+		metas := make([]*legMeta, nLegs)
+		for i := range metas {
+			meta, ok := readLeg()
+			if !ok {
+				return d.Err()
+			}
+			metas[i] = meta
+		}
+		nKinds := int(d.U32())
 		if d.Err() != nil {
 			return d.Err()
 		}
-		j.Meta = meta
+		if nKinds != len(jobs) {
+			d.Invalid("snapshot has %d job kinds for %d queued bulk jobs", nKinds, len(jobs))
+			return d.Err()
+		}
+		li := 0
+		for _, j := range jobs {
+			kind := d.U8()
+			if d.Err() != nil {
+				return d.Err()
+			}
+			if kind == 0 {
+				if li >= len(metas) {
+					d.Invalid("snapshot names more migration legs than it carries (%d)", nLegs)
+					return d.Err()
+				}
+				j.Meta = metas[li]
+				li++
+				continue
+			}
+			sj := c.schemeJobByKind(kind)
+			if sj == nil {
+				d.Invalid("unknown scheme-job kind %d", kind)
+				return d.Err()
+			}
+			j.Meta = sj
+		}
+		if li != len(metas) {
+			d.Invalid("snapshot carries %d migration legs but names %d", len(metas), li)
+			return d.Err()
+		}
 	}
 
 	nUndo := int(d.U32())
@@ -403,7 +489,31 @@ func (c *Controller) RestoreFrom(d *snap.Decoder) error {
 			return err
 		}
 	}
+
+	if c.cache != nil {
+		if err := c.policy.RestoreFrom(d); err != nil {
+			return err
+		}
+	}
 	return d.Err()
+}
+
+// schemeJobByKind resolves a checkpoint kind tag to the controller's
+// sentinel (nil for an unknown tag).
+func (c *Controller) schemeJobByKind(k uint8) *schemeJob {
+	switch k {
+	case sjKindFill:
+		return c.sjFill
+	case sjKindWB:
+		return c.sjWB
+	case sjKindVictimRd:
+		return c.sjVictimRd
+	case sjKindProbe:
+		return c.sjProbe
+	case sjKindWasted:
+		return c.sjWasted
+	}
+	return nil
 }
 
 func snapshotSubCopy(e *snap.Encoder, sc core.SubCopy) {

@@ -51,6 +51,13 @@ type Request struct {
 	Machine uint64
 	Issue   int64
 	OnPkg   bool
+
+	// Stage and Aux extend the intrusive metadata for the cache schemes'
+	// multi-leg accesses (tag probe → data → fill chaining in memctrl):
+	// Stage is the controller's leg state, Aux carries the slot address
+	// across legs. The default scheme leaves both zero.
+	Stage uint8
+	Aux   uint64
 }
 
 // Latency returns the request's region-internal latency (queue + DRAM).

@@ -1,0 +1,47 @@
+package scheme
+
+import (
+	"heteromem/internal/core"
+	"heteromem/internal/snap"
+)
+
+// Migrate is the paper's scheme — the on-package capacity is OS-visible
+// memory managed by the N / N-1 / Live migration designs — refactored
+// behind the Scheme interface as a pure delegation to core.Migrator. The
+// controller drives the migrator through the exact code paths it always
+// had, so the delegation is pinned byte-identical against the pre-scheme
+// perf goldens; what this type adds is the uniform handle the sweep,
+// report, and checkpoint layers use to treat "migrate" as one scheme among
+// several.
+//
+// Mig is nil under static mapping (migration disabled), which is still the
+// migrate scheme: the capacity is memory either way.
+type Migrate struct {
+	Mig *core.Migrator
+}
+
+// Kind implements Scheme.
+func (m *Migrate) Kind() Kind { return KindMigrate }
+
+// String implements Scheme.
+func (m *Migrate) String() string { return "migrate" }
+
+// Stats implements Scheme: the migration scheme has no cache engine, so
+// its scheme-level stats are empty (migration activity reports through
+// core.Stats as always).
+func (m *Migrate) Stats() Stats { return Stats{} }
+
+// SnapshotTo implements snap.Snapshotter by delegating to the migrator.
+func (m *Migrate) SnapshotTo(e *snap.Encoder) {
+	if m.Mig != nil {
+		m.Mig.SnapshotTo(e)
+	}
+}
+
+// RestoreFrom implements snap.Snapshotter by delegating to the migrator.
+func (m *Migrate) RestoreFrom(d *snap.Decoder) error {
+	if m.Mig != nil {
+		return m.Mig.RestoreFrom(d)
+	}
+	return nil
+}

@@ -1,0 +1,175 @@
+package scheme
+
+import (
+	"fmt"
+
+	"heteromem/internal/snap"
+)
+
+// Each slot packs into one word: tag<<2 | dirty<<1 | valid — the same
+// layout the SRAM hierarchy uses (internal/cache), so the recency shuffle
+// is a word copy and a set fits a few cache lines. Physical addresses are
+// at most 48 bits and the tag drops the block and set bits, so the tag
+// always fits the 62 bits above the flag pair.
+const (
+	slotValid = 1 << 0
+	slotDirty = 1 << 1
+	slotTag   = 2 // tag shift
+
+	// TagBits bounds the tags PackSlot accepts losslessly: 48-bit physical
+	// addresses leave at most 48 significant tag bits after the block
+	// shift, comfortably under the 62 the packed word carries.
+	TagBits = 62
+)
+
+// PackSlot packs a slot word. The fuzz target FuzzSetCodec pins that
+// Pack/Unpack round-trip and that distinct tags never alias.
+func PackSlot(tag uint64, dirty, valid bool) uint64 {
+	w := tag << slotTag
+	if dirty {
+		w |= slotDirty
+	}
+	if valid {
+		w |= slotValid
+	}
+	return w
+}
+
+// UnpackSlot unpacks a slot word.
+func UnpackSlot(w uint64) (tag uint64, dirty, valid bool) {
+	return w >> slotTag, w&slotDirty != 0, w&slotValid != 0
+}
+
+// SetArray is the packed slot store shared by the cache schemes: sets×ways
+// words, set-major, index 0 of a set is the MRU way (slot order within a
+// set is recency order, exactly the internal/cache discipline). The set
+// index is block % sets and the tag block / sets, so any set count works —
+// a memcache split leaves the cache part with a non-power-of-two capacity.
+type SetArray struct {
+	sets  uint64
+	ways  int
+	slots []uint64
+}
+
+// NewSetArray builds a sets×ways array.
+func NewSetArray(sets uint64, ways int) (*SetArray, error) {
+	if sets == 0 {
+		return nil, fmt.Errorf("scheme: zero set count")
+	}
+	if ways <= 0 {
+		return nil, fmt.Errorf("scheme: invalid way count %d", ways)
+	}
+	return &SetArray{
+		sets:  sets,
+		ways:  ways,
+		slots: make([]uint64, sets*uint64(ways)),
+	}, nil
+}
+
+// Sets returns the set count.
+func (a *SetArray) Sets() uint64 { return a.sets }
+
+// Probe looks tag up in set. On a hit the way moves to MRU and, for a
+// write, turns dirty; way is the block's recency position after the
+// reorder (always 0 on a hit).
+func (a *SetArray) Probe(set, tag uint64, write bool) (hit bool, way int) {
+	base := int(set) * a.ways
+	ss := a.slots[base : base+a.ways]
+	want := tag<<slotTag | slotValid
+	for i, w := range ss {
+		if w&^uint64(slotDirty) == want {
+			if write {
+				w |= slotDirty
+			}
+			copy(ss[1:i+1], ss[:i])
+			ss[0] = w
+			return true, 0
+		}
+	}
+	return false, 0
+}
+
+// Insert fills tag into set at the MRU way, evicting the LRU way. It
+// returns the victim's tag and flags (victimValid false when the way was
+// empty).
+func (a *SetArray) Insert(set, tag uint64, write bool) (victimTag uint64, victimDirty, victimValid bool) {
+	base := int(set) * a.ways
+	ss := a.slots[base : base+a.ways]
+	victimTag, victimDirty, victimValid = UnpackSlot(ss[a.ways-1])
+	copy(ss[1:], ss[:a.ways-1])
+	ss[0] = PackSlot(tag, write, true)
+	return victimTag, victimDirty && victimValid, victimValid
+}
+
+// SnapshotTo serializes the array sparsely: cold sets stay all-zero for
+// most of a run, so (index, word) pairs keep checkpoints proportional to
+// the touched footprint, not the configured capacity.
+func (a *SetArray) SnapshotTo(e *snap.Encoder) {
+	n := 0
+	for _, w := range a.slots {
+		if w != 0 {
+			n++
+		}
+	}
+	e.U64(a.sets)
+	e.U32(uint32(a.ways))
+	e.U32(uint32(n))
+	for i, w := range a.slots {
+		if w != 0 {
+			e.U32(uint32(i))
+			e.U64(w)
+		}
+	}
+}
+
+// RestoreFrom reads the state written by SnapshotTo.
+func (a *SetArray) RestoreFrom(d *snap.Decoder) error {
+	sets := d.U64()
+	ways := int(d.U32())
+	n := int(d.U32())
+	if d.Err() != nil {
+		return d.Err()
+	}
+	if sets != a.sets || ways != a.ways {
+		d.Invalid("set array shape %dx%d, snapshot has %dx%d", a.sets, a.ways, sets, ways)
+		return d.Err()
+	}
+	clear(a.slots)
+	for k := 0; k < n; k++ {
+		i := d.U32()
+		w := d.U64()
+		if d.Err() != nil {
+			return d.Err()
+		}
+		if int(i) >= len(a.slots) {
+			d.Invalid("slot index %d out of range (%d slots)", i, len(a.slots))
+			return d.Err()
+		}
+		a.slots[i] = w
+	}
+	return d.Err()
+}
+
+func snapshotStats(e *snap.Encoder, s Stats) {
+	e.U64(s.Accesses)
+	e.U64(s.Hits)
+	e.U64(s.Misses)
+	e.U64(s.Fills)
+	e.U64(s.Writebacks)
+	e.U64(s.TagProbes)
+	e.U64(s.ProbeSkips)
+	e.U64(s.WastedOff)
+}
+
+func restoreStats(d *snap.Decoder) Stats {
+	var s Stats
+	s.Accesses = d.U64()
+	s.Hits = d.U64()
+	s.Misses = d.U64()
+	s.Fills = d.U64()
+	s.Writebacks = d.U64()
+	s.TagProbes = d.U64()
+	s.ProbeSkips = d.U64()
+	s.WastedOff = d.U64()
+	return s
+}

@@ -12,6 +12,7 @@ import (
 
 	"heteromem/internal/core"
 	"heteromem/internal/memctrl"
+	"heteromem/internal/scheme"
 	"heteromem/internal/snap"
 	"heteromem/internal/trace"
 )
@@ -51,6 +52,12 @@ func ConfigDigest(cfg Config) uint64 {
 	// BarrierWindow is deliberately excluded: results do not depend on it.
 	ch, il, hop := effectiveSharding(cfg)
 	fmt.Fprintf(h, "|%d|%d|%d", ch, il, hop)
+	// The scheme is appended only when non-default so every pre-scheme
+	// digest (and the checkpoints and sweep manifests keyed on it) is
+	// unchanged for default-scheme runs.
+	if cfg.Scheme != (scheme.Spec{}) {
+		fmt.Fprintf(h, "|scheme=%s", cfg.Scheme)
+	}
 	return h.Sum64()
 }
 

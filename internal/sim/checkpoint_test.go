@@ -9,6 +9,7 @@ import (
 
 	"heteromem/internal/core"
 	"heteromem/internal/fault"
+	"heteromem/internal/scheme"
 	"heteromem/internal/snap"
 	"heteromem/internal/trace"
 	"heteromem/internal/workload"
@@ -96,6 +97,92 @@ func TestResumeEquivalence(t *testing.T) {
 					if got := canonical(t, res); !bytes.Equal(got, want) {
 						t.Fatalf("resume from record %d diverged:\n got %s\nwant %s", n, got, want)
 					}
+				}
+			})
+		}
+	}
+}
+
+// TestResumeEquivalenceSchemes extends the correctness contract to every
+// cache scheme: resume from any boundary is byte-identical, with the cache
+// state (set arrays, tag buffer, predictor counters) and in-flight scheme
+// jobs riding the checkpoint.
+func TestResumeEquivalenceSchemes(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		migrate bool // memcache keeps the migration engine
+	}{
+		{name: "alloy"},
+		{name: "alloy-pred"},
+		{name: "cachemode"},
+		{name: "memcache", migrate: true},
+		{name: "memcache-pred:25", migrate: true},
+	} {
+		for _, faults := range []bool{false, true} {
+			t.Run(fmt.Sprintf("%s/faults=%v", tc.name, faults), func(t *testing.T) {
+				cfg := equivConfig(core.DesignLive, faults)
+				if !tc.migrate {
+					cfg.Migration = nil
+				}
+				sp, err := scheme.Parse(tc.name)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Scheme = sp
+
+				base, err := Run(equivSource(t), cfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				want := canonical(t, base)
+				if base.Report.Scheme == nil || base.Report.Scheme.Accesses == 0 {
+					t.Fatal("scheme engine saw no traffic")
+				}
+
+				cps := map[uint64][]byte{}
+				ckCfg := cfg
+				ckCfg.CheckpointEvery = 1_000
+				ckCfg.CheckpointSink = func(data []byte, n uint64) error {
+					cps[n] = append([]byte(nil), data...)
+					return nil
+				}
+				ckRes, err := Run(equivSource(t), ckCfg)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if got := canonical(t, ckRes); !bytes.Equal(got, want) {
+					t.Fatalf("checkpointing changed the result:\n got %s\nwant %s", got, want)
+				}
+				if len(cps) == 0 {
+					t.Fatal("no checkpoints captured")
+				}
+				for n, data := range cps {
+					resCfg := cfg
+					resCfg.Resume = data
+					res, err := Run(equivSource(t), resCfg)
+					if err != nil {
+						t.Fatalf("resume from %d: %v", n, err)
+					}
+					if got := canonical(t, res); !bytes.Equal(got, want) {
+						t.Fatalf("resume from record %d diverged:\n got %s\nwant %s", n, got, want)
+					}
+				}
+
+				// A scheme checkpoint must not resume under another scheme:
+				// the digest carries the spec.
+				var anyCp []byte
+				for _, data := range cps {
+					anyCp = data
+					break
+				}
+				wrong := cfg
+				wrong.Scheme = scheme.Spec{}
+				if !tc.migrate {
+					wrong.Migration = equivConfig(core.DesignLive, faults).Migration
+				}
+				wrong.Resume = anyCp
+				if _, err := Run(equivSource(t), wrong); !errors.Is(err, ErrConfigMismatch) {
+					t.Fatalf("cross-scheme resume: got %v, want ErrConfigMismatch", err)
 				}
 			})
 		}

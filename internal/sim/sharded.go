@@ -63,6 +63,7 @@ func runSharded(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 		OffTiming:  cfg.OffTiming,
 		OnTiming:   cfg.OnTiming,
 		Migration:  cfg.Migration,
+		Scheme:     cfg.Scheme,
 		OSAssisted: cfg.OSAssisted,
 		Sched:      cfg.Sched,
 		Audit:      cfg.Audit,

@@ -22,6 +22,7 @@ import (
 	"heteromem/internal/obs"
 	"heteromem/internal/power"
 	"heteromem/internal/sched"
+	"heteromem/internal/scheme"
 	"heteromem/internal/trace"
 )
 
@@ -35,6 +36,11 @@ type Config struct {
 	// Migration enables dynamic migration; nil simulates the static
 	// mapping (the "w/o migration" baseline rows of Table IV).
 	Migration *core.Options
+
+	// Scheme selects the on-package capacity policy (internal/scheme). The
+	// zero value is the paper's migration scheme and keeps configs,
+	// digests, and results byte-identical to pre-scheme builds.
+	Scheme scheme.Spec
 
 	// OSAssisted charges the OS-epoch overhead; the experiment drivers set
 	// it for macro pages < 1 MB per the paper's feasibility split.
@@ -244,6 +250,7 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 		OffTiming:  cfg.OffTiming,
 		OnTiming:   cfg.OnTiming,
 		Migration:  cfg.Migration,
+		Scheme:     cfg.Scheme,
 		OSAssisted: cfg.OSAssisted,
 		Sched:      cfg.Sched,
 		Audit:      cfg.Audit,
