@@ -64,6 +64,7 @@ FUZZTIME ?= 30s
 fuzz:
 	$(GO) test ./internal/trace/ -fuzz FuzzTextReader -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/trace/ -fuzz FuzzReader -fuzztime $(FUZZTIME)
+	$(GO) test ./internal/trace/ -fuzz FuzzPackedTrace -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/fault/ -fuzz FuzzParseSchedule -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/snap/ -fuzz FuzzSnapshotRestore -fuzztime $(FUZZTIME)
 	$(GO) test ./internal/addr/ -fuzz FuzzAddressMapping -fuzztime $(FUZZTIME)
@@ -76,8 +77,8 @@ fuzz:
 # serialization overhead, and the AccessPathScheme variants against the
 # AccessPath designs to bound what each capacity scheme's bookkeeping
 # costs per record.
-BENCH_TXT ?= BENCH_pr9.txt
-BENCH_JSON ?= BENCH_pr9.json
+BENCH_TXT ?= BENCH_pr10.txt
+BENCH_JSON ?= BENCH_pr10.json
 BENCH_COUNT ?= 3
 bench:
 	$(GO) test -bench . -benchmem -count $(BENCH_COUNT) -run '^$$' . | tee $(BENCH_TXT)
@@ -87,9 +88,9 @@ bench:
 # slower than OLD past the threshold (default 10%, with an absolute ns/op
 # jitter floor) or allocates more. -count'ed archives are folded to each
 # benchmark's best sample, so the gate compares code, not host load.
-#   make benchdiff OLD=BENCH_pr8.json NEW=BENCH_pr9.json
-OLD ?= BENCH_pr8.json
-NEW ?= BENCH_pr9.json
+#   make benchdiff OLD=BENCH_pr9.json NEW=BENCH_pr10.json
+OLD ?= BENCH_pr9.json
+NEW ?= BENCH_pr10.json
 benchdiff:
 	$(GO) run ./tools/benchdiff $(OLD) $(NEW)
 

@@ -507,6 +507,74 @@ func BenchmarkEndToEndSimulation(b *testing.B) {
 	}
 }
 
+// BenchmarkBatchReplay is EndToEndSimulation over the packed replay path
+// the experiment drivers use: the trace is materialized into the packed
+// columnar form untimed, then the simulator replays it batch-at-a-time.
+// Compare against BenchmarkEndToEndSimulation to see what replacing the
+// generator with the chunk decoder buys on the record path.
+func BenchmarkBatchReplay(b *testing.B) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := trace.Pack(gen, uint64(b.N))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := sim.Default()
+	cfg.Geometry.MacroPageSize = 64 * KiB
+	cfg.Migration = &core.Options{Design: core.DesignLive, SwapInterval: 1000}
+	cfg.MaxRecords = uint64(b.N)
+	b.ResetTimer()
+	if _, err := sim.Run(trace.NewPackedSource(p), cfg); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// BenchmarkPackedEncode packs b.N generator records; the reported
+// compression-x metric is the in-memory []Record footprint over the packed
+// bytes (the tentpole's >= 4x size target).
+func BenchmarkPackedEncode(b *testing.B) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	recs, err := trace.Collect(trace.NewLimit(gen, uint64(b.N)), 0)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	p := trace.PackRecords(recs)
+	b.StopTimer()
+	b.ReportMetric(float64(len(recs)*24)/float64(p.EncodedBytes()), "compression-x")
+}
+
+// BenchmarkPackedDecode measures the chunk decoder alone: b.N records
+// streamed out of a packed trace through NextBatch into a reused batch.
+// This is the per-record cost every sweep cell pays to replay a trace.
+func BenchmarkPackedDecode(b *testing.B) {
+	gen, err := workload.NewMemory("SPEC2006", 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const records = 1 << 20
+	p, err := trace.Pack(gen, records)
+	if err != nil {
+		b.Fatal(err)
+	}
+	src := trace.NewPackedSource(p)
+	var batch trace.Batch
+	batch.Resize(trace.PackedChunkRecords)
+	b.ResetTimer()
+	for n := 0; n < b.N; {
+		k, err := src.NextBatch(&batch)
+		n += k
+		if err != nil { // io.EOF: rewind and keep streaming
+			src.Reset()
+		}
+	}
+}
+
 // benchTemporal is the end-to-end access benchmark with the temporal
 // observability layer at a given setting; compare Off against On with
 // benchstat. Off must stay within 5% of a build without the layer — the

@@ -1,0 +1,181 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden files")
+
+// genFile writes a small deterministic trace in the given format and
+// returns its path.
+func genFile(t *testing.T, format string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "trace."+format)
+	args := []string{"-workload", "pgbench", "-seed", "3", "-n", "2000", "-o", path}
+	switch format {
+	case "text":
+		args = append(args, "-text")
+	case "packed":
+		args = append(args, "-packed")
+	}
+	if err := cmdGen(args, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// run invokes one subcommand and captures its stdout.
+func run(t *testing.T, cmd func([]string, io.Writer) error, args ...string) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := cmd(args, &buf); err != nil {
+		t.Fatal(err)
+	}
+	return buf.String()
+}
+
+func checkGolden(t *testing.T, name, got string) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden (generate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Fatalf("%s diverged from golden:\n got:\n%s\nwant:\n%s", name, got, want)
+	}
+}
+
+// TestCatFormatsAgree pins that the three containers carry the identical
+// record stream: cat over binary, text-generated, and packed files of the
+// same workload/seed must render the same text, which is also a golden.
+func TestCatFormatsAgree(t *testing.T) {
+	bin := genFile(t, "bin")
+	packed := genFile(t, "packed")
+
+	fromBin := run(t, cmdCat, "-i", bin)
+	fromPacked := run(t, cmdCat, "-i", packed)
+	if fromBin != fromPacked {
+		t.Fatal("cat over packed diverged from cat over binary")
+	}
+	// The text generator writes the same stream directly.
+	text, err := os.ReadFile(genFile(t, "text"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fromBin != string(text) {
+		t.Fatal("gen -text diverged from cat over binary")
+	}
+	lines := strings.SplitAfter(fromBin, "\n")
+	if len(lines) < 32 {
+		t.Fatalf("only %d lines of cat output", len(lines))
+	}
+	checkGolden(t, "cat_head.golden", strings.Join(lines[:32], ""))
+}
+
+// TestCatSkipPacked exercises -skip through the packed Positioner: skipping
+// N records must yield exactly the tail of the full rendering.
+func TestCatSkipPacked(t *testing.T) {
+	packed := genFile(t, "packed")
+	full := strings.SplitAfter(run(t, cmdCat, "-i", packed), "\n")
+	const skip = 1234
+	got := run(t, cmdCat, "-i", packed, "-skip", "1234")
+	if want := strings.Join(full[skip:], ""); got != want {
+		t.Fatalf("cat -skip %d diverged:\n got:\n%.200s\nwant:\n%.200s", skip, got, want)
+	}
+	if out := run(t, cmdCat, "-i", packed, "-skip", "2000"); out != "" {
+		t.Fatalf("skip to end still printed %d bytes", len(out))
+	}
+	if err := cmdCat([]string{"-i", packed, "-skip", "2001"}, io.Discard); err == nil {
+		t.Fatal("skip past end accepted")
+	}
+}
+
+// TestInfoGolden pins the info rendering for both containers.
+func TestInfoGolden(t *testing.T) {
+	bin := genFile(t, "bin")
+	packed := genFile(t, "packed")
+	got := run(t, cmdInfo, "-i", bin)
+	if fromPacked := run(t, cmdInfo, "-i", packed); fromPacked != got {
+		t.Fatal("info over packed diverged from info over binary")
+	}
+	checkGolden(t, "info.golden", got)
+}
+
+// TestConvert drives every conversion pair through the new subcommand and
+// checks the packed container actually compresses.
+func TestConvert(t *testing.T) {
+	bin := genFile(t, "bin")
+	dir := t.TempDir()
+
+	packed := filepath.Join(dir, "trace.hmpk")
+	if err := cmdConvert([]string{"-i", bin, "-to", "packed", "-o", packed}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	head, err := os.ReadFile(packed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(head) < 4 || string(head[:4]) != "HMPK" {
+		t.Fatalf("converted file does not start with HMPK: %q", head[:4])
+	}
+	binInfo, err := os.Stat(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if int64(len(head))*3 > binInfo.Size() {
+		t.Fatalf("packed %d bytes vs binary %d: expected >= 3x smaller", len(head), binInfo.Size())
+	}
+
+	// packed -> bin must reproduce the original binary file byte-for-byte.
+	back := filepath.Join(dir, "back.bin")
+	if err := cmdConvert([]string{"-i", packed, "-to", "bin", "-o", back}, io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	orig, err := os.ReadFile(bin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(orig, got) {
+		t.Fatal("bin -> packed -> bin round trip changed the file")
+	}
+
+	// convert -to text matches cat.
+	if text := run(t, cmdConvert, "-i", packed, "-to", "text"); text != run(t, cmdCat, "-i", bin) {
+		t.Fatal("convert -to text diverged from cat")
+	}
+
+	if err := cmdConvert([]string{"-i", bin, "-to", "bogus"}, io.Discard); err == nil {
+		t.Fatal("unknown output format accepted")
+	}
+}
+
+// TestWSSPackedMatchesBinary pins wss over the packed container to the
+// binary one.
+func TestWSSPackedMatchesBinary(t *testing.T) {
+	bin := genFile(t, "bin")
+	packed := genFile(t, "packed")
+	want := run(t, cmdWSS, "-i", bin, "-window", "500")
+	if got := run(t, cmdWSS, "-i", packed, "-window", "500"); got != want {
+		t.Fatalf("wss over packed diverged:\n got:\n%s\nwant:\n%s", got, want)
+	}
+}

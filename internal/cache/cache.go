@@ -53,6 +53,15 @@ type Cache struct {
 
 // New builds a cache. size must be ways*lineSize*2^k for some k.
 func New(name string, size, lineSize uint64, ways int) (*Cache, error) {
+	return NewWithSlots(nil, name, size, lineSize, ways)
+}
+
+// NewWithSlots is New with a caller-provided slot arena: when buf has
+// capacity for the cache's slot array the slots are served from it
+// (cleared first, so the cache starts cold either way); otherwise a fresh
+// array is allocated. Recycling one arena across sequentially built
+// caches avoids re-paying the dominant allocation of capacity sweeps.
+func NewWithSlots(buf []uint64, name string, size, lineSize uint64, ways int) (*Cache, error) {
 	if ways <= 0 || lineSize == 0 || size == 0 {
 		return nil, fmt.Errorf("cache %s: invalid shape size=%d line=%d ways=%d", name, size, lineSize, ways)
 	}
@@ -67,6 +76,14 @@ func New(name string, size, lineSize uint64, ways int) (*Cache, error) {
 	if sets == 0 || sets&(sets-1) != 0 {
 		return nil, fmt.Errorf("cache %s: set count %d not a power of two (size=%d)", name, sets, size)
 	}
+	need := sets * uint64(ways)
+	var slots []uint64
+	if uint64(cap(buf)) >= need {
+		slots = buf[:need]
+		clear(slots)
+	} else {
+		slots = make([]uint64, need)
+	}
 	return &Cache{
 		name:      name,
 		lineShift: uint(bits.TrailingZeros64(lineSize)),
@@ -75,7 +92,7 @@ func New(name string, size, lineSize uint64, ways int) (*Cache, error) {
 		lineSize:  lineSize,
 		sets:      sets,
 		ways:      ways,
-		slots:     make([]uint64, sets*uint64(ways)),
+		slots:     slots,
 	}, nil
 }
 

@@ -72,6 +72,26 @@ func NewHierarchy(cores int, levels []config.CacheLevel) (*Hierarchy, error) {
 	return h, nil
 }
 
+// ResizeL3 rebuilds the shared L3 at a new capacity, reusing the existing
+// slot array when it has room, and resets every private level — the
+// result is indistinguishable from a freshly built hierarchy with the new
+// L3 size. Capacity sweeps that walk sizes largest-first through one
+// hierarchy therefore pay the L3 slot allocation once instead of once per
+// point.
+func (h *Hierarchy) ResizeL3(size uint64) error {
+	old := h.l3
+	l3, err := NewWithSlots(old.slots, old.name, size, old.lineSize, old.ways)
+	if err != nil {
+		return err
+	}
+	h.l3 = l3
+	for i := range h.l1 {
+		h.l1[i].Reset()
+		h.l2[i].Reset()
+	}
+	return nil
+}
+
 // Access walks one access down the hierarchy and returns the level that
 // served it.
 func (h *Hierarchy) Access(cpu int, a uint64, write bool) Level {

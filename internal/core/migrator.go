@@ -143,6 +143,7 @@ type Migrator struct {
 	stepIdx int
 
 	snap     *TableSnapshot // table state at swap start, for rollback
+	scratch  *TableSnapshot // recycled snapshot buffers (snap aliases it mid-swap)
 	rollback bool           // in-flight swap is being unwound
 	degraded bool           // migration frozen; current mapping is final
 
@@ -225,6 +226,11 @@ func (m *Migrator) Table() *Table { return m.table }
 
 // Stats returns a copy of the activity counters.
 func (m *Migrator) Stats() Stats { return m.stats }
+
+// Epochs returns the epoch count alone, without copying the whole Stats
+// struct — the controller compares it around every EpochTick, so this sits
+// on the per-access hot path.
+func (m *Migrator) Epochs() uint64 { return m.stats.Epochs }
 
 // Design returns the configured migration design.
 func (m *Migrator) Design() Design { return m.opt.Design }
@@ -348,7 +354,12 @@ func (m *Migrator) EpochTick() []SubCopy {
 	}
 	m.plan = plan
 	m.stepIdx = 0
-	m.snap = m.table.Snapshot() // rollback point if the swap must abort
+	// Rollback point if the swap must abort. The scratch snapshot is
+	// recycled across swaps (a new swap only starts once the previous
+	// one's snap is cleared), so steady-state swapping allocates nothing
+	// here.
+	m.scratch = m.table.SnapshotInto(m.scratch)
+	m.snap = m.scratch
 	m.stats.SwapsStarted++
 	m.resetEpochCounts()
 	return m.startStep()

@@ -371,6 +371,7 @@ func (m *Migrator) RestoreFrom(d *snap.Decoder) error {
 			return d.Err()
 		}
 		m.plan, m.snap, m.stepIdx, m.rollback = plan, ts, stepIdx, rollback
+		m.scratch = ts // recycle the restored snapshot's buffers for later swaps
 	}
 
 	m.fill.active = d.Bool()

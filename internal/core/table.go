@@ -379,13 +379,24 @@ type TableSnapshot struct {
 
 // Snapshot copies the current translation state.
 func (t *Table) Snapshot() *TableSnapshot {
-	snap := &TableSnapshot{
-		resident: make([]uint64, len(t.resident)),
-		pending:  make([]bool, len(t.pending)),
-		emptyRow: t.emptyRow,
+	return t.SnapshotInto(nil)
+}
+
+// SnapshotInto copies the current translation state into snap, reusing its
+// buffers when the shape matches; nil (or a mismatched shape) gets a fresh
+// snapshot. The returned snapshot is snap itself when it was reused, so
+// callers taking a snapshot per swap can recycle one allocation for the
+// life of the run.
+func (t *Table) SnapshotInto(snap *TableSnapshot) *TableSnapshot {
+	if snap == nil || len(snap.resident) != len(t.resident) || len(snap.pending) != len(t.pending) {
+		snap = &TableSnapshot{
+			resident: make([]uint64, len(t.resident)),
+			pending:  make([]bool, len(t.pending)),
+		}
 	}
 	copy(snap.resident, t.resident)
 	copy(snap.pending, t.pending)
+	snap.emptyRow = t.emptyRow
 	return snap
 }
 

@@ -10,6 +10,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 
 	"heteromem/internal/addr"
 	"heteromem/internal/config"
@@ -51,6 +52,13 @@ type Params struct {
 	// (workload, seed, config) cells are recorded as they finish, and cells
 	// already recorded are served from the manifest instead of re-running.
 	Manifest *Manifest
+
+	// packed, when non-nil, replays each workload from a shared packed
+	// materialization (built once per workload, ~4-5x smaller than
+	// []trace.Record) instead of re-running the generator in every sweep
+	// cell. The sweep drivers set it; the record stream — and therefore
+	// every result — is identical either way.
+	packed *packedTraces
 }
 
 func (p Params) records(def uint64) uint64 {
@@ -100,6 +108,57 @@ func runTrace(name string, seed int64, cfg sim.Config) (sim.Result, error) {
 	}
 	src := trace.NewLimit(gen, cfg.MaxRecords)
 	return sim.Run(src, cfg)
+}
+
+// packedTraces materializes each (workload, seed, record-count) memory
+// trace into the packed columnar form exactly once — even when sweep cells
+// race on it from forEach workers — so a driver that replays the same
+// trace across dozens of configurations pays the generator and the trace
+// storage once per workload instead of once per cell.
+type packedTraces struct {
+	mu sync.Mutex
+	m  map[packedTraceKey]*packedTraceEntry
+}
+
+type packedTraceKey struct {
+	name string
+	seed int64
+	n    uint64
+}
+
+type packedTraceEntry struct {
+	once sync.Once
+	p    *trace.Packed
+	err  error
+}
+
+func newPackedTraces() *packedTraces {
+	return &packedTraces{m: make(map[packedTraceKey]*packedTraceEntry)}
+}
+
+// source returns a fresh replay source over the shared packed trace for
+// (name, seed, n), building the packed trace on first use.
+func (c *packedTraces) source(name string, seed int64, n uint64) (trace.Source, error) {
+	key := packedTraceKey{name: name, seed: seed, n: n}
+	c.mu.Lock()
+	e := c.m[key]
+	if e == nil {
+		e = &packedTraceEntry{}
+		c.m[key] = e
+	}
+	c.mu.Unlock()
+	e.once.Do(func() {
+		gen, err := workload.NewMemory(name, seed)
+		if err != nil {
+			e.err = err
+			return
+		}
+		e.p, e.err = trace.Pack(gen, n)
+	})
+	if e.err != nil {
+		return nil, e.err
+	}
+	return trace.NewPackedSource(e.p), nil
 }
 
 // traceConfig assembles a Section IV configuration.

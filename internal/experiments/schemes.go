@@ -86,6 +86,7 @@ type SchemesRow struct {
 // scheme variant, and derives the paper's η effectiveness (vs static) plus
 // an estimated IPC per cell.
 func SchemesData(ctx context.Context, p Params) ([]SchemesRow, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)

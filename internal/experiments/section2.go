@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"sync"
 
 	"heteromem/internal/addr"
 	"heteromem/internal/cache"
@@ -88,55 +89,77 @@ func Fig4Data(ctx context.Context, p Params) ([]Fig4Point, error) {
 		workers = 4
 	}
 	// Every capacity point replays the identical trace (same workload, same
-	// seed), so materialize each workload's trace once and share the
-	// read-only slice across the parallel capacity jobs: the Zipf sampling
-	// math is paid once instead of once per capacity, and the replay is
-	// bit-identical to regeneration. One workload's trace is live at a time.
+	// seed), so materialize each workload once into the packed columnar
+	// form (~5 bytes/record vs 24 for []trace.Record) and replay it at
+	// every point; the decoded stream is bit-identical to regeneration.
+	// Jobs walk the capacities largest-first and recycle finished
+	// hierarchies through a pool (ResizeL3 reuses the L3 slot arena), so
+	// the sweep allocates one arena per worker, sized by the largest
+	// points, instead of a fresh hierarchy per (workload, capacity) cell.
+	packs := make([]*trace.Packed, len(names))
 	for wi, name := range names {
-		recs, err := materialize(name, p.seed(), records)
+		gen, err := workload.NewProgram(name, p.seed())
 		if err != nil {
 			return nil, err
 		}
-		err = p.forEach(ctx, len(Fig4Capacities), workers, func(i int) error {
-			levels := config.SRAMHierarchy()
-			levels[2].Size = Fig4Capacities[i]
-			h, err := cache.NewHierarchy(config.Baseline().Cores, levels)
-			if err != nil {
+		if packs[wi], err = trace.Pack(gen, records); err != nil {
+			return nil, err
+		}
+	}
+	var pool struct {
+		sync.Mutex
+		hs []*cache.Hierarchy
+	}
+	cores := config.Baseline().Cores
+	err := p.forEach(ctx, len(Fig4Capacities), workers, func(j int) error {
+		i := len(Fig4Capacities) - 1 - j // descending capacity order
+		levels := config.SRAMHierarchy()
+		levels[2].Size = Fig4Capacities[i]
+		pool.Lock()
+		var h *cache.Hierarchy
+		if n := len(pool.hs); n > 0 {
+			h, pool.hs = pool.hs[n-1], pool.hs[:n-1]
+		}
+		pool.Unlock()
+		if h == nil {
+			var err error
+			if h, err = cache.NewHierarchy(cores, levels); err != nil {
 				return err
 			}
-			for _, rec := range recs {
-				h.Access(int(rec.CPU), rec.Addr, rec.Write)
+		} else if err := h.ResizeL3(levels[2].Size); err != nil {
+			return err
+		}
+		var b trace.Batch
+		for wi, name := range names {
+			if wi > 0 {
+				h.Reset()
+			}
+			src := trace.NewPackedSource(packs[wi])
+			for {
+				b.Resize(trace.PackedChunkRecords)
+				k, err := src.NextBatch(&b)
+				for r := 0; r < k; r++ {
+					h.Access(int(b.CPU[r]), b.Addr[r], b.Write[r])
+				}
+				if err != nil {
+					break // io.EOF; packed replay has no other failure mode
+				}
 			}
 			st := h.L3Stats()
 			out[wi*len(Fig4Capacities)+i] = Fig4Point{
 				Workload: name, Capacity: Fig4Capacities[i],
 				MissRate: st.MissRate(), Accesses: st.Accesses, L3Misses: st.Misses,
 			}
-			return nil
-		})
-		if err != nil {
-			return nil, err
 		}
-	}
-	return out, nil
-}
-
-// materialize generates n records of the named program workload into a
-// slice for repeated replay.
-func materialize(name string, seed int64, n uint64) ([]trace.Record, error) {
-	gen, err := workload.NewProgram(name, seed)
+		pool.Lock()
+		pool.hs = append(pool.hs, h)
+		pool.Unlock()
+		return nil
+	})
 	if err != nil {
 		return nil, err
 	}
-	recs := make([]trace.Record, n)
-	for i := range recs {
-		rec, err := gen.Next()
-		if err != nil {
-			return nil, err
-		}
-		recs[i] = rec
-	}
-	return recs, nil
+	return out, nil
 }
 
 // Fig4 renders the LLC miss rate vs capacity curves (Fig. 4).
@@ -229,7 +252,15 @@ func Fig5Data(ctx context.Context, p Params) ([]Fig5Row, error) {
 		}
 		// All five configurations consume the identical trace, so generate
 		// it once and replay the slice (bit-identical to regeneration).
-		recs, err := materialize(name, p.seed(), records)
+		// Unlike the capacity sweep above, only five replays share the
+		// work here, so the packed form's encode+decode cost would exceed
+		// what a plain slice replay pays; the slice wins on time and the
+		// footprint is one workload's records at a time.
+		gen, err := workload.NewProgram(name, p.seed())
+		if err != nil {
+			return nil, err
+		}
+		recs, err := trace.Collect(gen, int(records))
 		if err != nil {
 			return nil, err
 		}

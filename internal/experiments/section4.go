@@ -68,6 +68,7 @@ type Fig11Point struct {
 // Fig11Data runs the design comparison of Fig. 11 for one swap interval:
 // N vs N-1 vs Live Migration across migration granularities.
 func Fig11Data(ctx context.Context, p Params, interval uint64) ([]Fig11Point, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 1_500_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -158,6 +159,7 @@ type Fig1214Point struct {
 // Fig1214Data runs live migration across granularities for one interval
 // (Fig. 12: 1K, Fig. 13: 10K, Fig. 14: 100K).
 func Fig1214Data(ctx context.Context, p Params, interval uint64) ([]Fig1214Point, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -238,6 +240,7 @@ type Table4Row struct {
 // Table4Data computes the per-workload effectiveness (Table IV): the static
 // baseline vs the best (granularity x interval) live-migration point.
 func Table4Data(ctx context.Context, p Params) ([]Table4Row, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 4_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -348,6 +351,7 @@ var Fig15Capacities = []uint64{128 * addr.MiB, 256 * addr.MiB, 512 * addr.MiB}
 
 // Fig15Data runs the on-package capacity sensitivity study.
 func Fig15Data(ctx context.Context, p Params) ([]Fig15Point, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 2_000_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)
@@ -423,6 +427,7 @@ var Fig16Sizes = []uint64{4 * addr.KiB, 16 * addr.KiB, 64 * addr.KiB}
 // Fig16Data computes the relative memory power of the hybrid system with
 // dynamic migration vs an off-package-only system.
 func Fig16Data(ctx context.Context, p Params) ([]Fig16Point, error) {
+	p.packed = newPackedTraces() // one packed trace per workload, replayed by every cell
 	const defRecords = 1_500_000
 	records := p.records(defRecords)
 	warm := p.warmup(records)

@@ -404,6 +404,20 @@ func (p Params) forEach(ctx context.Context, n, workers int, fn func(i int) erro
 // the run's counters can fold into the sweep totals, and a completed run
 // is recorded in the manifest before its result is returned. Without
 // either, it is exactly the plain runTrace.
+// simulate runs one cell: replayed from the driver's shared packed
+// materialization when one is active (and the run is bounded, so the
+// materialization is finite), straight from a fresh generator otherwise.
+func (p Params) simulate(name string, cfg sim.Config) (sim.Result, error) {
+	if p.packed != nil && cfg.MaxRecords > 0 {
+		src, err := p.packed.source(name, p.seed(), cfg.MaxRecords)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(src, cfg)
+	}
+	return runTrace(name, p.seed(), cfg)
+}
+
 func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
 	if p.Channels > 1 {
 		cfg.Channels = p.Channels
@@ -423,7 +437,7 @@ func (p Params) runTrace(name string, cfg sim.Config) (sim.Result, error) {
 		t.setActive(name, +1)
 		defer t.setActive(name, -1)
 	}
-	res, err := runTrace(name, p.seed(), cfg)
+	res, err := p.simulate(name, cfg)
 	if err == nil {
 		if t != nil {
 			t.observeRun(res.Records, res.Metrics)

@@ -145,6 +145,10 @@ type Controller struct {
 	osPenalty  int64 // accumulated but not yet applied OS epoch cost
 	now        int64 // the controller's clock: the latest program-access cycle
 
+	// Per-region path-delay constants, precomputed once by initPathDelays
+	// from cfg.Latencies; pathDelays sits on the per-access hot path.
+	inOn, outOn, inOff, outOff int64
+
 	onLat  stats.LatencyStat
 	offLat stats.LatencyStat
 	allLat stats.LatencyStat
@@ -294,6 +298,7 @@ func New(cfg Config, onResult func(AccessResult)) (*Controller, error) {
 		offDev:   offDev,
 		onResult: onResult,
 	}
+	c.initPathDelays()
 	c.onSch, err = sched.New(onDev, cfg.Sched, c.requestDone, c.bulkDone)
 	if err != nil {
 		return nil, err
@@ -591,9 +596,9 @@ func (c *Controller) Access(phys uint64, write bool, now int64) error {
 			}
 		}
 		c.mig.OnAccess(phys, onPkg)
-		epochsBefore := c.mig.Stats().Epochs
+		epochsBefore := c.mig.Epochs()
 		subs := c.mig.EpochTick()
-		if epochs := c.mig.Stats().Epochs; epochs != epochsBefore {
+		if epochs := c.mig.Epochs(); epochs != epochsBefore {
 			c.inst.ring.Emit(now, obs.EvEpoch, epochs, 0, 0)
 			c.inst.spans.Mark(obs.LaneMigrator, obs.MarkEpoch, now, epochs, 0, 0)
 			c.sampleSeries(now, false)
@@ -797,15 +802,20 @@ func (c *Controller) translate(phys uint64) (uint64, bool) {
 // region: controller processing and core link inbound; package pins, PCB or
 // interposer wiring split across both directions.
 func (c *Controller) pathDelays(r Region) (inbound, outbound int64) {
-	l := c.cfg.Latencies
 	if r == OnPackage {
-		in := l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.InterposerOneWay + l.IntraPackageRT/2
-		out := l.CtrlToCoreOneWay + l.InterposerOneWay + (l.IntraPackageRT - l.IntraPackageRT/2)
-		return in, out
+		return c.inOn, c.outOn
 	}
-	in := l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.PackagePinOneWay + l.PCBWireRoundTrip/2
-	out := l.CtrlToCoreOneWay + l.PackagePinOneWay + (l.PCBWireRoundTrip - l.PCBWireRoundTrip/2)
-	return in, out
+	return c.inOff, c.outOff
+}
+
+// initPathDelays precomputes the per-region path constants pathDelays
+// serves; it runs once at construction, after cfg.Latencies is final.
+func (c *Controller) initPathDelays() {
+	l := c.cfg.Latencies
+	c.inOn = l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.InterposerOneWay + l.IntraPackageRT/2
+	c.outOn = l.CtrlToCoreOneWay + l.InterposerOneWay + (l.IntraPackageRT - l.IntraPackageRT/2)
+	c.inOff = l.MemCtrlProcessing + l.CtrlToCoreOneWay + l.PackagePinOneWay + l.PCBWireRoundTrip/2
+	c.outOff = l.CtrlToCoreOneWay + l.PackagePinOneWay + (l.PCBWireRoundTrip - l.PCBWireRoundTrip/2)
 }
 
 // requestDone finalizes a program access. The scheduler has already dequeued

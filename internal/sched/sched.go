@@ -116,6 +116,8 @@ type Scheduler struct {
 	bulk    [][]*BulkJob // per channel, FIFO
 	next    []int64      // per channel: earliest next command-issue decision
 	grant   []int64      // per channel: last aging-grant time (starvation backstop)
+	wake    []int64      // per channel: no decision can commit before this (0 = unknown)
+	work    int          // outstanding requests + bulk jobs across all channels
 	tcl     int64        // cached device TCL for command/data pipelining
 	fcfs    bool         // ablation: strict FCFS instead of FR-FCFS
 
@@ -156,6 +158,7 @@ func New(dev *dram.Device, cfg Config, onDone func(*Request), onBulk func(*BulkJ
 		bulk:    make([][]*BulkJob, n),
 		next:    make([]int64, n),
 		grant:   make([]int64, n),
+		wake:    make([]int64, n),
 		tcl:     dev.Timing().TCL,
 	}, nil
 }
@@ -180,6 +183,7 @@ func (s *Scheduler) SetFaultHandler(h func(*Request) (retry bool, backoff int64)
 // the future and may interleave with younger submissions, so the queue
 // must stay sorted for the decision-time logic to hold.
 func (s *Scheduler) insert(ch int, r *Request) {
+	s.work++
 	q := s.pending[ch]
 	i := sort.Search(len(q), func(i int) bool { return q[i].Arrive > r.Arrive })
 	q = append(q, nil)
@@ -195,6 +199,7 @@ func (s *Scheduler) SubmitBulk(ch int, j *BulkJob, now int64) {
 	if j.Earliest > j.enqueued {
 		j.enqueued = j.Earliest
 	}
+	s.work++
 	s.bulk[ch] = append(s.bulk[ch], j)
 	s.drain(ch, now)
 }
@@ -203,7 +208,21 @@ func (s *Scheduler) SubmitBulk(ch int, j *BulkJob, now int64) {
 // call this periodically so background traffic progresses on channels with
 // no foreground arrivals.
 func (s *Scheduler) Advance(now int64) {
+	// Advance runs on every access; when the region is fully idle (the
+	// common case for the lightly-loaded side) it is one integer check.
+	if s.work == 0 {
+		return
+	}
 	for ch := range s.pending {
+		if len(s.pending[ch]) == 0 && len(s.bulk[ch]) == 0 {
+			continue
+		}
+		// drain recorded when the channel's next decision becomes safe;
+		// until the clock gets there a re-drain would just recompute the
+		// same early exit.
+		if s.wake[ch] > now {
+			continue
+		}
 		s.drain(ch, now)
 	}
 }
@@ -225,6 +244,7 @@ func (s *Scheduler) Flush() int64 {
 // drain commits scheduling decisions on channel ch while they are safe
 // (decision time <= now).
 func (s *Scheduler) drain(ch int, now int64) {
+	s.wake[ch] = 0
 	for {
 		fg := s.pending[ch]
 		bg := s.bulk[ch]
@@ -301,6 +321,12 @@ func (s *Scheduler) drain(ch int, now int64) {
 		}
 
 		if len(fg) == 0 || fgAt > now {
+			if len(fg) > 0 && len(bg) == 0 {
+				// Nothing can commit before fgAt: the queue is sorted by
+				// arrival and s.next only moves through this loop, and with
+				// no background job there is no cycle-stealing to revisit.
+				s.wake[ch] = fgAt
+			}
 			return
 		}
 
@@ -327,6 +353,7 @@ func (s *Scheduler) drain(ch int, now int64) {
 			s.next[ch] = n
 		}
 		s.pending[ch] = append(fg[:pick], fg[pick+1:]...)
+		s.work--
 		if faulted && s.onFault != nil {
 			if retry, backoff := s.onFault(r); retry {
 				// The bad burst consumed real bus time; the retry re-arrives

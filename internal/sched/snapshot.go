@@ -93,6 +93,9 @@ func (s *Scheduler) RestoreFrom(d *snap.Decoder) error {
 	s.bulkServed = d.U64()
 	s.sumQueueing = d.I64()
 	s.agingGrants = d.U64()
+	// The outstanding-work count is derived state; rebuild it from the
+	// restored queues rather than serializing it.
+	s.work = s.QueueLen() + s.BulkBacklog()
 	return d.Err()
 }
 

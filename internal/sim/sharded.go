@@ -176,35 +176,40 @@ func runSharded(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 			return Result{}, err
 		}
 	}
+	// The feeder reads batches split at the same semantic boundaries as the
+	// single-channel loop (see batchBoundary) and routes each whole batch
+	// across the per-channel queues; barrier-epoch dispatches still happen
+	// per record inside the batch, because they depend on trace cycles, not
+	// record counts.
 	var curEpoch int64
 	started := false
+	var recs trace.Batch
 	for cfg.MaxRecords == 0 || done < cfg.MaxRecords {
 		if done%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", done, err)
 			}
 		}
-		rec, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			break
-		}
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", done, err)
-		}
-		// Barrier epoch boundary: all shards drain the previous window
-		// before any shard sees the next one.
-		epoch := int64(rec.Cycle) / window
-		if started && epoch != curEpoch {
-			if err := dispatch(); err != nil {
-				return Result{}, err
+		want := batchBoundary(&cfg, done)
+		recs.Resize(int(want))
+		k, rerr := trace.ReadBatch(src, &recs)
+		for j := 0; j < k; j++ {
+			cycle := int64(recs.Cycle[j])
+			// Barrier epoch boundary: all shards drain the previous window
+			// before any shard sees the next one.
+			epoch := cycle / window
+			if started && epoch != curEpoch {
+				if err := dispatch(); err != nil {
+					return Result{}, err
+				}
 			}
+			curEpoch, started = epoch, true
+			ch, local := hub.Route(recs.Addr[j])
+			batches[ch] = append(batches[ch], shardAccess{local: local, cycle: cycle, write: recs.Write[j]})
+			pending++
 		}
-		curEpoch, started = epoch, true
-		ch, local := hub.Route(rec.Addr)
-		batches[ch] = append(batches[ch], shardAccess{local: local, cycle: int64(rec.Cycle), write: rec.Write})
-		pending++
-		done++
-		if cfg.Warmup > 0 && done == cfg.Warmup {
+		done += uint64(k)
+		if cfg.Warmup > 0 && done == cfg.Warmup && k > 0 {
 			// Drain so the reset lands after exactly Warmup records on
 			// every shard, matching the single-channel path.
 			if err := dispatch(); err != nil {
@@ -212,7 +217,7 @@ func runSharded(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 			}
 			hub.ResetStats()
 		}
-		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && done%cfg.CheckpointEvery == 0 {
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && k > 0 && done%cfg.CheckpointEvery == 0 {
 			if err := dispatch(); err != nil {
 				return Result{}, err
 			}
@@ -223,6 +228,15 @@ func runSharded(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 			if err := cfg.CheckpointSink(data, done); err != nil {
 				return Result{}, fmt.Errorf("sim: checkpoint sink at record %d: %w", done, err)
 			}
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", done, rerr)
+		}
+		if k == 0 {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", done, io.ErrNoProgress)
 		}
 	}
 	if err := dispatch(); err != nil {

@@ -219,6 +219,32 @@ type Window struct {
 // never touches the context.
 const cancelStride = 4096
 
+// batchBoundary returns how many records the run loop may read in one
+// batch starting at record n without crossing a semantic boundary: the
+// next cancel-poll stride, the warmup edge, the next checkpoint edge, and
+// MaxRecords. Splitting batches there keeps the batched loop's boundary
+// actions at exactly the record counts of the old per-record loop. Always
+// at least 1 when the loop condition admitted another record.
+func batchBoundary(cfg *Config, n uint64) uint64 {
+	want := cancelStride - n%cancelStride
+	if cfg.MaxRecords > 0 {
+		if rem := cfg.MaxRecords - n; rem < want {
+			want = rem
+		}
+	}
+	if cfg.Warmup > n {
+		if rem := cfg.Warmup - n; rem < want {
+			want = rem
+		}
+	}
+	if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil {
+		if rem := cfg.CheckpointEvery - n%cfg.CheckpointEvery; rem < want {
+			want = rem
+		}
+	}
+	return want
+}
+
 // Run simulates src through a controller built from cfg. With
 // cfg.Channels > 1 the run shards across per-channel controllers and
 // executes deterministically in parallel; the single-channel path below
@@ -314,27 +340,30 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 			return Result{}, err
 		}
 	}
+	// Records stream through in batches sized to the next semantic boundary
+	// (cancel stride, warmup edge, checkpoint edge, MaxRecords), so every
+	// per-record check of the old loop hoists to a batch edge while firing
+	// at exactly the same record counts — semantics are bit-identical.
+	var batch trace.Batch
 	for cfg.MaxRecords == 0 || n < cfg.MaxRecords {
 		if n%cancelStride == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", n, err)
 			}
 		}
-		rec, err := src.Next()
-		if errors.Is(err, io.EOF) {
-			break
+		want := batchBoundary(&cfg, n)
+		batch.Resize(int(want))
+		k, rerr := trace.ReadBatch(src, &batch)
+		for j := 0; j < k; j++ {
+			if err := ctrl.Access(batch.Addr[j], batch.Write[j], int64(batch.Cycle[j])); err != nil {
+				return Result{}, fmt.Errorf("sim: access %d: %w", n+uint64(j), err)
+			}
 		}
-		if err != nil {
-			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", n, err)
-		}
-		if err := ctrl.Access(rec.Addr, rec.Write, int64(rec.Cycle)); err != nil {
-			return Result{}, fmt.Errorf("sim: access %d: %w", n, err)
-		}
-		n++
-		if cfg.Warmup > 0 && n == cfg.Warmup {
+		n += uint64(k)
+		if cfg.Warmup > 0 && n == cfg.Warmup && k > 0 {
 			ctrl.ResetStats()
 		}
-		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && n%cfg.CheckpointEvery == 0 {
+		if cfg.CheckpointEvery > 0 && cfg.CheckpointSink != nil && k > 0 && n%cfg.CheckpointEvery == 0 {
 			if err := ctx.Err(); err != nil {
 				return Result{}, fmt.Errorf("sim: cancelled at record %d: %w", n, err)
 			}
@@ -345,6 +374,15 @@ func RunContext(ctx context.Context, src trace.Source, cfg Config) (Result, erro
 			if err := cfg.CheckpointSink(data, n); err != nil {
 				return Result{}, fmt.Errorf("sim: checkpoint sink at record %d: %w", n, err)
 			}
+		}
+		if errors.Is(rerr, io.EOF) {
+			break
+		}
+		if rerr != nil {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", n, rerr)
+		}
+		if k == 0 {
+			return Result{}, fmt.Errorf("sim: reading trace record %d: %w", n, io.ErrNoProgress)
 		}
 	}
 	last := ctrl.Flush()

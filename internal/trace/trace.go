@@ -54,8 +54,13 @@ func (s *SliceSource) Next() (Record, error) {
 func (s *SliceSource) Reset() { s.i = 0 }
 
 // Collect drains a source into a slice, up to max records (0 = unlimited).
+// A finite max pre-sizes the slice, so bounded collection never pays
+// append growth copies.
 func Collect(src Source, max int) ([]Record, error) {
 	var out []Record
+	if max > 0 {
+		out = make([]Record, 0, max)
+	}
 	for max == 0 || len(out) < max {
 		r, err := src.Next()
 		if errors.Is(err, io.EOF) {

@@ -1,0 +1,118 @@
+package workload
+
+import (
+	"io"
+	"testing"
+
+	"heteromem/internal/trace"
+)
+
+// TestGeneratorNextBatchMatchesNext pins the batched generator path to the
+// per-record one: both must consume the RNG identically and emit the same
+// stream, for every registered workload and across uneven batch sizes.
+func TestGeneratorNextBatchMatchesNext(t *testing.T) {
+	const n = 20_000
+	for _, name := range append(Names(), ProgramNames()...) {
+		single, err := newAny(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		batched, err := newAny(name, 42)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b trace.Batch
+		got := 0
+		size := 1
+		for got < n {
+			if size > n-got {
+				size = n - got
+			}
+			b.Resize(size)
+			k, err := batched.NextBatch(&b)
+			if err != nil || k != size {
+				t.Fatalf("%s: NextBatch(%d) = %d, %v", name, size, k, err)
+			}
+			for i := 0; i < k; i++ {
+				want, err := single.Next()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.Record(i) != want {
+					t.Fatalf("%s: record %d = %+v, want %+v", name, got+i, b.Record(i), want)
+				}
+			}
+			got += k
+			size = size*3 + 1 // uneven, growing batch sizes
+		}
+	}
+}
+
+// newAny resolves name in either workload registry.
+func newAny(name string, seed int64) (*Generator, error) {
+	if g, err := NewMemory(name, seed); err == nil {
+		return g, nil
+	}
+	return NewProgram(name, seed)
+}
+
+// TestPackedCompressionRatio pins the tentpole's size target: the packed
+// form of real workload traces must be at least 4x smaller than the
+// equivalent []trace.Record (24 bytes per record in memory).
+func TestPackedCompressionRatio(t *testing.T) {
+	const n = 100_000
+	for _, name := range []string{"SPEC2006", "FT", "pgbench", "EP.C", "CG.C"} {
+		gen, err := newAny(name, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := trace.Pack(gen, n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if p.NumRecords() != n {
+			t.Fatalf("%s: packed %d records, want %d", name, p.NumRecords(), n)
+		}
+		raw := uint64(n) * 24
+		if ratio := float64(raw) / float64(p.EncodedBytes()); ratio < 4 {
+			t.Errorf("%s: packed %d bytes for %d raw (%.2fx), want >= 4x", name, p.EncodedBytes(), raw, ratio)
+		} else {
+			t.Logf("%s: %.2fx (%.2f B/record)", name, ratio, float64(p.EncodedBytes())/n)
+		}
+	}
+}
+
+// TestPackedGeneratorRoundTrip checks pack -> decode equality against the
+// generator stream itself (the form the experiment drivers replay).
+func TestPackedGeneratorRoundTrip(t *testing.T) {
+	const n = 50_000
+	gen, err := NewMemory("SPEC2006", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := trace.Pack(gen, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := NewMemory("SPEC2006", 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := trace.NewPackedSource(p)
+	for i := 0; i < n; i++ {
+		want, err := ref.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := src.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("record %d = %+v, want %+v", i, got, want)
+		}
+	}
+	if _, err := src.Next(); err != io.EOF {
+		t.Fatalf("after %d records: %v, want EOF", n, err)
+	}
+}

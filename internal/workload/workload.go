@@ -124,6 +124,38 @@ func (g *Generator) Next() (trace.Record, error) {
 	}, nil
 }
 
+// NextBatch implements trace.BatchSource: the batch columns are filled
+// with exactly the records Next would have produced (same RNG consumption
+// per record), without the per-record interface dispatch and struct copy.
+func (g *Generator) NextBatch(b *trace.Batch) (int, error) {
+	n := b.Len()
+	cycle := g.cycle
+	for k := 0; k < n; k++ {
+		w := g.rng.Intn(g.total)
+		i := 0
+		for g.cum[i] <= w {
+			i++
+		}
+		region := g.regions[i]
+		off := g.streams[i].next(g.rng)
+		if off >= region {
+			off %= region
+		}
+		gap := g.rng.ExpFloat64() * g.meanGap
+		if gap < 1 {
+			gap = 1
+		}
+		cycle += uint64(gap)
+		b.Cycle[k] = cycle
+		b.Addr[k] = g.bases[i] + off
+		b.CPU[k] = uint8(g.rng.Intn(g.cores))
+		b.Write[k] = g.rng.Float64() < g.writeFracs[i]
+	}
+	g.cycle = cycle
+	g.n += uint64(n)
+	return n, nil
+}
+
 // Names returns the registered memory-trace workload names in the order
 // the paper's figures list them.
 func Names() []string {

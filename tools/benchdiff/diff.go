@@ -27,6 +27,8 @@ type Row struct {
 	Speedup   float64 // old/new; >1 means the new run is faster
 	OldAllocs float64
 	NewAllocs float64
+	OldBytes  float64
+	NewBytes  float64
 	Regressed bool
 }
 
@@ -42,18 +44,36 @@ func load(path string) (*Report, error) {
 	return &rep, nil
 }
 
-// Diff compares every benchmark present in both reports, in name order. A
-// benchmark regresses when its ns/op grew past threshold AND by more than
-// noise nanoseconds — the absolute floor keeps timer jitter on
-// sub-microsecond benchmarks from tripping a purely relative gate — or
-// when its allocs/op grew by more than max(allocSlack, allocSlackPct% of
-// the old count). The relative term matters for the whole-run experiment
-// benchmarks, whose tens of thousands of allocs/op shift by a constant
-// handful whenever a setup path gains an object; a zero-alloc micro
-// benchmark has old = 0, so both terms vanish and it stays gated at
-// exactly zero. Benchmarks present in only one report are skipped:
-// additions and removals are not regressions.
-func Diff(old, new_ *Report, threshold, allocSlack, allocSlackPct, noise float64) (rows []Row, regressions int) {
+// Gates holds the regression thresholds of one Diff run. Each metric pairs
+// a relative threshold with an absolute floor: the ratio catches real
+// slowdowns, the floor keeps jitter on tiny baselines from tripping a
+// purely relative gate.
+type Gates struct {
+	// Threshold is the max allowed ns/op ratio new/old (1.10 = 10% slower);
+	// Noise is the absolute ns/op growth a regression must also exceed.
+	Threshold float64
+	Noise     float64
+
+	// AllocSlack and AllocSlackPct allow allocs/op to grow by
+	// max(AllocSlack, AllocSlackPct% of the old count). The relative term
+	// absorbs a constant handful of setup objects on whole-run benchmarks;
+	// a zero-alloc benchmark has old = 0, so both terms vanish and it stays
+	// gated at exactly zero.
+	AllocSlack    float64
+	AllocSlackPct float64
+
+	// BopThreshold and BopSlack gate B/op the same way Threshold/Noise gate
+	// ns/op: a regression must exceed the ratio AND grow by more than
+	// BopSlack absolute bytes. BopThreshold = 0 disables the bytes gate
+	// (archives older than the B/op column lack the metric entirely).
+	BopThreshold float64
+	BopSlack     float64
+}
+
+// Diff compares every benchmark present in both reports, in name order,
+// flagging regressions per the Gates documentation. Benchmarks present in
+// only one report are skipped: additions and removals are not regressions.
+func Diff(old, new_ *Report, g Gates) (rows []Row, regressions int) {
 	byName := fold(old)
 	for _, nb := range fold(new_).ordered {
 		ob, ok := byName.m[nb.Name]
@@ -66,18 +86,24 @@ func Diff(old, new_ *Report, threshold, allocSlack, allocSlackPct, noise float64
 			NewNs:     nb.Metrics["ns/op"],
 			OldAllocs: ob.Metrics["allocs/op"],
 			NewAllocs: nb.Metrics["allocs/op"],
+			OldBytes:  ob.Metrics["B/op"],
+			NewBytes:  nb.Metrics["B/op"],
 		}
 		if r.NewNs > 0 {
 			r.Speedup = r.OldNs / r.NewNs
 		}
-		if r.OldNs > 0 && r.NewNs > r.OldNs*threshold && r.NewNs-r.OldNs > noise {
+		if r.OldNs > 0 && r.NewNs > r.OldNs*g.Threshold && r.NewNs-r.OldNs > g.Noise {
 			r.Regressed = true
 		}
-		slack := allocSlack
-		if rel := r.OldAllocs * allocSlackPct / 100; rel > slack {
+		slack := g.AllocSlack
+		if rel := r.OldAllocs * g.AllocSlackPct / 100; rel > slack {
 			slack = rel
 		}
 		if r.NewAllocs > r.OldAllocs+slack {
+			r.Regressed = true
+		}
+		if g.BopThreshold > 0 && r.OldBytes > 0 &&
+			r.NewBytes > r.OldBytes*g.BopThreshold && r.NewBytes-r.OldBytes > g.BopSlack {
 			r.Regressed = true
 		}
 		if r.Regressed {
@@ -112,7 +138,7 @@ func fold(rep *Report) folded {
 		for k, v := range prev.Metrics {
 			merged.Metrics[k] = v
 		}
-		for _, k := range []string{"ns/op", "allocs/op"} {
+		for _, k := range []string{"ns/op", "allocs/op", "B/op"} {
 			v, ok := b.Metrics[k]
 			if !ok {
 				continue

@@ -8,10 +8,16 @@ func bench(name string, ns, allocs float64) Benchmark {
 	return Benchmark{Name: name, Metrics: map[string]float64{"ns/op": ns, "allocs/op": allocs}}
 }
 
+func benchB(name string, ns, allocs, bytes float64) Benchmark {
+	b := bench(name, ns, allocs)
+	b.Metrics["B/op"] = bytes
+	return b
+}
+
 func TestDiffSpeedupAndOrder(t *testing.T) {
 	old := rep(bench("Zeta", 100, 4), bench("Alpha", 200, 8))
 	new_ := rep(bench("Alpha", 100, 8), bench("Zeta", 100, 4))
-	rows, regressions := Diff(old, new_, 1.10, 0, 0, 0)
+	rows, regressions := Diff(old, new_, Gates{Threshold: 1.10})
 	if regressions != 0 {
 		t.Fatalf("regressions = %d, want 0", regressions)
 	}
@@ -26,12 +32,12 @@ func TestDiffSpeedupAndOrder(t *testing.T) {
 func TestDiffNsRegression(t *testing.T) {
 	old := rep(bench("A", 100, 0))
 	// 15% slower with a 10% threshold: regression.
-	rows, regressions := Diff(old, rep(bench("A", 115, 0)), 1.10, 0, 0, 0)
+	rows, regressions := Diff(old, rep(bench("A", 115, 0)), Gates{Threshold: 1.10})
 	if regressions != 1 || !rows[0].Regressed {
 		t.Fatalf("want ns/op regression, got %+v", rows)
 	}
 	// 5% slower is inside the threshold.
-	_, regressions = Diff(old, rep(bench("A", 105, 0)), 1.10, 0, 0, 0)
+	_, regressions = Diff(old, rep(bench("A", 105, 0)), Gates{Threshold: 1.10})
 	if regressions != 0 {
 		t.Fatalf("5%% slowdown flagged at 10%% threshold")
 	}
@@ -39,11 +45,11 @@ func TestDiffNsRegression(t *testing.T) {
 
 func TestDiffAllocRegression(t *testing.T) {
 	old := rep(bench("A", 100, 2))
-	_, regressions := Diff(old, rep(bench("A", 100, 3)), 1.10, 0, 0, 0)
+	_, regressions := Diff(old, rep(bench("A", 100, 3)), Gates{Threshold: 1.10})
 	if regressions != 1 {
 		t.Fatal("alloc growth not flagged with zero slack")
 	}
-	_, regressions = Diff(old, rep(bench("A", 100, 3)), 1.10, 1, 0, 0)
+	_, regressions = Diff(old, rep(bench("A", 100, 3)), Gates{Threshold: 1.10, AllocSlack: 1})
 	if regressions != 0 {
 		t.Fatal("alloc growth inside slack flagged")
 	}
@@ -56,18 +62,18 @@ func TestDiffAllocRelativeSlack(t *testing.T) {
 	old := rep(bench("Macro", 1e6, 90000), bench("Micro", 100, 0))
 	// +30 allocs on 90k is inside 0.5%; +1 alloc on a zero-alloc
 	// benchmark is always a regression.
-	_, regressions := Diff(old, rep(bench("Macro", 1e6, 90030), bench("Micro", 100, 1)), 1.10, 0, 0.5, 0)
+	_, regressions := Diff(old, rep(bench("Macro", 1e6, 90030), bench("Micro", 100, 1)), Gates{Threshold: 1.10, AllocSlackPct: 0.5})
 	if regressions != 1 {
 		t.Fatalf("regressions = %d, want 1 (only the zero-alloc benchmark)", regressions)
 	}
 	// +600 allocs on 90k exceeds 0.5% (450): regression.
-	_, regressions = Diff(old, rep(bench("Macro", 1e6, 90600), bench("Micro", 100, 0)), 1.10, 0, 0.5, 0)
+	_, regressions = Diff(old, rep(bench("Macro", 1e6, 90600), bench("Micro", 100, 0)), Gates{Threshold: 1.10, AllocSlackPct: 0.5})
 	if regressions != 1 {
 		t.Fatal("alloc growth past the relative slack not flagged")
 	}
 	// The larger of the absolute and relative terms wins.
 	small := rep(bench("Small", 100, 4))
-	_, regressions = Diff(small, rep(bench("Small", 100, 5)), 1.10, 1, 0.5, 0)
+	_, regressions = Diff(small, rep(bench("Small", 100, 5)), Gates{Threshold: 1.10, AllocSlack: 1, AllocSlackPct: 0.5})
 	if regressions != 0 {
 		t.Fatal("growth inside the absolute slack flagged despite tiny relative term")
 	}
@@ -77,28 +83,81 @@ func TestDiffAllocRelativeSlack(t *testing.T) {
 // regression; past the floor the ratio threshold governs again.
 func TestDiffNoiseFloor(t *testing.T) {
 	old := rep(bench("Micro", 80, 0))
-	_, regressions := Diff(old, rep(bench("Micro", 100, 0)), 1.10, 0, 0, 50)
+	_, regressions := Diff(old, rep(bench("Micro", 100, 0)), Gates{Threshold: 1.10, Noise: 50})
 	if regressions != 0 {
 		t.Fatal("20ns growth under a 50ns floor flagged")
 	}
-	_, regressions = Diff(old, rep(bench("Micro", 140, 0)), 1.10, 0, 0, 50)
+	_, regressions = Diff(old, rep(bench("Micro", 140, 0)), Gates{Threshold: 1.10, Noise: 50})
 	if regressions != 1 {
 		t.Fatal("60ns growth past the floor not flagged")
+	}
+}
+
+// The B/op gate mirrors the ns/op one: a regression must exceed the ratio
+// AND grow by more than the absolute slack, so small-footprint benchmarks
+// (tens of bytes) never trip on a couple of stray bytes while whole-run
+// benchmarks (hundreds of megabytes) are held to the ratio.
+func TestDiffBytesRegression(t *testing.T) {
+	g := Gates{Threshold: 1.10, AllocSlackPct: 100, BopThreshold: 1.10, BopSlack: 256}
+	old := rep(benchB("Macro", 1e6, 1000, 1e8))
+	// +50% bytes: regression.
+	rows, regressions := Diff(old, rep(benchB("Macro", 1e6, 1000, 1.5e8)), g)
+	if regressions != 1 || !rows[0].Regressed {
+		t.Fatalf("want B/op regression, got %+v", rows)
+	}
+	if rows[0].OldBytes != 1e8 || rows[0].NewBytes != 1.5e8 {
+		t.Fatalf("B/op columns wrong: %+v", rows[0])
+	}
+	// +5% bytes is inside the ratio.
+	_, regressions = Diff(old, rep(benchB("Macro", 1e6, 1000, 1.05e8)), g)
+	if regressions != 0 {
+		t.Fatal("5% B/op growth flagged at a 10% threshold")
+	}
+	// A tiny benchmark doubling from 40 to 80 bytes is under the absolute
+	// slack floor: jitter from a resized buffer, not a regression.
+	tiny := rep(benchB("Tiny", 100, 1, 40))
+	_, regressions = Diff(tiny, rep(benchB("Tiny", 100, 1, 80)), g)
+	if regressions != 0 {
+		t.Fatal("40-byte growth under a 256-byte floor flagged")
+	}
+	// Past the floor the ratio governs: 40 -> 400 bytes regresses.
+	_, regressions = Diff(tiny, rep(benchB("Tiny", 100, 1, 400)), g)
+	if regressions != 1 {
+		t.Fatal("10x B/op growth past the floor not flagged")
+	}
+}
+
+// BopThreshold = 0 disables the bytes gate entirely, and archives written
+// before the B/op column (metric absent, so it reads as 0) never trip it.
+func TestDiffBytesGateDisabledOrAbsent(t *testing.T) {
+	old := rep(benchB("A", 100, 0, 100))
+	_, regressions := Diff(old, rep(benchB("A", 100, 0, 1e6)), Gates{Threshold: 1.10})
+	if regressions != 0 {
+		t.Fatal("bytes growth flagged with the gate disabled")
+	}
+	// Old archive without B/op: OldBytes = 0, gate stays quiet.
+	_, regressions = Diff(rep(bench("A", 100, 0)), rep(benchB("A", 100, 0, 1e6)),
+		Gates{Threshold: 1.10, BopThreshold: 1.10, BopSlack: 256})
+	if regressions != 0 {
+		t.Fatal("missing old B/op metric treated as a regression")
 	}
 }
 
 // A -count=N archive holds repeated entries per benchmark; the diff folds
 // them to the per-metric minimum before comparing.
 func TestDiffFoldsRepeatedEntries(t *testing.T) {
-	old := rep(bench("A", 100, 3), bench("A", 90, 2), bench("A", 120, 3))
-	new_ := rep(bench("A", 200, 2), bench("A", 95, 2))
-	rows, regressions := Diff(old, new_, 1.10, 0, 0, 0)
+	old := rep(benchB("A", 100, 3, 500), benchB("A", 90, 2, 600), benchB("A", 120, 3, 450))
+	new_ := rep(benchB("A", 200, 2, 470), benchB("A", 95, 2, 480))
+	rows, regressions := Diff(old, new_, Gates{Threshold: 1.10})
 	if len(rows) != 1 {
 		t.Fatalf("rows = %+v, want 1 folded row", rows)
 	}
 	r := rows[0]
 	if r.OldNs != 90 || r.NewNs != 95 || r.OldAllocs != 2 || r.NewAllocs != 2 {
 		t.Fatalf("folded minima wrong: %+v", r)
+	}
+	if r.OldBytes != 450 || r.NewBytes != 470 {
+		t.Fatalf("folded B/op minima wrong: %+v", r)
 	}
 	if regressions != 0 {
 		t.Fatal("95 vs 90 within 10%: no regression expected")
@@ -107,7 +166,7 @@ func TestDiffFoldsRepeatedEntries(t *testing.T) {
 
 func TestDiffSkipsUnmatched(t *testing.T) {
 	old := rep(bench("OnlyOld", 100, 0), bench("Common", 100, 0))
-	rows, regressions := Diff(old, rep(bench("Common", 50, 0), bench("OnlyNew", 1, 0)), 1.10, 0, 0, 0)
+	rows, regressions := Diff(old, rep(bench("Common", 50, 0), bench("OnlyNew", 1, 0)), Gates{Threshold: 1.10})
 	if len(rows) != 1 || rows[0].Name != "Common" || regressions != 0 {
 		t.Fatalf("unmatched benchmarks not skipped: %+v", rows)
 	}

@@ -7,16 +7,18 @@
 // those fold to the per-metric minimum (the best sample measures the
 // code, the rest measure scheduler interference). For every benchmark
 // present in both files it reports the ns/op speedup (old/new, so >1 is
-// faster) and the allocs/op delta. The exit status is
-// non-zero if any common benchmark got slower than -threshold allows (and
-// by more than the -noise jitter floor in absolute ns/op) or grew its
-// allocations beyond max(-alloc-slack, -alloc-slack-pct percent of the old
-// count) — the relative term absorbs constant setup allocations on
-// whole-run benchmarks while zero-alloc benchmarks stay gated at zero.
+// faster) plus the allocs/op and B/op deltas. The exit status is non-zero
+// if any common benchmark got slower than -threshold allows (and by more
+// than the -noise jitter floor in absolute ns/op), grew its allocations
+// beyond max(-alloc-slack, -alloc-slack-pct percent of the old count) —
+// the relative term absorbs constant setup allocations on whole-run
+// benchmarks while zero-alloc benchmarks stay gated at zero — or grew its
+// bytes per op past the -bop-threshold ratio and by more than -bop-slack
+// absolute bytes (the same ratio+floor shape as the ns/op gate).
 //
 // Usage:
 //
-//	benchdiff [-threshold 1.10] [-alloc-slack 0] [-alloc-slack-pct 0.5] [-noise 50] OLD.json NEW.json
+//	benchdiff [-threshold 1.10] [-alloc-slack 0] [-alloc-slack-pct 0.5] [-noise 50] [-bop-threshold 1.10] [-bop-slack 256] OLD.json NEW.json
 package main
 
 import (
@@ -26,10 +28,13 @@ import (
 )
 
 func main() {
-	threshold := flag.Float64("threshold", 1.10, "max allowed ns/op ratio new/old before failing (1.10 = 10% slower)")
-	allocSlack := flag.Float64("alloc-slack", 0, "absolute allocs/op increase allowed before failing")
-	allocSlackPct := flag.Float64("alloc-slack-pct", 0.5, "relative allocs/op increase allowed, as a percent of the old count (zero-alloc benchmarks are unaffected: 0.5% of 0 is 0)")
-	noise := flag.Float64("noise", 50, "absolute ns/op growth a regression must also exceed (jitter floor for sub-microsecond benchmarks)")
+	var g Gates
+	flag.Float64Var(&g.Threshold, "threshold", 1.10, "max allowed ns/op ratio new/old before failing (1.10 = 10% slower)")
+	flag.Float64Var(&g.AllocSlack, "alloc-slack", 0, "absolute allocs/op increase allowed before failing")
+	flag.Float64Var(&g.AllocSlackPct, "alloc-slack-pct", 0.5, "relative allocs/op increase allowed, as a percent of the old count (zero-alloc benchmarks are unaffected: 0.5% of 0 is 0)")
+	flag.Float64Var(&g.Noise, "noise", 50, "absolute ns/op growth a regression must also exceed (jitter floor for sub-microsecond benchmarks)")
+	flag.Float64Var(&g.BopThreshold, "bop-threshold", 1.10, "max allowed B/op ratio new/old before failing (0 disables the bytes gate)")
+	flag.Float64Var(&g.BopSlack, "bop-slack", 256, "absolute B/op growth a regression must also exceed (floor for small-footprint benchmarks)")
 	flag.Usage = func() {
 		fmt.Fprintf(flag.CommandLine.Output(), "usage: benchdiff [flags] OLD.json NEW.json\n")
 		flag.PrintDefaults()
@@ -51,24 +56,24 @@ func main() {
 		os.Exit(1)
 	}
 
-	rows, regressions := Diff(old, new_, *threshold, *allocSlack, *allocSlackPct, *noise)
+	rows, regressions := Diff(old, new_, g)
 	if len(rows) == 0 {
 		fmt.Fprintln(os.Stderr, "benchdiff: no benchmarks in common")
 		os.Exit(1)
 	}
-	fmt.Printf("%-40s %14s %14s %8s %12s %12s\n",
-		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs")
+	fmt.Printf("%-40s %14s %14s %8s %12s %12s %14s %14s\n",
+		"benchmark", "old ns/op", "new ns/op", "speedup", "old allocs", "new allocs", "old B/op", "new B/op")
 	for _, r := range rows {
 		mark := ""
 		if r.Regressed {
 			mark = "  << REGRESSION"
 		}
-		fmt.Printf("%-40s %14.0f %14.0f %7.2fx %12.0f %12.0f%s\n",
-			r.Name, r.OldNs, r.NewNs, r.Speedup, r.OldAllocs, r.NewAllocs, mark)
+		fmt.Printf("%-40s %14.0f %14.0f %7.2fx %12.0f %12.0f %14.0f %14.0f%s\n",
+			r.Name, r.OldNs, r.NewNs, r.Speedup, r.OldAllocs, r.NewAllocs, r.OldBytes, r.NewBytes, mark)
 	}
 	if regressions > 0 {
-		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past threshold %.2f (alloc slack %.0f, %.2g%%)\n",
-			regressions, *threshold, *allocSlack, *allocSlackPct)
+		fmt.Fprintf(os.Stderr, "benchdiff: %d benchmark(s) regressed past threshold %.2f (alloc slack %.0f, %.2g%%; B/op threshold %.2f, slack %.0f)\n",
+			regressions, g.Threshold, g.AllocSlack, g.AllocSlackPct, g.BopThreshold, g.BopSlack)
 		os.Exit(1)
 	}
 }
